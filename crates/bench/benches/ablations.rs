@@ -1,0 +1,82 @@
+//! Ablation benchmarks for the engineered design choices DESIGN.md calls
+//! out: the connection search's branching factor, the Chapter 6 sharing
+//! pass, dynamic bus reassignment versus static allocation, and the
+//! cycle-accurate simulator's throughput. Quality-vs-knob numbers (pins,
+//! pipe length) come from `cargo run -p mcs-bench --bin ablations`; these
+//! measure cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_cdfg::{designs, PortMode};
+use mcs_connect::{synthesize, SearchConfig};
+use mcs_sched::{list_schedule, BusPolicy, ListConfig};
+use mcs_sim::{simulate, Semantics, Stimulus};
+use multichip_hls::flows::{connect_first_flow, ConnectFirstOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // Branching factor: wider exploration per node costs time.
+    let d6 = designs::elliptic::partitioned_with(6, PortMode::Unidirectional);
+    for bf in [1usize, 3, 6] {
+        g.bench_with_input(BenchmarkId::new("branching_factor", bf), &bf, |b, &bf| {
+            let mut cfg = SearchConfig::new(6);
+            cfg.branching_factor = bf;
+            b.iter(|| synthesize(d6.cdfg(), PortMode::Unidirectional, &cfg).expect("connects"))
+        });
+    }
+
+    // Sub-bus sharing on/off (Chapter 6).
+    for sharing in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("sharing_pass", sharing),
+            &sharing,
+            |b, &sharing| {
+                let mut cfg = SearchConfig::new(6);
+                cfg.allow_split = sharing;
+                b.iter(|| synthesize(d6.cdfg(), PortMode::Unidirectional, &cfg).expect("connects"))
+            },
+        );
+    }
+
+    // Dynamic reassignment vs static allocation during scheduling.
+    let ar = designs::ar_filter::general(3, PortMode::Unidirectional);
+    let ic = synthesize(ar.cdfg(), PortMode::Unidirectional, &SearchConfig::new(3))
+        .expect("connects");
+    for reassign in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("bus_reassignment", reassign),
+            &reassign,
+            |b, &reassign| {
+                b.iter(|| {
+                    let mut policy = BusPolicy::new(ic.clone(), 3, reassign);
+                    list_schedule(ar.cdfg(), &ListConfig::new(3), &mut policy).expect("schedules")
+                })
+            },
+        );
+    }
+
+    // Simulator throughput: firings per second across instance counts.
+    let r = connect_first_flow(d6.cdfg(), &ConnectFirstOptions::new(6)).expect("flow");
+    let ic6 = r.final_interconnect();
+    let sem = Semantics::new();
+    for instances in [8u32, 64, 256] {
+        let stim = Stimulus::random(d6.cdfg(), instances, 1);
+        g.bench_with_input(
+            BenchmarkId::new("simulate_instances", instances),
+            &instances,
+            |b, _| {
+                b.iter(|| {
+                    let rep = simulate(d6.cdfg(), &r.schedule, Some(&ic6), &sem, &stim);
+                    assert!(rep.clean());
+                    rep.fired
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Benchmarks the Chapter 3 flow (E3.1): simple-partition AR filter at
+//! initiation rate 2 under the Gomory-backed pin feasibility checker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcs_cdfg::designs::ar_filter;
+use mcs_pinalloc::PinChecker;
+use multichip_hls::flows::simple_flow;
+
+fn bench(c: &mut Criterion) {
+    let design = ar_filter::simple();
+    let mut g = c.benchmark_group("ch3");
+    g.sample_size(20);
+    g.bench_function("e3_1_simple_flow_L2", |b| {
+        b.iter(|| simple_flow(design.cdfg(), 2).expect("chapter 3 flow"))
+    });
+    g.bench_function("pin_checker_build_L2", |b| {
+        b.iter(|| PinChecker::new(design.cdfg(), 2).expect("feasible"))
+    });
+    g.bench_function("pin_checker_probe", |b| {
+        let checker = PinChecker::new(design.cdfg(), 2).expect("feasible");
+        let op = design.op_named("I1");
+        b.iter(|| checker.can_commit(op, 0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks the Chapter 4 experiments (E4.1-E4.6): connection-first
+//! synthesis of the AR and elliptic filters across rates and port modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_cdfg::{designs, PortMode};
+use mcs_connect::{synthesize, SearchConfig};
+use multichip_hls::flows::{connect_first_flow, ConnectFirstOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ch4");
+    g.sample_size(10);
+    for rate in [3u32, 4, 5] {
+        let d = designs::ar_filter::general(rate, PortMode::Unidirectional);
+        g.bench_with_input(
+            BenchmarkId::new("e4_ar_connect_search", rate),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(rate))
+                        .expect("connects")
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("e4_ar_full_flow", rate), &rate, |b, &rate| {
+            b.iter(|| connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(rate)).expect("flow"))
+        });
+    }
+    for rate in [6u32, 7] {
+        let d = designs::elliptic::partitioned_with(rate, PortMode::Bidirectional);
+        g.bench_with_input(BenchmarkId::new("e4_ewf_full_flow_bidir", rate), &rate, |b, &rate| {
+            let mut opts = ConnectFirstOptions::new(rate);
+            opts.mode = PortMode::Bidirectional;
+            b.iter(|| connect_first_flow(d.cdfg(), &opts).expect("flow"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmarks the Chapter 5 experiments (E5.1-E5.4): force-directed
+//! scheduling plus clique-partitioning connection synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_cdfg::{designs, PortMode};
+use mcs_postsyn::{connect_after_scheduling, PostsynConfig};
+use mcs_sched::{fds_schedule, FdsConfig};
+use multichip_hls::flows::schedule_first_flow;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ch5");
+    g.sample_size(10);
+    for rate in [3u32, 4, 5] {
+        let d = designs::ar_filter::general(rate, PortMode::Unidirectional);
+        g.bench_with_input(BenchmarkId::new("e5_ar_fds", rate), &rate, |b, &rate| {
+            b.iter(|| fds_schedule(d.cdfg(), &FdsConfig { rate, pipe_length: 12 }).expect("fds"))
+        });
+        g.bench_with_input(BenchmarkId::new("e5_ar_full_flow", rate), &rate, |b, &rate| {
+            b.iter(|| {
+                schedule_first_flow(d.cdfg(), rate, 12, PortMode::Unidirectional).expect("flow")
+            })
+        });
+    }
+    {
+        let rate = 6u32;
+        let d = designs::elliptic::partitioned_with(rate, PortMode::Unidirectional);
+        let s = fds_schedule(d.cdfg(), &FdsConfig { rate, pipe_length: 26 }).expect("fds");
+        g.bench_function("e5_ewf_clique_partitioning", |b| {
+            b.iter(|| {
+                connect_after_scheduling(
+                    d.cdfg(),
+                    &s,
+                    PortMode::Unidirectional,
+                    &PostsynConfig::new(rate),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks the Chapter 7 extensions (E7.1-E7.4): conditional sharing,
+//! allocation wheels and the recursive-edge/TDM demonstrations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcs_bench::{e7_conditional, e7_recursive, e7_tdm, e7_wheel};
+use mcs_cdfg::designs::synthetic;
+use mcs_conditional::{conditional_sharing_sets, CondShareConfig};
+use mcs_sched::AllocationWheel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ch7");
+    g.sample_size(20);
+    let (design, _) = synthetic::conditional_example();
+    g.bench_function("e7_conditional_sharing_heuristic", |b| {
+        b.iter(|| conditional_sharing_sets(design.cdfg(), &CondShareConfig::new(8)))
+    });
+    g.bench_function("e7_allocation_wheel_safety", |b| {
+        b.iter(|| {
+            let mut w = AllocationWheel::new(2, 7, 2);
+            for s in [0i64, 2, 4, 1, 3] {
+                let _ = w.is_safe(s, 3);
+                let _ = w.place(s);
+            }
+            w.remaining_capacity()
+        })
+    });
+    g.bench_function("e7_reports", |b| {
+        b.iter(|| {
+            (
+                e7_recursive().len(),
+                e7_conditional().len(),
+                e7_wheel().len(),
+                e7_tdm().len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

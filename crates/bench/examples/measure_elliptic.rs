@@ -1,0 +1,21 @@
+//! Measures the pins the connection search needs on the elliptic filter
+//! across rates and port modes — the tool used to derive the pin budgets
+//! in `mcs_cdfg::designs::elliptic` (see DESIGN.md, "Substitutions").
+fn main() {
+    use mcs_cdfg::{designs::elliptic, PartitionId, PortMode};
+    use mcs_connect::{synthesize, SearchConfig};
+    for mode in [PortMode::Unidirectional, PortMode::Bidirectional] {
+        for rate in [5u32, 6, 7] {
+            let d = elliptic::partitioned_with(rate, mode);
+            match synthesize(d.cdfg(), mode, &SearchConfig::new(rate)) {
+                Ok(ic) => {
+                    let pins: Vec<u32> = (0..6)
+                        .map(|p| ic.pins_used(PartitionId::new(p)))
+                        .collect();
+                    println!("{mode:?} L={rate}: pins {pins:?} buses {}", ic.buses.len());
+                }
+                Err(e) => println!("{mode:?} L={rate}: FAILED {e}"),
+            }
+        }
+    }
+}

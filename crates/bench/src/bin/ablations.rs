@@ -1,0 +1,95 @@
+//! Quality ablations for the engineered design choices (DESIGN.md §6):
+//! how the connection search's branching factor, the Chapter 6 sharing
+//! pass, and dynamic bus reassignment affect the *results* (pins, buses,
+//! pipe length) rather than the runtime.
+//!
+//! ```sh
+//! cargo run --release -p mcs-bench --bin ablations
+//! ```
+
+use mcs_cdfg::{designs, PartitionId, PortMode};
+use mcs_connect::{share_pass, synthesize, SearchConfig};
+use mcs_sched::{list_schedule, BusPolicy, ListConfig};
+use multichip_hls::partition::{refine, spread, Capacities, FlatGraph};
+
+fn pins(cdfg: &mcs_cdfg::Cdfg, ic: &mcs_connect::Interconnect) -> Vec<u32> {
+    (0..cdfg.partition_count())
+        .map(|p| ic.pins_used(PartitionId::new(p as u32)))
+        .collect()
+}
+
+fn main() {
+    let mode = PortMode::Unidirectional;
+
+    println!("## Branching factor (elliptic, L=6, unidirectional)");
+    println!("{:>3} {:>22} {:>6} {:>6}", "bf", "pins per chip", "total", "buses");
+    let d = designs::elliptic::partitioned_with(6, mode);
+    for bf in [1usize, 2, 3, 6] {
+        let mut cfg = SearchConfig::new(6);
+        cfg.branching_factor = bf;
+        match synthesize(d.cdfg(), mode, &cfg) {
+            Ok(ic) => {
+                let p = pins(d.cdfg(), &ic);
+                println!(
+                    "{bf:>3} {:>22} {:>6} {:>6}",
+                    format!("{:?}", &p[..]),
+                    p.iter().sum::<u32>(),
+                    ic.buses.len()
+                );
+            }
+            Err(e) => println!("{bf:>3} failed: {e}"),
+        }
+    }
+
+    println!("\n## Sharing pass (elliptic, unidirectional)");
+    println!("{:>3} {:>12} {:>12} {:>8}", "L", "plain pins", "shared pins", "saved");
+    for rate in [5u32, 6, 7] {
+        let d = designs::elliptic::partitioned_with(rate, mode);
+        let cfg = SearchConfig::new(rate);
+        let Ok(plain) = synthesize(d.cdfg(), mode, &cfg) else {
+            println!("{rate:>3} no structure");
+            continue;
+        };
+        let before: u32 = pins(d.cdfg(), &plain).iter().sum();
+        let mut shared = plain.clone();
+        share_pass(d.cdfg(), &mut shared, rate);
+        let after: u32 = pins(d.cdfg(), &shared).iter().sum();
+        println!("{rate:>3} {before:>12} {after:>12} {:>8}", before - after);
+    }
+
+    println!("\n## Dynamic bus reassignment (AR filter, general partitioning)");
+    println!("{:>3} {:>14} {:>14}", "L", "static steps", "dynamic steps");
+    for rate in [3u32, 4, 5] {
+        let d = designs::ar_filter::general(rate, mode);
+        let Ok(ic) = synthesize(d.cdfg(), mode, &SearchConfig::new(rate)) else {
+            println!("{rate:>3} no structure");
+            continue;
+        };
+        let row: Vec<String> = [false, true]
+            .iter()
+            .map(|&re| {
+                let mut policy = BusPolicy::new(ic.clone(), rate, re);
+                match list_schedule(d.cdfg(), &ListConfig::new(rate), &mut policy) {
+                    Ok(s) => format!("{}", s.pipe_length(d.cdfg())),
+                    Err(_) => "fail".to_string(),
+                }
+            })
+            .collect();
+        println!("{rate:>3} {:>14} {:>14}", row[0], row[1]);
+    }
+
+    println!("\n## Automatic partitioning vs the hand partitioning (AR filter)");
+    println!("{:>6} {:>10} {:>12} {:>12}", "chips", "cold cut", "refined cut", "hand cut");
+    let d = designs::ar_filter::simple();
+    let flat = FlatGraph::from_cdfg(d.cdfg()).expect("AR flattens");
+    let hand = flat.cut_bits(&flat.original_assignment());
+    for n in [2usize, 3, 4] {
+        let chips: Vec<PartitionId> = (1..=n as u32).map(PartitionId::new).collect();
+        let cap = flat.ops.len().div_ceil(n) + 1;
+        let init = spread(&flat, &chips);
+        let cold = flat.cut_bits(&init);
+        let r = refine(&flat, &chips, &init, &Capacities::balanced(cap));
+        let hand_col = if n == 4 { hand.to_string() } else { "-".to_string() };
+        println!("{n:>6} {cold:>10} {:>12} {hand_col:>12}", r.final_cut);
+    }
+}

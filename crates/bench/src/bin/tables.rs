@@ -1,0 +1,26 @@
+//! Regenerates every evaluation table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p mcs-bench --bin tables            # everything
+//! cargo run --release -p mcs-bench --bin tables -- --exp e4_uni
+//! ```
+
+use mcs_bench::{run_experiment, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let selected: Vec<&str> = match args.iter().position(|a| a == "--exp") {
+        Some(i) => match args.get(i + 1) {
+            Some(id) => vec![id.as_str()],
+            None => {
+                eprintln!("--exp requires an experiment id; available: {EXPERIMENTS:?}");
+                std::process::exit(2);
+            }
+        },
+        None => EXPERIMENTS.to_vec(),
+    };
+    for id in selected {
+        println!("################ {id} ################");
+        println!("{}", run_experiment(id));
+    }
+}

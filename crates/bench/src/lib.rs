@@ -1,0 +1,548 @@
+//! # mcs-bench
+//!
+//! The experiment harness: one function per table/figure family of the
+//! paper's evaluation (see `DESIGN.md`'s experiment index). The `tables`
+//! binary prints them; the Criterion benches measure the synthesis run
+//! time of the same experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use mcs_cdfg::{designs, timing, PartitionId, PortMode};
+use mcs_conditional::{conditional_sharing_sets, CondShareConfig};
+use mcs_connect::{Bus, BusAssignment, Interconnect, SubRange};
+use mcs_sched::{list_schedule, AllocationWheel, BusPolicy, ListConfig};
+use multichip_hls::flows::{
+    connect_first_flow, schedule_first_flow, simple_flow, ConnectFirstOptions, SynthesisResult,
+};
+use multichip_hls::report::{
+    render_bus_allocation, render_bus_assignment, render_interconnect, render_schedule, Table,
+};
+
+/// All experiment ids, in presentation order.
+pub const EXPERIMENTS: &[&str] = &[
+    "e3_1",
+    "e4_uni",
+    "e4_uni_detail",
+    "e4_bi",
+    "e4_bi_detail",
+    "e4_ewf_uni",
+    "e4_ewf_bi",
+    "e5_ar",
+    "e5_ar_ch4",
+    "e5_ewf",
+    "e5_ewf_ch4",
+    "e6_detail",
+    "e6_compare",
+    "e7_recursive",
+    "e7_conditional",
+    "e7_wheel",
+    "e7_tdm",
+];
+
+/// Runs one experiment by id and returns its report.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment id.
+pub fn run_experiment(id: &str) -> String {
+    match id {
+        "e3_1" => e3_1(),
+        "e4_uni" => e4_summary(PortMode::Unidirectional),
+        "e4_uni_detail" => e4_detail(PortMode::Unidirectional),
+        "e4_bi" => e4_summary(PortMode::Bidirectional),
+        "e4_bi_detail" => e4_detail(PortMode::Bidirectional),
+        "e4_ewf_uni" => e4_ewf(PortMode::Unidirectional),
+        "e4_ewf_bi" => e4_ewf(PortMode::Bidirectional),
+        "e5_ar" => e5_ar(),
+        "e5_ar_ch4" => e5_ar_ch4(),
+        "e5_ewf" => e5_ewf(),
+        "e5_ewf_ch4" => e5_ewf_ch4(),
+        "e6_detail" => e6_detail(),
+        "e6_compare" => e6_compare(),
+        "e7_recursive" => e7_recursive(),
+        "e7_conditional" => e7_conditional(),
+        "e7_wheel" => e7_wheel(),
+        "e7_tdm" => e7_tdm(),
+        other => panic!("unknown experiment id {other}; see EXPERIMENTS"),
+    }
+}
+
+fn real_pins(r: &SynthesisResult) -> u32 {
+    r.pins_used[1..].iter().sum()
+}
+
+/// E3.1 — Figures 3.6/3.7: the simple-partition AR filter at L = 2.
+pub fn e3_1() -> String {
+    let d = designs::ar_filter::simple();
+    let mut out = String::new();
+    let _ = writeln!(out, "E3.1 (Figures 3.6/3.7): simple-partition AR filter, L = 2");
+    match simple_flow(d.cdfg(), 2) {
+        Ok(r) => {
+            let _ = writeln!(
+                out,
+                "pins used per partition: {:?}  pipe length: {}\n",
+                &r.pins_used[1..],
+                r.pipe_length
+            );
+            let _ = writeln!(out, "schedule (Figure 3.6 analogue):");
+            let _ = writeln!(out, "{}", render_schedule(d.cdfg(), &r.schedule));
+            let _ = writeln!(out, "interchip connection (Figure 3.7 analogue):");
+            let _ = writeln!(out, "{}", render_interconnect(d.cdfg(), &r.interconnect));
+        }
+        Err(e) => {
+            let _ = writeln!(out, "FAILED: {e}");
+        }
+    }
+    out
+}
+
+fn ar_flow(rate: u32, mode: PortMode, reassign: bool, sharing: bool) -> Option<SynthesisResult> {
+    let d = designs::ar_filter::general(rate, mode);
+    let mut opts = ConnectFirstOptions::new(rate);
+    opts.mode = mode;
+    opts.reassign = reassign;
+    opts.sharing = sharing;
+    connect_first_flow(d.cdfg(), &opts).ok()
+}
+
+/// E4.1/E4.3 — Tables 4.2 and 4.10: AR filter pins and control steps with
+/// and without bus reassignment.
+pub fn e4_summary(mode: PortMode) -> String {
+    let mut t = Table::new([
+        "L", "P0", "P1", "P2", "P3", "steps w/ reassign", "steps w/o reassign",
+    ]);
+    for rate in [3u32, 4, 5] {
+        let dynamic = ar_flow(rate, mode, true, false);
+        let fixed = ar_flow(rate, mode, false, false);
+        let cell = |r: &Option<SynthesisResult>, f: &dyn Fn(&SynthesisResult) -> String| {
+            r.as_ref().map(f).unwrap_or_else(|| "-".into())
+        };
+        t.row([
+            rate.to_string(),
+            cell(&dynamic, &|r| r.pins_used[1].to_string()),
+            cell(&dynamic, &|r| r.pins_used[2].to_string()),
+            cell(&dynamic, &|r| r.pins_used[3].to_string()),
+            cell(&dynamic, &|r| r.pins_used[4].to_string()),
+            cell(&dynamic, &|r| r.pipe_length.to_string()),
+            cell(&fixed, &|r| r.pipe_length.to_string()),
+        ]);
+    }
+    format!(
+        "E4 summary ({mode:?}; Tables 4.2/4.10 analogue): AR filter\n{t}"
+    )
+}
+
+/// E4.2/E4.4 — Tables 4.3-4.8 and 4.11-4.13: bus assignments (initial vs
+/// final) and per-step bus allocation.
+pub fn e4_detail(mode: PortMode) -> String {
+    let mut out = String::new();
+    for rate in [3u32, 4, 5] {
+        let d = designs::ar_filter::general(rate, mode);
+        let Some(r) = ar_flow(rate, mode, true, false) else {
+            let _ = writeln!(out, "L={rate}: flow failed");
+            continue;
+        };
+        let _ = writeln!(out, "== {mode:?} L = {rate}: bus assignment (initial vs final) ==");
+        let _ = writeln!(
+            out,
+            "{}",
+            render_bus_assignment(d.cdfg(), &r.interconnect, &r.placements)
+        );
+        let _ = writeln!(out, "== {mode:?} L = {rate}: bus allocation by step group ==");
+        let _ = writeln!(
+            out,
+            "{}",
+            render_bus_allocation(d.cdfg(), &r.schedule, &r.placements)
+        );
+    }
+    out
+}
+
+/// E4.5/E4.6 — Tables 4.14-4.19: the elliptic filter, including the
+/// expected list-scheduling failure at the minimum rate 5.
+pub fn e4_ewf(mode: PortMode) -> String {
+    let mut t = Table::new(["L", "P1", "P2", "P3", "P4", "P5", "steps", "outcome"]);
+    for rate in [5u32, 6, 7] {
+        let d = designs::elliptic::partitioned_with(rate, mode);
+        let mut opts = ConnectFirstOptions::new(rate);
+        opts.mode = mode;
+        match connect_first_flow(d.cdfg(), &opts) {
+            Ok(r) => {
+                t.row([
+                    rate.to_string(),
+                    r.pins_used[1].to_string(),
+                    r.pins_used[2].to_string(),
+                    r.pins_used[3].to_string(),
+                    r.pins_used[4].to_string(),
+                    r.pins_used[5].to_string(),
+                    r.pipe_length.to_string(),
+                    "ok".into(),
+                ]);
+            }
+            Err(e) => {
+                t.row([
+                    rate.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("failed: {e}"),
+                ]);
+            }
+        }
+    }
+    format!("E4 elliptic filter ({mode:?}; Tables 4.14-4.19 analogue)\n{t}")
+}
+
+/// E5.1 — Table 5.1: AR filter resources required over (L, pipe length).
+pub fn e5_ar() -> String {
+    let mut t = Table::new(["L", "pipe", "pins P0..P3", "adders", "multipliers"]);
+    for rate in [3u32, 4, 5] {
+        for pipe in [8i64, 9, 10, 11, 12] {
+            let d = designs::ar_filter::general(rate, PortMode::Unidirectional);
+            match schedule_first_flow(d.cdfg(), rate, pipe, PortMode::Unidirectional) {
+                Ok(r) => {
+                    let res = r.resources(d.cdfg());
+                    let sum = |class: &mcs_cdfg::OperatorClass| -> u32 {
+                        res.iter()
+                            .filter(|((_, c), _)| c == class)
+                            .map(|(_, &n)| n)
+                            .sum()
+                    };
+                    t.row([
+                        rate.to_string(),
+                        pipe.to_string(),
+                        format!("{:?}", &r.pins_used[1..]),
+                        sum(&mcs_cdfg::OperatorClass::Add).to_string(),
+                        sum(&mcs_cdfg::OperatorClass::Mul).to_string(),
+                    ]);
+                }
+                Err(e) => {
+                    t.row([
+                        rate.to_string(),
+                        pipe.to_string(),
+                        format!("failed: {e}"),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    format!("E5.1 (Table 5.1 analogue): AR filter, schedule-first flow\n{t}")
+}
+
+/// E5.2 — Table 5.2: the Chapter 4 technique on the same AR filter.
+pub fn e5_ar_ch4() -> String {
+    let mut t = Table::new(["L", "pins P0..P3", "pipe length"]);
+    for rate in [3u32, 4, 5] {
+        match ar_flow(rate, PortMode::Unidirectional, true, false) {
+            Some(r) => {
+                t.row([
+                    rate.to_string(),
+                    format!("{:?}", &r.pins_used[1..]),
+                    r.pipe_length.to_string(),
+                ]);
+            }
+            None => {
+                t.row([rate.to_string(), "failed".into(), "-".into()]);
+            }
+        }
+    }
+    format!("E5.2 (Table 5.2 analogue): AR filter, connect-first flow\n{t}")
+}
+
+/// E5.3 — Table 5.3: elliptic filter resources and in-out delay over
+/// (L, pipe length).
+pub fn e5_ewf() -> String {
+    let mut t = Table::new(["L", "pipe", "pins P1..P5", "adders", "multipliers", "in-out delay"]);
+    // Our reconstructed netlist's critical path is 26 steps (the paper's
+    // sweep starts at 22 for its own netlist).
+    for rate in [5u32, 6, 7] {
+        for pipe in [26i64, 28, 30] {
+            let d = designs::elliptic::partitioned_with(rate, PortMode::Unidirectional);
+            match schedule_first_flow(d.cdfg(), rate, pipe, PortMode::Unidirectional) {
+                Ok(r) => {
+                    let res = r.resources(d.cdfg());
+                    let sum = |class: &mcs_cdfg::OperatorClass| -> u32 {
+                        res.iter()
+                            .filter(|((_, c), _)| c == class)
+                            .map(|(_, &n)| n)
+                            .sum()
+                    };
+                    let delay = r.schedule.of(d.op_named("Op")).step
+                        - r.schedule.of(d.op_named("Ia")).step;
+                    t.row([
+                        rate.to_string(),
+                        pipe.to_string(),
+                        format!("{:?}", &r.pins_used[1..]),
+                        sum(&mcs_cdfg::OperatorClass::Add).to_string(),
+                        sum(&mcs_cdfg::OperatorClass::Mul).to_string(),
+                        delay.to_string(),
+                    ]);
+                }
+                Err(e) => {
+                    t.row([
+                        rate.to_string(),
+                        pipe.to_string(),
+                        format!("failed: {e}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    format!("E5.3 (Table 5.3 analogue): elliptic filter, schedule-first flow\n{t}")
+}
+
+/// E5.4 — Table 5.4: the Chapter 4 technique on the elliptic filter,
+/// including the failure rows.
+pub fn e5_ewf_ch4() -> String {
+    let mut t = Table::new(["L", "pins P1..P5", "pipe length", "outcome"]);
+    for rate in [5u32, 6, 7] {
+        let d = designs::elliptic::partitioned_with(rate, PortMode::Unidirectional);
+        match connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(rate)) {
+            Ok(r) => {
+                t.row([
+                    rate.to_string(),
+                    format!("{:?}", &r.pins_used[1..]),
+                    r.pipe_length.to_string(),
+                    "ok".into(),
+                ]);
+            }
+            Err(e) => {
+                t.row([rate.to_string(), "-".into(), "-".into(), format!("failed: {e}")]);
+            }
+        }
+    }
+    format!("E5.4 (Table 5.4 analogue): elliptic filter, connect-first flow\n{t}")
+}
+
+/// E6.1 — Tables 6.1-6.3 / Figures 6.2-6.7: shared interconnects.
+pub fn e6_detail() -> String {
+    let mut out = String::new();
+    for rate in [3u32, 4, 5] {
+        let d = designs::ar_filter::general(rate, PortMode::Bidirectional);
+        match ar_flow(rate, PortMode::Bidirectional, true, true) {
+            Some(r) => {
+                let split = r
+                    .interconnect
+                    .buses
+                    .iter()
+                    .filter(|b| b.sub_count() > 1)
+                    .count();
+                let _ = writeln!(
+                    out,
+                    "== L = {rate}: shared interconnect ({split} split buses) =="
+                );
+                let _ = writeln!(out, "{}", render_interconnect(d.cdfg(), &r.interconnect));
+                let _ = writeln!(out, "bus allocation:");
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    render_bus_allocation(d.cdfg(), &r.schedule, &r.placements)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "L={rate}: sharing flow failed");
+            }
+        }
+    }
+    out
+}
+
+/// E6.2 — Table 6.4: pins and pipe length, sharing vs no sharing.
+pub fn e6_compare() -> String {
+    let mut t = Table::new([
+        "L",
+        "pins (no sharing)",
+        "pipe (no sharing)",
+        "pins (sharing)",
+        "pipe (sharing)",
+    ]);
+    for rate in [3u32, 4, 5] {
+        let plain = ar_flow(rate, PortMode::Bidirectional, true, false);
+        let shared = ar_flow(rate, PortMode::Bidirectional, true, true);
+        let cell = |r: &Option<SynthesisResult>, f: &dyn Fn(&SynthesisResult) -> String| {
+            r.as_ref().map(f).unwrap_or_else(|| "-".into())
+        };
+        t.row([
+            rate.to_string(),
+            cell(&plain, &|r| real_pins(r).to_string()),
+            cell(&plain, &|r| r.pipe_length.to_string()),
+            cell(&shared, &|r| real_pins(r).to_string()),
+            cell(&shared, &|r| r.pipe_length.to_string()),
+        ]);
+    }
+    format!("E6.2 (Table 6.4 analogue): AR filter, bidirectional ports\n{t}")
+}
+
+/// E7.1 — Figure 7.4: forcing the forward and feedback transfers of a
+/// recursive loop onto one shared bus destroys schedulability.
+pub fn e7_recursive() -> String {
+    // chain_len = 1 makes the feasible X-to-Y gap exactly one value (3
+    // steps) at the minimum rate 3 — a multiple of L, so X and Y are
+    // forced into the same step group and cannot share a bus.
+    let d = designs::synthetic::fig_7_4(1, 2, 2);
+    let cdfg = d.cdfg();
+    let rate = timing::min_initiation_rate(cdfg);
+    let x = d.op_named("X");
+    let y = d.op_named("Y");
+    let p1 = PartitionId::new(1);
+    let p2 = PartitionId::new(2);
+
+    let mk_bus = |pairs: &[(PartitionId, PartitionId)]| -> Bus {
+        let mut bus = Bus::new();
+        bus.sub_widths = vec![2];
+        for &(f, t) in pairs {
+            let e = bus.out_ports.entry(f).or_insert(0);
+            *e = (*e).max(2);
+            let e = bus.in_ports.entry(t).or_insert(0);
+            *e = (*e).max(2);
+        }
+        bus
+    };
+    let whole = SubRange { lo: 0, hi: 0 };
+    // Shared structure: X and Y on one bus.
+    let shared = Interconnect {
+        mode: PortMode::Unidirectional,
+        buses: vec![mk_bus(&[(p1, p2), (p2, p1)])],
+        assignment: [(x, BusAssignment { bus: mcs_cdfg::BusId::new(0), range: whole }),
+                     (y, BusAssignment { bus: mcs_cdfg::BusId::new(0), range: whole })]
+            .into_iter()
+            .collect(),
+    };
+    // Separate structure: one bus each.
+    let separate = Interconnect {
+        mode: PortMode::Unidirectional,
+        buses: vec![mk_bus(&[(p1, p2)]), mk_bus(&[(p2, p1)])],
+        assignment: [(x, BusAssignment { bus: mcs_cdfg::BusId::new(0), range: whole }),
+                     (y, BusAssignment { bus: mcs_cdfg::BusId::new(1), range: whole })]
+            .into_iter()
+            .collect(),
+    };
+    let run = |ic: Interconnect| -> String {
+        let mut policy = BusPolicy::new(ic, rate, false);
+        match list_schedule(cdfg, &ListConfig::new(rate), &mut policy) {
+            Ok(s) => format!("schedulable, pipe length {}", s.pipe_length(cdfg)),
+            Err(e) => format!("unschedulable ({e})"),
+        }
+    };
+    format!(
+        "E7.1 (Figure 7.4): recursive loop at minimum rate {rate}\n\
+         X and Y on one shared bus:  {}\n\
+         X and Y on separate buses:  {}\n",
+        run(shared),
+        run(separate)
+    )
+}
+
+/// E7.2 — Section 7.2: conditional I/O sharing.
+pub fn e7_conditional() -> String {
+    let (d, _) = designs::synthetic::conditional_example();
+    let sets = conditional_sharing_sets(d.cdfg(), &CondShareConfig::new(8));
+    let mut out = String::from("E7.2 (Section 7.2): conditional I/O sharing\n");
+    for set in &sets {
+        let names: Vec<&str> = set
+            .ops
+            .iter()
+            .map(|&op| d.cdfg().op(op).name.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "sharing set {{{}}} in frame {}..={}: saves {} pins",
+            names.join(", "),
+            set.frame.0,
+            set.frame.1,
+            set.saved_pins
+        );
+    }
+    let total: u32 = sets.iter().map(|s| s.saved_pins).sum();
+    let _ = writeln!(out, "total pins saved: {total}");
+    out
+}
+
+/// E7.3 — Figure 7.10: allocation-wheel fragmentation and the safety
+/// check.
+pub fn e7_wheel() -> String {
+    let mut naive = AllocationWheel::new(1, 6, 2);
+    naive.place(0);
+    let fragmented = naive.place(3).is_some() && !naive.can_place(2) && !naive.can_place(4);
+    let mut safe = AllocationWheel::new(1, 6, 2);
+    safe.place(0);
+    let checked = safe.is_safe(3, 1);
+    let d = designs::synthetic::multicycle_example();
+    let scheduled = list_schedule(
+        d.cdfg(),
+        &ListConfig::new(6),
+        &mut mcs_sched::NullPolicy,
+    )
+    .is_ok();
+    format!(
+        "E7.3 (Figure 7.10): three 2-cycle ops, one unit, L = 6\n\
+         Eq. 7.5 lower bound: {:?} unit(s)\n\
+         naive placement at steps 0 and 3 strands op3: {fragmented}\n\
+         safety check rejects the fragmenting placement: {}\n\
+         list scheduling with the safety check finds a schedule: {scheduled}\n",
+        AllocationWheel::lower_bound(3, 6, 2),
+        !checked,
+    )
+}
+
+/// E7.4 — Section 7.3: time-division I/O multiplexing trade-off.
+pub fn e7_tdm() -> String {
+    let mut t = Table::new(["variant", "widest transfer", "cross pins", "pipe length"]);
+    for split in [false, true] {
+        let d = designs::synthetic::tdm_example(split);
+        let r = connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(2));
+        match r {
+            Ok(r) => {
+                let widest = d
+                    .cdfg()
+                    .io_ops()
+                    .filter(|&op| {
+                        let (_, f, to) = d.cdfg().op(op).io_endpoints().unwrap();
+                        !f.is_environment() && !to.is_environment()
+                    })
+                    .map(|op| d.cdfg().io_bits(op))
+                    .max()
+                    .unwrap_or(0);
+                t.row([
+                    if split { "split (2 x 16)" } else { "whole (32)" }.to_string(),
+                    widest.to_string(),
+                    real_pins(&r).to_string(),
+                    r.pipe_length.to_string(),
+                ]);
+            }
+            Err(e) => {
+                t.row([
+                    if split { "split" } else { "whole" }.to_string(),
+                    "-".into(),
+                    format!("failed: {e}"),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    format!("E7.4 (Section 7.3): TDM trade-off\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_runs() {
+        for &id in EXPERIMENTS {
+            let out = run_experiment(id);
+            assert!(!out.is_empty(), "{id} produced no output");
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The AR lattice filter benchmark (Kung 1984) in the two partitionings
+//! used by the paper: the *simple* partitioning of Figure 3.5 (Section 3.4)
+//! and the *general* partitioning of Figure 4.7 (Section 4.4.1).
+//!
+//! Both variants implement a 28-operation lattice (16 multiplications, 12
+//! additions) on four chips, matching the published per-partition
+//! I/O-operation counts, operator mixes, pin budgets and resource
+//! constraints. Common assumptions (Sections 3.4, 4.4.1): 250 ns stage
+//! time, 30 ns adders, 210 ns multipliers, 10 ns I/O transfers, chaining
+//! allowed.
+
+use crate::designs::Design;
+use crate::{CdfgBuilder, Library, OperatorClass, PortMode, ValueId};
+
+use OperatorClass::{Add, Mul};
+
+/// The simple partitioning of Figure 3.5.
+///
+/// Four chips: `P1`, `P2` have 48 data pins each (fixed as 40 input + 8
+/// output), `P3`, `P4` have 32 (24 + 8). All values are 8 bits wide.
+/// Per-partition interfaces match Section 3.4: `P1`/`P2` each have 10 input
+/// operations and 2 output operations, `P3`/`P4` each 6 and 2. Inputs
+/// arrive every 2 cycles (initiation rate 2); minimum functional units are
+/// `(2+,2*)` for `P1`/`P2` and `(1+,2*)` for `P3`/`P4`.
+///
+/// Drive structure (a *simple* partitioning per Definition 3.2): a ring
+/// `P1 -> P3 -> P2 -> P4 -> P1`, each partition driving and driven by
+/// exactly one real partition; the lattice feedback transfers
+/// `X3`,`X4`,`X5`,`X6` are data recursive with degree 4.
+pub fn simple() -> Design {
+    let mut b = CdfgBuilder::new(Library::ar_filter());
+    let p1 = b.partition("P1", 48);
+    let p2 = b.partition("P2", 48);
+    let p3 = b.partition("P3", 32);
+    let p4 = b.partition("P4", 32);
+    b.fix_pin_split(p1, 40, 8);
+    b.fix_pin_split(p2, 40, 8);
+    b.fix_pin_split(p3, 24, 8);
+    b.fix_pin_split(p4, 24, 8);
+    b.resource(p1, Add, 2).resource(p1, Mul, 2);
+    b.resource(p2, Add, 2).resource(p2, Mul, 2);
+    b.resource(p3, Add, 1).resource(p3, Mul, 2);
+    b.resource(p4, Add, 1).resource(p4, Mul, 2);
+
+    // A lattice half: eight primary inputs drive four multiplications and
+    // a two-level adder tree; the two ring-feedback values fold into the
+    // last adders. The stage result a3 is both the cross value (to the
+    // next ring partition) and the primary output — one value, two I/O
+    // operations, sharing a bus slot when co-scheduled (Section 2.2.1).
+    // a4 is partition-local state (a degree-4 accumulator, Section 7.1).
+    let half = |b: &mut CdfgBuilder,
+                p,
+                ins: [&str; 8],
+                fb: (ValueId, ValueId),
+                tag: &str|
+     -> ValueId {
+        let iv: Vec<ValueId> = ins.iter().map(|n| b.input(n, 8, p).1).collect();
+        let (_, m1) = b.func(&format!("m1{tag}"), Mul, p, &[(iv[0], 0), (iv[1], 0)], 8);
+        let (_, m2) = b.func(&format!("m2{tag}"), Mul, p, &[(iv[2], 0), (iv[3], 0)], 8);
+        let (_, m3) = b.func(&format!("m3{tag}"), Mul, p, &[(iv[4], 0), (iv[5], 0)], 8);
+        let (_, m4) = b.func(&format!("m4{tag}"), Mul, p, &[(iv[6], 0), (iv[7], 0)], 8);
+        let (_, a1) = b.func(&format!("a1{tag}"), Add, p, &[(m1, 0), (m2, 0)], 8);
+        let (_, a2) = b.func(&format!("a2{tag}"), Add, p, &[(m3, 0), (m4, 0)], 8);
+        let (_, a3) = b.func(&format!("a3{tag}"), Add, p, &[(a1, 0), (fb.0, 0)], 8);
+        let (a4_op, a4) = b.func(&format!("a4{tag}"), Add, p, &[(a2, 0), (fb.1, 0)], 8);
+        b.add_edge(crate::Edge {
+            from: a4_op,
+            to: a4_op,
+            value: a4,
+            degree: 4,
+        });
+        a3
+    };
+    // A lattice quarter: five primary inputs plus the cross value A from
+    // the previous ring partition; four multiplications, two additions.
+    let quarter = |b: &mut CdfgBuilder, p, ins: [&str; 5], a: ValueId, tag: &str| {
+        let iv: Vec<ValueId> = ins.iter().map(|n| b.input(n, 8, p).1).collect();
+        let (_, n1) = b.func(&format!("n1{tag}"), Mul, p, &[(iv[0], 0), (iv[1], 0)], 8);
+        let (_, n2) = b.func(&format!("n2{tag}"), Mul, p, &[(iv[2], 0), (iv[3], 0)], 8);
+        let (_, n3) = b.func(&format!("n3{tag}"), Mul, p, &[(iv[4], 0), (a, 0)], 8);
+        let (_, b1) = b.func(&format!("b1{tag}"), Add, p, &[(n1, 0), (n2, 0)], 8);
+        let (_, n4) = b.func(&format!("n4{tag}"), Mul, p, &[(b1, 0), (n3, 0)], 8);
+        let (_, b2) = b.func(&format!("b2{tag}"), Add, p, &[(n4, 0), (n1, 0)], 8);
+        (b2, n4)
+    };
+
+    // Ring feedback transfers, declared ahead of their sources.
+    let (x5_op, x5v) = b.io_pending("X5", 8, p4, p1);
+    let (x6_op, x6v) = b.io_pending("X6", 8, p4, p1);
+    let (x3_op, x3v) = b.io_pending("X3", 8, p3, p2);
+    let (x4_op, x4v) = b.io_pending("X4", 8, p3, p2);
+
+    let a_p1 = half(
+        &mut b,
+        p1,
+        ["I1", "I2", "I3", "I4", "I5", "I6", "I7", "I8"],
+        (x5v, x6v),
+        "p",
+    );
+    let (_, a1v) = b.io("A1", a_p1, p3);
+    b.output("O1", a_p1);
+    let (b2_p3, n4_p3) = quarter(&mut b, p3, ["I9", "Ia", "Ib", "Ic", "Id"], a1v, "r");
+    b.bind_io_source(x3_op, b2_p3, 4);
+    b.bind_io_source(x4_op, n4_p3, 4);
+
+    let a_p2 = half(
+        &mut b,
+        p2,
+        ["Ie", "If", "Ig", "Ih", "Ii", "Ij", "Ik", "Il"],
+        (x3v, x4v),
+        "q",
+    );
+    let (_, a2v) = b.io("A2", a_p2, p4);
+    b.output("O2", a_p2);
+    let (b2_p4, n4_p4) = quarter(&mut b, p4, ["Im", "In", "Io", "Ip", "Iq"], a2v, "s");
+    b.bind_io_source(x5_op, b2_p4, 4);
+    b.bind_io_source(x6_op, n4_p4, 4);
+
+    Design::new("ar-simple", b.finish().expect("AR simple partition is valid"))
+}
+
+/// Pin budgets and resource constraints for the general-partition AR filter
+/// (Tables 4.1 and 4.9): `(pins per partition, adders, multipliers)`.
+fn ar_general_config(rate: u32, mode: PortMode) -> ([u32; 4], u32, u32) {
+    let pins = match mode {
+        PortMode::Unidirectional => [120, 135, 95, 95],
+        PortMode::Bidirectional => [110, 100, 95, 95],
+    };
+    let (adders, muls) = if rate <= 3 { (2, 2) } else { (1, 1) };
+    (pins, adders, muls)
+}
+
+/// The general partitioning of Figure 4.7 (Section 4.4.1).
+///
+/// Four chips `P0`..`P3` (plus the pseudo environment). 26 primary inputs
+/// `I1`..`I9`,`Ia`..`Iq`, six cross transfers `X1`..`X6`, two primary
+/// outputs `O1`,`O2`. Most values are 8 bits; `X1`,`X2` are 12 bits,
+/// `X5`,`X6` are 16 bits and `O1`,`O2` are 24 bits wide (the "variety of
+/// bit widths" assumed by Section 4.4.1).
+///
+/// The drive structure is *not* simple: `P0` and `P1` both drive `P2` and
+/// `P3`, violating condition 3 of Definition 3.2.
+///
+/// `rate` selects the resource constraints of Table 4.1 (unidirectional) or
+/// Table 4.9 (bidirectional); `mode` selects the port model of Section 4.3.
+pub fn general(rate: u32, mode: PortMode) -> Design {
+    let (pins, adders, muls) = ar_general_config(rate, mode);
+    let mut b = CdfgBuilder::new(Library::ar_filter());
+    let parts: Vec<_> = (0..4)
+        .map(|i| b.partition(&format!("P{i}"), pins[i]))
+        .collect();
+    for &p in &parts {
+        b.resource(p, Add, adders).resource(p, Mul, muls);
+        b.port_mode(p, mode);
+    }
+    b.port_mode_all(mode);
+    let (g0, g1, g2, g3) = (parts[0], parts[1], parts[2], parts[3]);
+
+    // G0: eight primary inputs; produces X1 (12 bits) and X2 (12 bits).
+    let i: Vec<ValueId> = (1..=8)
+        .map(|k| b.input(&format!("I{k}"), 8, g0).1)
+        .collect();
+    let (_, m1) = b.func("m1", Mul, g0, &[(i[0], 0), (i[1], 0)], 8);
+    let (_, m2) = b.func("m2", Mul, g0, &[(i[2], 0), (i[3], 0)], 8);
+    let (_, m3) = b.func("m3", Mul, g0, &[(i[4], 0), (i[5], 0)], 8);
+    let (_, m4) = b.func("m4", Mul, g0, &[(i[6], 0), (i[7], 0)], 8);
+    let (_, a1) = b.func("a1", Add, g0, &[(m1, 0), (m2, 0)], 12);
+    let (_, a2) = b.func("a2", Add, g0, &[(m3, 0), (m4, 0)], 12);
+    let (_, a3) = b.func("a3", Add, g0, &[(a1, 0), (a2, 0)], 12);
+    let (_, a4) = b.func("a4", Add, g0, &[(a3, 0), (m4, 0)], 12);
+
+    // G1: nine primary inputs I9, Ia..Ih; produces X3 and X4 (8 bits).
+    let names1 = ["I9", "Ia", "Ib", "Ic", "Id", "Ie", "If", "Ig", "Ih"];
+    let j: Vec<ValueId> = names1.iter().map(|n| b.input(n, 8, g1).1).collect();
+    let (_, n1) = b.func("n1", Mul, g1, &[(j[0], 0), (j[1], 0)], 8);
+    let (_, n2) = b.func("n2", Mul, g1, &[(j[2], 0), (j[3], 0)], 8);
+    let (_, n3) = b.func("n3", Mul, g1, &[(j[4], 0), (j[5], 0)], 8);
+    let (_, n4) = b.func("n4", Mul, g1, &[(j[6], 0), (j[7], 0)], 8);
+    let (_, b1) = b.func("b1", Add, g1, &[(n1, 0), (n2, 0)], 8);
+    let (_, b2) = b.func("b2", Add, g1, &[(n3, 0), (n4, 0)], 8);
+    let (_, b3) = b.func("b3", Add, g1, &[(b1, 0), (b2, 0)], 8);
+    let (_, b4) = b.func("b4", Add, g1, &[(b3, 0), (j[8], 0)], 8);
+
+    // Cross transfers into G2 and G3.
+    let (_, x1) = b.io("X1", a3, g2);
+    let (_, x2) = b.io("X2", a4, g3);
+    let (_, x3) = b.io("X3", b3, g2);
+    let (_, x4) = b.io("X4", b4, g3);
+
+    // G2: five primary inputs Ii..Im plus X1, X3; produces X5, X6 (16 bits).
+    let names2 = ["Ii", "Ij", "Ik", "Il", "Im"];
+    let k: Vec<ValueId> = names2.iter().map(|n| b.input(n, 8, g2).1).collect();
+    let (_, p1) = b.func("p1", Mul, g2, &[(k[0], 0), (k[1], 0)], 8);
+    let (_, p2) = b.func("p2", Mul, g2, &[(k[2], 0), (k[3], 0)], 8);
+    let (_, p3) = b.func("p3", Mul, g2, &[(x1, 0), (x3, 0)], 16);
+    let (_, p4) = b.func("p4", Mul, g2, &[(k[4], 0), (p3, 0)], 16);
+    let (_, c1) = b.func("c1", Add, g2, &[(p1, 0), (p2, 0)], 16);
+    let (_, c2) = b.func("c2", Add, g2, &[(p3, 0), (p4, 0)], 16);
+    let (_, x5) = b.io("X5", c1, g3);
+    let (_, x6) = b.io("X6", c2, g3);
+
+    // G3: four primary inputs In..Iq plus X2, X4, X5, X6; produces O1, O2.
+    let names3 = ["In", "Io", "Ip", "Iq"];
+    let l: Vec<ValueId> = names3.iter().map(|n| b.input(n, 8, g3).1).collect();
+    let (_, q1) = b.func("q1", Mul, g3, &[(l[0], 0), (l[1], 0)], 8);
+    let (_, q2) = b.func("q2", Mul, g3, &[(l[2], 0), (l[3], 0)], 8);
+    let (_, q3) = b.func("q3", Mul, g3, &[(x2, 0), (x4, 0)], 16);
+    let (_, q4) = b.func("q4", Mul, g3, &[(x5, 0), (x6, 0)], 24);
+    let (_, d1) = b.func("d1", Add, g3, &[(q1, 0), (q3, 0)], 24);
+    let (_, d2) = b.func("d2", Add, g3, &[(q2, 0), (q4, 0)], 24);
+    b.output("O1", d1);
+    b.output("O2", d2);
+
+    Design::new(
+        &format!("ar-general-L{rate}-{mode:?}"),
+        b.finish().expect("AR general partition is valid"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing;
+
+    #[test]
+    fn simple_matches_published_interface_counts() {
+        let d = simple();
+        let g = d.cdfg();
+        let counts: Vec<(usize, usize)> = (1..=4)
+            .map(|p| {
+                let p = crate::PartitionId::new(p);
+                (g.input_io_ops(p).len(), g.output_io_ops(p).len())
+            })
+            .collect();
+        assert_eq!(counts, vec![(10, 2), (10, 2), (6, 2), (6, 2)]);
+    }
+
+    #[test]
+    fn simple_matches_published_operator_counts() {
+        let d = simple();
+        let g = d.cdfg();
+        let count = |p: u32, class: &OperatorClass| {
+            g.partition_func_ops(crate::PartitionId::new(p))
+                .iter()
+                .filter(|&&op| matches!(&g.op(op).kind, crate::OpKind::Func(c) if c == class))
+                .count()
+        };
+        let muls: usize = (1..=4).map(|p| count(p, &Mul)).sum();
+        let adds: usize = (1..=4).map(|p| count(p, &Add)).sum();
+        assert_eq!(muls, 16, "AR filter has 16 multiplications");
+        assert_eq!(adds, 12, "AR filter has 12 additions");
+    }
+
+    #[test]
+    fn simple_is_pipelineable_at_rate_two() {
+        let d = simple();
+        // The ring feedback (total degree 8, loop latency 16 cycles)
+        // permits the paper's initiation rate of 2.
+        assert!(timing::min_initiation_rate(d.cdfg()) <= 2);
+        d.cdfg().validate().unwrap();
+    }
+
+    #[test]
+    fn general_has_26_inputs_6_cross_2_outputs() {
+        let d = general(3, PortMode::Unidirectional);
+        let g = d.cdfg();
+        let env = crate::PartitionId::ENVIRONMENT;
+        let primary_in = g.output_io_ops(env).len();
+        let primary_out = g.input_io_ops(env).len();
+        let cross = g
+            .io_ops()
+            .filter(|&op| {
+                let (_, from, to) = g.op(op).io_endpoints().unwrap();
+                !from.is_environment() && !to.is_environment()
+            })
+            .count();
+        assert_eq!(primary_in, 26);
+        assert_eq!(primary_out, 2);
+        assert_eq!(cross, 6);
+    }
+
+    #[test]
+    fn general_resources_follow_table_4_1() {
+        for (rate, expect) in [(3u32, 2u32), (4, 1), (5, 1)] {
+            let d = general(rate, PortMode::Unidirectional);
+            for p in 1..=4 {
+                let part = d.cdfg().partition(crate::PartitionId::new(p));
+                assert_eq!(part.resources[&Add], expect);
+                assert_eq!(part.resources[&Mul], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_variant_reduces_pin_budget() {
+        let uni = general(3, PortMode::Unidirectional);
+        let bi = general(3, PortMode::Bidirectional);
+        let total = |d: &Design| -> u32 {
+            (1..=4)
+                .map(|p| d.cdfg().partition(crate::PartitionId::new(p)).total_pins)
+                .sum()
+        };
+        assert!(total(&bi) < total(&uni));
+        for p in 1..=4 {
+            assert_eq!(
+                bi.cdfg().partition(crate::PartitionId::new(p)).port_mode,
+                PortMode::Bidirectional
+            );
+        }
+    }
+
+    #[test]
+    fn general_bit_widths_vary() {
+        let d = general(3, PortMode::Unidirectional);
+        let g = d.cdfg();
+        let bits = |name: &str| g.io_bits(d.op_named(name));
+        assert_eq!(bits("I1"), 8);
+        assert_eq!(bits("X1"), 12);
+        assert_eq!(bits("X5"), 16);
+        assert_eq!(bits("O1"), 24);
+    }
+
+    #[test]
+    fn op_lookup_by_name_works() {
+        let d = simple();
+        assert!(d.op("X5").is_some());
+        assert!(d.op("nonexistent").is_none());
+    }
+}

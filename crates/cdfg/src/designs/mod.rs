@@ -1,0 +1,74 @@
+//! Benchmark designs used by the paper's evaluation.
+//!
+//! The figures of the original dissertation are images, so the exact
+//! netlists are reconstructed to match every number the text states:
+//! operation counts, per-partition I/O-operation counts, bit widths,
+//! operator delays, resource constraints, pin budgets, recursion degrees
+//! and critical-loop lengths (see `DESIGN.md`, "Substitutions").
+
+use std::collections::BTreeMap;
+
+use crate::{Cdfg, OpId};
+
+pub mod ar_filter;
+pub mod elliptic;
+pub mod synthetic;
+
+/// A benchmark design: a validated [`Cdfg`] plus a name-to-operation index
+/// so experiments and tests can refer to operations by their paper names.
+#[derive(Clone, Debug)]
+pub struct Design {
+    name: String,
+    cdfg: Cdfg,
+    ops_by_name: BTreeMap<String, OpId>,
+}
+
+impl Design {
+    /// Wraps a validated graph, indexing operations by name.
+    pub fn new(name: &str, cdfg: Cdfg) -> Self {
+        let ops_by_name = cdfg
+            .op_ids()
+            .map(|id| (cdfg.op(id).name.clone(), id))
+            .collect();
+        Design {
+            name: name.to_string(),
+            cdfg,
+            ops_by_name,
+        }
+    }
+
+    /// Display name of the design.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying graph.
+    pub fn cdfg(&self) -> &Cdfg {
+        &self.cdfg
+    }
+
+    /// Mutable access, for flows that adjust pin budgets or resources.
+    pub fn cdfg_mut(&mut self) -> &mut Cdfg {
+        &mut self.cdfg
+    }
+
+    /// Consumes the design, returning the graph.
+    pub fn into_cdfg(self) -> Cdfg {
+        self.cdfg
+    }
+
+    /// Looks up an operation by its paper name (e.g. `"X5"`).
+    pub fn op(&self, name: &str) -> Option<OpId> {
+        self.ops_by_name.get(name).copied()
+    }
+
+    /// Looks up an operation by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no operation has that name.
+    pub fn op_named(&self, name: &str) -> OpId {
+        self.op(name)
+            .unwrap_or_else(|| panic!("design {} has no operation named {name}", self.name))
+    }
+}

@@ -1,0 +1,321 @@
+//! Small synthetic graphs reproducing the illustrative figures of the
+//! paper: the scheduling pitfalls of Section 2.4 (Figures 2.3 and 2.5),
+//! the recursive-edge counterexample of Section 7.1 (Figure 7.4), a
+//! cross-partition conditional block (Section 7.2), a time-division
+//! multiplexing workload (Section 7.3) and the allocation-wheel example of
+//! Section 7.4 (Figure 7.10).
+
+use crate::designs::Design;
+use crate::{CdfgBuilder, CondId, Library, Module, OperatorClass};
+
+use OperatorClass::{Add, Custom, Mul};
+
+/// Figure 2.3: four chips, one-bit values. `Pa` and `Pb` each have one
+/// output pin; `Pc` and `Pd` each have one input pin. Three transfers are
+/// needed (`V1: Pa->Pc`, `V2: Pa->Pd`, `V3: Pb->Pd`); because no switching
+/// devices are allowed off-chip, the design needs three control steps even
+/// though a naive pin count suggests two.
+pub fn fig_2_3() -> Design {
+    let mut b = CdfgBuilder::new(Library::new(100));
+    let pa = b.partition("Pa", 3);
+    let pb = b.partition("Pb", 2);
+    let pc = b.partition("Pc", 2);
+    let pd = b.partition("Pd", 2);
+    b.fix_pin_split(pa, 2, 1);
+    b.fix_pin_split(pb, 1, 1);
+    b.fix_pin_split(pc, 1, 1);
+    b.fix_pin_split(pd, 1, 1);
+    b.resource(pa, Add, 2).resource(pb, Add, 1);
+    b.resource(pc, Add, 1).resource(pd, Add, 2);
+
+    let (_, s1) = b.input("s1", 1, pa);
+    let (_, s2) = b.input("s2", 1, pa);
+    let (_, s3) = b.input("s3", 1, pb);
+    let (_, v1) = b.func("V1p", Add, pa, &[(s1, 0)], 1);
+    let (_, v2) = b.func("V2p", Add, pa, &[(s2, 0)], 1);
+    let (_, v3) = b.func("V3p", Add, pb, &[(s3, 0)], 1);
+    let (_, v1c) = b.io("V1", v1, pc);
+    let (_, v2d) = b.io("V2", v2, pd);
+    let (_, v3d) = b.io("V3", v3, pd);
+    let (_, u1) = b.func("u1", Add, pc, &[(v1c, 0)], 1);
+    let (_, u2) = b.func("u2", Add, pd, &[(v2d, 0), (v3d, 0)], 1);
+    b.output("o1", u1);
+    b.output("o2", u2);
+    Design::new("fig2.3", b.finish().expect("figure 2.3 graph is valid"))
+}
+
+/// Figure 2.5: `Pa` has 2 output pins; `Pb` has 2 input pins and `Pc` has
+/// one.
+///
+/// Four one-bit values all leave `Pa`: `V1`,`V2 -> Pb` and `V3`,`V4 ->
+/// Pc`. At initiation rate 2, scheduling both `V1` and `V2` in the same
+/// control step makes completion impossible: `V3` and `V4` must occupy
+/// different step groups (Pc has one pin), yet one of them would find
+/// `Pa`'s output pins exhausted. The feasibility checker must foresee this
+/// (Section 2.4).
+pub fn fig_2_5() -> Design {
+    let mut b = CdfgBuilder::new(Library::new(100));
+    let pa = b.partition("Pa", 4);
+    let pb = b.partition("Pb", 3);
+    let pc = b.partition("Pc", 2);
+    b.fix_pin_split(pa, 2, 2);
+    b.fix_pin_split(pb, 2, 1);
+    b.fix_pin_split(pc, 1, 1);
+    b.resource(pa, Add, 4).resource(pb, Add, 2).resource(pc, Add, 2);
+
+    let mut outs = Vec::new();
+    for k in 1..=4 {
+        let (_, s) = b.input(&format!("s{k}"), 1, pa);
+        let (_, v) = b.func(&format!("V{k}p"), Add, pa, &[(s, 0)], 1);
+        outs.push(v);
+    }
+    let (_, v1b) = b.io("V1", outs[0], pb);
+    let (_, v2b) = b.io("V2", outs[1], pb);
+    let (_, v3c) = b.io("V3", outs[2], pc);
+    let (_, v4c) = b.io("V4", outs[3], pc);
+    let (_, u1) = b.func("u1", Add, pb, &[(v1b, 0), (v2b, 0)], 1);
+    let (_, u2) = b.func("u2", Add, pc, &[(v3c, 0)], 1);
+    let (_, u3) = b.func("u3", Add, pc, &[(v4c, 0)], 1);
+    b.output("o1", u1);
+    b.output("o2", u2);
+    b.output("o3", u3);
+    Design::new("fig2.5", b.finish().expect("figure 2.5 graph is valid"))
+}
+
+/// Figure 7.4 / Theorem 7.1 gadget: a chain `t1..t_{d+1}` on `P1` feeding
+/// the transfer `X` to `P2`, a set of tasks on `P2` feeding the transfer
+/// `Y` back to `P1`, and a data recursive edge of degree 2 from `Y` to
+/// `t1`. If `X` and `Y` are forced onto a single shared bus, no pipelined
+/// schedule exists even though pins suffice.
+///
+/// `chain_len` is the paper's deadline `D` (number of chained single-cycle
+/// tasks on `P1`); `tasks` the number of independent tasks on `P2`;
+/// `processors` the adder count of `P2` (the PCS machine count `M`).
+pub fn fig_7_4(chain_len: usize, tasks: usize, processors: u32) -> Design {
+    let mut b = CdfgBuilder::new(Library::new(100));
+    let p1 = b.partition("P1", 4);
+    let p2 = b.partition("P2", 4);
+    b.resource(p1, Add, 1);
+    b.resource(p2, Add, processors);
+
+    // Feedback Y: P2 -> P1 with degree 2, consumed by t1.
+    let (y_op, y) = b.io_pending("Y", 2, p2, p1);
+    let mut prev = y;
+    let mut prev_degree = 0u32;
+    for k in 1..=chain_len + 1 {
+        let (_, v) = b.func(&format!("t{k}"), Add, p1, &[(prev, prev_degree)], 2);
+        prev = v;
+        prev_degree = 0;
+    }
+    let (_, x2) = b.io("X", prev, p2);
+    // Independent unit tasks on P2, all fed by X and all feeding Y.
+    let mut last = None;
+    for k in 1..=tasks {
+        let (_, t) = b.func(&format!("T{k}"), Add, p2, &[(x2, 0)], 2);
+        last = Some(t);
+    }
+    let (_, yv) = b.func(
+        "join",
+        Add,
+        p2,
+        &[(last.expect("at least one task"), 0)],
+        2,
+    );
+    b.bind_io_source(y_op, yv, 2);
+    Design::new("fig7.4", b.finish().expect("figure 7.4 graph is valid"))
+}
+
+/// A conditional block partitioned across two chips (Section 7.2): under
+/// condition `c` the then-branch on `P1` sends `Vt` to `P2`; otherwise the
+/// else-branch sends `Vf`. The two 16-bit transfers are mutually exclusive
+/// and may share pins and a bus slot. An unconditional 16-bit transfer `Vu`
+/// is included as a control.
+pub fn conditional_example() -> (Design, CondId) {
+    let mut b = CdfgBuilder::new(Library::new(100));
+    let p1 = b.partition("P1", 64);
+    let p2 = b.partition("P2", 64);
+    b.resource(p1, Add, 2).resource(p2, Add, 3);
+    let c = b.condition_var();
+
+    let (_, x) = b.input("x", 16, p1);
+    let (_, tv) = b.under_condition(c, true, |b| b.func("then", Add, p1, &[(x, 0)], 16));
+    let (_, fv) = b.under_condition(c, false, |b| b.func("else", Add, p1, &[(x, 0)], 16));
+    let (_, uv) = b.func("uncond", Add, p1, &[(x, 0)], 16);
+    let (_, tv2) = b.under_condition(c, true, |b| b.io("Vt", tv, p2));
+    let (_, fv2) = b.under_condition(c, false, |b| b.io("Vf", fv, p2));
+    let (_, uv2) = b.io("Vu", uv, p2);
+    let (_, st) = b.under_condition(c, true, |b| b.func("st", Add, p2, &[(tv2, 0)], 16));
+    let (_, sf) = b.under_condition(c, false, |b| b.func("sf", Add, p2, &[(fv2, 0)], 16));
+    let (_, su) = b.func("su", Add, p2, &[(uv2, 0)], 16);
+    b.output("ot", st);
+    b.output("of", sf);
+    b.output("ou", su);
+    (
+        Design::new(
+            "conditional",
+            b.finish().expect("conditional example graph is valid"),
+        ),
+        c,
+    )
+}
+
+/// A wide-value workload for time-division I/O multiplexing (Section 7.3):
+/// one 32-bit value either crosses as a whole (needing 32 pins) or is split
+/// into two 16-bit halves transferred over two cycles.
+pub fn tdm_example(split: bool) -> Design {
+    let mut b = CdfgBuilder::new(Library::new(100));
+    let p1 = b.partition("P1", 64);
+    let p2 = b.partition("P2", if split { 48 } else { 64 });
+    b.resource(p1, Add, 1).resource(p2, Add, 1);
+
+    let (_, x) = b.input("x", 32, p1);
+    let (_, w) = b.func("w", Add, p1, &[(x, 0)], 32);
+    let merged = if split {
+        let (_, parts) = b.split("sp", w, &[16, 16]);
+        let (_, lo) = b.io("Xlo", parts[0], p2);
+        let (_, hi) = b.io("Xhi", parts[1], p2);
+        b.merge("mg", p2, &[lo, hi], 32).1
+    } else {
+        b.io("X", w, p2).1
+    };
+    let (_, s) = b.func("s", Add, p2, &[(merged, 0)], 32);
+    b.output("o", s);
+    Design::new(
+        if split { "tdm-split" } else { "tdm-whole" },
+        b.finish().expect("TDM example graph is valid"),
+    )
+}
+
+/// The allocation-wheel example of Figure 7.10: three 2-cycle operations
+/// (`op1`, `op2`, `op3`) sharing one non-pipelined unit at initiation rate
+/// 6. Equation 7.5 says one unit suffices (`3 <= floor(6/2)`), but naive
+/// placement fragments the wheel and strands `op3`.
+pub fn multicycle_example() -> Design {
+    let mut lib = Library::new(100);
+    lib.insert(Module {
+        class: Custom("slow".into()),
+        delay_ns: 200,
+        pipelined: false,
+    });
+    lib.insert(Module {
+        class: Add,
+        delay_ns: 100,
+        pipelined: true,
+    });
+    let slow = Custom("slow".into());
+    let mut b = CdfgBuilder::new(lib);
+    let p1 = b.partition("P1", 64);
+    b.resource(p1, slow.clone(), 1).resource(p1, Add, 1);
+
+    let (_, x) = b.input("x", 8, p1);
+    let (_, o1) = b.func("op1", slow.clone(), p1, &[(x, 0)], 8);
+    let (_, o2) = b.func("op2", slow.clone(), p1, &[(x, 0)], 8);
+    let (_, o3) = b.func("op3", slow, p1, &[(x, 0)], 8);
+    let (_, s1) = b.func("s1", Add, p1, &[(o1, 0), (o2, 0)], 8);
+    let (_, s2) = b.func("s2", Add, p1, &[(s1, 0), (o3, 0)], 8);
+    b.output("o", s2);
+    Design::new(
+        "allocation-wheel",
+        b.finish().expect("multicycle example graph is valid"),
+    )
+}
+
+/// The two-chip pipeline used by quickstart examples: multiply on one chip,
+/// accumulate on the other.
+pub fn quickstart() -> Design {
+    let mut b = CdfgBuilder::new(Library::ar_filter());
+    let p1 = b.partition("P1", 32);
+    let p2 = b.partition("P2", 32);
+    b.resource(p1, Mul, 1).resource(p2, Add, 1);
+    let (_, x) = b.input("x", 8, p1);
+    let (_, yc) = b.input("y", 8, p1);
+    let (_, m) = b.func("m", Mul, p1, &[(x, 0), (yc, 0)], 8);
+    let (_, m2) = b.io("X", m, p2);
+    let (acc_op, acc) = b.func("acc", Add, p2, &[(m2, 0)], 8);
+    b.add_edge(crate::Edge {
+        from: acc_op,
+        to: acc_op,
+        value: acc,
+        degree: 1,
+    });
+    b.output("o", acc);
+    Design::new("quickstart", b.finish().expect("quickstart graph is valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing;
+
+    #[test]
+    fn fig_2_3_is_valid() {
+        let d = fig_2_3();
+        assert_eq!(d.cdfg().io_ops().count(), 8);
+        assert_eq!(timing::min_initiation_rate(d.cdfg()), 1);
+    }
+
+    #[test]
+    fn fig_2_5_has_four_cross_transfers_from_pa() {
+        let d = fig_2_5();
+        let pa = crate::PartitionId::new(1);
+        assert_eq!(d.cdfg().output_io_ops(pa).len(), 4);
+    }
+
+    #[test]
+    fn fig_7_4_recursion_bounds_the_rate() {
+        let d = fig_7_4(2, 2, 2);
+        // Loop: Y -> t1 t2 t3 -> X -> T -> join -> Y, degree 2.
+        let rate = timing::min_initiation_rate(d.cdfg());
+        assert!(rate >= 3, "loop forces rate >= ceil(latency/2), got {rate}");
+    }
+
+    #[test]
+    fn conditional_transfers_are_mutually_exclusive() {
+        let (d, _) = conditional_example();
+        let g = d.cdfg();
+        let vt = d.op_named("Vt");
+        let vf = d.op_named("Vf");
+        let vu = d.op_named("Vu");
+        assert!(g.op(vt).condition.mutually_exclusive(&g.op(vf).condition));
+        assert!(!g.op(vt).condition.mutually_exclusive(&g.op(vu).condition));
+    }
+
+    #[test]
+    fn tdm_split_halves_transfer_width() {
+        let whole = tdm_example(false);
+        let split = tdm_example(true);
+        // Only chip-to-chip transfers matter: the 32-bit primary input
+        // stays 32 bits wide in both variants.
+        let widest = |d: &Design| {
+            d.cdfg()
+                .io_ops()
+                .filter(|&op| {
+                    let (_, from, to) = d.cdfg().op(op).io_endpoints().unwrap();
+                    !from.is_environment() && !to.is_environment()
+                })
+                .map(|op| d.cdfg().io_bits(op))
+                .max()
+                .unwrap()
+        };
+        assert_eq!(widest(&whole), 32);
+        assert_eq!(widest(&split), 16);
+    }
+
+    #[test]
+    fn multicycle_example_meets_eq_7_5_lower_bound() {
+        let d = multicycle_example();
+        let g = d.cdfg();
+        // 3 ops of 2 cycles each, 1 unit, L = 6: 3 <= 1 * floor(6/2).
+        let cycles = g.op_cycles(d.op_named("op1"));
+        assert_eq!(cycles, 2);
+        let slow_ops = ["op1", "op2", "op3"].len() as u32;
+        assert!(slow_ops <= 6 / cycles);
+    }
+
+    #[test]
+    fn quickstart_pipeline_is_recursive() {
+        let d = quickstart();
+        assert_eq!(timing::min_initiation_rate(d.cdfg()), 1);
+        assert!(d.cdfg().edges().iter().any(|e| e.degree == 1));
+    }
+}

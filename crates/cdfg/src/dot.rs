@@ -1,0 +1,88 @@
+//! Graphviz export of a partitioned CDFG: one cluster per chip, shaded
+//! I/O operation nodes on the partition boundaries (the drawing style of
+//! the paper's Figures 3.5, 4.7 and 4.20).
+
+use std::fmt::Write as _;
+
+use crate::{Cdfg, OpKind};
+
+/// Renders `cdfg` in Graphviz dot syntax.
+///
+/// ```
+/// use mcs_cdfg::{designs, dot::to_dot};
+///
+/// let design = designs::synthetic::quickstart();
+/// let dot = to_dot(design.cdfg());
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("cluster_p1"));
+/// ```
+pub fn to_dot(cdfg: &Cdfg) -> String {
+    let mut out = String::from("digraph cdfg {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
+    for (pi, part) in cdfg.partitions().iter().enumerate() {
+        if pi == 0 {
+            continue; // the environment has no box of its own
+        }
+        let _ = writeln!(out, "  subgraph cluster_p{pi} {{");
+        let _ = writeln!(out, "    label=\"{} ({} pins)\";", part.name, part.total_pins);
+        for op in cdfg.op_ids() {
+            let o = cdfg.op(op);
+            let here = match o.kind {
+                // An I/O node sits on the boundary; draw it in its source
+                // partition's cluster (or the destination's for inputs).
+                OpKind::Io { from, to, .. } => {
+                    if from.is_environment() {
+                        to.index() == pi
+                    } else {
+                        from.index() == pi
+                    }
+                }
+                _ => o.partition.index() == pi,
+            };
+            if !here {
+                continue;
+            }
+            let (shape, style) = match o.kind {
+                OpKind::Io { .. } => ("box", ", style=filled, fillcolor=gray80"),
+                OpKind::Split { .. } | OpKind::Merge => ("trapezium", ""),
+                OpKind::Func(_) => ("ellipse", ""),
+            };
+            let _ = writeln!(out, "    {op} [label=\"{}\", shape={shape}{style}];", o.name);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for e in cdfg.edges() {
+        let style = if e.degree > 0 {
+            format!(" [style=dashed, label=\"d={}\"]", e.degree)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "  {} -> {}{};", e.from, e.to, style);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs;
+
+    #[test]
+    fn ar_filter_dot_has_four_clusters_and_recursive_edges() {
+        let d = designs::ar_filter::simple();
+        let dot = to_dot(d.cdfg());
+        for p in 1..=4 {
+            assert!(dot.contains(&format!("cluster_p{p}")));
+        }
+        assert!(dot.contains("style=dashed"), "recursive edges dashed");
+        assert!(dot.contains("fillcolor=gray80"), "shaded I/O nodes");
+    }
+
+    #[test]
+    fn edge_count_matches_graph() {
+        let d = designs::synthetic::quickstart();
+        let dot = to_dot(d.cdfg());
+        let arrows = dot.matches(" -> ").count();
+        assert_eq!(arrows, d.cdfg().edges().len());
+    }
+}

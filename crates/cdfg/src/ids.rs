@@ -1,0 +1,130 @@
+//! Typed index newtypes used throughout the workspace.
+//!
+//! The CDFG is an index-based arena: operations, values, edges, partitions,
+//! buses and condition variables are all referred to by small `u32`-backed
+//! identifiers. Newtypes keep the different index spaces statically distinct
+//! (C-NEWTYPE) while remaining `Copy` and hashable.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index, usable for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an operation node in a [`crate::Cdfg`].
+    OpId,
+    "op"
+);
+define_id!(
+    /// Identifier of a value (a wire-level datum with a bit width).
+    ValueId,
+    "v"
+);
+define_id!(
+    /// Identifier of a dependence edge.
+    EdgeId,
+    "e"
+);
+define_id!(
+    /// Identifier of a partition (chip). Partition 0 is the pseudo
+    /// "environment" partition that models the outside world, exactly as in
+    /// Section 3.1.1 of the paper.
+    PartitionId,
+    "P"
+);
+define_id!(
+    /// Identifier of an interchip communication bus.
+    BusId,
+    "C"
+);
+define_id!(
+    /// Identifier of a conditional branch variable (Section 7.2).
+    CondId,
+    "c"
+);
+
+impl PartitionId {
+    /// The pseudo partition representing the outside world (system pins).
+    pub const ENVIRONMENT: PartitionId = PartitionId(0);
+
+    /// Returns `true` for the pseudo environment partition.
+    #[inline]
+    pub const fn is_environment(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", OpId::new(3)), "op3");
+        assert_eq!(format!("{:?}", PartitionId::new(1)), "P1");
+        assert_eq!(format!("{}", BusId::new(12)), "C12");
+    }
+
+    #[test]
+    fn environment_partition_is_zero() {
+        assert!(PartitionId::ENVIRONMENT.is_environment());
+        assert!(!PartitionId::new(1).is_environment());
+        assert_eq!(PartitionId::ENVIRONMENT.index(), 0);
+    }
+
+    #[test]
+    fn ids_round_trip_through_u32() {
+        let id = ValueId::from(7u32);
+        assert_eq!(u32::from(id), 7);
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(OpId::new(1) < OpId::new(2));
+        assert_eq!(EdgeId::default(), EdgeId::new(0));
+    }
+}

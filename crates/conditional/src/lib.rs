@@ -1,0 +1,329 @@
+//! # mcs-conditional
+//!
+//! Conditional I/O resource sharing (Section 7.2 of the paper).
+//!
+//! When a conditional block spans chips, the I/O operations of mutually
+//! exclusive branches never execute in the same instance and may share
+//! pins and a communication slot. Before interchip-connection synthesis,
+//! the combining heuristic of Figure 7.7 groups such transfers:
+//!
+//! * a compatibility-graph node is a set of mutually exclusive transfers
+//!   with a common *time frame* (they must be schedulable in the same
+//!   control step to share a slot) and a *bus connection structure* (the
+//!   minimum port widths a shared bus needs);
+//! * the basic edge weight is `gain - pf * penalty`: pins shared minus the
+//!   scheduling freedom lost by intersecting frames;
+//! * the modified weight subtracts the best combinations a merge would
+//!   exclude (first-order exclusion, weighted by the user factor `f`);
+//! * nodes combine greedily by the highest modified weight until no edges
+//!   remain.
+//!
+//! The resulting sharing sets are handed to connection synthesis, which
+//! treats each set like transfers of one value (they may ride one bus
+//! slot).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::{timing, Cdfg, OpId, PartitionId};
+
+/// Tuning of the combining heuristic.
+#[derive(Clone, Debug)]
+pub struct CondShareConfig {
+    /// Global time constraint used for the ASAP/ALAP time frames.
+    pub deadline_steps: i64,
+    /// Weight of the freedom-loss penalty (`pf` in Section 7.2).
+    pub penalty_factor: f64,
+    /// Partial weight of possibly-excluded combinations (`f` in
+    /// Section 7.2, between 0 and 1).
+    pub exclusion_factor: f64,
+}
+
+impl CondShareConfig {
+    /// Defaults: `pf = 1`, `f = 1/2`.
+    pub fn new(deadline_steps: i64) -> Self {
+        CondShareConfig {
+            deadline_steps,
+            penalty_factor: 1.0,
+            exclusion_factor: 0.5,
+        }
+    }
+}
+
+/// A set of mutually exclusive I/O operations chosen to share one
+/// communication slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharingSet {
+    /// The member transfers.
+    pub ops: Vec<OpId>,
+    /// The common time frame (inclusive step range).
+    pub frame: (i64, i64),
+    /// Pins saved relative to giving each member its own ports.
+    pub saved_pins: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    ops: Vec<OpId>,
+    frame: (i64, i64),
+    /// `(out, in)` width the shared bus needs per partition.
+    need: BTreeMap<PartitionId, (u32, u32)>,
+}
+
+impl Node {
+    fn compatible(&self, other: &Node, cdfg: &Cdfg) -> bool {
+        let frame_ok =
+            self.frame.0.max(other.frame.0) <= self.frame.1.min(other.frame.1);
+        frame_ok
+            && self.ops.iter().all(|&a| {
+                other.ops.iter().all(|&b| {
+                    cdfg.op(a)
+                        .condition
+                        .mutually_exclusive(&cdfg.op(b).condition)
+                })
+            })
+    }
+
+    /// Pins shared when merging (`gain(e)` of Section 7.2).
+    fn gain(&self, other: &Node) -> i64 {
+        let mut g = 0i64;
+        for (p, &(o1, i1)) in &self.need {
+            if let Some(&(o2, i2)) = other.need.get(p) {
+                g += o1.min(o2) as i64 + i1.min(i2) as i64;
+            }
+        }
+        g
+    }
+
+    /// Fraction of scheduling freedom lost (`penalty(e)`).
+    fn penalty(&self, other: &Node) -> f64 {
+        let union =
+            (self.frame.1.max(other.frame.1) - self.frame.0.min(other.frame.0) + 1) as f64;
+        let inter =
+            (self.frame.1.min(other.frame.1) - self.frame.0.max(other.frame.0) + 1) as f64;
+        union / inter - 1.0
+    }
+}
+
+/// Runs the Figure 7.7 combining heuristic over the conditional I/O
+/// operations of `cdfg`. Unconditional transfers never join a set; sets
+/// with a single member are omitted.
+pub fn conditional_sharing_sets(cdfg: &Cdfg, cfg: &CondShareConfig) -> Vec<SharingSet> {
+    let frames = match timing::step_frames(cdfg, cfg.deadline_steps) {
+        Ok(f) => f,
+        Err(_) => return Vec::new(),
+    };
+    let mut nodes: Vec<Node> = cdfg
+        .io_ops()
+        .filter(|&op| !cdfg.op(op).condition.is_always())
+        .map(|op| {
+            let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
+            let bits = cdfg.io_bits(op);
+            let mut need = BTreeMap::new();
+            need.insert(from, (bits, 0));
+            let e: &mut (u32, u32) = need.entry(to).or_insert((0, 0));
+            e.1 = e.1.max(bits);
+            Node {
+                ops: vec![op],
+                frame: (
+                    frames[op.index()].0,
+                    frames[op.index()].1.max(frames[op.index()].0),
+                ),
+                need,
+            }
+        })
+        .collect();
+
+    loop {
+        let n = nodes.len();
+        // Basic weights for every compatible pair.
+        let mut basic: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if nodes[i].compatible(&nodes[j], cdfg) {
+                    let w = nodes[i].gain(&nodes[j]) as f64
+                        - cfg.penalty_factor * nodes[i].penalty(&nodes[j]);
+                    basic.insert((i, j), w);
+                }
+            }
+        }
+        if basic.is_empty() {
+            break;
+        }
+        // Modified weights: subtract the best combinations this merge
+        // would exclude (edges from i or j to nodes not adjacent to the
+        // other endpoint).
+        let adjacent = |a: usize, b: usize| -> bool {
+            basic.contains_key(&(a.min(b), a.max(b)))
+        };
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (&(i, j), &w) in &basic {
+            let excluded = |from: usize, other: usize| -> f64 {
+                (0..n)
+                    .filter(|&v| v != i && v != j && adjacent(from, v) && !adjacent(other, v))
+                    .map(|v| basic[&(from.min(v), from.max(v))])
+                    .fold(f64::MIN, f64::max)
+            };
+            let e1 = excluded(i, j);
+            let e2 = excluded(j, i);
+            let correction = match (e1 > f64::MIN, e2 > f64::MIN) {
+                (false, false) => 0.0,
+                (true, false) => e1,
+                (false, true) => e2,
+                (true, true) => e1.max(e2) + cfg.exclusion_factor * e1.min(e2),
+            };
+            let w2 = w - correction;
+            let better = match &best {
+                None => true,
+                Some((bw, bi, bj)) => {
+                    w2 > *bw + 1e-9 || ((w2 - *bw).abs() <= 1e-9 && (i, j) < (*bi, *bj))
+                }
+            };
+            if better {
+                best = Some((w2, i, j));
+            }
+        }
+        let (_, i, j) = best.expect("nonempty edge set");
+        // Combine j into i.
+        let other = nodes.remove(j);
+        let node = &mut nodes[i];
+        node.ops.extend(other.ops);
+        node.frame = (
+            node.frame.0.max(other.frame.0),
+            node.frame.1.min(other.frame.1),
+        );
+        for (p, (o, iw)) in other.need {
+            let e = node.need.entry(p).or_insert((0, 0));
+            e.0 = e.0.max(o);
+            e.1 = e.1.max(iw);
+        }
+    }
+
+    nodes
+        .into_iter()
+        .filter(|nd| nd.ops.len() > 1)
+        .map(|nd| {
+            // Pins saved = separate ports minus shared ports.
+            let mut separate = 0u32;
+            for &op in &nd.ops {
+                separate += 2 * cdfg.io_bits(op);
+            }
+            let shared: u32 = nd.need.values().map(|&(o, i)| o + i).sum();
+            let mut ops = nd.ops;
+            ops.sort();
+            SharingSet {
+                ops,
+                frame: nd.frame,
+                saved_pins: separate.saturating_sub(shared),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cdfg::designs::synthetic;
+
+    #[test]
+    fn then_and_else_transfers_combine() {
+        let (d, _) = synthetic::conditional_example();
+        let sets = conditional_sharing_sets(d.cdfg(), &CondShareConfig::new(8));
+        assert_eq!(sets.len(), 1);
+        let names: Vec<&str> = sets[0]
+            .ops
+            .iter()
+            .map(|&op| d.cdfg().op(op).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["Vt", "Vf"]);
+        // Two 16-bit transfers between the same chips share both ports.
+        assert_eq!(sets[0].saved_pins, 32);
+    }
+
+    #[test]
+    fn unconditional_transfers_never_join() {
+        let (d, _) = synthetic::conditional_example();
+        let sets = conditional_sharing_sets(d.cdfg(), &CondShareConfig::new(8));
+        let vu = d.op_named("Vu");
+        assert!(sets.iter().all(|s| !s.ops.contains(&vu)));
+    }
+
+    #[test]
+    fn sharing_sets_keep_valid_frames() {
+        let (d, _) = synthetic::conditional_example();
+        let sets = conditional_sharing_sets(d.cdfg(), &CondShareConfig::new(4));
+        for s in &sets {
+            assert!(s.frame.0 <= s.frame.1, "sharing sets keep a valid frame");
+        }
+    }
+
+    #[test]
+    fn penalty_discourages_freedom_loss() {
+        let (d, _) = synthetic::conditional_example();
+        let none = conditional_sharing_sets(
+            d.cdfg(),
+            &CondShareConfig {
+                deadline_steps: 8,
+                penalty_factor: 0.0,
+                exclusion_factor: 0.5,
+            },
+        );
+        let heavy = conditional_sharing_sets(
+            d.cdfg(),
+            &CondShareConfig {
+                deadline_steps: 8,
+                penalty_factor: 1000.0,
+                exclusion_factor: 0.5,
+            },
+        );
+        // The gain (32 pins) dominates at pf=0; a huge penalty can only
+        // shrink or keep the sharing sets.
+        assert!(heavy.len() <= none.len());
+    }
+
+    #[test]
+    fn plain_designs_yield_no_sets() {
+        let d = synthetic::quickstart();
+        assert!(conditional_sharing_sets(d.cdfg(), &CondShareConfig::new(8)).is_empty());
+    }
+
+    #[test]
+    fn sharing_sets_contain_only_pairwise_exclusive_ops() {
+        let (d, _) = synthetic::conditional_example();
+        let sets = conditional_sharing_sets(d.cdfg(), &CondShareConfig::new(8));
+        assert!(!sets.is_empty());
+        for set in &sets {
+            for (i, &a) in set.ops.iter().enumerate() {
+                for &b in &set.ops[i + 1..] {
+                    assert!(
+                        d.cdfg()
+                            .op(a)
+                            .condition
+                            .mutually_exclusive(&d.cdfg().op(b).condition),
+                        "{a} and {b} can execute together yet share a slot"
+                    );
+                }
+            }
+            assert!(set.frame.0 <= set.frame.1, "frames stay non-empty");
+            assert!(set.saved_pins > 0, "sets exist only when pins are saved");
+            assert!(set.ops.len() >= 2, "singletons are omitted");
+        }
+    }
+
+    #[test]
+    fn tighter_deadlines_cannot_grow_the_sets() {
+        // Shrinking every time frame only removes merge opportunities.
+        let (d, _) = synthetic::conditional_example();
+        let saved = |deadline: i64| -> u32 {
+            conditional_sharing_sets(d.cdfg(), &CondShareConfig::new(deadline))
+                .iter()
+                .map(|s| s.saved_pins)
+                .sum()
+        };
+        let loose = saved(12);
+        let tight = saved(4);
+        assert!(tight <= loose, "tight {tight} > loose {loose}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Port-count and bus-count upper bounds (Section 4.1.1).
+//!
+//! The ILP formulation needs a maximum number of communication buses `R`.
+//! A naive bound is the total number of I/O operations; the paper derives
+//! a tighter one from the observation that every bus needs at least one
+//! input and one output port, and ports of width `B_k` cost `B_k` pins:
+//! per partition, compute the minimum pins consumed by mandatory wide
+//! ports, then bound how many ports of each width the remaining pins can
+//! form.
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::{Cdfg, PartitionId, PortMode};
+
+/// Direction of the transfers being counted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Input,
+    Output,
+}
+
+/// Number of transfers per bit-width class for one partition and side.
+fn width_histogram(cdfg: &Cdfg, p: PartitionId, side: Side) -> BTreeMap<u32, u32> {
+    let ops = match side {
+        Side::Input => cdfg.input_io_ops(p),
+        Side::Output => cdfg.output_io_ops(p),
+    };
+    let mut h = BTreeMap::new();
+    for op in ops {
+        *h.entry(cdfg.io_bits(op)).or_insert(0u32) += 1;
+    }
+    h
+}
+
+/// Minimum pins a partition must spend on one side: process widths from
+/// the largest down, allocating `ceil((n_k - spare_slots) / L)` ports of
+/// each width (the `Ilb`/`IPl` recurrence of Section 4.1.1, with the
+/// mathematically required ceiling). Returns `(min_pins, min_ports_by
+/// width)`.
+fn min_pins(hist: &BTreeMap<u32, u32>, rate: u32) -> (u64, BTreeMap<u32, u32>) {
+    let l = rate.max(1) as i64;
+    let mut spare_slots = 0i64; // IS_{i,k}
+    let mut pins = 0u64;
+    let mut ports = BTreeMap::new();
+    for (&bits, &n) in hist.iter().rev() {
+        let need = (n as i64 - spare_slots).max(0);
+        let p = need.div_euclid(l) + if need.rem_euclid(l) != 0 { 1 } else { 0 };
+        ports.insert(bits, p as u32);
+        spare_slots += p * l - n as i64;
+        pins += p as u64 * bits as u64;
+    }
+    (pins, ports)
+}
+
+/// Maximum ports a side can form given `budget` pins after the other
+/// side's minimum is reserved (the `Iub` recurrence): widest class first,
+/// at most `n_k` ports of width `B_k`, each class then charged its
+/// *minimum* port count against the budget.
+fn max_ports(hist: &BTreeMap<u32, u32>, min_ports: &BTreeMap<u32, u32>, budget: i64) -> u32 {
+    let mut left = budget;
+    let mut total = 0u32;
+    for (&bits, &n) in hist.iter().rev() {
+        if left <= 0 {
+            break;
+        }
+        let cap = (left / bits as i64).max(0) as u32;
+        total += cap.min(n);
+        left -= min_ports.get(&bits).copied().unwrap_or(0) as i64 * bits as i64;
+    }
+    total
+}
+
+/// Upper bound on the number of communication buses (`R` of
+/// Section 4.1.1 / Section 4.3).
+pub fn bus_upper_bound(cdfg: &Cdfg, rate: u32, mode: PortMode) -> u32 {
+    let mut in_total = 0u64;
+    let mut out_total = 0u64;
+    let mut port_total = 0u64;
+    for (pi, part) in cdfg.partitions().iter().enumerate() {
+        let p = PartitionId::new(pi as u32);
+        let hi = width_histogram(cdfg, p, Side::Input);
+        let ho = width_histogram(cdfg, p, Side::Output);
+        let (in_min_pins, in_min_ports) = min_pins(&hi, rate);
+        let (out_min_pins, out_min_ports) = min_pins(&ho, rate);
+        let t = part.total_pins as i64;
+        match mode {
+            PortMode::Unidirectional => {
+                let iub = max_ports(&hi, &in_min_ports, t - out_min_pins as i64);
+                let oub = max_ports(&ho, &out_min_ports, t - in_min_pins as i64);
+                in_total += iub as u64;
+                out_total += oub as u64;
+            }
+            PortMode::Bidirectional => {
+                // A bidirectional port serves either direction; bound the
+                // port count by what the pins can form over the merged
+                // histogram.
+                let mut merged = hi.clone();
+                for (&b, &n) in &ho {
+                    *merged.entry(b).or_insert(0) += n;
+                }
+                let (_, min_ports) = min_pins(&merged, rate);
+                port_total += max_ports(&merged, &min_ports, t) as u64;
+            }
+        }
+    }
+    let bound = match mode {
+        PortMode::Unidirectional => in_total.min(out_total),
+        // Every bus has at least two ports connected (Section 4.3).
+        PortMode::Bidirectional => port_total / 2,
+    };
+    let naive = cdfg.io_ops().count() as u64;
+    bound.min(naive).max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cdfg::designs::{ar_filter, elliptic};
+
+    #[test]
+    fn min_pins_recurrence_matches_hand_computation() {
+        // 5 transfers of 8 bits, 1 of 16 bits, rate 3:
+        // width 16: ceil(1/3)=1 port (16 pins), spare = 2 slots;
+        // width 8: ceil((5-2)/3)=1 port (8 pins).
+        let mut h = BTreeMap::new();
+        h.insert(8, 5);
+        h.insert(16, 1);
+        let (pins, ports) = min_pins(&h, 3);
+        assert_eq!(pins, 24);
+        assert_eq!(ports[&16], 1);
+        assert_eq!(ports[&8], 1);
+    }
+
+    #[test]
+    fn spare_slots_absorb_narrow_transfers() {
+        // 2 wide transfers force 1 port at rate 3, leaving 1 spare slot
+        // that carries the lone narrow transfer: zero narrow ports.
+        let mut h = BTreeMap::new();
+        h.insert(16, 2);
+        h.insert(8, 1);
+        let (pins, ports) = min_pins(&h, 3);
+        assert_eq!(ports[&16], 1);
+        assert_eq!(ports[&8], 0);
+        assert_eq!(pins, 16);
+    }
+
+    #[test]
+    fn tighter_than_naive_on_the_ar_filter() {
+        let d = ar_filter::general(3, PortMode::Unidirectional);
+        let naive = d.cdfg().io_ops().count() as u32;
+        let r = bus_upper_bound(d.cdfg(), 3, PortMode::Unidirectional);
+        assert!(r <= naive);
+        assert!(r >= 1);
+    }
+
+    #[test]
+    fn bidirectional_bound_is_no_larger() {
+        let d = elliptic::partitioned_with(6, PortMode::Bidirectional);
+        let bi = bus_upper_bound(d.cdfg(), 6, PortMode::Bidirectional);
+        let duni = elliptic::partitioned_with(6, PortMode::Unidirectional);
+        let uni = bus_upper_bound(duni.cdfg(), 6, PortMode::Unidirectional);
+        assert!(bi <= uni + 1, "bi {bi} vs uni {uni}");
+    }
+
+    #[test]
+    fn rate_increase_never_raises_min_pins() {
+        let d = elliptic::partitioned();
+        for p in 1..=5u32 {
+            let h = width_histogram(d.cdfg(), PartitionId::new(p), Side::Input);
+            let (p5, _) = min_pins(&h, 5);
+            let (p7, _) = min_pins(&h, 7);
+            assert!(p7 <= p5);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Graphviz export of the interchip connection structure: chips as boxes,
+//! buses as stripes, one edge per port labeled with its pin width — the
+//! drawing style of the paper's Figures 4.8–4.10 and 6.2–6.4.
+
+use std::fmt::Write as _;
+
+use mcs_cdfg::{Cdfg, PartitionId, PortMode};
+
+use crate::model::Interconnect;
+
+/// Renders the bus topology of `ic` in Graphviz dot syntax.
+///
+/// ```
+/// use mcs_cdfg::{designs, PortMode};
+/// use mcs_connect::{dot::to_dot, synthesize, SearchConfig};
+///
+/// let d = designs::ar_filter::general(3, PortMode::Unidirectional);
+/// let ic = synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(3)).unwrap();
+/// let dot = to_dot(d.cdfg(), &ic);
+/// assert!(dot.starts_with("graph interconnect"));
+/// assert!(dot.contains("C1"));
+/// ```
+pub fn to_dot(cdfg: &Cdfg, ic: &Interconnect) -> String {
+    let mut out = String::from(
+        "graph interconnect {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n",
+    );
+    for (pi, part) in cdfg.partitions().iter().enumerate() {
+        let p = PartitionId::new(pi as u32);
+        let used = ic.pins_used(p);
+        if pi == 0 && used == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  p{pi} [label=\"{}\\n{used} pins\", shape=box];",
+            part.name
+        );
+    }
+    for (h, bus) in ic.buses.iter().enumerate() {
+        let subs = if bus.sub_count() > 1 {
+            format!(
+                "\\n({})",
+                bus.sub_widths
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join("+")
+            )
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  c{h} [label=\"C{} [{}]{subs}\", shape=cds, style=filled, fillcolor=gray90];",
+            h + 1,
+            bus.width()
+        );
+        let edge = |out: &mut String, p: PartitionId, w: u32, label: &str| {
+            let _ = writeln!(
+                out,
+                "  p{} -- c{h} [label=\"{label}{w}\"];",
+                p.index()
+            );
+        };
+        if ic.mode == PortMode::Bidirectional {
+            for (&p, &w) in &bus.bi_ports {
+                edge(&mut out, p, w, "io ");
+            }
+        }
+        for (&p, &w) in &bus.out_ports {
+            edge(&mut out, p, w, "out ");
+        }
+        for (&p, &w) in &bus.in_ports {
+            edge(&mut out, p, w, "in ");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, SearchConfig};
+    use mcs_cdfg::designs::{ar_filter, elliptic};
+
+    #[test]
+    fn every_bus_and_connected_chip_appears() {
+        let d = ar_filter::general(3, PortMode::Unidirectional);
+        let ic = synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(3)).unwrap();
+        let dot = to_dot(d.cdfg(), &ic);
+        for h in 0..ic.buses.len() {
+            assert!(dot.contains(&format!("C{} [", h + 1)));
+        }
+        for pi in 1..d.cdfg().partition_count() {
+            let p = PartitionId::new(pi as u32);
+            if ic.pins_used(p) > 0 {
+                assert!(dot.contains(&format!("p{pi} [")));
+            }
+        }
+    }
+
+    #[test]
+    fn port_edges_match_port_counts() {
+        let d = ar_filter::general(3, PortMode::Unidirectional);
+        let ic = synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(3)).unwrap();
+        let dot = to_dot(d.cdfg(), &ic);
+        let edges = dot.matches(" -- ").count();
+        let ports: usize = ic
+            .buses
+            .iter()
+            .map(|b| b.out_ports.len() + b.in_ports.len())
+            .sum();
+        assert_eq!(edges, ports);
+    }
+
+    #[test]
+    fn bidirectional_ports_render_as_io() {
+        let d = ar_filter::general(3, PortMode::Bidirectional);
+        let ic = synthesize(d.cdfg(), PortMode::Bidirectional, &SearchConfig::new(3)).unwrap();
+        let dot = to_dot(d.cdfg(), &ic);
+        assert!(dot.contains("io "), "{dot}");
+    }
+
+    #[test]
+    fn sub_bus_widths_are_annotated() {
+        let d = elliptic::partitioned_with(7, PortMode::Unidirectional);
+        let mut ic =
+            synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(7)).unwrap();
+        crate::share_pass(d.cdfg(), &mut ic, 7);
+        let dot = to_dot(d.cdfg(), &ic);
+        if ic.buses.iter().any(|b| b.sub_count() > 1) {
+            assert!(dot.contains("+"), "split buses show their sub-widths");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Design advisors implementing the paper's future-work directions
+//! (Sections 7.3 and 8.2): a time-division-multiplexing advisor for wide
+//! transfers, and synthesis feedback for the behavioral partitioner.
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::{Cdfg, OpId, OperatorClass, PartitionId};
+
+use crate::flows::SynthesisResult;
+
+/// A TDM option for one wide transfer (Section 7.3): split into `parts`
+/// sub-values transferred over `parts` cycles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TdmOption {
+    /// Number of sub-values.
+    pub parts: u32,
+    /// Pins needed per endpoint after splitting (`ceil(bits / parts)`).
+    pub pins_per_endpoint: u32,
+    /// Pins saved per endpoint versus the whole transfer.
+    pub pins_saved: u32,
+    /// Extra transfer cycles paid (`parts - 1`), plus the register control
+    /// overhead the paper warns about.
+    pub extra_cycles: u32,
+}
+
+/// Advice for one transfer.
+#[derive(Clone, Debug)]
+pub struct TdmAdvice {
+    /// The wide transfer.
+    pub op: OpId,
+    /// Transfer name.
+    pub name: String,
+    /// Transfer width in bits.
+    pub bits: u32,
+    /// Whether an endpoint partition is pin-tight enough that splitting is
+    /// worth its latency cost.
+    pub recommended: bool,
+    /// The evaluated options (2, 3 and 4 parts).
+    pub options: Vec<TdmOption>,
+}
+
+/// Evaluates time-division multiplexing for every chip-to-chip transfer at
+/// least `min_bits` wide (Section 7.3's trade-off: fewer pins versus more
+/// control steps and register control). A split is *recommended* when an
+/// endpoint of the transfer uses more than `tightness_pct` percent of its
+/// pin budget in `result`.
+pub fn tdm_advice(
+    cdfg: &Cdfg,
+    result: &SynthesisResult,
+    min_bits: u32,
+    tightness_pct: u32,
+) -> Vec<TdmAdvice> {
+    let mut advice = Vec::new();
+    for op in cdfg.io_ops() {
+        let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
+        if from.is_environment() || to.is_environment() {
+            continue;
+        }
+        let bits = cdfg.io_bits(op);
+        if bits < min_bits {
+            continue;
+        }
+        let tight = [from, to].iter().any(|&p| {
+            let budget = cdfg.partition(p).total_pins.max(1);
+            let used = result.pins_used[p.index()];
+            used * 100 >= budget * tightness_pct
+        });
+        let options = (2u32..=4)
+            .map(|parts| {
+                let per = bits.div_ceil(parts);
+                TdmOption {
+                    parts,
+                    pins_per_endpoint: per,
+                    pins_saved: bits - per,
+                    extra_cycles: parts - 1,
+                }
+            })
+            .collect();
+        advice.push(TdmAdvice {
+            op,
+            name: cdfg.op(op).name.clone(),
+            bits,
+            recommended: tight,
+            options,
+        });
+    }
+    advice
+}
+
+/// Per-partition synthesis feedback for the behavioral partitioner
+/// (Section 8.2: "It would be desirable if useful information from the
+/// synthesis tools could be fed back to guide the behavioral-level
+/// partitioner").
+#[derive(Clone, Debug)]
+pub struct PartitionFeedback {
+    /// The partition.
+    pub partition: PartitionId,
+    /// Display name.
+    pub name: String,
+    /// Pins used of the budget.
+    pub pins_used: u32,
+    /// The pin budget.
+    pub pin_budget: u32,
+    /// Peak functional-unit usage per class in the schedule.
+    pub peak_units: BTreeMap<OperatorClass, u32>,
+    /// Declared unit counts.
+    pub declared_units: BTreeMap<OperatorClass, u32>,
+    /// Plain-language suggestions.
+    pub suggestions: Vec<String>,
+}
+
+/// Summarizes how a synthesis result stresses each partition, suggesting
+/// repartitioning moves where budgets are tight or slack.
+pub fn partition_feedback(cdfg: &Cdfg, result: &SynthesisResult) -> Vec<PartitionFeedback> {
+    let usage = result.resources(cdfg);
+    let mut out = Vec::new();
+    for pi in 1..cdfg.partition_count() {
+        let p = PartitionId::new(pi as u32);
+        let part = cdfg.partition(p);
+        let pins_used = result.pins_used[pi];
+        let mut peak_units = BTreeMap::new();
+        for ((up, class), &n) in &usage {
+            if *up == p {
+                peak_units.insert(class.clone(), n);
+            }
+        }
+        let mut suggestions = Vec::new();
+        if part.total_pins > 0 {
+            let pct = pins_used * 100 / part.total_pins.max(1);
+            if pct >= 90 {
+                suggestions.push(format!(
+                    "pin-bound ({pct}% of budget): move a boundary value's \
+                     consumers on-chip or split wide transfers (TDM)"
+                ));
+            } else if pct <= 50 && pins_used > 0 {
+                suggestions.push(format!(
+                    "pin-slack ({pct}% of budget): the partition could absorb \
+                     more boundary values or shed {} pins of package cost",
+                    part.total_pins - pins_used
+                ));
+            }
+        }
+        for (class, &peak) in &peak_units {
+            match part.resources.get(class) {
+                Some(&declared) if peak < declared => suggestions.push(format!(
+                    "{declared} {class} unit(s) declared but only {peak} used \
+                     concurrently: a cheaper module set suffices"
+                )),
+                None => {}
+                _ => {}
+            }
+        }
+        out.push(PartitionFeedback {
+            partition: p,
+            name: part.name.clone(),
+            pins_used,
+            pin_budget: part.total_pins,
+            peak_units,
+            declared_units: part.resources.clone(),
+            suggestions,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::{connect_first_flow, ConnectFirstOptions};
+    use mcs_cdfg::designs::{ar_filter, synthetic};
+    use mcs_cdfg::PortMode;
+
+    #[test]
+    fn tdm_advice_targets_wide_transfers_only() {
+        let d = synthetic::tdm_example(false);
+        let r = connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(2)).unwrap();
+        let advice = tdm_advice(d.cdfg(), &r, 32, 0);
+        assert_eq!(advice.len(), 1);
+        assert_eq!(advice[0].bits, 32);
+        // Splitting into two halves halves the endpoint pins.
+        assert_eq!(advice[0].options[0].pins_per_endpoint, 16);
+        assert_eq!(advice[0].options[0].extra_cycles, 1);
+        // With tightness 0% every wide transfer is recommended.
+        assert!(advice[0].recommended);
+        // Narrow designs yield nothing.
+        assert!(tdm_advice(d.cdfg(), &r, 64, 0).is_empty());
+    }
+
+    #[test]
+    fn partition_feedback_flags_tight_and_slack_budgets() {
+        let d = ar_filter::general(3, PortMode::Unidirectional);
+        let r = connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(3)).unwrap();
+        let fb = partition_feedback(d.cdfg(), &r);
+        assert_eq!(fb.len(), 4);
+        for f in &fb {
+            assert!(f.pins_used <= f.pin_budget);
+        }
+        // The AR budgets (120/135/95/95) are generous relative to use, so
+        // at least one partition gets pin-slack advice.
+        assert!(fb.iter().any(|f| f
+            .suggestions
+            .iter()
+            .any(|s| s.contains("pin-slack") || s.contains("pin-bound"))));
+    }
+
+    #[test]
+    fn tdm_options_trade_pins_against_cycles_monotonically() {
+        let d = synthetic::tdm_example(false);
+        let r = connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(2)).unwrap();
+        let advice = tdm_advice(d.cdfg(), &r, 32, 0);
+        let opts = &advice[0].options;
+        for w in opts.windows(2) {
+            assert!(w[1].pins_per_endpoint <= w[0].pins_per_endpoint);
+            assert!(w[1].extra_cycles > w[0].extra_cycles);
+        }
+        for o in opts {
+            assert_eq!(o.pins_per_endpoint + o.pins_saved, advice[0].bits);
+        }
+    }
+
+    #[test]
+    fn tdm_recommendation_follows_the_tightness_threshold() {
+        let d = synthetic::tdm_example(false);
+        let r = connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(2)).unwrap();
+        // Impossible threshold: nothing is tight enough to recommend.
+        let none = tdm_advice(d.cdfg(), &r, 32, 101);
+        assert!(none.iter().all(|a| !a.recommended));
+        // Zero threshold: everything is recommended.
+        let all = tdm_advice(d.cdfg(), &r, 32, 0);
+        assert!(all.iter().all(|a| a.recommended));
+    }
+
+    #[test]
+    fn feedback_flags_over_declared_units() {
+        // Declare far more units than the schedule can ever use; the
+        // feedback must suggest a cheaper module set.
+        let mut d = ar_filter::general(3, PortMode::Unidirectional);
+        for pi in 1..d.cdfg().partition_count() {
+            let p = PartitionId::new(pi as u32);
+            d.cdfg_mut()
+                .partition_mut(p)
+                .resources
+                .insert(mcs_cdfg::OperatorClass::Add, 64);
+        }
+        let r = connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(3)).unwrap();
+        let fb = partition_feedback(d.cdfg(), &r);
+        assert!(fb
+            .iter()
+            .any(|f| f.suggestions.iter().any(|s| s.contains("cheaper module set"))));
+    }
+
+    #[test]
+    fn environment_transfers_are_not_tdm_candidates() {
+        // A single-chip design: every transfer touches the environment,
+        // so nothing qualifies for TDM regardless of width.
+        use mcs_cdfg::{CdfgBuilder, Library, OperatorClass};
+        let mut b = CdfgBuilder::new(Library::ar_filter());
+        let p1 = b.partition("P1", 64);
+        let (_, a) = b.input("a", 32, p1);
+        let (_, f) = b.func("f", OperatorClass::Add, p1, &[(a, 0)], 32);
+        b.output("o", f);
+        let g = b.finish().unwrap();
+        let r = connect_first_flow(&g, &ConnectFirstOptions::new(1)).unwrap();
+        assert!(tdm_advice(&g, &r, 1, 0).is_empty());
+    }
+}

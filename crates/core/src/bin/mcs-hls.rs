@@ -1,0 +1,311 @@
+//! `mcs-hls` — synthesize multi-chip pipelined designs from the command
+//! line.
+//!
+//! ```text
+//! mcs-hls check    <design.mcs>                  parse + validate + stats
+//! mcs-hls synth    <design.mcs> --rate N         run a flow, print results
+//!                  [--flow simple|connect|schedule] [--bidir] [--sharing]
+//!                  [--pipe N]                    (schedule flow's pipe bound)
+//! mcs-hls simulate <design.mcs> --rate N [--instances N] [--seed N]
+//!                  synthesize, execute, cross-check outputs
+//! mcs-hls rtl      <design.mcs> --rate N         emit structural Verilog
+//! mcs-hls fmt      <design.mcs>                  print the canonical form
+//! mcs-hls partition <design.mcs> --chips N [--pins P]
+//!                  repartition by KL/FM min-cut; prints the new design
+//! mcs-hls dot      <design.mcs> [--rate N --buses]  Graphviz (CDFG or buses)
+//! ```
+//!
+//! Designs use the textual format of [`mcs_cdfg::format`]. Benchmarks can
+//! be exported for editing: `mcs-hls fmt` of any file is idempotent.
+
+use std::process::ExitCode;
+
+use mcs_cdfg::{format, timing, Cdfg, PortMode};
+use multichip_hls::sched::Schedule;
+use multichip_hls::flows::{
+    connect_first_flow, schedule_first_flow, simple_flow, ConnectFirstOptions, SynthesisResult,
+};
+use multichip_hls::netlist;
+use multichip_hls::report::{render_interconnect, render_schedule};
+use multichip_hls::sim::{verify, Semantics, Stimulus};
+
+struct Args {
+    command: String,
+    file: String,
+    rate: u32,
+    pipe: Option<i64>,
+    flow: String,
+    bidir: bool,
+    sharing: bool,
+    instances: u32,
+    seed: u64,
+    chips: usize,
+    pins: u32,
+    buses: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mcs-hls <check|synth|simulate|rtl|fmt|partition|dot> <design.mcs> \
+         [--rate N] [--flow simple|connect|schedule] [--pipe N] \
+         [--bidir] [--sharing] [--instances N] [--seed N] \
+         [--chips N] [--pins N] [--buses]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let file = args.next().ok_or_else(usage)?;
+    let mut out = Args {
+        command,
+        file,
+        rate: 1,
+        pipe: None,
+        flow: "connect".into(),
+        bidir: false,
+        sharing: false,
+        instances: 8,
+        seed: 1,
+        chips: 2,
+        pins: 64,
+        buses: false,
+    };
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--rate" => out.rate = next_value(&mut args, "--rate")?.parse().map_err(|_| usage())?,
+            "--pipe" => {
+                out.pipe = Some(next_value(&mut args, "--pipe")?.parse().map_err(|_| usage())?)
+            }
+            "--flow" => out.flow = next_value(&mut args, "--flow")?,
+            "--bidir" => out.bidir = true,
+            "--sharing" => out.sharing = true,
+            "--instances" => {
+                out.instances =
+                    next_value(&mut args, "--instances")?.parse().map_err(|_| usage())?
+            }
+            "--seed" => out.seed = next_value(&mut args, "--seed")?.parse().map_err(|_| usage())?,
+            "--chips" => {
+                out.chips = next_value(&mut args, "--chips")?.parse().map_err(|_| usage())?
+            }
+            "--pins" => out.pins = next_value(&mut args, "--pins")?.parse().map_err(|_| usage())?,
+            "--buses" => out.buses = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<mcs_cdfg::designs::Design, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("{path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    format::parse(&text).map_err(|e| {
+        eprintln!("{path}:{e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn synthesize(cdfg: &Cdfg, a: &Args) -> Result<SynthesisResult, ExitCode> {
+    let mode = if a.bidir {
+        PortMode::Bidirectional
+    } else {
+        PortMode::Unidirectional
+    };
+    let result = match a.flow.as_str() {
+        "simple" => simple_flow(cdfg, a.rate),
+        "connect" => {
+            let mut opts = ConnectFirstOptions::new(a.rate);
+            opts.mode = mode;
+            opts.sharing = a.sharing;
+            connect_first_flow(cdfg, &opts)
+        }
+        "schedule" => {
+            let pipe = a.pipe.unwrap_or_else(|| {
+                timing::asap(cdfg)
+                    .map(|t| {
+                        Schedule { rate: a.rate, start: t.start }.pipe_length(cdfg) + a.rate as i64
+                    })
+                    .unwrap_or(3 * a.rate as i64)
+            });
+            schedule_first_flow(cdfg, a.rate, pipe, mode)
+        }
+        other => {
+            eprintln!("unknown flow `{other}` (simple|connect|schedule)");
+            return Err(ExitCode::from(2));
+        }
+    };
+    result.map_err(|e| {
+        eprintln!("synthesis failed: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let a = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let design = match load(&a.file) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let cdfg = design.cdfg();
+
+    match a.command.as_str() {
+        "check" => {
+            println!(
+                "{}: {} partitions, {} functional ops, {} transfers, {} edges",
+                design.name(),
+                cdfg.partition_count() - 1,
+                cdfg.func_ops().count(),
+                cdfg.io_ops().count(),
+                cdfg.edges().len(),
+            );
+            println!(
+                "minimum initiation rate: {}",
+                timing::min_initiation_rate(cdfg)
+            );
+            ExitCode::SUCCESS
+        }
+        "fmt" => {
+            print!("{}", format::write(cdfg));
+            ExitCode::SUCCESS
+        }
+        "synth" => {
+            let r = match synthesize(cdfg, &a) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            println!("pipe length: {} control steps at rate {}", r.pipe_length, a.rate);
+            println!("pins used:   {:?}", r.pins_used);
+            println!();
+            println!("{}", render_schedule(cdfg, &r.schedule));
+            println!("{}", render_interconnect(cdfg, &r.final_interconnect()));
+            ExitCode::SUCCESS
+        }
+        "simulate" => {
+            let r = match synthesize(cdfg, &a) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            let stim = Stimulus::random(cdfg, a.instances, a.seed);
+            match verify(
+                cdfg,
+                &r.schedule,
+                Some(&r.final_interconnect()),
+                &Semantics::new(),
+                &stim,
+            ) {
+                Ok(rep) => {
+                    println!(
+                        "OK: {} firings over {} instances; {} output words match the reference",
+                        rep.fired,
+                        a.instances,
+                        rep.outputs.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(violations) => {
+                    eprintln!("FAILED: {} dynamic violations", violations.len());
+                    for v in violations.iter().take(10) {
+                        eprintln!("  {v}");
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "rtl" => {
+            let r = match synthesize(cdfg, &a) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            let nl = netlist::build(cdfg, &r.schedule, &r.final_interconnect());
+            print!("{}", netlist::to_verilog(&nl));
+            ExitCode::SUCCESS
+        }
+        "dot" => {
+            if a.buses {
+                let r = match synthesize(cdfg, &a) {
+                    Ok(r) => r,
+                    Err(code) => return code,
+                };
+                print!(
+                    "{}",
+                    multichip_hls::connect::dot::to_dot(cdfg, &r.final_interconnect())
+                );
+            } else {
+                print!("{}", mcs_cdfg::dot::to_dot(cdfg));
+            }
+            ExitCode::SUCCESS
+        }
+        "partition" => {
+            use multichip_hls::partition::{refine, spread, Capacities, ChipSpec, FlatGraph};
+            let flat = match FlatGraph::from_cdfg(cdfg) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot repartition: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let chips: Vec<mcs_cdfg::PartitionId> =
+                (1..=a.chips as u32).map(mcs_cdfg::PartitionId::new).collect();
+            let cap = flat.ops.len().div_ceil(a.chips) + 1;
+            let caps = Capacities::balanced(cap);
+            // Warm start from the original assignment when the chip count
+            // matches; cold spread otherwise. Keep the better result.
+            let cold = refine(&flat, &chips, &spread(&flat, &chips), &caps);
+            let best = if cdfg.partition_count() - 1 == a.chips {
+                let warm = refine(&flat, &chips, &flat.original_assignment(), &caps);
+                if warm.final_cut <= cold.final_cut {
+                    warm
+                } else {
+                    cold
+                }
+            } else {
+                cold
+            };
+            eprintln!(
+                "cut: {} bits -> {} bits over {} chips ({} passes)",
+                flat.cut_bits(&flat.original_assignment()),
+                best.final_cut,
+                a.chips,
+                best.passes,
+            );
+            let specs: Vec<ChipSpec> = (1..=a.chips)
+                .map(|i| ChipSpec {
+                    name: format!("P{i}"),
+                    pins: a.pins,
+                    resources: Vec::new(),
+                })
+                .collect();
+            match multichip_hls::partition::rebuild(
+                &flat,
+                &best.assign,
+                &specs,
+                cdfg.library().clone(),
+            ) {
+                Ok(g) => {
+                    print!("{}", format::write(&g));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("rebuild failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,310 @@
+//! Plain-text rendering of schedules, bus allocations and experiment
+//! tables, in the spirit of the paper's figures and tables.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use mcs_cdfg::{Cdfg, OpId, PartitionId};
+use mcs_connect::Interconnect;
+use mcs_sched::{Schedule, SlotPlacement};
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = width[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let render = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(line, "{:<w$}  ", c, w = width[i]);
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        render(f, &self.headers)?;
+        let total: usize = width.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a schedule as steps x partitions with operation names (the
+/// layout of Figures 3.6, 4.11, ...).
+pub fn render_schedule(cdfg: &Cdfg, schedule: &Schedule) -> Table {
+    let nparts = cdfg.partition_count();
+    let mut t = Table::new(
+        std::iter::once("step".to_string()).chain(
+            (1..nparts).map(|p| cdfg.partition(PartitionId::new(p as u32)).name.clone()),
+        ),
+    );
+    let lo = schedule.first_step();
+    let hi = schedule.last_step();
+    for s in lo..=hi {
+        let mut cells = vec![s.to_string()];
+        for p in 1..nparts {
+            let pid = PartitionId::new(p as u32);
+            let names: Vec<&str> = schedule
+                .ops_at(cdfg, s)
+                .into_iter()
+                .filter(|&op| {
+                    let o = cdfg.op(op);
+                    match o.io_endpoints() {
+                        Some((_, from, to)) => from == pid || to == pid,
+                        None => o.partition == pid,
+                    }
+                })
+                .map(|op| cdfg.op(op).name.as_str())
+                .collect();
+            cells.push(names.join(" "));
+        }
+        t.rows.push(cells);
+    }
+    t
+}
+
+/// Renders the bus allocation (control-step groups x buses), the layout of
+/// Tables 4.4/4.6/4.8.
+pub fn render_bus_allocation(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    placements: &BTreeMap<OpId, SlotPlacement>,
+) -> Table {
+    let nbuses = placements
+        .values()
+        .map(|p| p.bus.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut t = Table::new(
+        std::iter::once("steps".to_string())
+            .chain((0..nbuses).map(|h| format!("C{}", h + 1))),
+    );
+    for g in 0..schedule.rate {
+        let mut cells = vec![format!("{g}, {}, ...", g + schedule.rate)];
+        for h in 0..nbuses {
+            let names: Vec<String> = placements
+                .iter()
+                .filter(|(_, pl)| {
+                    pl.bus.index() == h
+                        && pl.step.rem_euclid(schedule.rate as i64) as u32 == g
+                })
+                .map(|(&op, _)| cdfg.op(op).name.clone())
+                .collect();
+            cells.push(names.join(" "));
+        }
+        t.rows.push(cells);
+    }
+    t
+}
+
+/// Renders the initial vs final bus assignment (Tables 4.3, 4.5, ...).
+pub fn render_bus_assignment(
+    cdfg: &Cdfg,
+    initial: &Interconnect,
+    placements: &BTreeMap<OpId, SlotPlacement>,
+) -> Table {
+    let nbuses = initial
+        .buses
+        .len()
+        .max(placements.values().map(|p| p.bus.index() + 1).max().unwrap_or(0));
+    let mut t = Table::new(["bus", "initial", "final"]);
+    for h in 0..nbuses {
+        let mut first: Vec<String> = initial
+            .assignment
+            .iter()
+            .filter(|(_, a)| a.bus.index() == h)
+            .map(|(&op, _)| cdfg.op(op).name.clone())
+            .collect();
+        first.sort();
+        let mut last: Vec<String> = placements
+            .iter()
+            .filter(|(_, pl)| pl.bus.index() == h)
+            .map(|(&op, _)| cdfg.op(op).name.clone())
+            .collect();
+        last.sort();
+        t.row([format!("C{}", h + 1), first.join(" "), last.join(" ")]);
+    }
+    t
+}
+
+/// Renders the bus structures themselves: widths, sub-buses and connected
+/// ports (the content of Figures 4.8-4.10 and 6.2-6.4).
+pub fn render_interconnect(cdfg: &Cdfg, ic: &Interconnect) -> Table {
+    let mut t = Table::new(["bus", "width", "sub-buses", "out ports", "in ports"]);
+    for (h, bus) in ic.buses.iter().enumerate() {
+        let subs = bus
+            .sub_widths
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_ports = |ports: &std::collections::BTreeMap<PartitionId, u32>| {
+            ports
+                .iter()
+                .map(|(p, w)| format!("{}:{w}", cdfg.partition(*p).name))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let (outs, ins) = if ic.mode == mcs_cdfg::PortMode::Bidirectional {
+            (format!("(bidir) {}", fmt_ports(&bus.bi_ports)), String::new())
+        } else {
+            (fmt_ports(&bus.out_ports), fmt_ports(&bus.in_ports))
+        };
+        t.row([
+            format!("C{}", h + 1),
+            bus.width().to_string(),
+            subs,
+            outs,
+            ins,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_align_columns() {
+        let mut t = Table::new(["a", "bb"]);
+        t.row(["xxx", "y"]);
+        t.row(["z", "wwww"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn schedule_rendering_includes_all_steps() {
+        use mcs_cdfg::designs::synthetic;
+        use mcs_sched::{list_schedule, ListConfig, NullPolicy};
+        let d = synthetic::quickstart();
+        let s = list_schedule(d.cdfg(), &ListConfig::new(1), &mut NullPolicy).unwrap();
+        let t = render_schedule(d.cdfg(), &s);
+        assert_eq!(t.rows.len() as i64, s.last_step() - s.first_step() + 1);
+    }
+
+    #[test]
+    fn schedule_rendering_places_every_op_once_per_home() {
+        use mcs_cdfg::designs::ar_filter;
+        use mcs_sched::{list_schedule, ListConfig, NullPolicy};
+        let d = ar_filter::simple();
+        let s = list_schedule(d.cdfg(), &ListConfig::new(2), &mut NullPolicy).unwrap();
+        let t = render_schedule(d.cdfg(), &s);
+        let body = t.to_string();
+        // Every functional op's name appears in the rendering.
+        for op in d.cdfg().func_ops() {
+            assert!(
+                body.contains(&d.cdfg().op(op).name),
+                "{} missing from schedule table",
+                d.cdfg().op(op).name
+            );
+        }
+    }
+
+    #[test]
+    fn bus_allocation_groups_by_step_modulo_rate() {
+        use mcs_cdfg::designs::ar_filter;
+        use mcs_cdfg::PortMode;
+        use mcs_connect::{synthesize, SearchConfig};
+        use mcs_sched::{list_schedule, BusPolicy, ListConfig};
+        let rate = 3;
+        let d = ar_filter::general(rate, PortMode::Unidirectional);
+        let ic = synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(rate)).unwrap();
+        let mut policy = BusPolicy::new(ic, rate, true);
+        let s = list_schedule(d.cdfg(), &ListConfig::new(rate), &mut policy).unwrap();
+        let t = render_bus_allocation(d.cdfg(), &s, policy.placements());
+        assert_eq!(t.rows.len(), rate as usize, "one row per step group");
+        // Every placed transfer appears exactly once across the body.
+        let body: String = t.rows.iter().flatten().cloned().collect::<Vec<_>>().join(" ");
+        for &op in policy.placements().keys() {
+            assert!(body.contains(&d.cdfg().op(op).name));
+        }
+    }
+
+    #[test]
+    fn bus_assignment_shows_initial_and_final_columns() {
+        use mcs_cdfg::designs::ar_filter;
+        use mcs_cdfg::PortMode;
+        use mcs_connect::{synthesize, SearchConfig};
+        use mcs_sched::{list_schedule, BusPolicy, ListConfig};
+        let rate = 3;
+        let d = ar_filter::general(rate, PortMode::Unidirectional);
+        let ic = synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(rate)).unwrap();
+        let mut policy = BusPolicy::new(ic.clone(), rate, true);
+        let _ = list_schedule(d.cdfg(), &ListConfig::new(rate), &mut policy).unwrap();
+        let t = render_bus_assignment(d.cdfg(), &ic, policy.placements());
+        assert_eq!(t.headers, vec!["bus", "initial", "final"]);
+        assert!(t.rows.len() >= ic.buses.len());
+        // Both sides list the same number of transfers in total.
+        let count = |col: usize| -> usize {
+            t.rows
+                .iter()
+                .map(|r| r[col].split_whitespace().count())
+                .sum()
+        };
+        assert_eq!(count(1), count(2));
+    }
+
+    #[test]
+    fn interconnect_rendering_reports_bidirectional_ports() {
+        use mcs_cdfg::designs::ar_filter;
+        use mcs_cdfg::PortMode;
+        use mcs_connect::{synthesize, SearchConfig};
+        let d = ar_filter::general(3, PortMode::Bidirectional);
+        let ic = synthesize(d.cdfg(), PortMode::Bidirectional, &SearchConfig::new(3)).unwrap();
+        let t = render_interconnect(d.cdfg(), &ic);
+        assert!(t.to_string().contains("(bidir)"));
+    }
+
+    #[test]
+    fn ragged_rows_render_without_panicking() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3", "4"]);
+        let s = t.to_string();
+        assert!(s.lines().count() >= 3);
+    }
+}

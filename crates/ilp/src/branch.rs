@@ -1,0 +1,183 @@
+//! Branch-and-bound over the exact rational simplex.
+//!
+//! Used to solve the interchip-connection ILPs of Chapters 4 and 6 on small
+//! instances (the paper itself notes that practical-size instances are out
+//! of reach for exact methods and falls back to heuristic search — so do
+//! we), and as the exact fallback behind the Chapter 3 feasibility checker.
+
+use crate::model::{Model, Sense, Solution, SolveError, VarId};
+use crate::rational::Ratio;
+use crate::simplex::{solve_relaxation, Bounds, LpResult};
+
+/// Solves `model` to proven optimality (or first feasible point if the
+/// objective is empty).
+pub(crate) fn solve(model: &Model) -> Result<Solution, SolveError> {
+    for c in &model.cons {
+        for &(v, _) in &c.terms {
+            if v.index() >= model.vars.len() {
+                return Err(SolveError::UnknownVariable(v));
+            }
+        }
+    }
+    let feasibility_only = model.objective.is_empty();
+    let mut best: Option<Solution> = None;
+    let mut nodes = 0usize;
+    let mut stack: Vec<Bounds> = vec![Bounds::default()];
+
+    while let Some(bounds) = stack.pop() {
+        nodes += 1;
+        if nodes > model.node_limit {
+            return if let Some(b) = best {
+                Ok(b)
+            } else {
+                Err(SolveError::LimitReached)
+            };
+        }
+        let (values, objective) = match solve_relaxation(model, &bounds) {
+            LpResult::Infeasible => continue,
+            LpResult::Unbounded => {
+                // With integrality the problem may still be unbounded; the
+                // paper's models are all bounded, so report it.
+                return Err(SolveError::Unbounded);
+            }
+            LpResult::Optimal { values, objective } => (values, objective),
+        };
+        // Bound: worse than incumbent -> prune.
+        if let Some(b) = &best {
+            let improves = match model.sense {
+                Sense::Maximize => objective > b.objective,
+                Sense::Minimize => objective < b.objective,
+            };
+            if !improves {
+                continue;
+            }
+        }
+        // Find a fractional integer variable (most fractional, lowest id).
+        let frac = model
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(v, def)| def.integer && !values[*v].is_integer())
+            .max_by_key(|(v, _)| {
+                let f = values[*v].fract();
+                // distance to 1/2, negated: closer to 1/2 is better
+                let d = (f - Ratio::new(1, 2)) * (f - Ratio::new(1, 2));
+                (std::cmp::Reverse(d), std::cmp::Reverse(*v))
+            })
+            .map(|(v, _)| v);
+        match frac {
+            None => {
+                let sol = Solution { values, objective };
+                if feasibility_only {
+                    return Ok(sol);
+                }
+                best = Some(sol);
+            }
+            Some(v) => {
+                let x = values[v];
+                let var = VarId(v as u32);
+                let mut down = bounds.clone();
+                down.overrides.push((var, None, Some(x.floor() as i64)));
+                let mut up = bounds;
+                up.overrides.push((var, Some(x.ceil() as i64), None));
+                // DFS: explore "up" first (the paper's formulations mostly
+                // push binaries toward 1).
+                stack.push(down);
+                stack.push(up);
+            }
+        }
+    }
+    best.ok_or(SolveError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Model, SolveError};
+
+    #[test]
+    fn knapsack_is_solved_exactly() {
+        // max 10a + 6b + 4c s.t. a+b+c <= 2 (binaries) -> 16.
+        let mut m = Model::new();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        m.le(&[(a, 1), (b, 1), (c, 1)], 2);
+        m.maximize(&[(a, 10), (b, 6), (c, 4)]);
+        let s = m.solve().unwrap();
+        assert_eq!(s.objective, crate::rational::Ratio::int(16));
+        assert_eq!(s.int_value(a), 1);
+        assert_eq!(s.int_value(b), 1);
+        assert_eq!(s.int_value(c), 0);
+    }
+
+    #[test]
+    fn integrality_changes_the_answer() {
+        // max y s.t. 2y <= 3: LP gives 3/2, ILP gives 1.
+        let mut m = Model::new();
+        let y = m.integer("y", None);
+        m.le(&[(y, 2)], 3);
+        m.maximize(&[(y, 1)]);
+        let s = m.solve().unwrap();
+        assert_eq!(s.int_value(y), 1);
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // 2x = 1 has no integer solution.
+        let mut m = Model::new();
+        let x = m.integer("x", Some(10));
+        m.eq(&[(x, 2)], 1);
+        assert_eq!(m.solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn feasibility_probe_stops_early() {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..6).map(|i| m.binary(&format!("x{i}"))).collect();
+        let terms: Vec<_> = xs.iter().map(|&x| (x, 1)).collect();
+        m.ge(&terms, 3);
+        let s = m.feasible().unwrap();
+        let total: i64 = xs.iter().map(|&x| s.int_value(x)).sum();
+        assert!(total >= 3);
+    }
+
+    #[test]
+    fn minimization_sense() {
+        // min 3x + 5y s.t. x + y >= 4, x <= 2, integers -> x=2,y=2 -> 16.
+        let mut m = Model::new();
+        let x = m.integer("x", Some(2));
+        let y = m.integer("y", None);
+        m.ge(&[(x, 1), (y, 1)], 4);
+        m.minimize(&[(x, 3), (y, 5)]);
+        let s = m.solve().unwrap();
+        assert_eq!(s.objective, crate::rational::Ratio::int(16));
+    }
+
+    #[test]
+    fn equality_with_binaries() {
+        // Exactly-one constraint.
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..4).map(|i| m.binary(&format!("x{i}"))).collect();
+        let terms: Vec<_> = xs.iter().map(|&x| (x, 1)).collect();
+        m.eq(&terms, 1);
+        m.maximize(&[(xs[2], 1)]);
+        let s = m.solve().unwrap();
+        assert_eq!(s.int_value(xs[2]), 1);
+    }
+
+    #[test]
+    fn node_limit_is_respected() {
+        let mut m = Model::new();
+        // A small hard-ish subset-sum to burn nodes.
+        let xs: Vec<_> = (0..12).map(|i| m.integer(&format!("x{i}"), Some(1))).collect();
+        let weights = [31, 41, 59, 26, 53, 58, 97, 93, 23, 84, 62, 64];
+        let terms: Vec<_> = xs.iter().zip(weights).map(|(&x, w)| (x, w)).collect();
+        m.eq(&terms, 101);
+        m.node_limit = 1;
+        // With a single node we cannot prove anything.
+        assert!(matches!(
+            m.solve(),
+            Err(SolveError::LimitReached) | Ok(_)
+        ));
+    }
+}

@@ -1,0 +1,46 @@
+//! # mcs-ilp
+//!
+//! The integer-linear-programming substrate of the `multichip-hls`
+//! workspace, implemented from scratch:
+//!
+//! * an exact rational two-phase [simplex] with Bland's
+//!   rule;
+//! * [branch-and-bound](Model::solve) on top of it, used to verify the
+//!   interchip-connection formulations of Chapters 4 and 6 of the paper on
+//!   small instances;
+//! * Gomory's **Dual All-Integer cutting-plane** method
+//!   ([`AllIntegerSolver`]) with the incremental `x >= 1` update of
+//!   Section 3.3 — the engine of the pin-allocation feasibility checker
+//!   that runs inside list scheduling;
+//! * the [linearization](linearize) idioms of Section 6.1.1.4 (max / min /
+//!   xor of binaries, big-M implications).
+//!
+//! ```
+//! use mcs_ilp::Model;
+//!
+//! # fn main() -> Result<(), mcs_ilp::SolveError> {
+//! let mut m = Model::new();
+//! let x = m.integer("x", Some(10));
+//! let y = m.integer("y", Some(10));
+//! m.le(&[(x, 2), (y, 3)], 12);
+//! m.maximize(&[(x, 3), (y, 4)]);
+//! let s = m.solve()?;
+//! assert_eq!(s.int_value(x), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod gomory;
+mod model;
+mod rational;
+
+pub mod linearize;
+pub mod simplex;
+
+pub use gomory::{AllIntegerSolver, Feasibility};
+pub use model::{Cmp, Constraint, Model, Sense, Solution, SolveError, VarDef, VarId};
+pub use rational::Ratio;

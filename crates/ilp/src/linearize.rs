@@ -1,0 +1,212 @@
+//! Linearization idioms of Section 6.1.1.4, packaged as helpers on
+//! [`Model`].
+//!
+//! The sub-bus ILP of Chapter 6 uses `max`, `min` and exclusive-or of
+//! binary variables, plus big-M implications between integer expressions;
+//! each helper adds exactly the constraint set the paper derives.
+
+use crate::model::{Model, VarId};
+
+/// Adds constraints making `y >= max(xs)` for binaries (the relaxed form
+/// used when only an upper bound is needed, e.g. Constraint 4.2).
+pub fn ge_max_binary(m: &mut Model, y: VarId, xs: &[VarId]) {
+    for &x in xs {
+        m.ge(&[(y, 1), (x, -1)], 0);
+    }
+}
+
+/// Adds constraints making `y = max(xs)` for binaries: `y >= x_i` and
+/// `y <= sum(x_i)`.
+pub fn eq_max_binary(m: &mut Model, y: VarId, xs: &[VarId]) {
+    ge_max_binary(m, y, xs);
+    let mut terms = vec![(y, 1)];
+    terms.extend(xs.iter().map(|&x| (x, -1)));
+    m.le(&terms, 0);
+}
+
+/// Adds constraints making `y <= min(xs)` for binaries.
+pub fn le_min_binary(m: &mut Model, y: VarId, xs: &[VarId]) {
+    for &x in xs {
+        m.le(&[(y, 1), (x, -1)], 0);
+    }
+}
+
+/// Adds constraints making `y = min(xs)` for binaries: `y <= x_i` and
+/// `y >= sum(x_i) - (n - 1)`.
+pub fn eq_min_binary(m: &mut Model, y: VarId, xs: &[VarId]) {
+    le_min_binary(m, y, xs);
+    let mut terms = vec![(y, 1)];
+    terms.extend(xs.iter().map(|&x| (x, -1)));
+    m.ge(&terms, 1 - xs.len() as i64);
+}
+
+/// Adds constraints making `z = x XOR y` for binaries, via
+/// `z = max(x,y) - min(x,y)`: `z >= x - y`, `z >= y - x`, `z <= x + y`,
+/// `z <= 2 - x - y`.
+pub fn eq_xor_binary(m: &mut Model, z: VarId, x: VarId, y: VarId) {
+    m.ge(&[(z, 1), (x, -1), (y, 1)], 0);
+    m.ge(&[(z, 1), (y, -1), (x, 1)], 0);
+    m.le(&[(z, 1), (x, -1), (y, -1)], 0);
+    m.le(&[(z, 1), (x, 1), (y, 1)], 2);
+}
+
+/// `(c >= threshold) => (ix = 0)` for a nonnegative expression `ix`:
+/// `ix <= (threshold - c) * M` rearranged to
+/// `ix + M*c <= threshold * M` (the `(2 - C)M >= I_x` form of
+/// Section 6.1.1.4).
+pub fn implies_zero_if_ge(
+    m: &mut Model,
+    c_terms: &[(VarId, i64)],
+    threshold: i64,
+    ix_terms: &[(VarId, i64)],
+    big_m: i64,
+) {
+    let mut terms: Vec<(VarId, i64)> = ix_terms.to_vec();
+    terms.extend(c_terms.iter().map(|&(v, a)| (v, a * big_m)));
+    m.le(&terms, threshold * big_m);
+}
+
+/// `(ix > 0) <=> (bx = 1)` for a nonnegative integer expression `ix` and a
+/// binary `bx`: `ix <= M * bx` and `ix >= bx`.
+pub fn iff_positive(m: &mut Model, ix_terms: &[(VarId, i64)], bx: VarId, big_m: i64) {
+    let mut upper: Vec<(VarId, i64)> = ix_terms.to_vec();
+    upper.push((bx, -big_m));
+    m.le(&upper, 0);
+    let mut lower: Vec<(VarId, i64)> = ix_terms.to_vec();
+    lower.push((bx, -1));
+    m.ge(&lower, 0);
+}
+
+/// `(bz = 1) => (ix >= iy)`: `ix >= iy - (1 - bz) * M`.
+pub fn implies_ge(
+    m: &mut Model,
+    bz: VarId,
+    ix_terms: &[(VarId, i64)],
+    iy_terms: &[(VarId, i64)],
+    big_m: i64,
+) {
+    let mut terms: Vec<(VarId, i64)> = ix_terms.to_vec();
+    terms.extend(iy_terms.iter().map(|&(v, a)| (v, -a)));
+    terms.push((bz, -big_m));
+    m.ge(&terms, -big_m);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn check_xor(xv: i64, yv: i64) -> i64 {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        let z = m.binary("z");
+        m.eq(&[(x, 1)], xv);
+        m.eq(&[(y, 1)], yv);
+        eq_xor_binary(&mut m, z, x, y);
+        m.feasible().unwrap().int_value(z)
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        assert_eq!(check_xor(0, 0), 0);
+        assert_eq!(check_xor(0, 1), 1);
+        assert_eq!(check_xor(1, 0), 1);
+        assert_eq!(check_xor(1, 1), 0);
+    }
+
+    #[test]
+    fn max_of_binaries() {
+        for (a, b, want) in [(0, 0, 0), (1, 0, 1), (1, 1, 1)] {
+            let mut m = Model::new();
+            let x = m.binary("x");
+            let y = m.binary("y");
+            let z = m.binary("z");
+            m.eq(&[(x, 1)], a);
+            m.eq(&[(y, 1)], b);
+            eq_max_binary(&mut m, z, &[x, y]);
+            assert_eq!(m.feasible().unwrap().int_value(z), want);
+        }
+    }
+
+    #[test]
+    fn min_of_binaries() {
+        for (a, b, want) in [(0, 1, 0), (1, 1, 1), (0, 0, 0)] {
+            let mut m = Model::new();
+            let x = m.binary("x");
+            let y = m.binary("y");
+            let z = m.binary("z");
+            m.eq(&[(x, 1)], a);
+            m.eq(&[(y, 1)], b);
+            eq_min_binary(&mut m, z, &[x, y]);
+            assert_eq!(m.feasible().unwrap().int_value(z), want);
+        }
+    }
+
+    #[test]
+    fn implication_zero_if_ge() {
+        // c = c1 + c2 binaries; if c >= 2 then ix must be zero.
+        let mut m = Model::new();
+        let c1 = m.binary("c1");
+        let c2 = m.binary("c2");
+        let ix = m.integer("ix", Some(50));
+        implies_zero_if_ge(&mut m, &[(c1, 1), (c2, 1)], 2, &[(ix, 1)], 100);
+        m.eq(&[(c1, 1)], 1);
+        m.eq(&[(c2, 1)], 1);
+        m.maximize(&[(ix, 1)]);
+        assert_eq!(m.solve().unwrap().int_value(ix), 0);
+
+        // With c < 2 the expression is unconstrained (up to its bound).
+        let mut m = Model::new();
+        let c1 = m.binary("c1");
+        let c2 = m.binary("c2");
+        let ix = m.integer("ix", Some(50));
+        implies_zero_if_ge(&mut m, &[(c1, 1), (c2, 1)], 2, &[(ix, 1)], 100);
+        m.eq(&[(c1, 1)], 1);
+        m.eq(&[(c2, 1)], 0);
+        m.maximize(&[(ix, 1)]);
+        assert_eq!(m.solve().unwrap().int_value(ix), 50);
+    }
+
+    #[test]
+    fn iff_positive_links_indicator() {
+        let mut m = Model::new();
+        let ix = m.integer("ix", Some(9));
+        let bx = m.binary("bx");
+        iff_positive(&mut m, &[(ix, 1)], bx, 100);
+        m.eq(&[(ix, 1)], 5);
+        assert_eq!(m.feasible().unwrap().int_value(bx), 1);
+
+        let mut m = Model::new();
+        let ix = m.integer("ix", Some(9));
+        let bx = m.binary("bx");
+        iff_positive(&mut m, &[(ix, 1)], bx, 100);
+        m.eq(&[(bx, 1)], 1);
+        m.minimize(&[(ix, 1)]);
+        assert_eq!(m.solve().unwrap().int_value(ix), 1);
+    }
+
+    #[test]
+    fn conditional_ge_constraint() {
+        let mut m = Model::new();
+        let bz = m.binary("bz");
+        let x = m.integer("x", Some(20));
+        let y = m.integer("y", Some(20));
+        implies_ge(&mut m, bz, &[(x, 1)], &[(y, 1)], 100);
+        m.eq(&[(bz, 1)], 1);
+        m.eq(&[(y, 1)], 7);
+        m.minimize(&[(x, 1)]);
+        assert_eq!(m.solve().unwrap().int_value(x), 7);
+
+        // Disabled implication leaves x free.
+        let mut m = Model::new();
+        let bz = m.binary("bz");
+        let x = m.integer("x", Some(20));
+        let y = m.integer("y", Some(20));
+        implies_ge(&mut m, bz, &[(x, 1)], &[(y, 1)], 100);
+        m.eq(&[(bz, 1)], 0);
+        m.eq(&[(y, 1)], 7);
+        m.minimize(&[(x, 1)]);
+        assert_eq!(m.solve().unwrap().int_value(x), 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Problem modeling: variables, linear constraints, objective.
+
+use std::fmt;
+
+use crate::rational::Ratio;
+
+/// Index of a decision variable in a [`Model`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Comparison operator of a constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+/// Objective sense.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective (the paper's formulations all maximize).
+    #[default]
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// A decision variable.
+#[derive(Clone, Debug)]
+pub struct VarDef {
+    /// Display name.
+    pub name: String,
+    /// Lower bound (finite; the paper's variables are all nonnegative).
+    pub lower: i64,
+    /// Upper bound, or `None` for unbounded above.
+    pub upper: Option<i64>,
+    /// Whether the variable must take an integer value.
+    pub integer: bool,
+}
+
+/// A linear constraint `sum(coeff * var) cmp rhs`.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// `(variable, coefficient)` terms; variables may repeat (summed).
+    pub terms: Vec<(VarId, i64)>,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: i64,
+}
+
+/// Errors from solving a model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The objective is unbounded.
+    Unbounded,
+    /// The node or pivot budget was exhausted before an answer was proven.
+    LimitReached,
+    /// A term references a variable that does not exist.
+    UnknownVariable(VarId),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::LimitReached => write!(f, "search budget exhausted before proving a result"),
+            SolveError::UnknownVariable(v) => write!(f, "unknown variable id {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A solved assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    /// Value per variable, indexed by [`VarId`].
+    pub values: Vec<Ratio>,
+    /// Objective value.
+    pub objective: Ratio,
+}
+
+impl Solution {
+    /// Value of one variable.
+    pub fn value(&self, v: VarId) -> Ratio {
+        self.values[v.index()]
+    }
+
+    /// Integer value of one variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is fractional (cannot happen for integer
+    /// variables in a solution returned by the ILP solver).
+    pub fn int_value(&self, v: VarId) -> i64 {
+        let r = self.values[v.index()];
+        assert!(r.is_integer(), "variable {v:?} has fractional value {r}");
+        r.numer() as i64
+    }
+}
+
+/// An integer/mixed linear program.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_ilp::{Model, Cmp};
+///
+/// # fn main() -> Result<(), mcs_ilp::SolveError> {
+/// let mut m = Model::new();
+/// let x = m.binary("x");
+/// let y = m.binary("y");
+/// m.le(&[(x, 1), (y, 1)], 1); // x + y <= 1
+/// m.maximize(&[(x, 2), (y, 3)]);
+/// let s = m.solve()?;
+/// assert_eq!(s.int_value(y), 1);
+/// assert_eq!(s.int_value(x), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) cons: Vec<Constraint>,
+    pub(crate) objective: Vec<(VarId, i64)>,
+    pub(crate) sense: Sense,
+    /// Branch-and-bound node budget (default 200 000).
+    pub node_limit: usize,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Model {
+            node_limit: 200_000,
+            ..Model::default()
+        }
+    }
+
+    /// Adds a binary (0/1) variable.
+    pub fn binary(&mut self, name: &str) -> VarId {
+        self.var(name, 0, Some(1), true)
+    }
+
+    /// Adds a nonnegative integer variable with an optional upper bound.
+    pub fn integer(&mut self, name: &str, upper: Option<i64>) -> VarId {
+        self.var(name, 0, upper, true)
+    }
+
+    /// Adds a nonnegative continuous variable with an optional upper bound.
+    pub fn continuous(&mut self, name: &str, upper: Option<i64>) -> VarId {
+        self.var(name, 0, upper, false)
+    }
+
+    /// Adds a variable with explicit bounds.
+    pub fn var(&mut self, name: &str, lower: i64, upper: Option<i64>, integer: bool) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDef {
+            name: name.to_string(),
+            lower,
+            upper,
+            integer,
+        });
+        id
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Variable definition.
+    pub fn var_def(&self, v: VarId) -> &VarDef {
+        &self.vars[v.index()]
+    }
+
+    /// Adds `sum(terms) <= rhs`.
+    pub fn le(&mut self, terms: &[(VarId, i64)], rhs: i64) {
+        self.constraint(terms, Cmp::Le, rhs);
+    }
+
+    /// Adds `sum(terms) >= rhs`.
+    pub fn ge(&mut self, terms: &[(VarId, i64)], rhs: i64) {
+        self.constraint(terms, Cmp::Ge, rhs);
+    }
+
+    /// Adds `sum(terms) = rhs`.
+    pub fn eq(&mut self, terms: &[(VarId, i64)], rhs: i64) {
+        self.constraint(terms, Cmp::Eq, rhs);
+    }
+
+    /// Adds a constraint with an explicit comparison operator.
+    pub fn constraint(&mut self, terms: &[(VarId, i64)], cmp: Cmp, rhs: i64) {
+        self.cons.push(Constraint {
+            terms: terms.to_vec(),
+            cmp,
+            rhs,
+        });
+    }
+
+    /// Sets a maximization objective.
+    pub fn maximize(&mut self, terms: &[(VarId, i64)]) {
+        self.objective = terms.to_vec();
+        self.sense = Sense::Maximize;
+    }
+
+    /// Sets a minimization objective.
+    pub fn minimize(&mut self, terms: &[(VarId, i64)]) {
+        self.objective = terms.to_vec();
+        self.sense = Sense::Minimize;
+    }
+
+    /// Solves the model: branch-and-bound over the exact rational simplex.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] if no assignment exists,
+    /// [`SolveError::Unbounded`] if the objective diverges,
+    /// [`SolveError::LimitReached`] if `node_limit` was exhausted.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        crate::branch::solve(self)
+    }
+
+    /// Checks feasibility only (any objective is ignored): stops at the
+    /// first integer-feasible point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`], minus `Unbounded`.
+    pub fn feasible(&self) -> Result<Solution, SolveError> {
+        let mut probe = self.clone();
+        probe.objective.clear();
+        probe.solve()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_building_blocks() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let y = m.integer("y", Some(7));
+        m.le(&[(x, 3), (y, 2)], 12);
+        m.ge(&[(y, 1)], 2);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 2);
+        assert!(m.var_def(x).integer);
+        assert_eq!(m.var_def(y).upper, Some(7));
+    }
+
+    #[test]
+    fn solution_accessors() {
+        let s = Solution {
+            values: vec![Ratio::int(3), Ratio::int(0)],
+            objective: Ratio::int(3),
+        };
+        assert_eq!(s.int_value(VarId(0)), 3);
+        assert_eq!(s.value(VarId(1)), Ratio::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractional")]
+    fn int_value_rejects_fractions() {
+        let s = Solution {
+            values: vec![Ratio::new(1, 2)],
+            objective: Ratio::ZERO,
+        };
+        let _ = s.int_value(VarId(0));
+    }
+
+    #[test]
+    fn knapsack_solves_to_the_known_optimum() {
+        // max 10x + 6y + 4z  s.t.  x+y+z <= 10, 5x+4y+3z <= 15; integers.
+        // Optimum: x=3 (uses the whole second budget), objective 30.
+        let mut m = Model::new();
+        let x = m.integer("x", Some(10));
+        let y = m.integer("y", Some(10));
+        let z = m.integer("z", Some(10));
+        m.le(&[(x, 1), (y, 1), (z, 1)], 10);
+        m.le(&[(x, 5), (y, 4), (z, 3)], 15);
+        m.maximize(&[(x, 10), (y, 6), (z, 4)]);
+        let s = m.solve().unwrap();
+        assert_eq!(s.objective, Ratio::int(30));
+        assert_eq!(s.int_value(x), 3);
+    }
+
+    #[test]
+    fn equality_constraints_bind_exactly() {
+        let mut m = Model::new();
+        let x = m.integer("x", Some(100));
+        let y = m.integer("y", Some(100));
+        m.eq(&[(x, 2), (y, 3)], 12);
+        m.maximize(&[(x, 1)]);
+        let s = m.solve().unwrap();
+        assert_eq!(2 * s.int_value(x) + 3 * s.int_value(y), 12);
+        assert_eq!(s.int_value(x), 6, "x=6, y=0 maximizes x");
+    }
+
+    #[test]
+    fn infeasible_models_are_reported_not_solved() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        m.ge(&[(x, 1)], 2); // a binary cannot reach 2
+        m.maximize(&[(x, 1)]);
+        assert!(m.solve().is_err());
+    }
+
+    #[test]
+    fn minimization_negates_correctly() {
+        let mut m = Model::new();
+        let x = m.integer("x", Some(50));
+        m.ge(&[(x, 1)], 7);
+        m.minimize(&[(x, 1)]);
+        let s = m.solve().unwrap();
+        assert_eq!(s.int_value(x), 7);
+    }
+
+    #[test]
+    fn feasible_finds_any_point_without_an_objective() {
+        let mut m = Model::new();
+        let x = m.integer("x", Some(9));
+        let y = m.integer("y", Some(9));
+        m.ge(&[(x, 1), (y, 1)], 5);
+        m.le(&[(x, 1), (y, 2)], 12);
+        let s = m.feasible().unwrap();
+        let (xv, yv) = (s.int_value(x), s.int_value(y));
+        assert!(xv + yv >= 5 && xv + 2 * yv <= 12);
+    }
+
+    #[test]
+    fn continuous_relaxations_may_be_fractional() {
+        let mut m = Model::new();
+        let x = m.continuous("x", Some(10));
+        m.le(&[(x, 2)], 5);
+        m.maximize(&[(x, 1)]);
+        let s = m.solve().unwrap();
+        assert_eq!(s.value(x), Ratio::new(5, 2));
+    }
+}

@@ -1,0 +1,271 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The rational simplex keeps tableaux exact; panicking on overflow is
+//! preferable to silently returning wrong feasibility verdicts, but all
+//! construction goes through [`Ratio::new`] which normalizes, keeping
+//! magnitudes as small as possible.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `num/den` with `den > 0`, always reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates `num/den`, normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den);
+        let sign = if den < 0 { -1 } else { 1 };
+        Ratio {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Integer `n` as a rational.
+    pub fn int(n: i64) -> Self {
+        Ratio {
+            num: n as i128,
+            den: 1,
+        }
+    }
+
+    /// Numerator (after reduction).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (positive, after reduction).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Fractional part `self - floor(self)`, in `[0, 1)`.
+    pub fn fract(self) -> Ratio {
+        Ratio::new(self.num.rem_euclid(self.den), self.den)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn recip(self) -> Ratio {
+        assert!(self.num != 0, "reciprocal of zero");
+        Ratio::new(self.den, self.num)
+    }
+
+    /// Approximate `f64` value (for reporting only).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::ZERO
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Self {
+        Ratio::int(n)
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        let g = gcd(self.den, rhs.den);
+        let l = self.den / g * rhs.den;
+        Ratio::new(self.num * (l / self.den) + rhs.num * (l / rhs.den), l)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        // Cross-reduce before multiplying to limit growth.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        Ratio::new(
+            (self.num / g1) * (rhs.num / g2),
+            (self.den / g2) * (rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a * (1/b)
+    fn div(self, rhs: Ratio) -> Ratio {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Ratio) {
+        *self = *self - rhs;
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_and_sign() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(1, -2), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(-3, -6), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(0, 5), Ratio::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let half = Ratio::new(1, 2);
+        let third = Ratio::new(1, 3);
+        assert_eq!(half + third, Ratio::new(5, 6));
+        assert_eq!(half - third, Ratio::new(1, 6));
+        assert_eq!(half * third, Ratio::new(1, 6));
+        assert_eq!(half / third, Ratio::new(3, 2));
+        assert_eq!(-half, Ratio::new(-1, 2));
+    }
+
+    #[test]
+    fn floor_ceil_fract() {
+        assert_eq!(Ratio::new(7, 2).floor(), 3);
+        assert_eq!(Ratio::new(7, 2).ceil(), 4);
+        assert_eq!(Ratio::new(-7, 2).floor(), -4);
+        assert_eq!(Ratio::new(-7, 2).ceil(), -3);
+        assert_eq!(Ratio::new(-7, 2).fract(), Ratio::new(1, 2));
+        assert!(Ratio::int(5).is_integer());
+        assert!(!Ratio::new(1, 3).is_integer());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::ZERO);
+        assert_eq!(Ratio::new(2, 6).cmp(&Ratio::new(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::new(3, 1).to_string(), "3");
+        assert_eq!(Ratio::new(-1, 2).to_string(), "-1/2");
+    }
+}

@@ -1,0 +1,429 @@
+//! Exact two-phase primal simplex over rationals, with Bland's rule for
+//! guaranteed termination. Used as the relaxation solver inside
+//! branch-and-bound, and directly for LP feasibility questions.
+
+use crate::model::{Cmp, Model, Sense, VarId};
+use crate::rational::Ratio;
+
+/// Result of solving a linear relaxation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpResult {
+    /// Optimal point found: values per structural variable and objective.
+    Optimal {
+        /// Value of each structural variable, indexed by [`VarId`].
+        values: Vec<Ratio>,
+        /// Objective value in the model's own sense.
+        objective: Ratio,
+    },
+    /// The constraints admit no point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// Per-variable bound overrides applied by branch-and-bound nodes.
+#[derive(Clone, Debug, Default)]
+pub struct Bounds {
+    /// `(variable, lower, upper)` triples; `None` keeps the model bound.
+    pub overrides: Vec<(VarId, Option<i64>, Option<i64>)>,
+}
+
+impl Bounds {
+    fn lower(&self, model: &Model, v: usize) -> i64 {
+        // Overrides accumulate along a branch-and-bound path: every
+        // recorded bound narrows the box, so take the tightest.
+        self.overrides
+            .iter()
+            .filter(|(id, _, _)| id.index() == v)
+            .filter_map(|&(_, l, _)| l)
+            .fold(model.vars[v].lower, i64::max)
+    }
+
+    fn upper(&self, model: &Model, v: usize) -> Option<i64> {
+        self.overrides
+            .iter()
+            .filter(|(id, _, _)| id.index() == v)
+            .filter_map(|&(_, _, u)| u)
+            .fold(model.vars[v].upper, |acc, u| {
+                Some(acc.map_or(u, |a| a.min(u)))
+            })
+    }
+}
+
+/// Solves the linear relaxation of `model` (integrality dropped) under the
+/// given bound overrides.
+pub fn solve_relaxation(model: &Model, bounds: &Bounds) -> LpResult {
+    let n = model.vars.len();
+    let mut lower = vec![0i64; n];
+    let mut upper = vec![None; n];
+    for v in 0..n {
+        lower[v] = bounds.lower(model, v);
+        upper[v] = bounds.upper(model, v);
+        if let Some(u) = upper[v] {
+            if u < lower[v] {
+                return LpResult::Infeasible;
+            }
+        }
+    }
+
+    // Shift every variable by its lower bound: x = x' + l, x' >= 0.
+    // Collect rows as (coeffs over structural vars, cmp, rhs').
+    struct RawRow {
+        coeffs: Vec<Ratio>,
+        cmp: Cmp,
+        rhs: Ratio,
+    }
+    let mut raw: Vec<RawRow> = Vec::new();
+    for c in &model.cons {
+        let mut coeffs = vec![Ratio::ZERO; n];
+        let mut rhs = Ratio::int(c.rhs);
+        for &(v, a) in &c.terms {
+            coeffs[v.index()] += Ratio::int(a);
+            rhs -= Ratio::int(a) * Ratio::int(lower[v.index()]);
+        }
+        raw.push(RawRow {
+            coeffs,
+            cmp: c.cmp,
+            rhs,
+        });
+    }
+    // Upper bounds as explicit rows: x' <= u - l.
+    for v in 0..n {
+        if let Some(u) = upper[v] {
+            let mut coeffs = vec![Ratio::ZERO; n];
+            coeffs[v] = Ratio::ONE;
+            raw.push(RawRow {
+                coeffs,
+                cmp: Cmp::Le,
+                rhs: Ratio::int(u - lower[v]),
+            });
+        }
+    }
+
+    // Normalize rhs >= 0.
+    for r in &mut raw {
+        if r.rhs.is_negative() {
+            for a in &mut r.coeffs {
+                *a = -*a;
+            }
+            r.rhs = -r.rhs;
+            r.cmp = match r.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+
+    let m = raw.len();
+    // Column layout: [structural | slack/surplus | artificial], rhs last.
+    let mut num_slack = 0usize;
+    let mut num_art = 0usize;
+    for r in &raw {
+        match r.cmp {
+            Cmp::Le => num_slack += 1,
+            Cmp::Ge => {
+                num_slack += 1;
+                num_art += 1;
+            }
+            Cmp::Eq => num_art += 1,
+        }
+    }
+    let ncols = n + num_slack + num_art;
+    let mut t = vec![vec![Ratio::ZERO; ncols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut is_art = vec![false; ncols];
+    let mut next_slack = n;
+    let mut next_art = n + num_slack;
+    for (i, r) in raw.iter().enumerate() {
+        t[i][..n].clone_from_slice(&r.coeffs);
+        t[i][ncols] = r.rhs;
+        match r.cmp {
+            Cmp::Le => {
+                t[i][next_slack] = Ratio::ONE;
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                t[i][next_slack] = -Ratio::ONE;
+                next_slack += 1;
+                t[i][next_art] = Ratio::ONE;
+                basis[i] = next_art;
+                is_art[next_art] = true;
+                next_art += 1;
+            }
+            Cmp::Eq => {
+                t[i][next_art] = Ratio::ONE;
+                basis[i] = next_art;
+                is_art[next_art] = true;
+                next_art += 1;
+            }
+        }
+    }
+
+    // Phase 1: maximize -(sum of artificials).
+    if num_art > 0 {
+        let mut obj = vec![Ratio::ZERO; ncols + 1];
+        for (j, &a) in is_art.iter().enumerate() {
+            if a {
+                obj[j] = -Ratio::ONE;
+            }
+        }
+        price_out(&mut obj, &t, &basis);
+        if pivot_loop(&mut t, &mut basis, &mut obj, &is_art, false) == Outcome::Unbounded {
+            unreachable!("phase-1 objective is bounded above by zero");
+        }
+        // The rhs cell holds -z; phase 1 is infeasible iff its optimum
+        // z = -(sum of artificials) is strictly negative.
+        if obj[ncols].is_positive() {
+            return LpResult::Infeasible;
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for i in 0..m {
+            if is_art[basis[i]] {
+                if let Some(j) = (0..n + num_slack).find(|&j| !t[i][j].is_zero()) {
+                    pivot(&mut t, &mut basis, &mut obj, i, j);
+                } // else the row is redundant; artificial stays at zero.
+            }
+        }
+    }
+
+    // Phase 2: the real objective over shifted variables.
+    let mut obj = vec![Ratio::ZERO; ncols + 1];
+    let sign = match model.sense {
+        Sense::Maximize => Ratio::ONE,
+        Sense::Minimize => -Ratio::ONE,
+    };
+    let mut constant = Ratio::ZERO;
+    for &(v, a) in &model.objective {
+        obj[v.index()] += sign * Ratio::int(a);
+        constant += sign * Ratio::int(a) * Ratio::int(lower[v.index()]);
+    }
+    price_out(&mut obj, &t, &basis);
+    if pivot_loop(&mut t, &mut basis, &mut obj, &is_art, true) == Outcome::Unbounded {
+        return LpResult::Unbounded;
+    }
+
+    // Read the solution.
+    let mut values = vec![Ratio::ZERO; n];
+    for i in 0..m {
+        if basis[i] < n {
+            values[basis[i]] = t[i][ncols];
+        }
+    }
+    for (v, val) in values.iter_mut().enumerate() {
+        *val += Ratio::int(lower[v]);
+    }
+    // The objective row's rhs cell accumulates -z for the shifted,
+    // sign-normalized problem.
+    let objective = sign * (constant - obj[ncols]);
+    LpResult::Optimal { values, objective }
+}
+
+#[derive(PartialEq)]
+enum Outcome {
+    Optimal,
+    Unbounded,
+}
+
+/// Makes the objective row consistent with the current basis (zero reduced
+/// cost on basic columns).
+fn price_out(obj: &mut [Ratio], t: &[Vec<Ratio>], basis: &[usize]) {
+    for (i, &b) in basis.iter().enumerate() {
+        if !obj[b].is_zero() {
+            let f = obj[b];
+            for j in 0..obj.len() {
+                obj[j] -= f * t[i][j];
+            }
+        }
+    }
+    // Objective value lives in the rhs cell as -z; keep convention z = -obj[rhs].
+}
+
+fn pivot(t: &mut [Vec<Ratio>], basis: &mut [usize], obj: &mut [Ratio], row: usize, col: usize) {
+    let p = t[row][col];
+    let inv = p.recip();
+    for x in t[row].iter_mut() {
+        *x = *x * inv;
+    }
+    for i in 0..t.len() {
+        if i != row && !t[i][col].is_zero() {
+            let f = t[i][col];
+            for j in 0..t[i].len() {
+                let delta = f * t[row][j];
+                t[i][j] -= delta;
+            }
+        }
+    }
+    if !obj[col].is_zero() {
+        let f = obj[col];
+        for j in 0..obj.len() {
+            let delta = f * t[row][j];
+            obj[j] -= delta;
+        }
+    }
+    basis[row] = col;
+}
+
+/// Bland's-rule simplex loop; maximizes. `skip_art` bars artificial columns
+/// from entering (phase 2).
+fn pivot_loop(
+    t: &mut [Vec<Ratio>],
+    basis: &mut [usize],
+    obj: &mut [Ratio],
+    is_art: &[bool],
+    skip_art: bool,
+) -> Outcome {
+    let ncols = obj.len() - 1;
+    loop {
+        // Entering: smallest index with positive reduced cost.
+        let Some(col) = (0..ncols)
+            .find(|&j| obj[j].is_positive() && !(skip_art && is_art[j]))
+        else {
+            return Outcome::Optimal;
+        };
+        // Leaving: min ratio, Bland tie-break on basis index.
+        let mut best: Option<(Ratio, usize, usize)> = None;
+        for i in 0..t.len() {
+            if t[i][col].is_positive() {
+                let ratio = t[i][ncols] / t[i][col];
+                let better = match &best {
+                    None => true,
+                    Some((r, b, _)) => ratio < *r || (ratio == *r && basis[i] < *b),
+                };
+                if better {
+                    best = Some((ratio, basis[i], i));
+                }
+            }
+        }
+        match best {
+            None => return Outcome::Unbounded,
+            Some((_, _, row)) => pivot(t, basis, obj, row, col),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn opt(model: &Model) -> (Vec<Ratio>, Ratio) {
+        match solve_relaxation(model, &Bounds::default()) {
+            LpResult::Optimal { values, objective } => (values, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maximize_simple_lp() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> x=4, y=0.
+        let mut m = Model::new();
+        let x = m.continuous("x", None);
+        let y = m.continuous("y", None);
+        m.le(&[(x, 1), (y, 1)], 4);
+        m.le(&[(x, 1), (y, 3)], 6);
+        m.maximize(&[(x, 3), (y, 2)]);
+        let (v, z) = opt(&m);
+        assert_eq!(z, Ratio::int(12));
+        assert_eq!(v[0], Ratio::int(4));
+        assert_eq!(v[1], Ratio::ZERO);
+    }
+
+    #[test]
+    fn fractional_optimum_is_exact() {
+        // max x + y s.t. 2x + y <= 3, x + 2y <= 3 -> x=y=1 at corner; try
+        // max 2x + y instead for a fractional-ish path.
+        let mut m = Model::new();
+        let x = m.continuous("x", None);
+        let y = m.continuous("y", None);
+        m.le(&[(x, 2), (y, 1)], 3);
+        m.le(&[(x, 1), (y, 2)], 3);
+        m.maximize(&[(x, 1), (y, 1)]);
+        let (v, z) = opt(&m);
+        assert_eq!(z, Ratio::int(2));
+        assert_eq!(v[0], Ratio::ONE);
+        assert_eq!(v[1], Ratio::ONE);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut m = Model::new();
+        let x = m.continuous("x", None);
+        m.ge(&[(x, 1)], 5);
+        m.le(&[(x, 1)], 3);
+        assert_eq!(
+            solve_relaxation(&m, &Bounds::default()),
+            LpResult::Infeasible
+        );
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut m = Model::new();
+        let x = m.continuous("x", None);
+        m.ge(&[(x, 1)], 1);
+        m.maximize(&[(x, 1)]);
+        assert_eq!(
+            solve_relaxation(&m, &Bounds::default()),
+            LpResult::Unbounded
+        );
+    }
+
+    #[test]
+    fn equality_constraints_work() {
+        // max x s.t. x + y = 5, y >= 2  -> x = 3.
+        let mut m = Model::new();
+        let x = m.continuous("x", None);
+        let y = m.continuous("y", None);
+        m.eq(&[(x, 1), (y, 1)], 5);
+        m.ge(&[(y, 1)], 2);
+        m.maximize(&[(x, 1)]);
+        let (v, z) = opt(&m);
+        assert_eq!(z, Ratio::int(3));
+        assert_eq!(v[1], Ratio::int(2));
+    }
+
+    #[test]
+    fn minimization_and_lower_bounds() {
+        // min x + y s.t. x + y >= 4, x >= 1, y in [0, 10].
+        let mut m = Model::new();
+        let x = m.var("x", 1, None, false);
+        let y = m.var("y", 0, Some(10), false);
+        m.ge(&[(x, 1), (y, 1)], 4);
+        m.minimize(&[(x, 1), (y, 1)]);
+        let (_, z) = opt(&m);
+        assert_eq!(z, Ratio::int(4));
+    }
+
+    #[test]
+    fn bound_overrides_apply() {
+        let mut m = Model::new();
+        let x = m.continuous("x", Some(10));
+        m.maximize(&[(x, 1)]);
+        let mut b = Bounds::default();
+        b.overrides.push((x, None, Some(4)));
+        match solve_relaxation(&m, &b) {
+            LpResult::Optimal { objective, .. } => assert_eq!(objective, Ratio::int(4)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Conflicting overrides are infeasible.
+        let mut b = Bounds::default();
+        b.overrides.push((x, Some(5), Some(4)));
+        assert_eq!(solve_relaxation(&m, &b), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classic degenerate setup; Bland's rule must not cycle.
+        let mut m = Model::new();
+        let x = m.continuous("x", None);
+        let y = m.continuous("y", None);
+        let z = m.continuous("z", None);
+        m.le(&[(x, 1), (y, 1), (z, 1)], 0);
+        m.le(&[(x, 1), (y, -1)], 0);
+        m.maximize(&[(x, 1), (y, 1), (z, 1)]);
+        let (_, obj) = opt(&m);
+        assert_eq!(obj, Ratio::ZERO);
+    }
+}

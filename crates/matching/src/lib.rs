@@ -1,0 +1,330 @@
+//! # mcs-matching
+//!
+//! Bipartite matching algorithms used by the `multichip-hls` workspace:
+//!
+//! * [`max_bipartite_matching`] — maximum-cardinality matching via
+//!   augmenting paths (Kuhn's algorithm). The dynamic bus-reassignment
+//!   step of Section 4.2 *is* an augmenting-path search over the
+//!   I/O-operation / communication-slot graph.
+//! * [`max_weight_matching`] — maximum-weight bipartite matching via the
+//!   O(n³) Hungarian algorithm with potentials, as called for by the
+//!   post-scheduling interchip-connection synthesis of Section 5.2.
+//!
+//! ```
+//! use mcs_matching::max_weight_matching;
+//!
+//! // Two workers, two jobs; the off-diagonal pairing is worth more.
+//! let w = vec![
+//!     vec![Some(1), Some(5)],
+//!     vec![Some(5), Some(1)],
+//! ];
+//! let m = max_weight_matching(&w);
+//! assert_eq!(m.total, 10);
+//! assert_eq!(m.pairs, vec![Some(1), Some(0)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Result of a weighted matching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    /// For each left node, the matched right node (or `None`).
+    pub pairs: Vec<Option<usize>>,
+    /// Total weight of the matching.
+    pub total: i64,
+}
+
+/// Maximum-cardinality bipartite matching (Kuhn's augmenting paths).
+///
+/// `adj[l]` lists the right nodes reachable from left node `l`. Returns the
+/// matched right node per left node.
+pub fn max_bipartite_matching(n_right: usize, adj: &[Vec<usize>]) -> Vec<Option<usize>> {
+    let n_left = adj.len();
+    let mut match_right: Vec<Option<usize>> = vec![None; n_right];
+    let mut match_left: Vec<Option<usize>> = vec![None; n_left];
+
+    fn try_augment(
+        l: usize,
+        adj: &[Vec<usize>],
+        visited: &mut [bool],
+        match_left: &mut [Option<usize>],
+        match_right: &mut [Option<usize>],
+    ) -> bool {
+        for &r in &adj[l] {
+            if !visited[r] {
+                visited[r] = true;
+                let free = match match_right[r] {
+                    None => true,
+                    Some(l2) => try_augment(l2, adj, visited, match_left, match_right),
+                };
+                if free {
+                    match_right[r] = Some(l);
+                    match_left[l] = Some(r);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    for l in 0..n_left {
+        let mut visited = vec![false; n_right];
+        try_augment(l, adj, &mut visited, &mut match_left, &mut match_right);
+    }
+    match_left
+}
+
+/// Maximum-weight bipartite matching over an `n x m` weight table;
+/// `None` marks a forbidden pair. Unmatched nodes are allowed (weight 0),
+/// so negative-weight pairs are never chosen.
+///
+/// Runs the Hungarian algorithm with potentials in O(s³) where
+/// `s = n + m` after padding with zero-weight dummy partners.
+pub fn max_weight_matching(weights: &[Vec<Option<i64>>]) -> Matching {
+    let n = weights.len();
+    let m = weights.first().map_or(0, Vec::len);
+    if n == 0 || m == 0 {
+        return Matching {
+            pairs: vec![None; n],
+            total: 0,
+        };
+    }
+    // Square cost matrix for a *minimization* assignment: real pairs cost
+    // -w; dummy pairings (unmatched) cost 0; forbidden pairs cost BIG.
+    let s = n + m;
+    const BIG: i64 = i64::MAX / 4;
+    let mut cost = vec![vec![0i64; s]; s];
+    for (i, row) in weights.iter().enumerate() {
+        assert_eq!(row.len(), m, "weight table must be rectangular");
+        for (j, cell) in cost[i].iter_mut().enumerate() {
+            *cell = match row.get(j) {
+                Some(Some(w)) => -w,
+                Some(None) => BIG,
+                None => 0, // dummy column: i stays unmatched
+            };
+        }
+    }
+    // Dummy rows cost 0 everywhere (columns may stay unmatched).
+
+    let assignment = hungarian_min(&cost);
+    let mut pairs = vec![None; n];
+    let mut total = 0i64;
+    for (i, p) in pairs.iter_mut().enumerate() {
+        let j = assignment[i];
+        if j < m {
+            if let Some(w) = weights[i][j] {
+                // Never take a negative pair: leaving both unmatched is
+                // always allowed and costs nothing.
+                if w >= 0 {
+                    *p = Some(j);
+                    total += w;
+                }
+            }
+        }
+    }
+    Matching { pairs, total }
+}
+
+/// Classic O(n³) Hungarian algorithm (minimization, square matrix).
+/// Returns the assigned column per row.
+fn hungarian_min(cost: &[Vec<i64>]) -> Vec<usize> {
+    let n = cost.len();
+    // 1-indexed potentials per the standard formulation.
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j]: row matched to column j
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![i64::MAX; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = i64::MAX;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_matching_finds_perfect_matching() {
+        // 0-{0,1}, 1-{0}, 2-{1,2}: perfect matching exists.
+        let adj = vec![vec![0, 1], vec![0], vec![1, 2]];
+        let m = max_bipartite_matching(3, &adj);
+        assert_eq!(m, vec![Some(1), Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn cardinality_matching_augments_through_conflicts() {
+        // Both left nodes prefer right 0; augmentation reroutes.
+        let adj = vec![vec![0], vec![0, 1]];
+        let m = max_bipartite_matching(2, &adj);
+        assert_eq!(m.iter().filter(|x| x.is_some()).count(), 2);
+    }
+
+    #[test]
+    fn cardinality_matching_reports_unmatchable() {
+        let adj = vec![vec![0], vec![0]];
+        let m = max_bipartite_matching(1, &adj);
+        assert_eq!(m.iter().filter(|x| x.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn weighted_matching_prefers_heavier_total() {
+        let w = vec![
+            vec![Some(7), Some(4), Some(3)],
+            vec![Some(6), Some(8), Some(5)],
+            vec![Some(9), Some(4), Some(4)],
+        ];
+        let m = max_weight_matching(&w);
+        // 9 + 8 + 3 = 20 beats greedy 7+8+4=19.
+        assert_eq!(m.total, 20);
+        assert_eq!(m.pairs, vec![Some(2), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn weighted_matching_respects_forbidden_pairs() {
+        let w = vec![vec![None, Some(3)], vec![Some(2), None]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.pairs, vec![Some(1), Some(0)]);
+        assert_eq!(m.total, 5);
+    }
+
+    #[test]
+    fn weighted_matching_leaves_nodes_unmatched_when_all_forbidden() {
+        let w = vec![vec![None, None], vec![Some(4), None]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.pairs, vec![None, Some(0)]);
+        assert_eq!(m.total, 4);
+    }
+
+    #[test]
+    fn weighted_matching_rectangular_more_rows() {
+        let w = vec![vec![Some(5)], vec![Some(9)], vec![Some(1)]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 9);
+        assert_eq!(m.pairs, vec![None, Some(0), None]);
+    }
+
+    #[test]
+    fn weighted_matching_rectangular_more_cols() {
+        let w = vec![vec![Some(1), Some(2), Some(10)]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.pairs, vec![Some(2)]);
+        assert_eq!(m.total, 10);
+    }
+
+    #[test]
+    fn zero_weight_edges_may_still_match() {
+        // Zero-weight pairs are allowed (Section 5.2: a zero-weight edge is
+        // quite different from no edge at all).
+        let w = vec![vec![Some(0)]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 0);
+        if let Some(j) = m.pairs[0] {
+            assert_eq!(j, 0);
+        }
+    }
+
+    #[test]
+    fn negative_pairs_are_never_taken() {
+        let w = vec![vec![Some(-5), Some(-1)]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.pairs, vec![None]);
+        assert_eq!(m.total, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = max_weight_matching(&[]);
+        assert!(m.pairs.is_empty());
+        assert_eq!(m.total, 0);
+        let m = max_bipartite_matching(0, &[]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn large_instance_beats_greedy() {
+        // Deterministic pseudo-random table; checks the matching is a
+        // permutation and at least as good as greedy row-by-row.
+        let n = 12;
+        let mut w = vec![vec![None; n]; n];
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        for row in w.iter_mut() {
+            for cell in row.iter_mut() {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                if !seed.is_multiple_of(10) {
+                    *cell = Some((seed % 100) as i64);
+                }
+            }
+        }
+        let m = max_weight_matching(&w);
+        let mut seen = std::collections::BTreeSet::new();
+        for p in m.pairs.iter().flatten() {
+            assert!(seen.insert(*p), "column matched twice");
+        }
+        let mut greedy_total = 0i64;
+        let mut used = vec![false; n];
+        for row in &w {
+            let best = row
+                .iter()
+                .enumerate()
+                .filter(|(j, c)| !used[*j] && c.is_some())
+                .max_by_key(|(_, c)| c.unwrap());
+            if let Some((j, c)) = best {
+                used[j] = true;
+                greedy_total += c.unwrap();
+            }
+        }
+        assert!(m.total >= greedy_total);
+    }
+}

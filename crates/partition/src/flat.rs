@@ -1,0 +1,298 @@
+//! The flat (partition-free) view of a design.
+//!
+//! Automatic partitioning works on the *computation*, not on any existing
+//! chip assignment: [`FlatGraph::from_cdfg`] collapses every interchip
+//! transfer, resolving each consumed value to the functional operation or
+//! primary input that originates it and folding the recursion degrees
+//! accumulated along transfer chains into the consuming edge.
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::{Cdfg, OpId, OpKind, OperatorClass, PartitionId, ValueId};
+
+/// Where a consumed value ultimately comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Origin {
+    /// The result of flat operation `k`.
+    Op(usize),
+    /// Primary input `k` (index into [`FlatGraph::inputs`]).
+    Input(usize),
+}
+
+/// One functional operation of the flat graph.
+#[derive(Clone, Debug)]
+pub struct FlatOp {
+    /// Display name (from the source design).
+    pub name: String,
+    /// Operator class.
+    pub class: OperatorClass,
+    /// Result width in bits.
+    pub bits: u32,
+    /// Operands in edge order: `(origin, recursion degree)`.
+    pub operands: Vec<(Origin, u32)>,
+    /// The chip the source design ran this operation on (a warm start for
+    /// refinement).
+    pub original: PartitionId,
+}
+
+/// One primary input of the flat graph.
+#[derive(Clone, Debug)]
+pub struct FlatInput {
+    /// Display name.
+    pub name: String,
+    /// Width in bits.
+    pub bits: u32,
+}
+
+/// One primary output.
+#[derive(Clone, Debug)]
+pub struct FlatOutput {
+    /// Display name.
+    pub name: String,
+    /// The value leaving the system.
+    pub origin: Origin,
+    /// Recursion degree accumulated along the transfer chain.
+    pub degree: u32,
+}
+
+/// A design reduced to computation: functional operations, primary
+/// inputs/outputs, and dependence edges — no chips, no transfers.
+#[derive(Clone, Debug, Default)]
+pub struct FlatGraph {
+    /// Functional operations.
+    pub ops: Vec<FlatOp>,
+    /// Primary inputs.
+    pub inputs: Vec<FlatInput>,
+    /// Primary outputs.
+    pub outputs: Vec<FlatOutput>,
+}
+
+/// Why a design cannot be flattened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlattenError {
+    /// TDM split/merge nodes are chip-placement artifacts themselves and
+    /// are not carried through refinement.
+    HasTdmNodes,
+    /// Conditional guards are not supported by the rebuild step yet.
+    HasConditionals,
+}
+
+impl std::fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlattenError::HasTdmNodes => write!(f, "design contains TDM split/merge nodes"),
+            FlattenError::HasConditionals => write!(f, "design contains conditional guards"),
+        }
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+impl FlatGraph {
+    /// Collapses `cdfg` to its flat computation.
+    ///
+    /// # Errors
+    ///
+    /// [`FlattenError`] when the design uses TDM or conditional nodes.
+    pub fn from_cdfg(cdfg: &Cdfg) -> Result<FlatGraph, FlattenError> {
+        for op in cdfg.op_ids() {
+            match cdfg.op(op).kind {
+                OpKind::Split { .. } | OpKind::Merge => return Err(FlattenError::HasTdmNodes),
+                _ => {}
+            }
+            if !cdfg.op(op).condition.is_always() {
+                return Err(FlattenError::HasConditionals);
+            }
+        }
+
+        let mut flat = FlatGraph::default();
+        // Func ops keep their relative order; map OpId -> flat index.
+        let mut op_index: BTreeMap<OpId, usize> = BTreeMap::new();
+        for op in cdfg.func_ops() {
+            op_index.insert(op, flat.ops.len());
+            let node = cdfg.op(op);
+            let class = match &node.kind {
+                OpKind::Func(c) => c.clone(),
+                _ => unreachable!("func_ops yields functional ops"),
+            };
+            flat.ops.push(FlatOp {
+                name: node.name.clone(),
+                class,
+                bits: node.result.map(|v| cdfg.value(v).bits).unwrap_or(0),
+                operands: Vec::new(),
+                original: node.partition,
+            });
+        }
+
+        // Resolve any value to (origin, accumulated degree) by walking io
+        // chains back to a functional producer or a primary input.
+        let producer: BTreeMap<ValueId, OpId> = cdfg
+            .op_ids()
+            .filter_map(|op| cdfg.op(op).result.map(|r| (r, op)))
+            .collect();
+        let mut input_index: BTreeMap<ValueId, usize> = BTreeMap::new();
+        let mut resolve = |flat: &mut FlatGraph, mut v: ValueId| -> (Origin, u32) {
+            let mut degree = 0u32;
+            loop {
+                match producer.get(&v) {
+                    Some(&op) => match &cdfg.op(op).kind {
+                        OpKind::Func(_) => return (Origin::Op(op_index[&op]), degree),
+                        OpKind::Io { value, .. } => {
+                            // The transfer's own recursion degree sits on
+                            // its source edge.
+                            degree += cdfg
+                                .preds(op)
+                                .iter()
+                                .map(|&e| cdfg.edge(e))
+                                .find(|e| e.value == *value)
+                                .map(|e| e.degree)
+                                .unwrap_or(0);
+                            v = *value;
+                        }
+                        _ => unreachable!("split/merge rejected above"),
+                    },
+                    None => {
+                        let k = *input_index.entry(v).or_insert_with(|| {
+                            flat.inputs.push(FlatInput {
+                                name: cdfg.value(v).name.clone(),
+                                bits: cdfg.value(v).bits,
+                            });
+                            flat.inputs.len() - 1
+                        });
+                        return (Origin::Input(k), degree);
+                    }
+                }
+            }
+        };
+
+        // Operands: each functional pred edge in order.
+        for op in cdfg.func_ops() {
+            let k = op_index[&op];
+            for &eid in cdfg.preds(op) {
+                let e = cdfg.edge(eid);
+                let (origin, chain) = resolve(&mut flat, e.value);
+                flat.ops[k].operands.push((origin, chain + e.degree));
+            }
+        }
+
+        // Primary outputs: transfers into the environment.
+        for op in cdfg.io_ops() {
+            if let OpKind::Io { value, to, .. } = cdfg.op(op).kind {
+                if to == PartitionId::ENVIRONMENT {
+                    let deg = cdfg
+                        .preds(op)
+                        .iter()
+                        .map(|&e| cdfg.edge(e))
+                        .find(|e| e.value == value)
+                        .map(|e| e.degree)
+                        .unwrap_or(0);
+                    let (origin, chain) = resolve(&mut flat, value);
+                    flat.outputs.push(FlatOutput {
+                        name: cdfg.op(op).name.clone(),
+                        origin,
+                        degree: chain + deg,
+                    });
+                }
+            }
+        }
+
+        Ok(flat)
+    }
+
+    /// The assignment the source design used, per flat operation.
+    pub fn original_assignment(&self) -> Vec<PartitionId> {
+        self.ops.iter().map(|o| o.original).collect()
+    }
+
+    /// Bits crossing chips under `assign`: each distinct
+    /// `(origin, destination chip)` pair costs the value's width once
+    /// (matching how transfers fan out in the synthesized design).
+    pub fn cut_bits(&self, assign: &[PartitionId]) -> u32 {
+        let mut crossings: std::collections::BTreeSet<(Origin, PartitionId)> =
+            std::collections::BTreeSet::new();
+        for (k, op) in self.ops.iter().enumerate() {
+            for &(origin, _) in &op.operands {
+                if let Origin::Op(src) = origin {
+                    if assign[src] != assign[k] {
+                        crossings.insert((origin, assign[k]));
+                    }
+                }
+            }
+        }
+        crossings
+            .into_iter()
+            .map(|(origin, _)| match origin {
+                Origin::Op(src) => self.ops[src].bits,
+                Origin::Input(_) => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cdfg::designs::{ar_filter, elliptic, synthetic};
+
+    #[test]
+    fn flattening_collapses_all_transfers() {
+        let d = ar_filter::simple();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        assert_eq!(flat.ops.len(), d.cdfg().func_ops().count());
+        assert!(!flat.inputs.is_empty());
+        assert!(!flat.outputs.is_empty());
+        // Every operand resolved to a func op or a primary input.
+        for op in &flat.ops {
+            for &(origin, _) in &op.operands {
+                match origin {
+                    Origin::Op(k) => assert!(k < flat.ops.len()),
+                    Origin::Input(k) => assert!(k < flat.inputs.len()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_chain_degrees_accumulate() {
+        // The elliptic filter's feedback values travel through transfers
+        // with nonzero degrees; the flat edges must carry them.
+        let d = elliptic::partitioned();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        let max_deg = flat
+            .ops
+            .iter()
+            .flat_map(|o| o.operands.iter().map(|&(_, d)| d))
+            .max()
+            .unwrap();
+        assert!(max_deg >= 4, "degree-4 recursion must survive flattening");
+    }
+
+    #[test]
+    fn original_assignment_cut_matches_transfer_structure() {
+        let d = ar_filter::simple();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        let cut = flat.cut_bits(&flat.original_assignment());
+        assert!(cut > 0, "the 4-chip AR filter crosses chips");
+        // All ops on one chip: no cut at all.
+        let p1 = mcs_cdfg::PartitionId::new(1);
+        assert_eq!(flat.cut_bits(&vec![p1; flat.ops.len()]), 0);
+    }
+
+    #[test]
+    fn tdm_designs_are_rejected() {
+        let d = synthetic::tdm_example(true);
+        assert!(matches!(
+            FlatGraph::from_cdfg(d.cdfg()),
+            Err(FlattenError::HasTdmNodes)
+        ));
+    }
+
+    #[test]
+    fn conditional_designs_are_rejected() {
+        let (d, _) = synthetic::conditional_example();
+        assert!(matches!(
+            FlatGraph::from_cdfg(d.cdfg()),
+            Err(FlattenError::HasConditionals)
+        ));
+    }
+}

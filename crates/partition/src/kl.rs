@@ -1,0 +1,283 @@
+//! Kernighan–Lin / Fiduccia–Mattheyses-style refinement of the
+//! operation-to-chip assignment.
+//!
+//! Each pass tentatively moves every operation once (best cut-bits gain
+//! first, balance respected, moved operations locked), then keeps the
+//! best prefix of the move sequence — the classic hill-climbing-with-
+//! lookahead that escapes single-move local minima. Passes repeat until
+//! one yields no improvement.
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::{OperatorClass, PartitionId};
+
+use crate::flat::FlatGraph;
+
+/// Capacity limits for refinement.
+#[derive(Clone, Debug, Default)]
+pub struct Capacities {
+    /// Maximum operations per chip (`None` = unbounded).
+    pub max_ops: Option<usize>,
+    /// Per `(chip, class)` unit limits; missing entries are unbounded.
+    /// An operation counts against its class regardless of scheduling —
+    /// a conservative stand-in for the allocation-wheel bound (Eq. 7.5).
+    pub units: BTreeMap<(PartitionId, OperatorClass), usize>,
+}
+
+impl Capacities {
+    /// No limits at all (pure min-cut).
+    pub fn unbounded() -> Self {
+        Capacities::default()
+    }
+
+    /// At most `n` operations per chip.
+    pub fn balanced(n: usize) -> Self {
+        Capacities {
+            max_ops: Some(n),
+            units: BTreeMap::new(),
+        }
+    }
+}
+
+/// The outcome of refinement.
+#[derive(Clone, Debug)]
+pub struct Refined {
+    /// Final assignment, per flat operation.
+    pub assign: Vec<PartitionId>,
+    /// Cut bits before refinement.
+    pub initial_cut: u32,
+    /// Cut bits after refinement.
+    pub final_cut: u32,
+    /// Full passes executed.
+    pub passes: u32,
+}
+
+fn feasible(
+    flat: &FlatGraph,
+    caps: &Capacities,
+    assign: &[PartitionId],
+    op: usize,
+    dest: PartitionId,
+) -> bool {
+    if let Some(max) = caps.max_ops {
+        let load = assign.iter().filter(|&&p| p == dest).count();
+        if load + 1 > max {
+            return false;
+        }
+    }
+    let key = (dest, flat.ops[op].class.clone());
+    if let Some(&limit) = caps.units.get(&key) {
+        let used = assign
+            .iter()
+            .enumerate()
+            .filter(|&(k, &p)| p == dest && flat.ops[k].class == flat.ops[op].class)
+            .count();
+        if used + 1 > limit {
+            return false;
+        }
+    }
+    true
+}
+
+/// Refines `initial` over `chips`, minimizing [`FlatGraph::cut_bits`]
+/// under `caps`. Deterministic: ties break toward the lowest operation
+/// index and chip id.
+pub fn refine(
+    flat: &FlatGraph,
+    chips: &[PartitionId],
+    initial: &[PartitionId],
+    caps: &Capacities,
+) -> Refined {
+    assert_eq!(initial.len(), flat.ops.len(), "one chip per operation");
+    let mut assign = initial.to_vec();
+    let initial_cut = flat.cut_bits(&assign);
+    let mut passes = 0;
+
+    loop {
+        passes += 1;
+        let pass_start = assign.clone();
+        let start_cut = flat.cut_bits(&assign);
+        let mut locked = vec![false; flat.ops.len()];
+        // (cut after this move, assignment snapshot)
+        let mut best_cut = start_cut;
+        let mut best_snapshot = assign.clone();
+
+        for _ in 0..flat.ops.len() {
+            // Best single move over unlocked ops.
+            let mut best: Option<(u32, usize, PartitionId)> = None;
+            for op in 0..flat.ops.len() {
+                if locked[op] {
+                    continue;
+                }
+                let home = assign[op];
+                for &dest in chips {
+                    if dest == home || !feasible(flat, caps, &assign, op, dest) {
+                        continue;
+                    }
+                    assign[op] = dest;
+                    let cut = flat.cut_bits(&assign);
+                    assign[op] = home;
+                    if best.as_ref().is_none_or(|&(c, o, d)| {
+                        cut < c || (cut == c && (op, dest) < (o, d))
+                    }) {
+                        best = Some((cut, op, dest));
+                    }
+                }
+            }
+            let Some((cut, op, dest)) = best else {
+                break;
+            };
+            assign[op] = dest;
+            locked[op] = true;
+            if cut < best_cut {
+                best_cut = cut;
+                best_snapshot = assign.clone();
+            }
+        }
+
+        if best_cut < start_cut {
+            assign = best_snapshot;
+        } else {
+            assign = pass_start;
+            break;
+        }
+    }
+
+    let final_cut = flat.cut_bits(&assign);
+    Refined {
+        assign,
+        initial_cut,
+        final_cut,
+        passes,
+    }
+}
+
+/// A deterministic spread of the operations over `chips` in graph order —
+/// a cold-start initial assignment honoring `max_ops` balance.
+pub fn spread(flat: &FlatGraph, chips: &[PartitionId]) -> Vec<PartitionId> {
+    let per = flat.ops.len().div_ceil(chips.len());
+    (0..flat.ops.len())
+        .map(|k| chips[(k / per).min(chips.len() - 1)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatGraph;
+    use mcs_cdfg::designs::{ar_filter, elliptic};
+
+    fn chips(n: u32) -> Vec<PartitionId> {
+        (1..=n).map(PartitionId::new).collect()
+    }
+
+    #[test]
+    fn refinement_never_increases_the_cut() {
+        let d = ar_filter::simple();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        let init = flat.original_assignment();
+        let r = refine(&flat, &chips(4), &init, &Capacities::unbounded());
+        assert!(r.final_cut <= r.initial_cut);
+        assert_eq!(r.final_cut, flat.cut_bits(&r.assign));
+    }
+
+    #[test]
+    fn unbounded_refinement_collapses_a_chain_to_one_chip() {
+        // A pure chain split over two chips: with no capacity limits the
+        // optimum is cut 0, and KL's uphill-within-a-pass moves find it.
+        use mcs_cdfg::{CdfgBuilder, Library, OperatorClass};
+        let mut b = CdfgBuilder::new(Library::ar_filter());
+        let p1 = b.partition("P1", 512);
+        let p2 = b.partition("P2", 512);
+        let (_, mut v) = b.input("a", 8, p1);
+        for k in 0..3 {
+            let (_, nv) = b.func(&format!("f{k}"), OperatorClass::Add, p1, &[(v, 0)], 8);
+            v = nv;
+        }
+        let (_, mut w) = b.io("X", v, p2);
+        for k in 0..3 {
+            let (_, nw) = b.func(&format!("g{k}"), OperatorClass::Add, p2, &[(w, 0)], 8);
+            w = nw;
+        }
+        b.output("o", w);
+        let g = b.finish().unwrap();
+
+        let flat = FlatGraph::from_cdfg(&g).unwrap();
+        let init = flat.original_assignment();
+        assert!(flat.cut_bits(&init) > 0);
+        let r = refine(&flat, &chips(2), &init, &Capacities::unbounded());
+        assert_eq!(r.final_cut, 0, "a chain needs no chip boundary");
+    }
+
+    #[test]
+    fn refinement_improves_a_cold_spread_of_the_ar_filter() {
+        let d = ar_filter::simple();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        let init = spread(&flat, &chips(4));
+        let r = refine(&flat, &chips(4), &init, &Capacities::unbounded());
+        assert!(
+            r.final_cut < r.initial_cut,
+            "KL must improve the naive spread ({} -> {})",
+            r.initial_cut,
+            r.final_cut
+        );
+    }
+
+    #[test]
+    fn balance_constraint_is_respected() {
+        let d = elliptic::partitioned();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        let cs = chips(5);
+        let cap = flat.ops.len().div_ceil(cs.len()) + 1;
+        let init = spread(&flat, &cs);
+        let r = refine(&flat, &cs, &init, &Capacities::balanced(cap));
+        for &c in &cs {
+            let load = r.assign.iter().filter(|&&p| p == c).count();
+            assert!(load <= cap, "{c}: {load} > {cap}");
+        }
+        assert!(r.final_cut <= flat.cut_bits(&init));
+    }
+
+    #[test]
+    fn unit_limits_are_respected() {
+        // Cap every chip/class at exactly the initial usage: refinement
+        // may shuffle operations but never exceed a cap.
+        let d = ar_filter::simple();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        let cs = chips(4);
+        let init = flat.original_assignment();
+        let mut caps = Capacities::balanced(flat.ops.len());
+        for &c in &cs {
+            for class in [OperatorClass::Mul, OperatorClass::Add] {
+                let used = init
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, &p)| p == c && flat.ops[k].class == class)
+                    .count();
+                caps.units.insert((c, class), used);
+            }
+        }
+        let r = refine(&flat, &cs, &init, &caps);
+        for (&(c, ref class), &limit) in &caps.units {
+            let used = r
+                .assign
+                .iter()
+                .enumerate()
+                .filter(|&(k, &p)| p == c && flat.ops[k].class == *class)
+                .count();
+            assert!(used <= limit, "{c} {class}: {used} > {limit}");
+        }
+    }
+
+    #[test]
+    fn refinement_is_deterministic() {
+        let d = elliptic::partitioned();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        let cs = chips(5);
+        let init = spread(&flat, &cs);
+        let caps = Capacities::balanced(flat.ops.len().div_ceil(cs.len()) + 2);
+        let a = refine(&flat, &cs, &init, &caps);
+        let b = refine(&flat, &cs, &init, &caps);
+        assert_eq!(a.assign, b.assign);
+    }
+}

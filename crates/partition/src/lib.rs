@@ -1,0 +1,46 @@
+//! # mcs-partition
+//!
+//! Automatic multi-chip partitioning — the integration with partitioning
+//! the paper leaves as future work (its flows take the chip assignment as
+//! input; Chapter 8 points at closing the loop).
+//!
+//! Three steps:
+//!
+//! 1. [`FlatGraph::from_cdfg`] collapses a design to its computation —
+//!    functional operations, primary I/O, dependence edges with recursion
+//!    degrees — erasing chips and transfers.
+//! 2. [`refine`] improves an operation-to-chip assignment with
+//!    Kernighan–Lin / FM passes (tentative best-gain moves with locking,
+//!    keep the best prefix), minimizing the bits that must cross chips
+//!    under balance and per-class unit capacities.
+//! 3. [`rebuild()`] regenerates a partitioned [`mcs_cdfg::Cdfg`] — one
+//!    transfer per `(value, destination chip)`, degrees preserved — ready
+//!    for any synthesis flow.
+//!
+//! ```
+//! use mcs_cdfg::designs::ar_filter;
+//! use mcs_cdfg::PartitionId;
+//! use mcs_partition::{refine, spread, Capacities, FlatGraph};
+//!
+//! let design = ar_filter::simple();
+//! let flat = FlatGraph::from_cdfg(design.cdfg()).unwrap();
+//! let chips: Vec<PartitionId> = (1..=4).map(PartitionId::new).collect();
+//! let cap = flat.ops.len().div_ceil(chips.len()) + 1;
+//! let refined = refine(
+//!     &flat,
+//!     &chips,
+//!     &spread(&flat, &chips),
+//!     &Capacities::balanced(cap),
+//! );
+//! assert!(refined.final_cut <= refined.initial_cut);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod flat;
+pub mod kl;
+pub mod rebuild;
+
+pub use flat::{FlatGraph, FlattenError, Origin};
+pub use kl::{refine, spread, Capacities, Refined};
+pub use rebuild::{rebuild, ChipSpec};

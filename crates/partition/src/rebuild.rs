@@ -1,0 +1,254 @@
+//! Rebuilding a partitioned CDFG from a flat graph and an assignment.
+//!
+//! The inverse of [`crate::flat`]: place every operation on its assigned
+//! chip and regenerate exactly the transfers the assignment demands — one
+//! per `(origin, consuming chip)` pair, fanning a value out once per
+//! destination, with primary inputs entering through the environment.
+//! The result is a valid [`Cdfg`] ready for any of the synthesis flows.
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::{Cdfg, CdfgBuilder, Edge, GraphError, Library, OpId, PartitionId, ValueId};
+
+use crate::flat::{FlatGraph, Origin};
+
+/// Specification of one chip to build.
+#[derive(Clone, Debug)]
+pub struct ChipSpec {
+    /// Display name.
+    pub name: String,
+    /// Pin budget.
+    pub pins: u32,
+    /// Functional units per class (empty = unconstrained).
+    pub resources: Vec<(mcs_cdfg::OperatorClass, u32)>,
+}
+
+/// Rebuilds a partitioned design.
+///
+/// `chips[i]` describes the chip that `PartitionId::new(i + 1)` will be;
+/// every entry of `assign` must reference one of them. Transfers are
+/// regenerated: values consumed where they are produced cost nothing,
+/// values consumed remotely get one transfer per destination chip, and
+/// recursion degrees ride the consuming edges.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from graph validation.
+///
+/// # Panics
+///
+/// Panics if `assign` references a chip outside `chips` or has the wrong
+/// length.
+pub fn rebuild(
+    flat: &FlatGraph,
+    assign: &[PartitionId],
+    chips: &[ChipSpec],
+    library: Library,
+) -> Result<Cdfg, GraphError> {
+    assert_eq!(assign.len(), flat.ops.len(), "one chip per operation");
+    let mut b = CdfgBuilder::new(library);
+    let mut pid: Vec<PartitionId> = Vec::new();
+    for spec in chips {
+        let p = b.partition(&spec.name, spec.pins);
+        for (class, n) in &spec.resources {
+            b.resource(p, class.clone(), *n);
+        }
+        pid.push(p);
+    }
+    for &a in assign {
+        assert!(pid.contains(&a), "assignment references unknown chip {a}");
+    }
+
+    // Primary inputs: one environment value each, transferred into every
+    // chip that consumes it.
+    let ext: Vec<ValueId> = flat
+        .inputs
+        .iter()
+        .map(|i| b.external_value(&i.name, i.bits))
+        .collect();
+
+    // Ops first (operand edges come after, so placement order is free).
+    let ops: Vec<(OpId, ValueId)> = flat
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(k, op)| b.func(&op.name, op.class.clone(), assign[k], &[], op.bits))
+        .collect();
+
+    // One transfer per (origin, destination chip); remember the local copy.
+    let mut local: BTreeMap<(Origin, PartitionId), ValueId> = BTreeMap::new();
+    for (k, op) in flat.ops.iter().enumerate() {
+        let home = assign[k];
+        for &(origin, _) in &op.operands {
+            if local.contains_key(&(origin, home)) {
+                continue;
+            }
+            let v = match origin {
+                Origin::Op(src) if assign[src] == home => ops[src].1,
+                Origin::Op(src) => {
+                    let (_, copy) =
+                        b.io(&format!("t_{}_{}", flat.ops[src].name, home), ops[src].1, home);
+                    copy
+                }
+                Origin::Input(i) => {
+                    let (_, copy) =
+                        b.io(&format!("in_{}_{}", flat.inputs[i].name, home), ext[i], home);
+                    copy
+                }
+            };
+            local.insert((origin, home), v);
+        }
+    }
+
+    // Operand edges, in flat order, degrees preserved.
+    for (k, op) in flat.ops.iter().enumerate() {
+        let home = assign[k];
+        for &(origin, degree) in &op.operands {
+            let value = local[&(origin, home)];
+            // The producer of the local copy: the origin op itself when
+            // home-local, else the transfer that made the copy.
+            let from = match origin {
+                Origin::Op(src) if assign[src] == home => ops[src].0,
+                _ => producer_of(&b, value),
+            };
+            b.add_edge(Edge {
+                from,
+                to: ops[k].0,
+                value,
+                degree,
+            });
+        }
+    }
+
+    // Primary outputs leave from the origin's chip.
+    for out in &flat.outputs {
+        match out.origin {
+            Origin::Op(src) if out.degree > 0 => {
+                // Degrees ride the transfer's source edge, so build the
+                // transfer unbound first.
+                let (io, _) = b.io_pending(
+                    &out.name,
+                    flat.ops[src].bits,
+                    assign[src],
+                    PartitionId::ENVIRONMENT,
+                );
+                b.bind_io_source(io, ops[src].1, out.degree);
+            }
+            Origin::Op(src) => {
+                b.output(&out.name, ops[src].1);
+            }
+            Origin::Input(i) => {
+                b.output(&out.name, ext[i]);
+            }
+        }
+    }
+
+    b.finish()
+}
+
+/// The op that produces `value` among those already in the builder — used
+/// for the transfer copies `rebuild` just created.
+fn producer_of(b: &CdfgBuilder, value: ValueId) -> OpId {
+    b.producer_of(value)
+        .expect("transfer copies always have a producer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatGraph;
+    use crate::kl::{refine, spread, Capacities};
+    use mcs_cdfg::designs::ar_filter;
+    use mcs_cdfg::OperatorClass;
+
+    fn specs(n: usize, pins: u32) -> Vec<ChipSpec> {
+        (1..=n)
+            .map(|i| ChipSpec {
+                name: format!("P{i}"),
+                pins,
+                resources: vec![(OperatorClass::Add, 8), (OperatorClass::Mul, 8)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_rebuild_preserves_op_counts() {
+        let d = ar_filter::simple();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        let g = rebuild(
+            &flat,
+            &flat.original_assignment(),
+            &specs(4, 512),
+            d.cdfg().library().clone(),
+        )
+        .unwrap();
+        assert_eq!(g.func_ops().count(), d.cdfg().func_ops().count());
+        // Same chips talk to the same chips: cut is unchanged, so the
+        // transfer count matches the distinct (origin, dest) pairs.
+        let reflat = FlatGraph::from_cdfg(&g).unwrap();
+        assert_eq!(
+            reflat.cut_bits(&reflat.original_assignment()),
+            flat.cut_bits(&flat.original_assignment())
+        );
+    }
+
+    #[test]
+    fn rebuild_after_refinement_validates_and_flattens_back() {
+        let d = ar_filter::simple();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        let chips: Vec<PartitionId> = (1..=4).map(PartitionId::new).collect();
+        let cap = flat.ops.len().div_ceil(4) + 1;
+        let r = refine(&flat, &chips, &spread(&flat, &chips), &Capacities::balanced(cap));
+        let g = rebuild(&flat, &r.assign, &specs(4, 512), d.cdfg().library().clone()).unwrap();
+        let reflat = FlatGraph::from_cdfg(&g).unwrap();
+        assert_eq!(
+            reflat.cut_bits(&reflat.original_assignment()),
+            r.final_cut,
+            "rebuild must realize exactly the refined cut"
+        );
+    }
+
+    #[test]
+    fn rebuilt_designs_compute_the_same_outputs() {
+        // The strongest guarantee: flatten -> (re)assign -> rebuild leaves
+        // the computed function unchanged — same stimulus, same words on
+        // every primary output of every instance (matched by position;
+        // operation ids shift).
+        use mcs_sim::{reference_run, Semantics, Stimulus};
+
+        let d = ar_filter::simple();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        let chips: Vec<PartitionId> = (1..=4).map(PartitionId::new).collect();
+        let cap = flat.ops.len().div_ceil(4) + 1;
+        let r = refine(&flat, &chips, &spread(&flat, &chips), &Capacities::balanced(cap));
+        let g = rebuild(&flat, &r.assign, &specs(4, 512), d.cdfg().library().clone()).unwrap();
+
+        let sem = Semantics::new();
+        let a = reference_run(d.cdfg(), &sem, &Stimulus::random(d.cdfg(), 4, 99)).unwrap();
+        let b = reference_run(&g, &sem, &Stimulus::random(&g, 4, 99)).unwrap();
+        let words = |outs: &mcs_sim::Outputs| -> Vec<u64> { outs.values().copied().collect() };
+        assert_eq!(a.len(), b.len());
+        assert_eq!(words(&a), words(&b), "repartitioning changed the function");
+    }
+
+    #[test]
+    fn recursion_degrees_survive_the_round_trip() {
+        let d = ar_filter::simple();
+        let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
+        let g = rebuild(
+            &flat,
+            &flat.original_assignment(),
+            &specs(4, 512),
+            d.cdfg().library().clone(),
+        )
+        .unwrap();
+        let max_deg = g.edges().iter().map(|e| e.degree).max().unwrap();
+        let orig_max = d.cdfg().edges().iter().map(|e| e.degree).max().unwrap();
+        assert_eq!(max_deg, orig_max);
+        assert_eq!(
+            mcs_cdfg::timing::min_initiation_rate(&g),
+            mcs_cdfg::timing::min_initiation_rate(d.cdfg()),
+            "the recursion-bound minimum rate is a pure function of the flat graph"
+        );
+    }
+}

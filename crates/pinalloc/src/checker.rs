@@ -1,0 +1,461 @@
+//! The pin-allocation ILP (Section 3.1) and the incremental feasibility
+//! checker used inside list scheduling (Sections 3.2–3.3).
+//!
+//! For a pipelined design with initiation rate `L`, every I/O operation
+//! must receive pins in some control-step *group* `k in 0..L`. The ILP
+//! over binaries `x_{w,k}` (pins allocated for transfer `w` in group `k`)
+//! enforces:
+//!
+//! * per-partition, per-group input capacity (Constraint 3.2 / 3.7),
+//! * per-partition, per-group output capacity, counting a multi-destination
+//!   value once via `y_{v,k} = max_w x_{w,k}` (Constraints 3.3/3.5/3.6 /
+//!   3.8),
+//! * coverage: every transfer gets a group (Constraint 3.4).
+//!
+//! When a partition's pins are not pre-divided into inputs and outputs,
+//! integer variables `o_j` choose the split (Constraints 3.7, 3.8).
+//!
+//! The tableau-size reduction of Section 3.1.2 aggregates single-fanout
+//! transfers with identical endpoints and width into one general-integer
+//! variable with coverage `sum_k x_{g,k} >= q`.
+//!
+//! The checker solves the system with the Gomory dual all-integer method
+//! ([`mcs_ilp::AllIntegerSolver`]), committing `x >= 1` increments as
+//! scheduling proceeds (Equation 3.13) and probing candidate placements
+//! without mutating state.
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::{Cdfg, OpId, PartitionId, ValueId};
+use mcs_ilp::{AllIntegerSolver, Feasibility};
+
+/// Pivot budget per feasibility probe before falling back to exact
+/// branch-and-bound.
+const PIVOT_BUDGET: usize = 4_000;
+
+/// Errors from building the pin-allocation model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PinAllocError {
+    /// The initiation rate must be at least 1.
+    ZeroRate,
+    /// An operation passed to the checker is not an I/O operation.
+    NotAnIoOperation(OpId),
+    /// The initial system already admits no pin allocation.
+    InfeasibleFromTheStart,
+}
+
+impl std::fmt::Display for PinAllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PinAllocError::ZeroRate => write!(f, "initiation rate must be at least 1"),
+            PinAllocError::NotAnIoOperation(op) => {
+                write!(f, "{op} is not an I/O operation")
+            }
+            PinAllocError::InfeasibleFromTheStart => {
+                write!(f, "no pin allocation exists even before scheduling")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PinAllocError {}
+
+/// Which solver variable carries an I/O operation.
+#[derive(Clone, Copy, Debug)]
+enum OpVar {
+    /// Aggregated single-fanout group (Section 3.1.2): variable block
+    /// index, group size `q`.
+    Aggregate(usize),
+    /// Individual binary for a member of a multi-destination value.
+    Member(usize),
+}
+
+/// The incremental pin-allocation feasibility checker of Figure 3.4.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_cdfg::designs::ar_filter;
+/// use mcs_pinalloc::PinChecker;
+///
+/// # fn main() -> Result<(), mcs_pinalloc::PinAllocError> {
+/// let design = ar_filter::simple();
+/// let mut checker = PinChecker::new(design.cdfg(), 2)?;
+/// let x5 = design.op_named("X5");
+/// assert!(checker.can_commit(x5, 0));
+/// checker.commit(x5, 0)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PinChecker {
+    solver: AllIntegerSolver,
+    rate: u32,
+    /// Variable carrying each I/O op, by op id.
+    op_vars: BTreeMap<OpId, OpVar>,
+    /// Base solver-variable index of each aggregate block (stride = rate).
+    agg_base: Vec<usize>,
+    /// Base solver-variable index of each member binary block.
+    member_base: Vec<usize>,
+    /// Remaining uncommitted demand per aggregate block.
+    agg_remaining: Vec<i64>,
+    /// Whether each member binary has been committed.
+    member_done: Vec<bool>,
+}
+
+impl PinChecker {
+    /// Builds the ILP for `cdfg` at initiation rate `rate` and verifies
+    /// initial feasibility.
+    ///
+    /// # Errors
+    ///
+    /// [`PinAllocError::ZeroRate`] for `rate == 0`;
+    /// [`PinAllocError::InfeasibleFromTheStart`] if the pin budgets cannot
+    /// carry the design's transfers at all.
+    pub fn new(cdfg: &Cdfg, rate: u32) -> Result<Self, PinAllocError> {
+        if rate == 0 {
+            return Err(PinAllocError::ZeroRate);
+        }
+        let l = rate as usize;
+        let groups = cdfg.io_ops_by_value();
+
+        // Partition transfers into aggregates (single-destination values,
+        // merged by (from, to, bits)) and members of multi-destination
+        // values.
+        #[derive(Default)]
+        struct Agg {
+            ops: Vec<OpId>,
+        }
+        let mut aggs: BTreeMap<(PartitionId, PartitionId, u32), Agg> = BTreeMap::new();
+        let mut multi: Vec<(ValueId, Vec<OpId>)> = Vec::new();
+        for (value, ops) in &groups {
+            if ops.len() == 1 {
+                let op = ops[0];
+                let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
+                let bits = cdfg.io_bits(op);
+                aggs.entry((from, to, bits)).or_default().ops.push(op);
+            } else {
+                multi.push((*value, ops.clone()));
+            }
+        }
+
+        // Assign solver variable indices.
+        let mut n_vars = 0usize;
+        let mut agg_base = Vec::new();
+        let mut agg_remaining = Vec::new();
+        let mut op_vars: BTreeMap<OpId, OpVar> = BTreeMap::new();
+        let agg_list: Vec<(&(PartitionId, PartitionId, u32), &Agg)> = aggs.iter().collect();
+        for (gi, (_, agg)) in agg_list.iter().enumerate() {
+            agg_base.push(n_vars);
+            agg_remaining.push(agg.ops.len() as i64);
+            n_vars += l;
+            for &op in &agg.ops {
+                op_vars.insert(op, OpVar::Aggregate(gi));
+            }
+        }
+        let mut member_base = Vec::new();
+        let mut member_list: Vec<OpId> = Vec::new();
+        let mut y_base: BTreeMap<ValueId, usize> = BTreeMap::new();
+        for (value, ops) in &multi {
+            for &op in ops {
+                member_base.push(n_vars);
+                op_vars.insert(op, OpVar::Member(member_list.len()));
+                member_list.push(op);
+                n_vars += l;
+            }
+            y_base.insert(*value, n_vars);
+            n_vars += l;
+        }
+        // Output-split variables o_j for partitions without a fixed split.
+        let mut o_var: BTreeMap<PartitionId, usize> = BTreeMap::new();
+        for (pi, part) in cdfg.partitions().iter().enumerate() {
+            if part.fixed_split.is_none() {
+                o_var.insert(PartitionId::new(pi as u32), n_vars);
+                n_vars += 1;
+            }
+        }
+
+        let mut solver = AllIntegerSolver::new(n_vars);
+
+        // Upper bounds: aggregates x_{g,k} <= q, members and y binaries <= 1.
+        for (gi, (_, agg)) in agg_list.iter().enumerate() {
+            for k in 0..l {
+                solver.add_le(&[(agg_base[gi] + k, 1)], agg.ops.len() as i64);
+            }
+        }
+        for (mi, _) in member_list.iter().enumerate() {
+            for k in 0..l {
+                solver.add_le(&[(member_base[mi] + k, 1)], 1);
+            }
+        }
+        for &yb in y_base.values() {
+            for k in 0..l {
+                solver.add_le(&[(yb + k, 1)], 1);
+            }
+        }
+
+        // Coverage (Constraint 3.4, aggregated per Section 3.1.2).
+        for (gi, (_, agg)) in agg_list.iter().enumerate() {
+            let terms: Vec<_> = (0..l).map(|k| (agg_base[gi] + k, 1)).collect();
+            solver.add_ge(&terms, agg.ops.len() as i64);
+        }
+        for (mi, _) in member_list.iter().enumerate() {
+            let terms: Vec<_> = (0..l).map(|k| (member_base[mi] + k, 1)).collect();
+            solver.add_ge(&terms, 1);
+        }
+        // Link y_{v,k} to its members (Constraint 3.6):
+        // sum_w x_{w,k} - |W_v| y_{v,k} <= 0.
+        for (value, ops) in &multi {
+            let yb = y_base[value];
+            for k in 0..l {
+                let mut terms: Vec<(usize, i64)> = ops
+                    .iter()
+                    .map(|op| {
+                        let OpVar::Member(mi) = op_vars[op] else {
+                            unreachable!()
+                        };
+                        (member_base[mi] + k, 1)
+                    })
+                    .collect();
+                terms.push((yb + k, -(ops.len() as i64)));
+                solver.add_le(&terms, 0);
+            }
+        }
+
+        // Capacity constraints per partition and group.
+        for (pi, part) in cdfg.partitions().iter().enumerate() {
+            let p = PartitionId::new(pi as u32);
+            let inputs = cdfg.input_io_ops(p);
+            let out_values = cdfg.output_values(p);
+            for k in 0..l {
+                // Input side: sum B_w x_{w,k} (+ o_i) <= I_i or T_i. An
+                // aggregate variable already counts how many of its
+                // transfers land in group k, so its bit-width coefficient
+                // enters once per aggregate, not once per member.
+                let mut in_map: BTreeMap<usize, i64> = BTreeMap::new();
+                for &w in &inputs {
+                    let bits = cdfg.io_bits(w) as i64;
+                    match op_vars[&w] {
+                        OpVar::Aggregate(gi) => {
+                            in_map.insert(agg_base[gi] + k, bits);
+                        }
+                        OpVar::Member(mi) => {
+                            in_map.insert(member_base[mi] + k, bits);
+                        }
+                    }
+                }
+                let in_terms: Vec<(usize, i64)> = in_map.into_iter().collect();
+                // Output side: sum B_v y_{v,k} (- o_j) <= O_j or 0.
+                let mut out_map: BTreeMap<usize, i64> = BTreeMap::new();
+                for &v in &out_values {
+                    let bits = cdfg.value(v).bits as i64;
+                    if let Some(&yb) = y_base.get(&v) {
+                        out_map.insert(yb + k, bits);
+                    } else {
+                        // Single-destination: y == x of the lone transfer.
+                        let w = groups[&v][0];
+                        match op_vars[&w] {
+                            OpVar::Aggregate(gi) => {
+                                out_map.insert(agg_base[gi] + k, bits);
+                            }
+                            OpVar::Member(mi) => {
+                                out_map.insert(member_base[mi] + k, bits);
+                            }
+                        }
+                    }
+                }
+                let out_terms: Vec<(usize, i64)> = out_map.into_iter().collect();
+                match part.fixed_split {
+                    Some((i_cap, o_cap)) => {
+                        if !in_terms.is_empty() {
+                            solver.add_le(&in_terms, i_cap as i64);
+                        }
+                        if !out_terms.is_empty() {
+                            solver.add_le(&out_terms, o_cap as i64);
+                        }
+                    }
+                    None => {
+                        let o = o_var[&p];
+                        let t = part.total_pins as i64;
+                        if !in_terms.is_empty() {
+                            let mut terms = in_terms.clone();
+                            terms.push((o, 1));
+                            solver.add_le(&terms, t);
+                        }
+                        if !out_terms.is_empty() {
+                            let mut terms = out_terms.clone();
+                            terms.push((o, -1));
+                            solver.add_le(&terms, 0);
+                        }
+                        solver.add_le(&[(o, 1)], t);
+                    }
+                }
+            }
+        }
+
+        let mut checker = PinChecker {
+            solver,
+            rate,
+            op_vars,
+            agg_base,
+            member_base,
+            agg_remaining,
+            member_done: vec![false; member_list.len()],
+        };
+        match checker.resolve() {
+            Feasibility::Feasible => Ok(checker),
+            _ => Err(PinAllocError::InfeasibleFromTheStart),
+        }
+    }
+
+    /// The initiation rate the checker was built for.
+    pub fn rate(&self) -> u32 {
+        self.rate
+    }
+
+    fn resolve(&mut self) -> Feasibility {
+        match self.solver.solve(PIVOT_BUDGET) {
+            Feasibility::PivotLimit => self.solver.solve_exact(),
+            v => v,
+        }
+    }
+
+    fn var_of(&self, op: OpId, step: i64) -> usize {
+        let k = step.rem_euclid(self.rate as i64) as usize;
+        match self.op_vars[&op] {
+            OpVar::Aggregate(gi) => self.agg_base[gi] + k,
+            OpVar::Member(mi) => self.member_base[mi] + k,
+        }
+    }
+
+    /// Whether scheduling `op` in control step `step` (allocating pins in
+    /// group `step mod L`) still leaves a complete pin allocation for all
+    /// unscheduled transfers. Does not mutate the checker.
+    pub fn can_commit(&self, op: OpId, step: i64) -> bool {
+        let var = self.var_of(op, step);
+        self.solver.probe_at_least(var, 1, PIVOT_BUDGET) == Feasibility::Feasible
+    }
+
+    /// Commits the placement of `op` in `step`'s group (the incremental
+    /// tableau update of Section 3.3).
+    ///
+    /// # Errors
+    ///
+    /// [`PinAllocError::NotAnIoOperation`] if `op` is unknown to the
+    /// checker, or [`PinAllocError::InfeasibleFromTheStart`] if the commit
+    /// leaves no valid allocation (call [`PinChecker::can_commit`] first).
+    pub fn commit(&mut self, op: OpId, step: i64) -> Result<(), PinAllocError> {
+        if !self.op_vars.contains_key(&op) {
+            return Err(PinAllocError::NotAnIoOperation(op));
+        }
+        let var = self.var_of(op, step);
+        self.solver.assume_at_least(var, 1);
+        match self.op_vars[&op] {
+            OpVar::Aggregate(gi) => self.agg_remaining[gi] -= 1,
+            OpVar::Member(mi) => self.member_done[mi] = true,
+        }
+        match self.resolve() {
+            Feasibility::Feasible => Ok(()),
+            _ => Err(PinAllocError::InfeasibleFromTheStart),
+        }
+    }
+
+    /// `true` once every transfer has been committed.
+    pub fn all_committed(&self) -> bool {
+        self.agg_remaining.iter().all(|&r| r == 0) && self.member_done.iter().all(|&d| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cdfg::designs::{ar_filter, synthetic};
+
+    #[test]
+    fn simple_ar_filter_is_feasible_at_rate_two() {
+        let d = ar_filter::simple();
+        assert!(PinChecker::new(d.cdfg(), 2).is_ok());
+    }
+
+    #[test]
+    fn rate_one_requires_all_transfers_simultaneously() {
+        // At rate 1 every transfer shares one group: P1 needs
+        // 10 inputs x 8 bits = 80 > 40 input pins.
+        let d = ar_filter::simple();
+        assert_eq!(
+            PinChecker::new(d.cdfg(), 1).unwrap_err(),
+            PinAllocError::InfeasibleFromTheStart
+        );
+    }
+
+    #[test]
+    fn zero_rate_is_rejected() {
+        let d = ar_filter::simple();
+        assert_eq!(
+            PinChecker::new(d.cdfg(), 0).unwrap_err(),
+            PinAllocError::ZeroRate
+        );
+    }
+
+    #[test]
+    fn fig_2_5_checker_foresees_the_dead_end() {
+        // Section 2.4: Pa has 2 output pins, Pc 1 input pin, rate 2.
+        // V1 and V2 both in group 0 strands V3/V4.
+        let d = synthetic::fig_2_5();
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        let v1 = d.op_named("V1");
+        let v2 = d.op_named("V2");
+        assert!(c.can_commit(v1, 0));
+        c.commit(v1, 0).unwrap();
+        // After V1 in group 0, V2 must not join it: V3 and V4 (both to
+        // Pc's single input pin) need different groups, but with V1 and V2
+        // in group 0 Pa has no output pin left there for either.
+        let ok0 = c.can_commit(v2, 0);
+        let ok1 = c.can_commit(v2, 1);
+        assert!(ok1, "V2 must be placeable in the other group");
+        assert!(!ok0, "the checker must foresee that V1,V2 in one group strands V3/V4");
+    }
+
+    #[test]
+    fn commits_fill_all_groups_exactly() {
+        let d = synthetic::fig_2_5();
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        for (name, step) in [("V1", 0), ("V2", 1), ("V3", 1), ("V4", 0)] {
+            let op = d.op_named(name);
+            assert!(c.can_commit(op, step), "{name} at {step}");
+            c.commit(op, step).unwrap();
+        }
+    }
+
+    #[test]
+    fn aggregation_groups_uniform_transfers() {
+        // The simple AR filter's 26 primary inputs collapse into one
+        // aggregate per (env, partition) pair, keeping the tableau small
+        // (Section 3.1.2).
+        let d = ar_filter::simple();
+        let c = PinChecker::new(d.cdfg(), 2).unwrap();
+        assert!(c.agg_base.len() <= 12, "got {} blocks", c.agg_base.len());
+    }
+
+    #[test]
+    fn probing_does_not_change_state() {
+        let d = synthetic::fig_2_5();
+        let c = PinChecker::new(d.cdfg(), 2).unwrap();
+        let v1 = d.op_named("V1");
+        for _ in 0..3 {
+            assert!(c.can_commit(v1, 0));
+        }
+        assert!(!c.all_committed());
+    }
+
+    #[test]
+    fn non_io_operation_is_rejected() {
+        let d = ar_filter::simple();
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        let func = d.op_named("m1p");
+        assert!(matches!(
+            c.commit(func, 0),
+            Err(PinAllocError::NotAnIoOperation(_))
+        ));
+    }
+}

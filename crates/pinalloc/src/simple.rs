@@ -1,0 +1,191 @@
+//! Recognition of *simple* partitionings (Definition 3.2).
+//!
+//! The drive relation is taken over real partitions; the pseudo
+//! environment partition is exempt (the paper's own AR-filter experiment
+//! feeds primary inputs to all four chips, which would otherwise violate
+//! condition 1 for partition 0).
+
+use std::collections::BTreeSet;
+
+use mcs_cdfg::{Cdfg, PartitionId};
+
+/// Why a partitioning fails Definition 3.2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimplicityViolation {
+    /// A partition drives more than two partitions (condition 1).
+    DrivesTooMany {
+        /// The offending driver.
+        partition: PartitionId,
+        /// Partitions it drives.
+        drives: Vec<PartitionId>,
+    },
+    /// A partition is driven by more than two partitions (condition 2).
+    DrivenByTooMany {
+        /// The offending partition.
+        partition: PartitionId,
+        /// Its drivers.
+        drivers: Vec<PartitionId>,
+    },
+    /// A partition driven by two partitions has a driver that also drives
+    /// someone else (condition 3).
+    SharedDriverDrivesOthers {
+        /// The doubly-driven partition.
+        partition: PartitionId,
+        /// The driver that violates the condition.
+        driver: PartitionId,
+    },
+    /// A partition driving two partitions is not their only driver
+    /// (condition 4).
+    FanoutTargetsHaveOtherDrivers {
+        /// The fan-out driver.
+        partition: PartitionId,
+        /// The target with another driver.
+        target: PartitionId,
+    },
+}
+
+impl std::fmt::Display for SimplicityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimplicityViolation::DrivesTooMany { partition, drives } => {
+                write!(f, "{partition} drives {} partitions: {drives:?}", drives.len())
+            }
+            SimplicityViolation::DrivenByTooMany { partition, drivers } => {
+                write!(f, "{partition} is driven by {} partitions: {drivers:?}", drivers.len())
+            }
+            SimplicityViolation::SharedDriverDrivesOthers { partition, driver } => write!(
+                f,
+                "{partition} is driven by two partitions but its driver {driver} drives others"
+            ),
+            SimplicityViolation::FanoutTargetsHaveOtherDrivers { partition, target } => write!(
+                f,
+                "{partition} drives two partitions but is not the only driver of {target}"
+            ),
+        }
+    }
+}
+
+/// The drive relation over real partitions: `drives[i]` is the set of real
+/// partitions that receive a value produced in partition `i`.
+pub fn drive_sets(cdfg: &Cdfg) -> Vec<BTreeSet<PartitionId>> {
+    let n = cdfg.partition_count();
+    let mut drives: Vec<BTreeSet<PartitionId>> = vec![BTreeSet::new(); n];
+    for op in cdfg.io_ops() {
+        if let Some((_, from, to)) = cdfg.op(op).io_endpoints() {
+            if !from.is_environment() && !to.is_environment() {
+                drives[from.index()].insert(to);
+            }
+        }
+    }
+    drives
+}
+
+/// Checks Definition 3.2. Returns `Ok(())` for simple partitionings and
+/// the first violation otherwise.
+///
+/// # Errors
+///
+/// Returns the violated condition.
+pub fn check_simple(cdfg: &Cdfg) -> Result<(), SimplicityViolation> {
+    let n = cdfg.partition_count();
+    let drives = drive_sets(cdfg);
+    let mut driven_by: Vec<BTreeSet<PartitionId>> = vec![BTreeSet::new(); n];
+    for (i, ds) in drives.iter().enumerate() {
+        for d in ds {
+            driven_by[d.index()].insert(PartitionId::new(i as u32));
+        }
+    }
+    for i in 1..n {
+        let p = PartitionId::new(i as u32);
+        if drives[i].len() > 2 {
+            return Err(SimplicityViolation::DrivesTooMany {
+                partition: p,
+                drives: drives[i].iter().copied().collect(),
+            });
+        }
+        if driven_by[i].len() > 2 {
+            return Err(SimplicityViolation::DrivenByTooMany {
+                partition: p,
+                drivers: driven_by[i].iter().copied().collect(),
+            });
+        }
+        if driven_by[i].len() == 2 {
+            for d in &driven_by[i] {
+                if drives[d.index()].len() > 1 {
+                    return Err(SimplicityViolation::SharedDriverDrivesOthers {
+                        partition: p,
+                        driver: *d,
+                    });
+                }
+            }
+        }
+        if drives[i].len() == 2 {
+            for t in &drives[i] {
+                if driven_by[t.index()].len() > 1 {
+                    return Err(SimplicityViolation::FanoutTargetsHaveOtherDrivers {
+                        partition: p,
+                        target: *t,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `true` iff the partitioning satisfies Definition 3.2.
+pub fn is_simple(cdfg: &Cdfg) -> bool {
+    check_simple(cdfg).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cdfg::designs::{ar_filter, synthetic};
+    use mcs_cdfg::PortMode;
+
+    #[test]
+    fn the_simple_ar_partitioning_is_simple() {
+        let d = ar_filter::simple();
+        assert_eq!(check_simple(d.cdfg()), Ok(()));
+    }
+
+    #[test]
+    fn the_general_ar_partitioning_is_not_simple() {
+        let d = ar_filter::general(3, PortMode::Unidirectional);
+        assert!(check_simple(d.cdfg()).is_err());
+    }
+
+    #[test]
+    fn fig_2_3_is_not_simple() {
+        // Pa drives Pc and Pd; Pb drives Pd. Pd is driven by two (Pa, Pb)
+        // whose driver Pa drives others (condition 3), equivalently Pa
+        // fans out to a target with another driver (condition 4).
+        let d = synthetic::fig_2_3();
+        assert!(matches!(
+            check_simple(d.cdfg()),
+            Err(SimplicityViolation::SharedDriverDrivesOthers { .. })
+                | Err(SimplicityViolation::FanoutTargetsHaveOtherDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn fig_2_5_is_simple() {
+        // Pa drives Pb and Pc, and is the only driver of both.
+        let d = synthetic::fig_2_5();
+        assert_eq!(check_simple(d.cdfg()), Ok(()));
+    }
+
+    #[test]
+    fn drive_sets_ignore_environment() {
+        let d = ar_filter::simple();
+        let drives = drive_sets(d.cdfg());
+        // Ring: P1 -> P3 -> P2 -> P4 -> P1 (see the design docs).
+        let names: Vec<Vec<u32>> = drives
+            .iter()
+            .map(|s| s.iter().map(|p| p.0).collect())
+            .collect();
+        assert_eq!(names[0], Vec::<u32>::new()); // environment exempt
+        assert_eq!(names.iter().map(Vec::len).sum::<usize>(), 4);
+    }
+}

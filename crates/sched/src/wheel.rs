@@ -1,0 +1,199 @@
+//! The allocation wheel for multi-cycle operations (Section 7.4,
+//! Figure 7.10).
+//!
+//! In a pipelined design with initiation rate `L`, a non-pipelined
+//! `c`-cycle functional unit started in control step `t` is busy in wheel
+//! cells `t mod L, ..., (t + c - 1) mod L`. Operations bound to one unit
+//! must occupy disjoint cell sets; careless placement fragments the wheel
+//! and strands later operations even when Equation 7.5 says enough units
+//! exist.
+
+/// Occupancy wheels for the units of one `(partition, operator-class)`
+/// pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocationWheel {
+    rate: u32,
+    cycles: u32,
+    /// `cells[u][g]` is true when unit `u` is busy in wheel cell `g`.
+    cells: Vec<Vec<bool>>,
+}
+
+impl AllocationWheel {
+    /// A wheel set for `units` units of a `cycles`-cycle class at
+    /// initiation rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` or `cycles` is zero.
+    pub fn new(units: u32, rate: u32, cycles: u32) -> Self {
+        assert!(rate > 0 && cycles > 0);
+        AllocationWheel {
+            rate,
+            cycles,
+            cells: vec![vec![false; rate as usize]; units as usize],
+        }
+    }
+
+    /// The minimum operator count of Equation 7.5:
+    /// `ceil(n / floor(L / c))`, undefined (`None`) when `c > L`.
+    pub fn lower_bound(n_ops: u32, rate: u32, cycles: u32) -> Option<u32> {
+        if cycles > rate {
+            return None;
+        }
+        let per_unit = rate / cycles;
+        Some(n_ops.div_ceil(per_unit))
+    }
+
+    /// Wheel cells occupied by a start step.
+    fn occupied(&self, step: i64) -> Vec<usize> {
+        (0..self.cycles as i64)
+            .map(|d| (step + d).rem_euclid(self.rate as i64) as usize)
+            .collect()
+    }
+
+    /// `true` if some unit can accept an operation starting at `step`.
+    pub fn can_place(&self, step: i64) -> bool {
+        self.unit_for(step).is_some()
+    }
+
+    /// First unit whose cells are free for a start at `step`.
+    pub fn unit_for(&self, step: i64) -> Option<usize> {
+        let occ = self.occupied(step);
+        (0..self.cells.len()).find(|&u| occ.iter().all(|&g| !self.cells[u][g]))
+    }
+
+    /// Places an operation starting at `step`, returning the bound unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())`-like `None` if no unit has the cells free.
+    pub fn place(&mut self, step: i64) -> Option<usize> {
+        let u = self.unit_for(step)?;
+        for g in self.occupied(step) {
+            self.cells[u][g] = true;
+        }
+        Some(u)
+    }
+
+    /// Removes a placement previously made at `step` on `unit`.
+    pub fn remove(&mut self, unit: usize, step: i64) {
+        for g in self.occupied(step) {
+            self.cells[unit][g] = false;
+        }
+    }
+
+    /// How many more `cycles`-long operations could still be packed,
+    /// summing `floor(arc / c)` over each unit's maximal free arcs (the
+    /// fragmentation measure behind the Section 7.4 safety check).
+    pub fn remaining_capacity(&self) -> u32 {
+        let l = self.rate as usize;
+        let c = self.cycles as usize;
+        let mut total = 0u32;
+        for unit in &self.cells {
+            if unit.iter().all(|&b| !b) {
+                total += (l / c) as u32;
+                continue;
+            }
+            // Walk the circular wheel collecting free arcs between busy
+            // cells.
+            let Some(start) = unit.iter().position(|&b| b) else {
+                unreachable!()
+            };
+            let mut run = 0usize;
+            for i in 1..=l {
+                let g = (start + i) % l;
+                if unit[g] {
+                    total += (run / c) as u32;
+                    run = 0;
+                } else {
+                    run += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// The Section 7.4 safety check: would placing an operation at `step`
+    /// still leave room for `remaining_ops` further operations of this
+    /// class?
+    pub fn is_safe(&self, step: i64, remaining_ops: u32) -> bool {
+        let mut probe = self.clone();
+        match probe.place(step) {
+            None => false,
+            Some(_) => probe.remaining_capacity() >= remaining_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_7_5_lower_bound() {
+        // 3 two-cycle ops at rate 6: one unit suffices.
+        assert_eq!(AllocationWheel::lower_bound(3, 6, 2), Some(1));
+        // 4 two-cycle ops at rate 6: two units.
+        assert_eq!(AllocationWheel::lower_bound(4, 6, 2), Some(2));
+        // No pipelined design with L < c.
+        assert_eq!(AllocationWheel::lower_bound(1, 1, 2), None);
+    }
+
+    #[test]
+    fn wrap_around_occupancy() {
+        let mut w = AllocationWheel::new(1, 6, 2);
+        // Start in the last cell: occupies cells 5 and 0.
+        assert_eq!(w.place(5), Some(0));
+        assert!(!w.can_place(0)); // cell 0 busy
+        assert!(!w.can_place(4)); // cell 5 busy
+        assert!(w.can_place(2));
+    }
+
+    #[test]
+    fn figure_7_10_fragmentation() {
+        // Rate 6, 2-cycle ops, one unit. Placing at steps 0 and 3 leaves
+        // cells 2 and 5 free but not contiguous: op3 is stranded.
+        let mut w = AllocationWheel::new(1, 6, 2);
+        w.place(0).unwrap();
+        assert!(w.is_safe(2, 1), "0,2 then 4 still fits");
+        assert!(!w.is_safe(3, 1), "0,3 strands the third op");
+        w.place(3).unwrap();
+        assert!(!w.can_place(2));
+        assert_eq!(w.remaining_capacity(), 0);
+    }
+
+    #[test]
+    fn negative_steps_wrap_correctly() {
+        let mut w = AllocationWheel::new(1, 4, 2);
+        assert_eq!(w.place(-1), Some(0)); // cells 3 and 0
+        assert!(!w.can_place(3));
+        assert!(w.can_place(1));
+    }
+
+    #[test]
+    fn remove_restores_capacity() {
+        let mut w = AllocationWheel::new(1, 6, 2);
+        let u = w.place(0).unwrap();
+        assert_eq!(w.remaining_capacity(), 2);
+        w.remove(u, 0);
+        assert_eq!(w.remaining_capacity(), 3);
+    }
+
+    #[test]
+    fn multiple_units_bind_independently() {
+        let mut w = AllocationWheel::new(2, 4, 2);
+        assert_eq!(w.place(0), Some(0));
+        assert_eq!(w.place(0), Some(1));
+        assert!(!w.can_place(1)); // both units busy in cell 1
+        assert!(w.can_place(2));
+    }
+
+    #[test]
+    fn single_cycle_class_behaves_like_slot_counting() {
+        let mut w = AllocationWheel::new(2, 3, 1);
+        assert!(w.place(0).is_some());
+        assert!(w.place(0).is_some());
+        assert!(!w.can_place(3)); // same group as step 0
+        assert_eq!(w.remaining_capacity(), 4);
+    }
+}

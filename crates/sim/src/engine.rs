@@ -1,0 +1,551 @@
+//! Cycle-accurate execution of a synthesized design.
+//!
+//! Fires every operation of every execution instance at exactly the
+//! nanosecond its schedule assigns (instance `k` shifted by `k * L`
+//! steps), routes each inter-chip transfer over its assigned bus range,
+//! and checks the *dynamic* legality the static validators can only
+//! approximate:
+//!
+//! * data is physically ready when an operation starts, across instances
+//!   and through data recursive edges;
+//! * no two different words ride overlapping wires of a bus in the same
+//!   control step (same-value same-step sharing is legal, Section 4.2);
+//! * per-cycle pin activity of each chip stays within its package budget;
+//! * no step group exceeds a partition's functional units.
+//!
+//! [`verify`] then compares the engine's primary outputs against the
+//! untimed reference — a misrouted transfer that slips past every static
+//! check still computes the wrong word and is caught here.
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::timing::{self, StepTime};
+use mcs_cdfg::{Cdfg, OpId, OpKind, OperatorClass, PartitionId, ValueId};
+use mcs_connect::{Interconnect, SubRange};
+use mcs_sched::Schedule;
+
+use crate::flow::{self, Env};
+use crate::reference::{self, Outputs};
+use crate::semantics::Semantics;
+use crate::stimulus::Stimulus;
+
+/// A dynamic rule the simulated execution broke.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// An operation started before some operand's producing operation
+    /// finished.
+    DataNotReady {
+        /// The starved operation.
+        op: OpId,
+        /// Its execution instance.
+        instance: i64,
+        /// The late operand.
+        value: ValueId,
+    },
+    /// An executing operation read a `(value, instance)` no execution
+    /// produced.
+    MissingOperand {
+        /// The starved operation.
+        op: OpId,
+        /// Its execution instance.
+        instance: i64,
+    },
+    /// An inter-chip transfer has no bus assignment.
+    Unrouted {
+        /// The unrouted I/O operation.
+        op: OpId,
+    },
+    /// Two different words occupied overlapping wires of one bus in the
+    /// same control step.
+    BusConflict {
+        /// Bus index within the interconnect.
+        bus: usize,
+        /// Absolute control step of the collision.
+        step: i64,
+        /// The two colliding I/O operations.
+        ops: (OpId, OpId),
+    },
+    /// A chip moved more bits in one control step than it has pins.
+    PinOveruse {
+        /// The overloaded partition.
+        partition: PartitionId,
+        /// Absolute control step.
+        step: i64,
+        /// Bits in flight.
+        bits: u32,
+        /// The package budget.
+        budget: u32,
+    },
+    /// A step group ran more concurrent operations of one class than the
+    /// partition has units.
+    ResourceOveruse {
+        /// The overloaded partition.
+        partition: PartitionId,
+        /// Operator class.
+        class: OperatorClass,
+        /// Absolute control step.
+        step: i64,
+    },
+    /// A primary output differed from the reference evaluation.
+    OutputMismatch {
+        /// The output operation.
+        op: OpId,
+        /// Its execution instance.
+        instance: i64,
+        /// What the engine produced.
+        got: Option<u64>,
+        /// What the specification requires.
+        want: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DataNotReady { op, instance, value } => {
+                write!(f, "{op} (instance {instance}) starts before value {value} is ready")
+            }
+            Violation::MissingOperand { op, instance } => {
+                write!(f, "{op} (instance {instance}) reads a value nothing produced")
+            }
+            Violation::Unrouted { op } => write!(f, "transfer {op} has no bus assignment"),
+            Violation::BusConflict { bus, step, ops } => {
+                write!(f, "bus {bus} carries different words for {} and {} at step {step}", ops.0, ops.1)
+            }
+            Violation::PinOveruse { partition, step, bits, budget } => {
+                write!(f, "{partition} moves {bits} bits at step {step}, budget {budget}")
+            }
+            Violation::ResourceOveruse { partition, class, step } => {
+                write!(f, "{partition} exceeds its {class} units at step {step}")
+            }
+            Violation::OutputMismatch { op, instance, got, want } => {
+                write!(f, "output {op} (instance {instance}): got {got:?}, want {want:?}")
+            }
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Words observed on the primary outputs.
+    pub outputs: Outputs,
+    /// Every dynamic rule broken, in firing order.
+    pub violations: Vec<Violation>,
+    /// Operations fired (over all instances).
+    pub fired: u64,
+}
+
+impl SimReport {
+    /// `true` when the run broke no dynamic rule.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One word in flight on a bus during one control step.
+#[derive(Clone, Debug)]
+struct BusUse {
+    range: SubRange,
+    value: ValueId,
+    data_instance: i64,
+    op: OpId,
+}
+
+/// Runs `stim.instances` overlapped executions of the design, firing each
+/// operation at its scheduled time, and checks every dynamic rule except
+/// output correctness (see [`verify`]).
+///
+/// `interconnect` may be `None` to simulate a schedule before connection
+/// synthesis; bus and pin checks are then skipped.
+pub fn simulate(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    interconnect: Option<&Interconnect>,
+    sem: &Semantics,
+    stim: &Stimulus,
+) -> SimReport {
+    let stage = cdfg.library().stage_ns();
+    let rate = schedule.rate.max(1) as i64;
+    let producers = flow::producer_map(cdfg);
+    let order = cdfg.topo_order().expect("validated graphs are acyclic");
+
+    let mut report = SimReport::default();
+
+    // Functional pass: data-flow values are order-independent, so compute
+    // them in topological order per instance; the timing pass below then
+    // checks *when* each word physically moves.
+    let mut env = Env::new();
+    // What each executing (op, instance) read, and the transfer payloads.
+    let mut reads: BTreeMap<(OpId, i64), Vec<(ValueId, i64)>> = BTreeMap::new();
+    let mut io_payload: BTreeMap<(OpId, i64), (ValueId, i64, u64)> = BTreeMap::new();
+    for k in 0..stim.instances as i64 {
+        for &op in &order {
+            if !flow::executes(cdfg, stim, op, k) {
+                continue;
+            }
+            report.fired += 1;
+            let c = flow::compute(cdfg, sem, stim, &env, k, op);
+            if let Some(&(v, ki)) = c.missing.first() {
+                if !flow::missing_is_conditional(cdfg, stim, &producers, v, ki) {
+                    report
+                        .violations
+                        .push(Violation::MissingOperand { op, instance: k });
+                }
+                continue;
+            }
+            for (v, w) in &c.produced {
+                env.insert((*v, k), *w);
+            }
+            reads.insert((op, k), c.reads);
+            if let Some(payload) = c.io_data {
+                io_payload.insert((op, k), payload);
+            }
+        }
+    }
+
+    // When each produced (value, instance) becomes physically available:
+    // its producer's finish time at the producer's scheduled firing.
+    let mut avail: BTreeMap<(ValueId, i64), i64> = BTreeMap::new();
+    for &(op, k) in reads.keys() {
+        let abs = StepTime {
+            step: schedule.of(op).step + k * rate,
+            offset_ns: schedule.of(op).offset_ns,
+        };
+        let done = timing::finish_ns(cdfg, op, abs);
+        if let Some(r) = cdfg.op(op).result {
+            avail.insert((r, k), done);
+        }
+        if matches!(cdfg.op(op).kind, OpKind::Split { .. }) {
+            for part in flow::split_parts(cdfg, op) {
+                avail.insert((part, k), done);
+            }
+        }
+    }
+
+    // Timing pass: fire each executing (op, instance) at its scheduled
+    // nanosecond and check readiness, bus wires, pins, and units.
+    let mut bus_load: BTreeMap<(usize, i64), Vec<BusUse>> = BTreeMap::new();
+    let mut pin_load: BTreeMap<(PartitionId, i64), u32> = BTreeMap::new();
+    // Physical wire activities already billed: fan-out transfers of one
+    // word over one range drive the producer's pins once, and same-word
+    // slot sharing (Section 4.2) costs nothing extra at either end.
+    // Key: (partition, step, bus, (range lo, hi), value, data instance).
+    type WireActivity = (PartitionId, i64, usize, (usize, usize), ValueId, i64);
+    let mut pin_billed: std::collections::BTreeSet<WireActivity> =
+        std::collections::BTreeSet::new();
+    let mut fu_load: BTreeMap<(PartitionId, OperatorClass, i64), u32> = BTreeMap::new();
+
+    for (&(op, k), op_reads) in &reads {
+        let node = cdfg.op(op);
+        let abs_step = schedule.of(op).step + k * rate;
+        let fire_ns = StepTime {
+            step: abs_step,
+            offset_ns: schedule.of(op).offset_ns,
+        }
+        .ns(stage);
+
+        for &(v, ki) in op_reads {
+            if avail.get(&(v, ki)).is_none_or(|&ready| ready > fire_ns) {
+                report.violations.push(Violation::DataNotReady {
+                    op,
+                    instance: k,
+                    value: v,
+                });
+            }
+        }
+
+        match &node.kind {
+            OpKind::Io { value, from, to } => {
+                let (_, data_instance, word) = io_payload[&(op, k)];
+                if let Some(ic) = interconnect {
+                    match ic.assignment.get(&op) {
+                        Some(a) => {
+                            let uses = bus_load.entry((a.bus.index(), abs_step)).or_default();
+                            for u in uses.iter() {
+                                let same_word = u.value == *value
+                                    && u.data_instance == data_instance
+                                    && u.range == a.range;
+                                if u.range.overlaps(a.range) && !same_word {
+                                    report.violations.push(Violation::BusConflict {
+                                        bus: a.bus.index(),
+                                        step: abs_step,
+                                        ops: (u.op, op),
+                                    });
+                                }
+                            }
+                            uses.push(BusUse {
+                                range: a.range,
+                                value: *value,
+                                data_instance,
+                                op,
+                            });
+                        }
+                        None => report.violations.push(Violation::Unrouted { op }),
+                    }
+                    if let Some(a) = ic.assignment.get(&op) {
+                        for p in [*from, *to] {
+                            if !p.is_environment()
+                                && pin_billed.insert((
+                                    p,
+                                    abs_step,
+                                    a.bus.index(),
+                                    (a.range.lo, a.range.hi),
+                                    *value,
+                                    data_instance,
+                                ))
+                            {
+                                *pin_load.entry((p, abs_step)).or_insert(0) += cdfg.io_bits(op);
+                            }
+                        }
+                    }
+                }
+                if *to == PartitionId::ENVIRONMENT {
+                    report.outputs.insert((op, k), word);
+                }
+            }
+            OpKind::Func(class) => {
+                for d in 0..cdfg.op_cycles(op) as i64 {
+                    *fu_load
+                        .entry((node.partition, class.clone(), abs_step + d))
+                        .or_insert(0) += 1;
+                }
+            }
+            OpKind::Split { .. } | OpKind::Merge => {}
+        }
+    }
+
+    // Budget sweeps after the run (each overload reported once).
+    for ((p, step), bits) in pin_load {
+        let budget = cdfg.partition(p).total_pins;
+        if bits > budget {
+            report.violations.push(Violation::PinOveruse {
+                partition: p,
+                step,
+                bits,
+                budget,
+            });
+        }
+    }
+    for ((p, class, step), n) in fu_load {
+        if let Some(&units) = cdfg.partition(p).resources.get(&class) {
+            if n > units {
+                report.violations.push(Violation::ResourceOveruse {
+                    partition: p,
+                    class,
+                    step,
+                });
+            }
+        }
+    }
+
+    report
+}
+
+/// Simulates and cross-checks against the untimed reference: every primary
+/// output of every instance must match the specification exactly.
+///
+/// Returns the (clean) report, or the full violation list including any
+/// [`Violation::OutputMismatch`].
+pub fn verify(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    interconnect: Option<&Interconnect>,
+    sem: &Semantics,
+    stim: &Stimulus,
+) -> Result<SimReport, Vec<Violation>> {
+    let mut report = simulate(cdfg, schedule, interconnect, sem, stim);
+    match reference::run(cdfg, sem, stim) {
+        Ok(want) => {
+            let keys: std::collections::BTreeSet<_> = want
+                .keys()
+                .chain(report.outputs.keys())
+                .copied()
+                .collect();
+            for (op, k) in keys {
+                let got = report.outputs.get(&(op, k)).copied();
+                let spec = want.get(&(op, k)).copied();
+                if got != spec {
+                    report.violations.push(Violation::OutputMismatch {
+                        op,
+                        instance: k,
+                        got,
+                        want: spec,
+                    });
+                }
+            }
+        }
+        Err(e) => panic!("reference evaluation failed: {e}"),
+    }
+    if report.clean() {
+        Ok(report)
+    } else {
+        Err(report.violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cdfg::designs::{ar_filter, synthetic};
+    use mcs_sched::{list_schedule, ListConfig, NullPolicy};
+
+    fn sched(d: &mcs_cdfg::designs::Design, rate: u32) -> Schedule {
+        list_schedule(d.cdfg(), &ListConfig::new(rate), &mut NullPolicy).unwrap()
+    }
+
+    #[test]
+    fn quickstart_simulates_clean_without_interconnect() {
+        let d = synthetic::quickstart();
+        let s = sched(&d, 1);
+        let sem = Semantics::new();
+        let stim = Stimulus::random(d.cdfg(), 6, 1);
+        let r = verify(d.cdfg(), &s, None, &sem, &stim).unwrap();
+        assert!(r.fired > 0);
+        assert!(!r.outputs.is_empty());
+    }
+
+    #[test]
+    fn ar_filter_simulates_clean() {
+        let d = ar_filter::simple();
+        let s = sched(&d, 2);
+        let sem = Semantics::new();
+        let stim = Stimulus::random(d.cdfg(), 5, 2);
+        verify(d.cdfg(), &s, None, &sem, &stim).unwrap();
+    }
+
+    #[test]
+    fn late_start_is_flagged_as_data_not_ready() {
+        let d = synthetic::quickstart();
+        let mut s = sched(&d, 1);
+        // Pull the output transfer one step before its producer finishes.
+        let o = d.op_named("o");
+        s.start[o.index()] = StepTime::at_step(s.of(o).step - 2);
+        let sem = Semantics::new();
+        let stim = Stimulus::random(d.cdfg(), 2, 3);
+        let r = simulate(d.cdfg(), &s, None, &sem, &stim);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DataNotReady { .. })));
+    }
+
+    #[test]
+    fn overlapped_instances_respect_resources() {
+        // At rate 1 every instance overlaps every other; the declared unit
+        // counts must still hold per absolute step.
+        let d = synthetic::quickstart();
+        let s = sched(&d, 1);
+        let sem = Semantics::new();
+        let stim = Stimulus::random(d.cdfg(), 8, 4);
+        let r = simulate(d.cdfg(), &s, None, &sem, &stim);
+        assert!(
+            !r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::ResourceOveruse { .. })),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    /// Synthesize + schedule the general AR partitioning with bus
+    /// allocation, returning the final interconnect alongside.
+    fn synthesized_ar(rate: u32) -> (mcs_cdfg::designs::Design, Schedule, Interconnect) {
+        use mcs_cdfg::PortMode;
+        use mcs_connect::{synthesize, SearchConfig};
+        use mcs_sched::BusPolicy;
+
+        let d = mcs_cdfg::designs::ar_filter::general(rate, PortMode::Unidirectional);
+        let ic = synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(rate))
+            .expect("connects");
+        let mut policy = BusPolicy::new(ic, rate, true);
+        let s = list_schedule(d.cdfg(), &ListConfig::new(rate), &mut policy).expect("schedules");
+        let mut ic = policy.interconnect().clone();
+        for (op, pl) in policy.placements() {
+            if let Some(a) = ic.assignment.get_mut(op) {
+                a.bus = pl.bus;
+                a.range = pl.range;
+            }
+        }
+        (d, s, ic)
+    }
+
+    #[test]
+    fn clean_synthesis_passes_fault_free() {
+        let (d, s, ic) = synthesized_ar(3);
+        let stim = Stimulus::random(d.cdfg(), 8, 5);
+        verify(d.cdfg(), &s, Some(&ic), &Semantics::new(), &stim)
+            .unwrap_or_else(|v| panic!("{v:?}"));
+    }
+
+    #[test]
+    fn corrupted_bus_assignment_is_caught() {
+        let (d, s, mut ic) = synthesized_ar(3);
+        let g = d.cdfg();
+        // Force one transfer onto another transfer's slot where a
+        // *different* value rides in the same step group.
+        let routed: Vec<mcs_cdfg::OpId> = ic.assignment.keys().copied().collect();
+        let mut corrupted = false;
+        'outer: for &a in &routed {
+            for &b in &routed {
+                let (va, _, _) = g.op(a).io_endpoints().unwrap();
+                let (vb, _, _) = g.op(b).io_endpoints().unwrap();
+                if a != b && va != vb && s.group_of(a) == s.group_of(b) {
+                    let src = ic.assignment[&a];
+                    let dst = ic.assignment.get_mut(&b).unwrap();
+                    if (dst.bus, dst.range) != (src.bus, src.range) {
+                        dst.bus = src.bus;
+                        dst.range = src.range;
+                        corrupted = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(corrupted, "no corruptible pair found");
+        let stim = Stimulus::random(g, 8, 6);
+        let r = simulate(g, &s, Some(&ic), &Semantics::new(), &stim);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::BusConflict { .. })),
+            "forced double-booking must surface as a bus conflict: {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn deleted_assignment_is_caught_as_unrouted() {
+        let (d, s, mut ic) = synthesized_ar(3);
+        let &victim = ic.assignment.keys().next().unwrap();
+        ic.assignment.remove(&victim);
+        let stim = Stimulus::random(d.cdfg(), 2, 7);
+        let r = simulate(d.cdfg(), &s, Some(&ic), &Semantics::new(), &stim);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Unrouted { op } if *op == victim)));
+    }
+
+    #[test]
+    fn swapped_transfer_steps_fail_verification() {
+        let (d, mut s, ic) = synthesized_ar(3);
+        let g = d.cdfg();
+        // Swap the start steps of two transfers of different values; the
+        // words then ride wrong slots or arrive late.
+        let mut io = g.io_ops().filter(|&op| ic.assignment.contains_key(&op));
+        let a = io.next().unwrap();
+        let b = io
+            .find(|&b| {
+                g.op(b).io_endpoints().unwrap().0 != g.op(a).io_endpoints().unwrap().0
+                    && s.of(b).step != s.of(a).step
+            })
+            .expect("two transfers at distinct steps");
+        s.start.swap(a.index(), b.index());
+        let stim = Stimulus::random(g, 6, 8);
+        assert!(
+            verify(g, &s, Some(&ic), &Semantics::new(), &stim).is_err(),
+            "swapping transfer steps must break some dynamic rule"
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! The shared data-flow core of both simulators.
+//!
+//! [`compute`] evaluates one operation of one execution instance against an
+//! environment of already-computed `(value, instance)` words. The untimed
+//! reference evaluator and the cycle-accurate engine both call it, so any
+//! divergence between their outputs isolates a *structural* routing error
+//! (wrong bus, wrong step, wrong instance) rather than an arithmetic one.
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::{Cdfg, OpId, OpKind, ValueId};
+
+use crate::semantics::{mask, Semantics};
+use crate::stimulus::Stimulus;
+
+/// Words computed so far, keyed by `(value, execution instance)`.
+pub type Env = BTreeMap<(ValueId, i64), u64>;
+
+/// Maps every produced value to its producing operation.
+///
+/// Covers operation results and TDM split parts (which have no
+/// `Operation::result`); values absent from the map are external.
+pub fn producer_map(cdfg: &Cdfg) -> BTreeMap<ValueId, OpId> {
+    let mut prod = BTreeMap::new();
+    for op in cdfg.op_ids() {
+        if let Some(r) = cdfg.op(op).result {
+            prod.insert(r, op);
+        }
+    }
+    // Split parts only appear as edge values whose `from` is the split.
+    for e in cdfg.edges() {
+        if matches!(cdfg.op(e.from).kind, OpKind::Split { .. }) {
+            prod.insert(e.value, e.from);
+        }
+    }
+    prod
+}
+
+/// The sub-values a split operation produces, in slice order (part 0 is
+/// the least-significant slice).
+pub fn split_parts(cdfg: &Cdfg, op: OpId) -> Vec<ValueId> {
+    let mut parts: Vec<ValueId> = Vec::new();
+    for &eid in cdfg.succs(op) {
+        let v = cdfg.edge(eid).value;
+        if !parts.contains(&v) {
+            parts.push(v);
+        }
+    }
+    // Creation order is ascending ValueId, which is the widths order the
+    // builder used.
+    parts.sort();
+    parts
+}
+
+/// The outcome of evaluating one operation in one instance.
+#[derive(Clone, Debug, Default)]
+pub struct Computed {
+    /// `(value, word)` pairs the operation produced (already masked).
+    pub produced: Vec<(ValueId, u64)>,
+    /// `(value, data instance)` pairs read from the environment (instances
+    /// `< 0` read the stimulus preload and are not listed).
+    pub reads: Vec<(ValueId, i64)>,
+    /// Operands that should have been in the environment but were not
+    /// (producer skipped or never executed).
+    pub missing: Vec<(ValueId, i64)>,
+    /// For I/O operations: the transferred `(source value, data instance,
+    /// word)` — what the bus physically carries.
+    pub io_data: Option<(ValueId, i64, u64)>,
+}
+
+/// `true` when `(v, instance)` is absent from the environment because its
+/// producer's guard did not hold in that instance — the read sits on the
+/// untaken side of a conditional branch and is not an error.
+pub fn missing_is_conditional(
+    cdfg: &Cdfg,
+    stim: &Stimulus,
+    producers: &BTreeMap<ValueId, OpId>,
+    v: ValueId,
+    k: i64,
+) -> bool {
+    producers
+        .get(&v)
+        .is_some_and(|&p| !executes(cdfg, stim, p, k))
+}
+
+/// `true` iff `op`'s guard holds in instance `k` under `stim`.
+pub fn executes(cdfg: &Cdfg, stim: &Stimulus, op: OpId, k: i64) -> bool {
+    cdfg.op(op)
+        .condition
+        .literals()
+        .iter()
+        .all(|&(c, pol)| stim.cond(c, k) == pol)
+}
+
+fn read(
+    env: &Env,
+    stim: &Stimulus,
+    out: &mut Computed,
+    value: ValueId,
+    instance: i64,
+) -> Option<u64> {
+    if instance < 0 {
+        return Some(stim.preload);
+    }
+    match env.get(&(value, instance)) {
+        Some(&w) => {
+            out.reads.push((value, instance));
+            Some(w)
+        }
+        None => {
+            out.missing.push((value, instance));
+            None
+        }
+    }
+}
+
+/// Evaluates operation `op` of instance `k`.
+///
+/// The caller decides what to do with `missing` operands (the reference
+/// evaluator reports them; the engine flags a violation); when any operand
+/// is missing the operation produces nothing.
+pub fn compute(
+    cdfg: &Cdfg,
+    sem: &Semantics,
+    stim: &Stimulus,
+    env: &Env,
+    k: i64,
+    op: OpId,
+) -> Computed {
+    let mut out = Computed::default();
+    let node = cdfg.op(op);
+    match &node.kind {
+        OpKind::Func(class) => {
+            let mut operands = Vec::new();
+            for &eid in cdfg.preds(op) {
+                let e = cdfg.edge(eid);
+                match read(env, stim, &mut out, e.value, k - e.degree as i64) {
+                    Some(w) => operands.push(w),
+                    None => return out,
+                }
+            }
+            let result = node.result.expect("functional ops produce a value");
+            let bits = cdfg.value(result).bits;
+            out.produced
+                .push((result, mask(sem.eval(class, &operands), bits)));
+        }
+        OpKind::Io { value, .. } => {
+            // The pred edge carrying the source value fixes the recursion
+            // degree; a sourceless transfer reads the primary input.
+            let pred = cdfg
+                .preds(op)
+                .iter()
+                .map(|&eid| cdfg.edge(eid))
+                .find(|e| e.value == *value);
+            let (instance, word) = match pred {
+                Some(e) => {
+                    let ki = k - e.degree as i64;
+                    match read(env, stim, &mut out, *value, ki) {
+                        Some(w) => (ki, w),
+                        None => return out,
+                    }
+                }
+                None => match stim.input(*value, k) {
+                    Some(w) => (k, mask(w, cdfg.value(*value).bits)),
+                    None => {
+                        out.missing.push((*value, k));
+                        return out;
+                    }
+                },
+            };
+            out.io_data = Some((*value, instance, word));
+            if let Some(dest) = node.result {
+                out.produced
+                    .push((dest, mask(word, cdfg.value(dest).bits)));
+            }
+        }
+        OpKind::Split { .. } => {
+            let e = cdfg.edge(cdfg.preds(op)[0]);
+            let Some(word) = read(env, stim, &mut out, e.value, k - e.degree as i64) else {
+                return out;
+            };
+            let mut shift = 0u32;
+            for part in split_parts(cdfg, op) {
+                let bits = cdfg.value(part).bits;
+                out.produced.push((part, mask(word >> shift, bits)));
+                shift += bits;
+            }
+        }
+        OpKind::Merge => {
+            let result = node.result.expect("merge produces a value");
+            let mut word = 0u64;
+            let mut shift = 0u32;
+            for &eid in cdfg.preds(op) {
+                let e = cdfg.edge(eid);
+                match read(env, stim, &mut out, e.value, k - e.degree as i64) {
+                    Some(w) => {
+                        word |= w << shift;
+                        shift += cdfg.value(e.value).bits;
+                    }
+                    None => return out,
+                }
+            }
+            let bits = cdfg.value(result).bits;
+            out.produced.push((result, mask(word, bits)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cdfg::designs::synthetic;
+    use mcs_cdfg::{CdfgBuilder, Library, OperatorClass};
+
+    #[test]
+    fn producer_map_covers_results_and_split_parts() {
+        let d = synthetic::tdm_example(true);
+        let prod = producer_map(d.cdfg());
+        for op in d.cdfg().op_ids() {
+            if let Some(r) = d.cdfg().op(op).result {
+                assert_eq!(prod[&r], op);
+            }
+        }
+        // Every consumed edge value is produced by its edge's from node.
+        for e in d.cdfg().edges() {
+            assert_eq!(prod.get(&e.value), Some(&e.from));
+        }
+    }
+
+    #[test]
+    fn split_then_merge_roundtrips_words() {
+        let mut b = CdfgBuilder::new(Library::new(100));
+        let p1 = b.partition("P1", 64);
+        let (_, wide) = b.input("w", 32, p1);
+        let (split_op, parts) = b.split("sp", wide, &[8, 24]);
+        let (_, back) = b.merge("mg", p1, &parts, 32);
+        b.output("o", back);
+        let g = b.finish().unwrap();
+
+        let sem = Semantics::new();
+        let mut stim = Stimulus::zero(1);
+        // The environment-side source of "w".
+        let src = crate::stimulus::external_inputs(&g)[0];
+        stim.external.insert(src, vec![0xDEAD_BEEF]);
+
+        let mut env = Env::new();
+        for op in g.topo_order().unwrap() {
+            let c = compute(&g, &sem, &stim, &env, 0, op);
+            assert!(c.missing.is_empty(), "{op}: missing {:?}", c.missing);
+            for (v, w) in c.produced {
+                env.insert((v, 0), w);
+            }
+        }
+        let lo = split_parts(&g, split_op)[0];
+        assert_eq!(env[&(lo, 0)], 0xEF, "part 0 is the LSB slice");
+        assert_eq!(env[&(back, 0)], 0xDEAD_BEEF, "merge restores the word");
+    }
+
+    #[test]
+    fn sub_operands_follow_edge_order() {
+        let mut b = CdfgBuilder::new(Library::new(100));
+        let p1 = b.partition("P1", 64);
+        let (_, a) = b.input("a", 8, p1);
+        let (_, c) = b.input("b", 8, p1);
+        let (_, s) = b.func("s", OperatorClass::Sub, p1, &[(a, 0), (c, 0)], 8);
+        b.output("o", s);
+        let g = b.finish().unwrap();
+
+        let sem = Semantics::new();
+        let mut stim = Stimulus::zero(1);
+        let exts = crate::stimulus::external_inputs(&g);
+        stim.external.insert(exts[0], vec![10]);
+        stim.external.insert(exts[1], vec![4]);
+
+        let mut env = Env::new();
+        for op in g.topo_order().unwrap() {
+            for (v, w) in compute(&g, &sem, &stim, &env, 0, op).produced {
+                env.insert((v, 0), w);
+            }
+        }
+        assert_eq!(env[&(s, 0)], 6);
+    }
+
+    #[test]
+    fn recursive_reads_before_instance_zero_use_preload() {
+        let d = synthetic::quickstart();
+        let g = d.cdfg();
+        let sem = Semantics::new();
+        let mut stim = Stimulus::random(g, 1, 5);
+        stim.preload = 7;
+        let mut env = Env::new();
+        let mut preload_seen = false;
+        for op in g.topo_order().unwrap() {
+            let c = compute(g, &sem, &stim, &env, 0, op);
+            // The accumulator reads its own previous instance (-1).
+            preload_seen |= c.missing.is_empty()
+                && cdfg_reads_negative(g, op)
+                && !c.produced.is_empty();
+            for (v, w) in c.produced {
+                env.insert((v, 0), w);
+            }
+        }
+        assert!(preload_seen, "some op consumed the recursive preload");
+    }
+
+    fn cdfg_reads_negative(g: &mcs_cdfg::Cdfg, op: mcs_cdfg::OpId) -> bool {
+        g.preds(op).iter().any(|&e| g.edge(e).degree > 0)
+    }
+
+    #[test]
+    fn guarded_op_executes_only_under_its_polarity() {
+        let mut b = CdfgBuilder::new(Library::new(100));
+        let p1 = b.partition("P1", 64);
+        let cvar = b.condition_var();
+        let (_, a) = b.input("a", 8, p1);
+        let (t_op, t) =
+            b.under_condition(cvar, true, |b| b.func("t", OperatorClass::Add, p1, &[(a, 0)], 8));
+        let (f_op, _) =
+            b.under_condition(cvar, false, |b| b.func("f", OperatorClass::Add, p1, &[(a, 0)], 8));
+        b.output("o", t);
+        let g = b.finish().unwrap();
+
+        let mut stim = Stimulus::zero(2);
+        stim.conds.insert(cvar, vec![true, false]);
+        assert!(executes(&g, &stim, t_op, 0));
+        assert!(!executes(&g, &stim, f_op, 0));
+        assert!(!executes(&g, &stim, t_op, 1));
+        assert!(executes(&g, &stim, f_op, 1));
+        // Unguarded ops always run.
+        let io = g.io_ops().next().unwrap();
+        assert!(executes(&g, &stim, io, 0));
+    }
+}

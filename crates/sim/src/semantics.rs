@@ -1,0 +1,145 @@
+//! Functional semantics of operator classes.
+//!
+//! The paper's synthesis flow never looks inside an operation — only its
+//! class, delay, and cycle count matter. Simulation, however, must compute
+//! actual values to prove that the synthesized structure routes every bit
+//! to the right place at the right time. This module assigns each
+//! [`OperatorClass`] a concrete function over masked unsigned words; custom
+//! classes get a deterministic, input-order-sensitive default so that a
+//! swapped or misrouted operand always changes the observable outputs.
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::OperatorClass;
+
+/// A concrete evaluation function: operands (in dependence-edge order) to
+/// one result word. Results are masked to the produced value's bit width
+/// by the caller.
+pub type OpFn = fn(&[u64]) -> u64;
+
+/// Masks `x` to the low `bits` bits (`bits >= 64` keeps the whole word).
+pub fn mask(x: u64, bits: u32) -> u64 {
+    if bits >= 64 {
+        x
+    } else {
+        x & ((1u64 << bits) - 1)
+    }
+}
+
+fn eval_add(xs: &[u64]) -> u64 {
+    xs.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+}
+
+fn eval_sub(xs: &[u64]) -> u64 {
+    match xs {
+        [] => 0,
+        [x] => x.wrapping_neg(),
+        [x, rest @ ..] => rest.iter().fold(*x, |a, &b| a.wrapping_sub(b)),
+    }
+}
+
+fn eval_mul(xs: &[u64]) -> u64 {
+    xs.iter().fold(1u64, |a, &b| a.wrapping_mul(b))
+}
+
+/// Default semantics for unregistered custom classes: a deterministic
+/// hash-combine fold. It is *not* commutative, so any operand-order or
+/// routing error perturbs the result.
+fn eval_custom(xs: &[u64]) -> u64 {
+    xs.iter().fold(0x243F_6A88_85A3_08D3u64, |a, &b| {
+        (a ^ b.rotate_left(7)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    })
+}
+
+/// Maps operator classes to evaluation functions.
+///
+/// `Add`, `Sub`, and `Mul` come pre-registered with wrapping integer
+/// semantics; anything else falls back to a deterministic hash-combine
+/// unless overridden with [`Semantics::register`].
+#[derive(Clone, Default)]
+pub struct Semantics {
+    custom: BTreeMap<String, OpFn>,
+}
+
+impl Semantics {
+    /// Semantics with only the built-in classes registered.
+    pub fn new() -> Self {
+        Semantics::default()
+    }
+
+    /// Registers (or replaces) the function evaluating a custom class.
+    pub fn register(&mut self, name: &str, f: OpFn) -> &mut Self {
+        self.custom.insert(name.to_string(), f);
+        self
+    }
+
+    /// Evaluates one operation of `class` over `operands`.
+    pub fn eval(&self, class: &OperatorClass, operands: &[u64]) -> u64 {
+        match class {
+            OperatorClass::Add => eval_add(operands),
+            OperatorClass::Sub => eval_sub(operands),
+            OperatorClass::Mul => eval_mul(operands),
+            OperatorClass::Custom(name) => {
+                self.custom.get(name).copied().unwrap_or(eval_custom as OpFn)(operands)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Semantics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Semantics")
+            .field("custom", &self.custom.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_compute_wrapping_arithmetic() {
+        let s = Semantics::new();
+        assert_eq!(s.eval(&OperatorClass::Add, &[3, 4]), 7);
+        assert_eq!(s.eval(&OperatorClass::Sub, &[10, 4]), 6);
+        assert_eq!(s.eval(&OperatorClass::Mul, &[3, 5]), 15);
+        assert_eq!(
+            s.eval(&OperatorClass::Add, &[u64::MAX, 1]),
+            0,
+            "addition wraps"
+        );
+    }
+
+    #[test]
+    fn sub_is_order_sensitive() {
+        let s = Semantics::new();
+        assert_ne!(
+            s.eval(&OperatorClass::Sub, &[10, 4]),
+            s.eval(&OperatorClass::Sub, &[4, 10])
+        );
+    }
+
+    #[test]
+    fn unregistered_custom_is_deterministic_and_order_sensitive() {
+        let s = Semantics::new();
+        let c = OperatorClass::Custom("alu".into());
+        assert_eq!(s.eval(&c, &[1, 2]), s.eval(&c, &[1, 2]));
+        assert_ne!(s.eval(&c, &[1, 2]), s.eval(&c, &[2, 1]));
+    }
+
+    #[test]
+    fn registered_custom_overrides_default() {
+        let mut s = Semantics::new();
+        s.register("max", |xs| xs.iter().copied().max().unwrap_or(0));
+        assert_eq!(s.eval(&OperatorClass::Custom("max".into()), &[3, 9, 5]), 9);
+    }
+
+    #[test]
+    fn mask_truncates() {
+        assert_eq!(mask(0x1FF, 8), 0xFF);
+        assert_eq!(mask(0x1FF, 16), 0x1FF);
+        assert_eq!(mask(u64::MAX, 64), u64::MAX);
+        assert_eq!(mask(5, 1), 1);
+    }
+}

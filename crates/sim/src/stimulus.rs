@@ -1,0 +1,174 @@
+//! Input stimulus for simulation runs.
+//!
+//! A [`Stimulus`] supplies, for every execution instance of the pipeline,
+//! the words presented on the system's primary inputs and the outcome of
+//! every conditional branch. Instances before the first (`k < 0`, read
+//! through data recursive edges during pipeline fill) see the `preload`
+//! word, mirroring a register file initialized before the pipeline starts.
+
+use std::collections::BTreeMap;
+
+use mcs_cdfg::{Cdfg, CondId, OpKind, ValueId};
+
+use crate::semantics::mask;
+
+/// splitmix64 — a tiny deterministic generator, enough for stimulus.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-instance primary-input words and branch outcomes.
+#[derive(Clone, Debug)]
+pub struct Stimulus {
+    /// Number of execution instances to simulate.
+    pub instances: u32,
+    /// Primary-input words, one per instance, keyed by the environment-side
+    /// value. Words are masked to the value width on use.
+    pub external: BTreeMap<ValueId, Vec<u64>>,
+    /// Branch outcomes, one per instance (Section 7.2 conditionals).
+    /// Unlisted branches read as `true`.
+    pub conds: BTreeMap<CondId, Vec<bool>>,
+    /// The word read through a recursive edge reaching before instance 0.
+    pub preload: u64,
+}
+
+impl Stimulus {
+    /// An empty stimulus (all inputs zero) for `instances` instances.
+    pub fn zero(instances: u32) -> Self {
+        Stimulus {
+            instances,
+            external: BTreeMap::new(),
+            conds: BTreeMap::new(),
+            preload: 0,
+        }
+    }
+
+    /// Deterministic pseudo-random words on every primary input of `cdfg`
+    /// and a coin flip for every conditional branch.
+    pub fn random(cdfg: &Cdfg, instances: u32, seed: u64) -> Self {
+        let mut state = seed ^ 0x5851_F42D_4C95_7F2D;
+        let mut s = Stimulus::zero(instances);
+        for v in external_inputs(cdfg) {
+            let bits = cdfg.value(v).bits;
+            let words = (0..instances)
+                .map(|_| mask(splitmix64(&mut state), bits))
+                .collect();
+            s.external.insert(v, words);
+        }
+        for c in condition_vars(cdfg) {
+            let flips = (0..instances).map(|_| splitmix64(&mut state) & 1 == 1).collect();
+            s.conds.insert(c, flips);
+        }
+        s.preload = splitmix64(&mut state);
+        s
+    }
+
+    /// The word driven on primary input `v` in instance `k`, if provided.
+    pub fn input(&self, v: ValueId, k: i64) -> Option<u64> {
+        if k < 0 {
+            return Some(self.preload);
+        }
+        self.external
+            .get(&v)
+            .and_then(|ws| ws.get(k as usize))
+            .copied()
+    }
+
+    /// The outcome of branch `c` in instance `k` (`true` when unlisted).
+    pub fn cond(&self, c: CondId, k: i64) -> bool {
+        if k < 0 {
+            return true;
+        }
+        self.conds
+            .get(&c)
+            .and_then(|bs| bs.get(k as usize))
+            .copied()
+            .unwrap_or(true)
+    }
+}
+
+/// Environment-side values driven by the outside world: sources of I/O
+/// operations that no on-chip operation produces.
+pub fn external_inputs(cdfg: &Cdfg) -> Vec<ValueId> {
+    let produced = crate::flow::producer_map(cdfg);
+    let mut out = Vec::new();
+    for op in cdfg.io_ops() {
+        if let OpKind::Io { value, .. } = cdfg.op(op).kind {
+            if !produced.contains_key(&value) && !out.contains(&value) {
+                out.push(value);
+            }
+        }
+    }
+    out
+}
+
+/// Every branch variable mentioned by some operation's guard.
+pub fn condition_vars(cdfg: &Cdfg) -> Vec<CondId> {
+    let mut out = Vec::new();
+    for op in cdfg.op_ids() {
+        for &(c, _) in cdfg.op(op).condition.literals() {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cdfg::designs::{ar_filter, synthetic};
+
+    #[test]
+    fn random_covers_every_primary_input() {
+        let d = ar_filter::simple();
+        let s = Stimulus::random(d.cdfg(), 4, 1);
+        for v in external_inputs(d.cdfg()) {
+            for k in 0..4 {
+                assert!(s.input(v, k).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_in_the_seed() {
+        let d = synthetic::quickstart();
+        let a = Stimulus::random(d.cdfg(), 8, 42);
+        let b = Stimulus::random(d.cdfg(), 8, 42);
+        let c = Stimulus::random(d.cdfg(), 8, 43);
+        assert_eq!(a.external, b.external);
+        assert_ne!(a.external, c.external);
+    }
+
+    #[test]
+    fn words_respect_input_widths() {
+        let d = synthetic::quickstart();
+        let s = Stimulus::random(d.cdfg(), 16, 7);
+        for (v, words) in &s.external {
+            let bits = d.cdfg().value(*v).bits;
+            for &w in words {
+                assert_eq!(w, mask(w, bits));
+            }
+        }
+    }
+
+    #[test]
+    fn preinstance_reads_see_the_preload() {
+        let d = synthetic::quickstart();
+        let mut s = Stimulus::random(d.cdfg(), 2, 3);
+        s.preload = 99;
+        let v = external_inputs(d.cdfg())[0];
+        assert_eq!(s.input(v, -1), Some(99));
+    }
+
+    #[test]
+    fn unlisted_conditions_default_true() {
+        let s = Stimulus::zero(2);
+        assert!(s.cond(CondId::new(5), 0));
+    }
+}

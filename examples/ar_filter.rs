@@ -1,0 +1,52 @@
+//! The AR lattice filter experiments of Chapters 3 and 4: the simple
+//! partitioning under the pin-allocation checker, and the general
+//! partitioning through connection-first synthesis at initiation rates
+//! 3, 4 and 5 with unidirectional and bidirectional ports.
+//!
+//! ```sh
+//! cargo run --release -p multichip-hls --example ar_filter
+//! ```
+
+use mcs_cdfg::{designs::ar_filter, PortMode};
+use multichip_hls::flows::{connect_first_flow, simple_flow, ConnectFirstOptions};
+use multichip_hls::report::{render_bus_allocation, render_schedule, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Chapter 3: the simple partitioning at initiation rate 2 --------
+    let simple = ar_filter::simple();
+    let r = simple_flow(simple.cdfg(), 2)?;
+    println!("== Chapter 3: simple partitioning, L = 2 ==");
+    println!("pins used: {:?}, pipe length {}\n", r.pins_used, r.pipe_length);
+    println!("{}", render_schedule(simple.cdfg(), &r.schedule));
+
+    // --- Chapter 4: the general partitioning ----------------------------
+    let mut summary = Table::new(["mode", "L", "P0", "P1", "P2", "P3", "steps", "reassigned"]);
+    for mode in [PortMode::Unidirectional, PortMode::Bidirectional] {
+        for rate in [3u32, 4, 5] {
+            let d = ar_filter::general(rate, mode);
+            let mut opts = ConnectFirstOptions::new(rate);
+            opts.mode = mode;
+            let r = connect_first_flow(d.cdfg(), &opts)?;
+            summary.row([
+                format!("{mode:?}"),
+                rate.to_string(),
+                r.pins_used[1].to_string(),
+                r.pins_used[2].to_string(),
+                r.pins_used[3].to_string(),
+                r.pins_used[4].to_string(),
+                r.pipe_length.to_string(),
+                r.reassigned.to_string(),
+            ]);
+            if mode == PortMode::Unidirectional && rate == 3 {
+                println!("== bus allocation, unidirectional L = 3 ==");
+                println!(
+                    "{}",
+                    render_bus_allocation(d.cdfg(), &r.schedule, &r.placements)
+                );
+            }
+        }
+    }
+    println!("== Chapter 4 summary (Tables 4.2 / 4.10 analogue) ==");
+    println!("{summary}");
+    Ok(())
+}

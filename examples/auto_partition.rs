@@ -1,0 +1,64 @@
+//! Automatic repartitioning: flatten the 4-chip AR lattice filter to its
+//! bare computation, re-derive chip assignments with KL/FM min-cut
+//! refinement for 2, 3, and 4 chips, rebuild each as a full design, and
+//! synthesize + simulate the result — the partitioning-synthesis loop the
+//! paper points at as future work.
+//!
+//! ```sh
+//! cargo run --release -p multichip-hls --example auto_partition
+//! ```
+
+use mcs_cdfg::designs::ar_filter;
+use mcs_cdfg::{OperatorClass, PartitionId};
+use multichip_hls::flows::{connect_first_flow, ConnectFirstOptions};
+use multichip_hls::partition::{refine, rebuild, spread, Capacities, ChipSpec, FlatGraph};
+use multichip_hls::sim::{verify, Semantics, Stimulus};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = ar_filter::simple();
+    let flat = FlatGraph::from_cdfg(design.cdfg())?;
+    println!(
+        "flattened: {} ops, {} inputs, {} outputs; original cut {} bits\n",
+        flat.ops.len(),
+        flat.inputs.len(),
+        flat.outputs.len(),
+        flat.cut_bits(&flat.original_assignment()),
+    );
+
+    println!("{:>6} {:>10} {:>10} {:>8} {:>14}", "chips", "cold cut", "refined", "passes", "synth+sim");
+    for n in [2usize, 3, 4] {
+        let chips: Vec<PartitionId> = (1..=n as u32).map(PartitionId::new).collect();
+        let cap = flat.ops.len().div_ceil(n) + 1;
+        let init = spread(&flat, &chips);
+        let cold_cut = flat.cut_bits(&init);
+        let r = refine(&flat, &chips, &init, &Capacities::balanced(cap));
+
+        let specs: Vec<ChipSpec> = (1..=n)
+            .map(|i| ChipSpec {
+                name: format!("P{i}"),
+                pins: 256,
+                resources: vec![(OperatorClass::Add, 8), (OperatorClass::Mul, 8)],
+            })
+            .collect();
+        let g = rebuild(&flat, &r.assign, &specs, design.cdfg().library().clone())?;
+
+        // Close the loop: synthesize the repartitioned design and execute it.
+        let result = connect_first_flow(&g, &ConnectFirstOptions::new(2))?;
+        let stim = Stimulus::random(&g, 6, 42);
+        let status = match verify(
+            &g,
+            &result.schedule,
+            Some(&result.final_interconnect()),
+            &Semantics::new(),
+            &stim,
+        ) {
+            Ok(_) => format!("ok, pipe {}", result.pipe_length),
+            Err(v) => format!("FAILED ({})", v.len()),
+        };
+        println!(
+            "{n:>6} {cold_cut:>10} {:>10} {:>8} {status:>14}",
+            r.final_cut, r.passes
+        );
+    }
+    Ok(())
+}

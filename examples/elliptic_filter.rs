@@ -1,0 +1,70 @@
+//! The fifth-order elliptic wave filter experiments of Section 4.4.2:
+//! connection-first synthesis at initiation rates 6 and 7 with both port
+//! models, plus the list-scheduling failure at the minimum rate 5 that the
+//! paper reports.
+//!
+//! ```sh
+//! cargo run --release -p multichip-hls --example elliptic_filter
+//! ```
+
+use mcs_cdfg::{designs::elliptic, timing, PortMode};
+use multichip_hls::flows::{connect_first_flow, ConnectFirstOptions};
+use multichip_hls::report::{render_interconnect, render_schedule, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = elliptic::partitioned();
+    println!(
+        "critical recursion permits an initiation rate of {} (Section 4.4.2)\n",
+        timing::min_initiation_rate(d.cdfg())
+    );
+
+    let mut summary = Table::new(["mode", "L", "P1", "P2", "P3", "P4", "P5", "steps", "outcome"]);
+    for mode in [PortMode::Unidirectional, PortMode::Bidirectional] {
+        for rate in [5u32, 6, 7] {
+            let d = elliptic::partitioned_with(rate, mode);
+            let mut opts = ConnectFirstOptions::new(rate);
+            opts.mode = mode;
+            match connect_first_flow(d.cdfg(), &opts) {
+                Ok(r) => {
+                    summary.row([
+                        format!("{mode:?}"),
+                        rate.to_string(),
+                        r.pins_used[1].to_string(),
+                        r.pins_used[2].to_string(),
+                        r.pins_used[3].to_string(),
+                        r.pins_used[4].to_string(),
+                        r.pins_used[5].to_string(),
+                        r.pipe_length.to_string(),
+                        "ok".to_string(),
+                    ]);
+                    if mode == PortMode::Unidirectional && rate == 6 {
+                        println!("== interconnect, unidirectional L = 6 ==");
+                        println!("{}", render_interconnect(d.cdfg(), &r.interconnect));
+                        println!("== schedule (negative steps preload earlier instances) ==");
+                        println!("{}", render_schedule(d.cdfg(), &r.schedule));
+                    }
+                }
+                Err(e) => {
+                    // The paper: "the schedule for the design with an
+                    // initiation rate of 5 cannot be obtained ... because
+                    // of the very tight time constraints ... and the
+                    // greedy heuristic of the list scheduling."
+                    summary.row([
+                        format!("{mode:?}"),
+                        rate.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("failed: {e}"),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("== Section 4.4.2 summary ==");
+    println!("{summary}");
+    Ok(())
+}

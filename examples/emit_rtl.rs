@@ -1,0 +1,31 @@
+//! Emit the structural RTL of a synthesized design: functional units from
+//! the allocation-wheel binding, register banks from pipelined value
+//! lifetimes, operand multiplexers on shared units, chip ports from the
+//! bus structure, and a top module wiring the chips together.
+//!
+//! ```sh
+//! cargo run --release -p multichip-hls --example emit_rtl
+//! ```
+
+use mcs_cdfg::designs::ar_filter;
+use multichip_hls::flows::simple_flow;
+use multichip_hls::netlist::{build, to_verilog};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = ar_filter::simple();
+    let result = simple_flow(design.cdfg(), 2)?;
+    let netlist = build(design.cdfg(), &result.schedule, &result.final_interconnect());
+
+    for (p, chip) in &netlist.chips {
+        println!(
+            "{p} ({}): {} pins, {} units, {} register copies, {} muxes",
+            chip.name,
+            chip.pin_count(),
+            chip.units.len(),
+            chip.registers.iter().map(|r| r.copies).sum::<u32>(),
+            chip.muxes.len(),
+        );
+    }
+    println!("\n{}", to_verilog(&netlist));
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build a tiny two-chip multiply/accumulate pipeline, run the
+//! connection-first flow (Chapter 4) and print the results.
+//!
+//! ```sh
+//! cargo run --release -p multichip-hls --example quickstart
+//! ```
+
+use mcs_cdfg::{CdfgBuilder, Library, OperatorClass};
+use multichip_hls::flows::{connect_first_flow, ConnectFirstOptions};
+use multichip_hls::report::{render_interconnect, render_schedule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2-chip design: chip P1 multiplies incoming samples, chip P2
+    // accumulates products (with a data recursive self-edge, Section 7.1).
+    let mut b = CdfgBuilder::new(Library::ar_filter());
+    let p1 = b.partition("P1", 32);
+    let p2 = b.partition("P2", 32);
+    b.resource(p1, OperatorClass::Mul, 1);
+    b.resource(p2, OperatorClass::Add, 1);
+    let (_, x) = b.input("x", 8, p1);
+    let (_, y) = b.input("y", 8, p1);
+    let (_, prod) = b.func("prod", OperatorClass::Mul, p1, &[(x, 0), (y, 0)], 8);
+    let (_, prod_p2) = b.io("X", prod, p2);
+    let (acc_op, acc) = b.func("acc", OperatorClass::Add, p2, &[(prod_p2, 0)], 8);
+    b.add_edge(mcs_cdfg::Edge {
+        from: acc_op,
+        to: acc_op,
+        value: acc,
+        degree: 1,
+    });
+    b.output("out", acc);
+    let cdfg = b.finish()?;
+
+    // One new input pair every cycle (initiation rate 1).
+    let result = connect_first_flow(&cdfg, &ConnectFirstOptions::new(1))?;
+
+    println!("pipe length: {} control steps", result.pipe_length);
+    println!(
+        "pins used:   {:?} (per partition, including the environment)\n",
+        result.pins_used
+    );
+    println!("interchip connection:\n{}", render_interconnect(&cdfg, &result.interconnect));
+    println!("schedule:\n{}", render_schedule(&cdfg, &result.schedule));
+    Ok(())
+}

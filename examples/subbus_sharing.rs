@@ -1,0 +1,49 @@
+//! Chapter 6: sharing buses in a cycle. Compares the AR filter's
+//! bidirectional designs with and without sub-bus sharing — the Table 6.4
+//! comparison of pins required and pipe length.
+//!
+//! ```sh
+//! cargo run --release -p multichip-hls --example subbus_sharing
+//! ```
+
+use mcs_cdfg::{designs::ar_filter, PartitionId, PortMode};
+use multichip_hls::flows::{connect_first_flow, ConnectFirstOptions};
+use multichip_hls::report::{render_interconnect, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut t = Table::new([
+        "L",
+        "pins (no sharing)",
+        "pipe (no sharing)",
+        "pins (sharing)",
+        "pipe (sharing)",
+    ]);
+    for rate in [3u32, 4, 5] {
+        let d = ar_filter::general(rate, PortMode::Bidirectional);
+        let total = |pins: &[u32]| -> u32 {
+            (1..d.cdfg().partition_count())
+                .map(|p| pins[PartitionId::new(p as u32).index()])
+                .sum()
+        };
+        let mut plain_opts = ConnectFirstOptions::new(rate);
+        plain_opts.mode = PortMode::Bidirectional;
+        let plain = connect_first_flow(d.cdfg(), &plain_opts)?;
+        let mut share_opts = plain_opts.clone();
+        share_opts.sharing = true;
+        let shared = connect_first_flow(d.cdfg(), &share_opts)?;
+        t.row([
+            rate.to_string(),
+            total(&plain.pins_used).to_string(),
+            plain.pipe_length.to_string(),
+            total(&shared.pins_used).to_string(),
+            shared.pipe_length.to_string(),
+        ]);
+        if rate == 3 {
+            println!("== shared interconnect at L = 3 (note split buses) ==");
+            println!("{}", render_interconnect(d.cdfg(), &shared.interconnect));
+        }
+    }
+    println!("== Table 6.4 analogue ==");
+    println!("{t}");
+    Ok(())
+}

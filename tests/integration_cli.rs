@@ -1,0 +1,133 @@
+//! End-to-end tests of the `mcs-hls` command-line tool: every subcommand
+//! against the shipped sample design, including the compose-through-text
+//! workflow (`partition | simulate`).
+
+use std::path::Path;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_mcs-hls");
+
+fn sample() -> String {
+    // Tests run from the crate root (crates/core); the sample lives at the
+    // workspace root.
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    here.join("../../examples/designs/pipeline.mcs")
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("mcs-hls binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn check_reports_design_statistics() {
+    let (ok, stdout, _) = run(&["check", &sample()]);
+    assert!(ok);
+    assert!(stdout.contains("pipeline"), "{stdout}");
+    assert!(stdout.contains("minimum initiation rate"), "{stdout}");
+}
+
+#[test]
+fn synth_prints_schedule_and_buses() {
+    let (ok, stdout, _) = run(&["synth", &sample(), "--rate", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("pipe length"), "{stdout}");
+    assert!(stdout.contains("bus"), "{stdout}");
+}
+
+#[test]
+fn simulate_verifies_the_outputs() {
+    let (ok, stdout, stderr) = run(&["simulate", &sample(), "--rate", "2", "--instances", "5"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("match the reference"), "{stdout}");
+}
+
+#[test]
+fn rtl_emits_balanced_verilog() {
+    let (ok, stdout, _) = run(&["rtl", &sample(), "--rate", "2"]);
+    assert!(ok);
+    assert_eq!(
+        stdout.matches("module ").count(),
+        stdout.matches("endmodule").count()
+    );
+    assert!(stdout.contains("module top"), "{stdout}");
+}
+
+#[test]
+fn fmt_is_idempotent_through_the_cli() {
+    let (ok, once, _) = run(&["fmt", &sample()]);
+    assert!(ok);
+    let tmp = std::env::temp_dir().join("mcs_cli_fmt_test.mcs");
+    std::fs::write(&tmp, &once).unwrap();
+    let (ok2, twice, _) = run(&["fmt", tmp.to_str().unwrap()]);
+    assert!(ok2);
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn partition_output_simulates_cleanly() {
+    let (ok, text, stderr) = run(&["partition", &sample(), "--chips", "2", "--pins", "48"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("cut:"), "{stderr}");
+    let tmp = std::env::temp_dir().join("mcs_cli_partition_test.mcs");
+    std::fs::write(&tmp, &text).unwrap();
+    let (ok2, stdout, stderr2) =
+        run(&["simulate", tmp.to_str().unwrap(), "--rate", "2", "--instances", "6"]);
+    assert!(ok2, "{stderr2}");
+    assert!(stdout.contains("match the reference"), "{stdout}");
+}
+
+#[test]
+fn every_shipped_sample_design_simulates() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/designs");
+    let mut found = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "mcs") {
+            continue;
+        }
+        found += 1;
+        let p = path.to_str().unwrap();
+        let (ok, _, stderr) = run(&["check", p]);
+        assert!(ok, "{p}: {stderr}");
+        let (ok, stdout, stderr) = run(&["simulate", p, "--rate", "3", "--instances", "6"]);
+        assert!(ok, "{p}: {stderr}");
+        assert!(stdout.contains("match the reference"), "{p}: {stdout}");
+    }
+    assert!(found >= 3, "sample designs must ship with the repo");
+}
+
+#[test]
+fn dot_emits_both_graph_kinds() {
+    let (ok, cdfg_dot, _) = run(&["dot", &sample()]);
+    assert!(ok);
+    assert!(cdfg_dot.starts_with("digraph"), "{cdfg_dot}");
+    let (ok2, bus_dot, _) = run(&["dot", &sample(), "--rate", "2", "--buses"]);
+    assert!(ok2);
+    assert!(bus_dot.starts_with("graph interconnect"), "{bus_dot}");
+}
+
+#[test]
+fn bad_input_fails_with_a_line_number() {
+    let tmp = std::env::temp_dir().join("mcs_cli_bad_test.mcs");
+    std::fs::write(&tmp, "stage 100\nfunc f add Nowhere 8\n").unwrap();
+    let (ok, _, stderr) = run(&["check", tmp.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn unknown_flow_is_rejected() {
+    let (ok, _, stderr) = run(&["synth", &sample(), "--flow", "bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flow"), "{stderr}");
+}

@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: each synthesis flow end-to-end on the
+//! paper's benchmark designs, with full schedule and connection
+//! validation.
+
+use mcs_cdfg::{designs, PartitionId, PortMode};
+use mcs_sched::validate;
+use multichip_hls::flows::{
+    connect_first_flow, schedule_first_flow, simple_flow, ConnectFirstOptions, FlowError,
+};
+
+#[test]
+fn chapter3_simple_flow_on_the_ar_filter() {
+    let d = designs::ar_filter::simple();
+    let r = simple_flow(d.cdfg(), 2).expect("the paper's Chapter 3 experiment succeeds");
+    assert_eq!(validate(d.cdfg(), &r.schedule), vec![]);
+    // Fixed pin splits: P1/P2 48 pins, P3/P4 32; the connection must fit.
+    for (p, cap) in [(1u32, 48), (2, 48), (3, 32), (4, 32)] {
+        assert!(
+            r.pins_used[p as usize] <= cap,
+            "P{p} uses {} of {cap}",
+            r.pins_used[p as usize]
+        );
+    }
+}
+
+#[test]
+fn chapter3_flow_rejects_general_partitionings() {
+    let d = designs::ar_filter::general(3, PortMode::Unidirectional);
+    assert!(matches!(
+        simple_flow(d.cdfg(), 3),
+        Err(FlowError::NotSimple(_))
+    ));
+}
+
+#[test]
+fn chapter4_flow_on_the_ar_filter_all_rates_and_modes() {
+    for mode in [PortMode::Unidirectional, PortMode::Bidirectional] {
+        for rate in [3u32, 4, 5] {
+            let d = designs::ar_filter::general(rate, mode);
+            let mut opts = ConnectFirstOptions::new(rate);
+            opts.mode = mode;
+            let r = connect_first_flow(d.cdfg(), &opts)
+                .unwrap_or_else(|e| panic!("{mode:?} L={rate}: {e}"));
+            assert_eq!(validate(d.cdfg(), &r.schedule), vec![]);
+            // Every pin budget respected.
+            for p in 0..d.cdfg().partition_count() {
+                let cap = d.cdfg().partition(PartitionId::new(p as u32)).total_pins;
+                assert!(r.pins_used[p] <= cap);
+            }
+            // Every transfer received a slot.
+            assert_eq!(r.placements.len(), d.cdfg().io_ops().count());
+        }
+    }
+}
+
+#[test]
+fn chapter4_flow_on_the_elliptic_filter() {
+    for mode in [PortMode::Unidirectional, PortMode::Bidirectional] {
+        for rate in [6u32, 7] {
+            let d = designs::elliptic::partitioned_with(rate, mode);
+            let mut opts = ConnectFirstOptions::new(rate);
+            opts.mode = mode;
+            let r = connect_first_flow(d.cdfg(), &opts)
+                .unwrap_or_else(|e| panic!("{mode:?} L={rate}: {e}"));
+            assert_eq!(validate(d.cdfg(), &r.schedule), vec![]);
+            // Feedback transfers preload earlier instances: each starts
+            // before the operation that produces its value (the paper's
+            // negative-index I/O operations, Section 4.4.2).
+            for op in d.cdfg().io_ops() {
+                for &e in d.cdfg().preds(op) {
+                    let e = d.cdfg().edge(e);
+                    if e.degree > 0 {
+                        assert!(
+                            r.schedule.of(op).step < r.schedule.of(e.from).step,
+                            "{mode:?} L={rate}: feedback transfer not preloaded"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chapter5_flow_on_both_filters() {
+    let d = designs::ar_filter::general(3, PortMode::Unidirectional);
+    let r = schedule_first_flow(d.cdfg(), 3, 10, PortMode::Unidirectional).expect("AR at L=3");
+    assert!(r.pipe_length <= 10);
+
+    let d = designs::elliptic::partitioned_with(6, PortMode::Unidirectional);
+    let r = schedule_first_flow(d.cdfg(), 6, 26, PortMode::Unidirectional).expect("EWF at L=6");
+    assert!(r.pipe_length <= 26);
+}
+
+#[test]
+fn chapter6_sharing_never_costs_pins() {
+    for rate in [3u32, 4, 5] {
+        let d = designs::ar_filter::general(rate, PortMode::Bidirectional);
+        let mut plain = ConnectFirstOptions::new(rate);
+        plain.mode = PortMode::Bidirectional;
+        let mut shared = plain.clone();
+        shared.sharing = true;
+        let rp = connect_first_flow(d.cdfg(), &plain).expect("plain");
+        let rs = connect_first_flow(d.cdfg(), &shared).expect("shared");
+        let total = |r: &multichip_hls::flows::SynthesisResult| -> u32 {
+            r.pins_used[1..].iter().sum()
+        };
+        assert!(total(&rs) <= total(&rp), "L={rate}");
+    }
+}
+
+#[test]
+fn quickstart_design_runs_every_flow() {
+    let d = designs::synthetic::quickstart();
+    let r = connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(1)).expect("ch4");
+    assert_eq!(validate(d.cdfg(), &r.schedule), vec![]);
+    let r = schedule_first_flow(d.cdfg(), 2, 8, PortMode::Unidirectional).expect("ch5");
+    assert!(r.pipe_length <= 8);
+}

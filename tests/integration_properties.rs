@@ -1,0 +1,316 @@
+//! Property-based tests over randomly generated multi-chip designs:
+//! whatever the flows produce must satisfy every constraint class, and
+//! whatever the substrate solvers report must be internally consistent.
+
+use proptest::prelude::*;
+
+use mcs_cdfg::{CdfgBuilder, Library, OperatorClass, PartitionId, PortMode};
+use mcs_connect::{synthesize, SearchConfig};
+use mcs_ilp::{AllIntegerSolver, Feasibility, Model};
+use mcs_matching::max_weight_matching;
+use mcs_sched::{list_schedule, validate, BusPolicy, ListConfig, NullPolicy};
+
+/// A random layered two-to-four chip design: per-chip chains of adds and
+/// muls with cross transfers between consecutive chips.
+fn random_design(
+    chips: usize,
+    ops_per_chip: usize,
+    crossings: usize,
+    bits: u32,
+    seed: u64,
+) -> mcs_cdfg::Cdfg {
+    let mut b = CdfgBuilder::new(Library::ar_filter());
+    let mut rng = seed;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let parts: Vec<PartitionId> = (0..chips)
+        .map(|i| b.partition(&format!("P{}", i + 1), 512))
+        .collect();
+    for &p in &parts {
+        // Enough units for any generated load at any tested rate (the
+        // schedulers' resource handling is covered by the filter designs).
+        b.resource(p, OperatorClass::Add, 16)
+            .resource(p, OperatorClass::Mul, 16);
+    }
+    let mut frontier: Vec<(PartitionId, mcs_cdfg::ValueId)> = Vec::new();
+    for (ci, &p) in parts.iter().enumerate() {
+        let (_, mut v) = b.input(&format!("in{ci}"), bits, p);
+        for k in 0..ops_per_chip {
+            let class = if next() % 2 == 0 {
+                OperatorClass::Add
+            } else {
+                OperatorClass::Mul
+            };
+            let (_, nv) = b.func(&format!("f{ci}_{k}"), class, p, &[(v, 0)], bits);
+            v = nv;
+        }
+        frontier.push((p, v));
+    }
+    for x in 0..crossings {
+        let i = (next() as usize) % chips;
+        let j = (i + 1 + (next() as usize) % (chips - 1)) % chips;
+        let (src, v) = frontier[i];
+        let dst = parts[j];
+        if src == dst {
+            continue;
+        }
+        let (_, moved) = b.io(&format!("X{x}"), v, dst);
+        let (_, nv) = b.func(&format!("g{x}"), OperatorClass::Add, dst, &[(moved, 0)], bits);
+        frontier[j] = (dst, nv);
+    }
+    for (ci, &(_, v)) in frontier.iter().enumerate() {
+        b.output(&format!("out{ci}"), v);
+    }
+    b.finish().expect("random design is structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every schedule the list scheduler produces passes full validation.
+    #[test]
+    fn list_schedules_always_validate(
+        chips in 2usize..5,
+        ops in 1usize..6,
+        crossings in 1usize..6,
+        rate in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let cdfg = random_design(chips, ops, crossings, 8, seed | 1);
+        let s = list_schedule(&cdfg, &ListConfig::new(rate), &mut NullPolicy)
+            .expect("unconstrained pins always schedule");
+        prop_assert_eq!(validate(&cdfg, &s), vec![]);
+    }
+
+    /// Connection synthesis + bus-allocated scheduling: no slot carries two
+    /// different values in one step group, and pin budgets hold.
+    #[test]
+    fn bus_allocation_is_conflict_free(
+        chips in 2usize..4,
+        ops in 1usize..4,
+        crossings in 1usize..5,
+        rate in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let cdfg = random_design(chips, ops, crossings, 8, seed | 1);
+        let ic = synthesize(&cdfg, PortMode::Unidirectional, &SearchConfig::new(rate))
+            .expect("512-pin chips always connect");
+        prop_assert!(ic.verify(&cdfg).is_empty());
+        let mut policy = BusPolicy::new(ic, rate, true);
+        let s = list_schedule(&cdfg, &ListConfig::new(rate), &mut policy)
+            .expect("ample slots schedule");
+        prop_assert_eq!(validate(&cdfg, &s), vec![]);
+        let mut seen = std::collections::BTreeMap::new();
+        for (&op, pl) in policy.placements() {
+            let (v, _, _) = cdfg.op(op).io_endpoints().unwrap();
+            let g = pl.step.rem_euclid(rate as i64);
+            if let Some(prev) = seen.insert((pl.bus, g, pl.range), v) {
+                prop_assert_eq!(prev, v, "two values on one slot");
+            }
+        }
+    }
+
+    /// The Gomory all-integer solver and exact branch-and-bound agree on
+    /// feasibility of random packing systems.
+    #[test]
+    fn gomory_agrees_with_exact(
+        caps in prop::collection::vec(1i64..6, 2..4),
+        demands in prop::collection::vec(1i64..4, 1..5),
+    ) {
+        // Each demand must be packed into one of the bins (cap per bin).
+        let bins = caps.len();
+        let var = |d: usize, bin: usize| d * bins + bin;
+        let mut s = AllIntegerSolver::new(demands.len() * bins);
+        for (d, _) in demands.iter().enumerate() {
+            let terms: Vec<_> = (0..bins).map(|bin| (var(d, bin), 1)).collect();
+            s.add_ge(&terms, 1);
+            for bin in 0..bins {
+                s.add_le(&[(var(d, bin), 1)], 1);
+            }
+        }
+        for (bin, &cap) in caps.iter().enumerate() {
+            let terms: Vec<_> = demands.iter().enumerate().map(|(d, &w)| (var(d, bin), w)).collect();
+            s.add_le(&terms, cap);
+        }
+        let cut = match s.clone().solve(20_000) {
+            Feasibility::PivotLimit => None,
+            v => Some(v),
+        };
+        let exact = s.solve_exact();
+        if let Some(v) = cut {
+            prop_assert_eq!(v, exact);
+        }
+    }
+
+    /// Hungarian matchings never exceed the trivial upper bound and are
+    /// valid assignments.
+    #[test]
+    fn matching_is_sane(
+        n in 1usize..7,
+        m in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = seed | 1;
+        let mut next = move || { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; rng };
+        let w: Vec<Vec<Option<i64>>> = (0..n)
+            .map(|_| (0..m).map(|_| {
+                let r = next() % 10;
+                if r == 0 { None } else { Some((r % 7) as i64) }
+            }).collect())
+            .collect();
+        let mm = max_weight_matching(&w);
+        let mut used = std::collections::BTreeSet::new();
+        let mut total = 0i64;
+        for (i, p) in mm.pairs.iter().enumerate() {
+            if let Some(j) = p {
+                prop_assert!(used.insert(*j));
+                prop_assert!(w[i][*j].is_some());
+                total += w[i][*j].unwrap();
+            }
+        }
+        prop_assert_eq!(total, mm.total);
+        let ub: i64 = w.iter().map(|row| row.iter().flatten().max().copied().unwrap_or(0)).sum();
+        prop_assert!(mm.total <= ub);
+    }
+
+    /// The exact LP/ILP solver respects constraints on random tiny models.
+    #[test]
+    fn ilp_solutions_satisfy_their_constraints(
+        coeffs in prop::collection::vec((1i64..5, 1i64..5, 1i64..20), 1..4),
+    ) {
+        let mut m = Model::new();
+        let x = m.integer("x", Some(25));
+        let y = m.integer("y", Some(25));
+        for &(a, b, c) in &coeffs {
+            m.le(&[(x, a), (y, b)], c * 2);
+        }
+        m.maximize(&[(x, 2), (y, 3)]);
+        if let Ok(sol) = m.solve() {
+            let (xv, yv) = (sol.int_value(x), sol.int_value(y));
+            for &(a, b, c) in &coeffs {
+                prop_assert!(a * xv + b * yv <= c * 2);
+            }
+        }
+    }
+
+    /// Whatever the full flow synthesizes *executes* correctly: the
+    /// cycle-accurate simulator's primary outputs match direct evaluation
+    /// of the data-flow graph, and no dynamic rule (bus wires, pins,
+    /// units, readiness) is broken.
+    #[test]
+    fn synthesized_designs_execute_correctly(
+        chips in 2usize..4,
+        ops in 1usize..4,
+        crossings in 1usize..5,
+        rate in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let cdfg = random_design(chips, ops, crossings, 8, seed | 1);
+        let r = multichip_hls::flows::connect_first_flow(
+            &cdfg,
+            &multichip_hls::flows::ConnectFirstOptions::new(rate),
+        )
+        .expect("512-pin chips always synthesize");
+        let stim = mcs_sim::Stimulus::random(&cdfg, 5, seed ^ 0xA5A5);
+        let outcome = mcs_sim::verify(
+            &cdfg,
+            &r.schedule,
+            Some(&r.final_interconnect()),
+            &mcs_sim::Semantics::new(),
+            &stim,
+        );
+        prop_assert!(outcome.is_ok(), "violations: {:?}", outcome.err());
+    }
+
+    /// The textual format round-trips every random design: the canonical
+    /// form is idempotent and the reparsed graph computes the same outputs.
+    #[test]
+    fn text_format_roundtrips_random_designs(
+        chips in 2usize..5,
+        ops in 1usize..6,
+        crossings in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let cdfg = random_design(chips, ops, crossings, 8, seed | 1);
+        let text = mcs_cdfg::format::write(&cdfg);
+        let re = mcs_cdfg::format::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse: {e}")))?;
+        prop_assert_eq!(&text, &mcs_cdfg::format::write(re.cdfg()), "idempotent");
+        let sem = mcs_sim::Semantics::new();
+        let a = mcs_sim::reference_run(&cdfg, &sem, &mcs_sim::Stimulus::random(&cdfg, 3, seed))
+            .unwrap();
+        let b = mcs_sim::reference_run(
+            re.cdfg(),
+            &sem,
+            &mcs_sim::Stimulus::random(re.cdfg(), 3, seed),
+        )
+        .unwrap();
+        prop_assert_eq!(a, b, "round-trip changed the computed outputs");
+    }
+
+    /// The emitted netlist's chip ports account for exactly the pins the
+    /// interconnect uses, and every functional op binds to one unit.
+    #[test]
+    fn netlists_are_consistent_with_the_interconnect(
+        chips in 2usize..4,
+        ops in 1usize..4,
+        crossings in 1usize..5,
+        rate in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let cdfg = random_design(chips, ops, crossings, 8, seed | 1);
+        let r = multichip_hls::flows::connect_first_flow(
+            &cdfg,
+            &multichip_hls::flows::ConnectFirstOptions::new(rate),
+        )
+        .expect("synthesizes");
+        let ic = r.final_interconnect();
+        let nl = multichip_hls::netlist::build(&cdfg, &r.schedule, &ic);
+        for (&p, chip) in &nl.chips {
+            prop_assert_eq!(chip.pin_count(), ic.pins_used(p));
+        }
+        let bound: usize = nl
+            .chips
+            .values()
+            .map(|c| c.units.iter().map(|u| u.ops.len()).sum::<usize>())
+            .sum();
+        prop_assert_eq!(bound, cdfg.func_ops().count());
+    }
+
+    /// Repartitioning never changes the computed function: flatten,
+    /// refine onto two chips, rebuild, and compare reference outputs.
+    #[test]
+    fn repartitioning_preserves_the_function(
+        chips in 2usize..4,
+        ops in 1usize..4,
+        crossings in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use multichip_hls::partition::{refine, rebuild, spread, Capacities, ChipSpec, FlatGraph};
+        let cdfg = random_design(chips, ops, crossings, 8, seed | 1);
+        let flat = FlatGraph::from_cdfg(&cdfg).expect("random designs are flat-compatible");
+        let targets: Vec<PartitionId> = (1..=2).map(PartitionId::new).collect();
+        let cap = flat.ops.len().div_ceil(2) + 1;
+        let r = refine(&flat, &targets, &spread(&flat, &targets), &Capacities::balanced(cap));
+        let specs: Vec<ChipSpec> = (1..=2)
+            .map(|i| ChipSpec {
+                name: format!("P{i}"),
+                pins: 512,
+                resources: vec![],
+            })
+            .collect();
+        let g = rebuild(&flat, &r.assign, &specs, cdfg.library().clone()).expect("rebuilds");
+        let sem = mcs_sim::Semantics::new();
+        let a = mcs_sim::reference_run(&cdfg, &sem, &mcs_sim::Stimulus::random(&cdfg, 3, seed))
+            .unwrap();
+        let b = mcs_sim::reference_run(&g, &sem, &mcs_sim::Stimulus::random(&g, 3, seed))
+            .unwrap();
+        let wa: Vec<u64> = a.values().copied().collect();
+        let wb: Vec<u64> = b.values().copied().collect();
+        prop_assert_eq!(wa, wb, "repartitioning changed the outputs");
+    }
+}
