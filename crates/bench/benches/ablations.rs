@@ -41,8 +41,8 @@ fn bench(c: &mut Criterion) {
 
     // Dynamic reassignment vs static allocation during scheduling.
     let ar = designs::ar_filter::general(3, PortMode::Unidirectional);
-    let ic = synthesize(ar.cdfg(), PortMode::Unidirectional, &SearchConfig::new(3))
-        .expect("connects");
+    let ic =
+        synthesize(ar.cdfg(), PortMode::Unidirectional, &SearchConfig::new(3)).expect("connects");
     for reassign in [false, true] {
         g.bench_with_input(
             BenchmarkId::new("bus_reassignment", reassign),

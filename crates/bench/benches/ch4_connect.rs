@@ -21,17 +21,27 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
-        g.bench_with_input(BenchmarkId::new("e4_ar_full_flow", rate), &rate, |b, &rate| {
-            b.iter(|| connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(rate)).expect("flow"))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("e4_ar_full_flow", rate),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(rate)).expect("flow")
+                })
+            },
+        );
     }
     for rate in [6u32, 7] {
         let d = designs::elliptic::partitioned_with(rate, PortMode::Bidirectional);
-        g.bench_with_input(BenchmarkId::new("e4_ewf_full_flow_bidir", rate), &rate, |b, &rate| {
-            let mut opts = ConnectFirstOptions::new(rate);
-            opts.mode = PortMode::Bidirectional;
-            b.iter(|| connect_first_flow(d.cdfg(), &opts).expect("flow"))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("e4_ewf_full_flow_bidir", rate),
+            &rate,
+            |b, &rate| {
+                let mut opts = ConnectFirstOptions::new(rate);
+                opts.mode = PortMode::Bidirectional;
+                b.iter(|| connect_first_flow(d.cdfg(), &opts).expect("flow"))
+            },
+        );
     }
     g.finish();
 }

@@ -13,18 +13,38 @@ fn bench(c: &mut Criterion) {
     for rate in [3u32, 4, 5] {
         let d = designs::ar_filter::general(rate, PortMode::Unidirectional);
         g.bench_with_input(BenchmarkId::new("e5_ar_fds", rate), &rate, |b, &rate| {
-            b.iter(|| fds_schedule(d.cdfg(), &FdsConfig { rate, pipe_length: 12 }).expect("fds"))
-        });
-        g.bench_with_input(BenchmarkId::new("e5_ar_full_flow", rate), &rate, |b, &rate| {
             b.iter(|| {
-                schedule_first_flow(d.cdfg(), rate, 12, PortMode::Unidirectional).expect("flow")
+                fds_schedule(
+                    d.cdfg(),
+                    &FdsConfig {
+                        rate,
+                        pipe_length: 12,
+                    },
+                )
+                .expect("fds")
             })
         });
+        g.bench_with_input(
+            BenchmarkId::new("e5_ar_full_flow", rate),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    schedule_first_flow(d.cdfg(), rate, 12, PortMode::Unidirectional).expect("flow")
+                })
+            },
+        );
     }
     {
         let rate = 6u32;
         let d = designs::elliptic::partitioned_with(rate, PortMode::Unidirectional);
-        let s = fds_schedule(d.cdfg(), &FdsConfig { rate, pipe_length: 26 }).expect("fds");
+        let s = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate,
+                pipe_length: 26,
+            },
+        )
+        .expect("fds");
         g.bench_function("e5_ewf_clique_partitioning", |b| {
             b.iter(|| {
                 connect_after_scheduling(

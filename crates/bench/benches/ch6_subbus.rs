@@ -11,21 +11,29 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for rate in [3u32, 4, 5] {
         let d = designs::ar_filter::general(rate, PortMode::Bidirectional);
-        g.bench_with_input(BenchmarkId::new("e6_share_pass", rate), &rate, |b, &rate| {
-            let ic = synthesize(d.cdfg(), PortMode::Bidirectional, &SearchConfig::new(rate))
-                .expect("connects");
-            b.iter(|| {
-                let mut shared = ic.clone();
-                share_pass(d.cdfg(), &mut shared, rate);
-                shared
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("e6_sharing_flow", rate), &rate, |b, &rate| {
-            let mut opts = ConnectFirstOptions::new(rate);
-            opts.mode = PortMode::Bidirectional;
-            opts.sharing = true;
-            b.iter(|| connect_first_flow(d.cdfg(), &opts).expect("flow"))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("e6_share_pass", rate),
+            &rate,
+            |b, &rate| {
+                let ic = synthesize(d.cdfg(), PortMode::Bidirectional, &SearchConfig::new(rate))
+                    .expect("connects");
+                b.iter(|| {
+                    let mut shared = ic.clone();
+                    share_pass(d.cdfg(), &mut shared, rate);
+                    shared
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("e6_sharing_flow", rate),
+            &rate,
+            |b, &rate| {
+                let mut opts = ConnectFirstOptions::new(rate);
+                opts.mode = PortMode::Bidirectional;
+                opts.sharing = true;
+                b.iter(|| connect_first_flow(d.cdfg(), &opts).expect("flow"))
+            },
+        );
     }
     g.finish();
 }

@@ -9,9 +9,8 @@ fn main() {
             let d = elliptic::partitioned_with(rate, mode);
             match synthesize(d.cdfg(), mode, &SearchConfig::new(rate)) {
                 Ok(ic) => {
-                    let pins: Vec<u32> = (0..6)
-                        .map(|p| ic.pins_used(PartitionId::new(p)))
-                        .collect();
+                    let pins: Vec<u32> =
+                        (0..6).map(|p| ic.pins_used(PartitionId::new(p))).collect();
                     println!("{mode:?} L={rate}: pins {pins:?} buses {}", ic.buses.len());
                 }
                 Err(e) => println!("{mode:?} L={rate}: FAILED {e}"),

@@ -22,7 +22,10 @@ fn main() {
     let mode = PortMode::Unidirectional;
 
     println!("## Branching factor (elliptic, L=6, unidirectional)");
-    println!("{:>3} {:>22} {:>6} {:>6}", "bf", "pins per chip", "total", "buses");
+    println!(
+        "{:>3} {:>22} {:>6} {:>6}",
+        "bf", "pins per chip", "total", "buses"
+    );
     let d = designs::elliptic::partitioned_with(6, mode);
     for bf in [1usize, 2, 3, 6] {
         let mut cfg = SearchConfig::new(6);
@@ -42,7 +45,10 @@ fn main() {
     }
 
     println!("\n## Sharing pass (elliptic, unidirectional)");
-    println!("{:>3} {:>12} {:>12} {:>8}", "L", "plain pins", "shared pins", "saved");
+    println!(
+        "{:>3} {:>12} {:>12} {:>8}",
+        "L", "plain pins", "shared pins", "saved"
+    );
     for rate in [5u32, 6, 7] {
         let d = designs::elliptic::partitioned_with(rate, mode);
         let cfg = SearchConfig::new(rate);
@@ -79,7 +85,10 @@ fn main() {
     }
 
     println!("\n## Automatic partitioning vs the hand partitioning (AR filter)");
-    println!("{:>6} {:>10} {:>12} {:>12}", "chips", "cold cut", "refined cut", "hand cut");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "chips", "cold cut", "refined cut", "hand cut"
+    );
     let d = designs::ar_filter::simple();
     let flat = FlatGraph::from_cdfg(d.cdfg()).expect("AR flattens");
     let hand = flat.cut_bits(&flat.original_assignment());
@@ -89,7 +98,11 @@ fn main() {
         let init = spread(&flat, &chips);
         let cold = flat.cut_bits(&init);
         let r = refine(&flat, &chips, &init, &Capacities::balanced(cap));
-        let hand_col = if n == 4 { hand.to_string() } else { "-".to_string() };
+        let hand_col = if n == 4 {
+            hand.to_string()
+        } else {
+            "-".to_string()
+        };
         println!("{n:>6} {cold:>10} {:>12} {hand_col:>12}", r.final_cut);
     }
 }

@@ -1,0 +1,67 @@
+//! Emits a BENCH json line comparing the classic single-worker
+//! connection search with the 8-plan portfolio on the adversarial fan-in
+//! design: wall time, nodes expanded, nodes/second and the measured
+//! speedup. The output is one JSON object on stdout, suitable for
+//! machine-diffing runs before and after search changes.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mcs_cdfg::{designs::synthetic, PortMode};
+use mcs_connect::{synthesize_with_stats, SearchConfig, SearchStats};
+
+struct Measured {
+    ok: bool,
+    stats: SearchStats,
+    wall_ms: f64,
+}
+
+fn run(workers: usize) -> Measured {
+    let d = synthetic::portfolio_adversarial(6);
+    let cfg = SearchConfig::new(2).with_workers(workers);
+    let t0 = Instant::now();
+    let (ic, stats) = synthesize_with_stats(d.cdfg(), PortMode::Unidirectional, &cfg);
+    Measured {
+        ok: ic.is_ok(),
+        stats,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn emit(out: &mut String, label: &str, m: &Measured) {
+    let _ = write!(
+        out,
+        "\"{label}\":{{\"ok\":{},\"nodes\":{},\"nodes_per_sec\":{:.0},\
+         \"epochs\":{},\"threads\":{},\"cache_hits\":{},\"prunes\":{},\
+         \"backtracks\":{},\"wall_ms\":{:.3},\"winner\":{}}}",
+        m.ok,
+        m.stats.nodes,
+        m.stats.nodes_per_sec(),
+        m.stats.epochs,
+        m.stats.threads,
+        m.stats.cache_hits,
+        m.stats.prunes,
+        m.stats.backtracks,
+        m.wall_ms,
+        match m.stats.winner {
+            Some(w) => w.to_string(),
+            None => String::from("null"),
+        },
+    );
+}
+
+fn main() {
+    let before = run(1);
+    let after = run(8);
+    let mut out = String::from("{\"bench\":\"portfolio_adversarial\",\"senders\":6,");
+    emit(&mut out, "before", &before);
+    out.push(',');
+    emit(&mut out, "after", &after);
+    let speedup = if after.wall_ms > 0.0 {
+        before.wall_ms / after.wall_ms
+    } else {
+        0.0
+    };
+    let _ = write!(out, ",\"speedup\":{speedup:.2}}}");
+    println!("{out}");
+}

@@ -78,7 +78,10 @@ fn real_pins(r: &SynthesisResult) -> u32 {
 pub fn e3_1() -> String {
     let d = designs::ar_filter::simple();
     let mut out = String::new();
-    let _ = writeln!(out, "E3.1 (Figures 3.6/3.7): simple-partition AR filter, L = 2");
+    let _ = writeln!(
+        out,
+        "E3.1 (Figures 3.6/3.7): simple-partition AR filter, L = 2"
+    );
     match simple_flow(d.cdfg(), 2) {
         Ok(r) => {
             let _ = writeln!(
@@ -112,7 +115,13 @@ fn ar_flow(rate: u32, mode: PortMode, reassign: bool, sharing: bool) -> Option<S
 /// and without bus reassignment.
 pub fn e4_summary(mode: PortMode) -> String {
     let mut t = Table::new([
-        "L", "P0", "P1", "P2", "P3", "steps w/ reassign", "steps w/o reassign",
+        "L",
+        "P0",
+        "P1",
+        "P2",
+        "P3",
+        "steps w/ reassign",
+        "steps w/o reassign",
     ]);
     for rate in [3u32, 4, 5] {
         let dynamic = ar_flow(rate, mode, true, false);
@@ -130,9 +139,7 @@ pub fn e4_summary(mode: PortMode) -> String {
             cell(&fixed, &|r| r.pipe_length.to_string()),
         ]);
     }
-    format!(
-        "E4 summary ({mode:?}; Tables 4.2/4.10 analogue): AR filter\n{t}"
-    )
+    format!("E4 summary ({mode:?}; Tables 4.2/4.10 analogue): AR filter\n{t}")
 }
 
 /// E4.2/E4.4 — Tables 4.3-4.8 and 4.11-4.13: bus assignments (initial vs
@@ -145,13 +152,19 @@ pub fn e4_detail(mode: PortMode) -> String {
             let _ = writeln!(out, "L={rate}: flow failed");
             continue;
         };
-        let _ = writeln!(out, "== {mode:?} L = {rate}: bus assignment (initial vs final) ==");
+        let _ = writeln!(
+            out,
+            "== {mode:?} L = {rate}: bus assignment (initial vs final) =="
+        );
         let _ = writeln!(
             out,
             "{}",
             render_bus_assignment(d.cdfg(), &r.interconnect, &r.placements)
         );
-        let _ = writeln!(out, "== {mode:?} L = {rate}: bus allocation by step group ==");
+        let _ = writeln!(
+            out,
+            "== {mode:?} L = {rate}: bus allocation by step group =="
+        );
         let _ = writeln!(
             out,
             "{}",
@@ -260,7 +273,14 @@ pub fn e5_ar_ch4() -> String {
 /// E5.3 — Table 5.3: elliptic filter resources and in-out delay over
 /// (L, pipe length).
 pub fn e5_ewf() -> String {
-    let mut t = Table::new(["L", "pipe", "pins P1..P5", "adders", "multipliers", "in-out delay"]);
+    let mut t = Table::new([
+        "L",
+        "pipe",
+        "pins P1..P5",
+        "adders",
+        "multipliers",
+        "in-out delay",
+    ]);
     // Our reconstructed netlist's critical path is 26 steps (the paper's
     // sweep starts at 22 for its own netlist).
     for rate in [5u32, 6, 7] {
@@ -275,8 +295,8 @@ pub fn e5_ewf() -> String {
                             .map(|(_, &n)| n)
                             .sum()
                     };
-                    let delay = r.schedule.of(d.op_named("Op")).step
-                        - r.schedule.of(d.op_named("Ia")).step;
+                    let delay =
+                        r.schedule.of(d.op_named("Op")).step - r.schedule.of(d.op_named("Ia")).step;
                     t.row([
                         rate.to_string(),
                         pipe.to_string(),
@@ -318,7 +338,12 @@ pub fn e5_ewf_ch4() -> String {
                 ]);
             }
             Err(e) => {
-                t.row([rate.to_string(), "-".into(), "-".into(), format!("failed: {e}")]);
+                t.row([
+                    rate.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    format!("failed: {e}"),
+                ]);
             }
         }
     }
@@ -414,19 +439,47 @@ pub fn e7_recursive() -> String {
     let shared = Interconnect {
         mode: PortMode::Unidirectional,
         buses: vec![mk_bus(&[(p1, p2), (p2, p1)])],
-        assignment: [(x, BusAssignment { bus: mcs_cdfg::BusId::new(0), range: whole }),
-                     (y, BusAssignment { bus: mcs_cdfg::BusId::new(0), range: whole })]
-            .into_iter()
-            .collect(),
+        assignment: [
+            (
+                x,
+                BusAssignment {
+                    bus: mcs_cdfg::BusId::new(0),
+                    range: whole,
+                },
+            ),
+            (
+                y,
+                BusAssignment {
+                    bus: mcs_cdfg::BusId::new(0),
+                    range: whole,
+                },
+            ),
+        ]
+        .into_iter()
+        .collect(),
     };
     // Separate structure: one bus each.
     let separate = Interconnect {
         mode: PortMode::Unidirectional,
         buses: vec![mk_bus(&[(p1, p2)]), mk_bus(&[(p2, p1)])],
-        assignment: [(x, BusAssignment { bus: mcs_cdfg::BusId::new(0), range: whole }),
-                     (y, BusAssignment { bus: mcs_cdfg::BusId::new(1), range: whole })]
-            .into_iter()
-            .collect(),
+        assignment: [
+            (
+                x,
+                BusAssignment {
+                    bus: mcs_cdfg::BusId::new(0),
+                    range: whole,
+                },
+            ),
+            (
+                y,
+                BusAssignment {
+                    bus: mcs_cdfg::BusId::new(1),
+                    range: whole,
+                },
+            ),
+        ]
+        .into_iter()
+        .collect(),
     };
     let run = |ic: Interconnect| -> String {
         let mut policy = BusPolicy::new(ic, rate, false);
@@ -479,12 +532,8 @@ pub fn e7_wheel() -> String {
     safe.place(0);
     let checked = safe.is_safe(3, 1);
     let d = designs::synthetic::multicycle_example();
-    let scheduled = list_schedule(
-        d.cdfg(),
-        &ListConfig::new(6),
-        &mut mcs_sched::NullPolicy,
-    )
-    .is_ok();
+    let scheduled =
+        list_schedule(d.cdfg(), &ListConfig::new(6), &mut mcs_sched::NullPolicy).is_ok();
     format!(
         "E7.3 (Figure 7.10): three 2-cycle ops, one unit, L = 6\n\
          Eq. 7.5 lower bound: {:?} unit(s)\n\
@@ -515,7 +564,12 @@ pub fn e7_tdm() -> String {
                     .max()
                     .unwrap_or(0);
                 t.row([
-                    if split { "split (2 x 16)" } else { "whole (32)" }.to_string(),
+                    if split {
+                        "split (2 x 16)"
+                    } else {
+                        "whole (32)"
+                    }
+                    .to_string(),
                     widest.to_string(),
                     real_pins(&r).to_string(),
                     r.pipe_length.to_string(),

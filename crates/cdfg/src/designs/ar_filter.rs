@@ -48,29 +48,25 @@ pub fn simple() -> Design {
     // next ring partition) and the primary output — one value, two I/O
     // operations, sharing a bus slot when co-scheduled (Section 2.2.1).
     // a4 is partition-local state (a degree-4 accumulator, Section 7.1).
-    let half = |b: &mut CdfgBuilder,
-                p,
-                ins: [&str; 8],
-                fb: (ValueId, ValueId),
-                tag: &str|
-     -> ValueId {
-        let iv: Vec<ValueId> = ins.iter().map(|n| b.input(n, 8, p).1).collect();
-        let (_, m1) = b.func(&format!("m1{tag}"), Mul, p, &[(iv[0], 0), (iv[1], 0)], 8);
-        let (_, m2) = b.func(&format!("m2{tag}"), Mul, p, &[(iv[2], 0), (iv[3], 0)], 8);
-        let (_, m3) = b.func(&format!("m3{tag}"), Mul, p, &[(iv[4], 0), (iv[5], 0)], 8);
-        let (_, m4) = b.func(&format!("m4{tag}"), Mul, p, &[(iv[6], 0), (iv[7], 0)], 8);
-        let (_, a1) = b.func(&format!("a1{tag}"), Add, p, &[(m1, 0), (m2, 0)], 8);
-        let (_, a2) = b.func(&format!("a2{tag}"), Add, p, &[(m3, 0), (m4, 0)], 8);
-        let (_, a3) = b.func(&format!("a3{tag}"), Add, p, &[(a1, 0), (fb.0, 0)], 8);
-        let (a4_op, a4) = b.func(&format!("a4{tag}"), Add, p, &[(a2, 0), (fb.1, 0)], 8);
-        b.add_edge(crate::Edge {
-            from: a4_op,
-            to: a4_op,
-            value: a4,
-            degree: 4,
-        });
-        a3
-    };
+    let half =
+        |b: &mut CdfgBuilder, p, ins: [&str; 8], fb: (ValueId, ValueId), tag: &str| -> ValueId {
+            let iv: Vec<ValueId> = ins.iter().map(|n| b.input(n, 8, p).1).collect();
+            let (_, m1) = b.func(&format!("m1{tag}"), Mul, p, &[(iv[0], 0), (iv[1], 0)], 8);
+            let (_, m2) = b.func(&format!("m2{tag}"), Mul, p, &[(iv[2], 0), (iv[3], 0)], 8);
+            let (_, m3) = b.func(&format!("m3{tag}"), Mul, p, &[(iv[4], 0), (iv[5], 0)], 8);
+            let (_, m4) = b.func(&format!("m4{tag}"), Mul, p, &[(iv[6], 0), (iv[7], 0)], 8);
+            let (_, a1) = b.func(&format!("a1{tag}"), Add, p, &[(m1, 0), (m2, 0)], 8);
+            let (_, a2) = b.func(&format!("a2{tag}"), Add, p, &[(m3, 0), (m4, 0)], 8);
+            let (_, a3) = b.func(&format!("a3{tag}"), Add, p, &[(a1, 0), (fb.0, 0)], 8);
+            let (a4_op, a4) = b.func(&format!("a4{tag}"), Add, p, &[(a2, 0), (fb.1, 0)], 8);
+            b.add_edge(crate::Edge {
+                from: a4_op,
+                to: a4_op,
+                value: a4,
+                degree: 4,
+            });
+            a3
+        };
     // A lattice quarter: five primary inputs plus the cross value A from
     // the previous ring partition; four multiplications, two additions.
     let quarter = |b: &mut CdfgBuilder, p, ins: [&str; 5], a: ValueId, tag: &str| {
@@ -116,7 +112,10 @@ pub fn simple() -> Design {
     b.bind_io_source(x5_op, b2_p4, 4);
     b.bind_io_source(x6_op, n4_p4, 4);
 
-    Design::new("ar-simple", b.finish().expect("AR simple partition is valid"))
+    Design::new(
+        "ar-simple",
+        b.finish().expect("AR simple partition is valid"),
+    )
 }
 
 /// Pin budgets and resource constraints for the general-partition AR filter

@@ -232,16 +232,8 @@ mod tests {
         let env = PartitionId::ENVIRONMENT;
         // One 16-bit input value out of the environment, one 16-bit output
         // into it: exactly the 32 pins of Table 4.14.
-        let out_bits: u32 = g
-            .output_values(env)
-            .iter()
-            .map(|&v| g.value(v).bits)
-            .sum();
-        let in_bits: u32 = g
-            .input_io_ops(env)
-            .iter()
-            .map(|&op| g.io_bits(op))
-            .sum();
+        let out_bits: u32 = g.output_values(env).iter().map(|&v| g.value(v).bits).sum();
+        let in_bits: u32 = g.input_io_ops(env).iter().map(|&op| g.io_bits(op)).sum();
         assert_eq!(out_bits + in_bits, 32);
         assert_eq!(g.partition(env).total_pins, 32);
     }

@@ -61,7 +61,9 @@ pub fn fig_2_5() -> Design {
     b.fix_pin_split(pa, 2, 2);
     b.fix_pin_split(pb, 2, 1);
     b.fix_pin_split(pc, 1, 1);
-    b.resource(pa, Add, 4).resource(pb, Add, 2).resource(pc, Add, 2);
+    b.resource(pa, Add, 4)
+        .resource(pb, Add, 2)
+        .resource(pc, Add, 2);
 
     let mut outs = Vec::new();
     for k in 1..=4 {
@@ -114,13 +116,7 @@ pub fn fig_7_4(chain_len: usize, tasks: usize, processors: u32) -> Design {
         let (_, t) = b.func(&format!("T{k}"), Add, p2, &[(x2, 0)], 2);
         last = Some(t);
     }
-    let (_, yv) = b.func(
-        "join",
-        Add,
-        p2,
-        &[(last.expect("at least one task"), 0)],
-        2,
-    );
+    let (_, yv) = b.func("join", Add, p2, &[(last.expect("at least one task"), 0)], 2);
     b.bind_io_source(y_op, yv, 2);
     Design::new("fig7.4", b.finish().expect("figure 7.4 graph is valid"))
 }
@@ -240,6 +236,80 @@ pub fn quickstart() -> Design {
     });
     b.output("o", acc);
     Design::new("quickstart", b.finish().expect("quickstart graph is valid"))
+}
+
+/// A pin-tight fan-in workload built to mislead the classic connection
+/// search order (the portfolio benchmark's worst case).
+///
+/// `senders` chips each deliver two 8-bit values to each of two receiver
+/// chips, plus take one 8-bit primary input — so every sender has pins
+/// for *exactly* three 8-bit ports: its input and one bus per receiver.
+/// At initiation rate 2 the only viable structure keeps each sender's
+/// transfers to one receiver together on a private, exactly-full bus.
+///
+/// Assigning in the classic width-descending order (creation order here,
+/// since every transfer is 8 bits wide and equally pin-scarce), the gain
+/// function's `g1` term rewards merging transfers from *different*
+/// senders onto shared receiver buses; the stranded sender pin budgets
+/// only surface when the second wave of transfers arrives, roughly
+/// `3*senders` assignments deep, so the search backtracks through an
+/// exponential subtree. A pair-grouped operation order assigns each
+/// (sender, receiver) pair back to back and finds the structure
+/// greedily.
+pub fn portfolio_adversarial(senders: usize) -> Design {
+    let senders = senders.max(2);
+    let bits = 8u32;
+    let mut b = CdfgBuilder::new(Library::new(100));
+    let s: Vec<_> = (0..senders)
+        .map(|i| b.partition(&format!("S{i}"), 3 * bits))
+        .collect();
+    // Receivers: one 8-bit bus per sender plus the result output, exact.
+    let rx_pins = (senders as u32 + 1) * bits;
+    let r0 = b.partition("R0", rx_pins);
+    let r1 = b.partition("R1", rx_pins);
+    for &p in &s {
+        b.resource(p, Add, 4);
+    }
+    b.resource(r0, Add, senders as u32);
+    b.resource(r1, Add, senders as u32);
+
+    // Primary inputs first: their transfers are assigned first in
+    // creation order and soak up one sender port each.
+    let src: Vec<_> = (0..senders)
+        .map(|i| b.input(&format!("x{i}"), bits, s[i]).1)
+        .collect();
+    let vals: Vec<Vec<_>> = (0..senders)
+        .map(|i| {
+            (0..4)
+                .map(|k| {
+                    b.func(&format!("v{i}_{k}"), Add, s[i], &[(src[i], 0)], bits)
+                        .1
+                })
+                .collect()
+        })
+        .collect();
+    // Transfers in interleaved waves: one value from every sender to R0,
+    // then to R1, then the second value of each — maximal temptation for
+    // cross-sender bus merging.
+    let mut rx_vals: Vec<Vec<crate::ValueId>> = vec![Vec::new(), Vec::new()];
+    for wave in 0..2usize {
+        for (rj, &r) in [r0, r1].iter().enumerate() {
+            for (i, sender_vals) in vals.iter().enumerate() {
+                let v = sender_vals[2 * rj + wave];
+                let (_, dv) = b.io(&format!("t{i}r{rj}w{wave}"), v, r);
+                rx_vals[rj].push(dv);
+            }
+        }
+    }
+    for (rj, &r) in [r0, r1].iter().enumerate() {
+        let inputs: Vec<_> = rx_vals[rj].iter().map(|&v| (v, 0)).collect();
+        let (_, y) = b.func(&format!("y{rj}"), Add, r, &inputs, bits);
+        b.output(&format!("o{rj}"), y);
+    }
+    Design::new(
+        "portfolio-adversarial",
+        b.finish().expect("portfolio adversarial graph is valid"),
+    )
 }
 
 #[cfg(test)]

@@ -23,7 +23,11 @@ pub fn to_dot(cdfg: &Cdfg) -> String {
             continue; // the environment has no box of its own
         }
         let _ = writeln!(out, "  subgraph cluster_p{pi} {{");
-        let _ = writeln!(out, "    label=\"{} ({} pins)\";", part.name, part.total_pins);
+        let _ = writeln!(
+            out,
+            "    label=\"{} ({} pins)\";",
+            part.name, part.total_pins
+        );
         for op in cdfg.op_ids() {
             let o = cdfg.op(op);
             let here = match o.kind {
@@ -46,7 +50,11 @@ pub fn to_dot(cdfg: &Cdfg) -> String {
                 OpKind::Split { .. } | OpKind::Merge => ("trapezium", ""),
                 OpKind::Func(_) => ("ellipse", ""),
             };
-            let _ = writeln!(out, "    {op} [label=\"{}\", shape={shape}{style}];", o.name);
+            let _ = writeln!(
+                out,
+                "    {op} [label=\"{}\", shape={shape}{style}];",
+                o.name
+            );
         }
         let _ = writeln!(out, "  }}");
     }

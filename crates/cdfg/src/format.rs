@@ -269,9 +269,10 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
         let (head, guard, operands) = clauses(&tokens, &names, line)?;
         match head {
             ["conds", n] => {
-                let n: usize = n
-                    .parse()
-                    .map_err(|_| ParseError { line, msg: "bad conds count".into() })?;
+                let n: usize = n.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad conds count".into(),
+                })?;
                 if n > 1024 {
                     return err(line, "at most 1024 branch variables");
                 }
@@ -281,9 +282,10 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                 }
             }
             ["envpins", pins] => {
-                let pins = pins
-                    .parse()
-                    .map_err(|_| ParseError { line, msg: "bad envpins".into() })?;
+                let pins = pins.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad envpins".into(),
+                })?;
                 b.environment_pins(pins);
             }
             ["partition", rest @ ..] if !rest.is_empty() => {
@@ -296,12 +298,14 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                 while i < rest.len() {
                     match rest[i] {
                         "split" if i + 2 < rest.len() => {
-                            let inp = rest[i + 1]
-                                .parse()
-                                .map_err(|_| ParseError { line, msg: "bad split".into() })?;
-                            let out = rest[i + 2]
-                                .parse()
-                                .map_err(|_| ParseError { line, msg: "bad split".into() })?;
+                            let inp = rest[i + 1].parse().map_err(|_| ParseError {
+                                line,
+                                msg: "bad split".into(),
+                            })?;
+                            let out = rest[i + 2].parse().map_err(|_| ParseError {
+                                line,
+                                msg: "bad split".into(),
+                            })?;
                             b.fix_pin_split(p, inp, out);
                             i += 3;
                         }
@@ -318,31 +322,35 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
             }
             ["resource", p, class, n] => {
                 let pid = names.partition(p, line)?;
-                let n = n
-                    .parse()
-                    .map_err(|_| ParseError { line, msg: "bad resource count".into() })?;
+                let n = n.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad resource count".into(),
+                })?;
                 b.resource(pid, class_of(class), n);
             }
             ["extval", name, bits] => {
-                let bits = bits
-                    .parse()
-                    .map_err(|_| ParseError { line, msg: "bad bits".into() })?;
+                let bits = bits.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad bits".into(),
+                })?;
                 let v = b.external_value(name, bits);
                 names.def_value(name, v, line)?;
             }
             ["input", name, bits, p] => {
-                let bits = bits
-                    .parse()
-                    .map_err(|_| ParseError { line, msg: "bad bits".into() })?;
+                let bits = bits.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad bits".into(),
+                })?;
                 let pid = names.partition(p, line)?;
                 let (op, v) = b.input(name, bits, pid);
                 names.def_op(name, op, line)?;
                 names.def_value(name, v, line)?;
             }
             ["func", name, class, p, bits] => {
-                let bits: u32 = bits
-                    .parse()
-                    .map_err(|_| ParseError { line, msg: "bad bits".into() })?;
+                let bits: u32 = bits.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad bits".into(),
+                })?;
                 if bits == 0 {
                     return err(line, "result width must be positive");
                 }
@@ -369,9 +377,10 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                 names.def_value(name, v, line)?;
             }
             ["pending", name, bits, from, to] => {
-                let bits: u32 = bits
-                    .parse()
-                    .map_err(|_| ParseError { line, msg: "bad bits".into() })?;
+                let bits: u32 = bits.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad bits".into(),
+                })?;
                 let fp = names.partition(from, line)?;
                 let tp = names.partition(to, line)?;
                 let (op, v) = with_guard(
@@ -388,17 +397,16 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                     return err(line, format!("unknown operation `{io}`"));
                 };
                 let Some((from, bits)) = names.pending.remove(&op) else {
-                    return err(
-                        line,
-                        format!("`{io}` is not an unbound pending transfer"),
-                    );
+                    return err(line, format!("`{io}` is not an unbound pending transfer"));
                 };
                 let (vname, deg) = parse_ref(value, line)?;
                 let v = names.value(vname, line)?;
                 if b.home_of(v) != from {
                     return err(
                         line,
-                        format!("source `{vname}` does not live in the transfer's source partition"),
+                        format!(
+                            "source `{vname}` does not live in the transfer's source partition"
+                        ),
                     );
                 }
                 if b.value_bits(v) != bits {
@@ -416,10 +424,10 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                 let v = names.value(src, line)?;
                 let mut widths = Vec::new();
                 for &t in operands {
-                    widths.push(
-                        t.parse()
-                            .map_err(|_| ParseError { line, msg: "bad split width".into() })?,
-                    );
+                    widths.push(t.parse().map_err(|_| ParseError {
+                        line,
+                        msg: "bad split width".into(),
+                    })?);
                 }
                 if widths.is_empty() {
                     return err(line, "split needs `: <w0> <w1> ...`");
@@ -440,9 +448,10 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                 }
             }
             ["merge", name, p, bits] => {
-                let bits: u32 = bits
-                    .parse()
-                    .map_err(|_| ParseError { line, msg: "bad bits".into() })?;
+                let bits: u32 = bits.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad bits".into(),
+                })?;
                 let pid = names.partition(p, line)?;
                 if bits == 0 {
                     return err(line, "merge width must be positive");
@@ -545,7 +554,10 @@ pub fn write(cdfg: &Cdfg) -> String {
     let mut pname: Vec<String> = Vec::new();
     {
         let originals: Vec<&str> = cdfg.partitions().iter().map(|p| p.name.as_str()).collect();
-        let unique = originals.iter().collect::<std::collections::BTreeSet<_>>().len()
+        let unique = originals
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
             == originals.len();
         for (i, p) in cdfg.partitions().iter().enumerate() {
             if i == 0 {
@@ -582,13 +594,22 @@ pub fn write(cdfg: &Cdfg) -> String {
     // Operation names: originals when globally unique and token-safe.
     let oname: Vec<String> = {
         let originals: Vec<&str> = cdfg.ops().iter().map(|o| o.name.as_str()).collect();
-        let usable = originals.iter().collect::<std::collections::BTreeSet<_>>().len()
+        let usable = originals
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
             == originals.len()
             && originals.iter().all(|n| token_safe(n) && !n.contains('.'));
         cdfg.ops()
             .iter()
             .enumerate()
-            .map(|(i, o)| if usable { o.name.clone() } else { format!("o{i}") })
+            .map(|(i, o)| {
+                if usable {
+                    o.name.clone()
+                } else {
+                    format!("o{i}")
+                }
+            })
             .collect()
     };
 
@@ -600,11 +621,8 @@ pub fn write(cdfg: &Cdfg) -> String {
             vref.insert(r, oname[op.index()].clone());
         }
         if matches!(cdfg.op(op).kind, OpKind::Split { .. }) {
-            let mut parts: Vec<ValueId> = cdfg
-                .succs(op)
-                .iter()
-                .map(|&e| cdfg.edge(e).value)
-                .collect();
+            let mut parts: Vec<ValueId> =
+                cdfg.succs(op).iter().map(|&e| cdfg.edge(e).value).collect();
             parts.sort();
             parts.dedup();
             for (k, part) in parts.into_iter().enumerate() {
@@ -669,11 +687,8 @@ pub fn write(cdfg: &Cdfg) -> String {
             }
             OpKind::Split { .. } => {
                 let src = cdfg.edge(cdfg.preds(op)[0]).value;
-                let mut parts: Vec<ValueId> = cdfg
-                    .succs(op)
-                    .iter()
-                    .map(|&e| cdfg.edge(e).value)
-                    .collect();
+                let mut parts: Vec<ValueId> =
+                    cdfg.succs(op).iter().map(|&e| cdfg.edge(e).value).collect();
                 parts.sort();
                 parts.dedup();
                 let widths: Vec<String> = parts
@@ -858,9 +873,7 @@ mod tests {
 
     #[test]
     fn roundtrips_bidirectional_designs() {
-        roundtrip(
-            ar_filter::general(3, PortMode::Bidirectional).cdfg(),
-        );
+        roundtrip(ar_filter::general(3, PortMode::Bidirectional).cdfg());
         roundtrip(elliptic::partitioned_with(6, PortMode::Bidirectional).cdfg());
     }
 
@@ -870,8 +883,18 @@ mod tests {
         let text = write(d.cdfg());
         assert!(text.contains("split "), "{text}");
         let re = parse(&text).unwrap();
-        let orig: Vec<_> = d.cdfg().partitions().iter().map(|p| p.fixed_split).collect();
-        let back: Vec<_> = re.cdfg().partitions().iter().map(|p| p.fixed_split).collect();
+        let orig: Vec<_> = d
+            .cdfg()
+            .partitions()
+            .iter()
+            .map(|p| p.fixed_split)
+            .collect();
+        let back: Vec<_> = re
+            .cdfg()
+            .partitions()
+            .iter()
+            .map(|p| p.fixed_split)
+            .collect();
         assert_eq!(orig, back);
     }
 
@@ -967,20 +990,45 @@ mod tests {
         // Statement-shaped junk exercising every keyword with wrong
         // arities, types, widths, and references.
         let fragments = [
-            "stage", "stage x", "stage 0", "iodelay 9999999",
-            "module", "module add", "module add x", "module add 10 wat",
-            "conds -1", "conds abc", "envpins x",
-            "partition", "partition P 8 split 1", "partition P 8 wat",
-            "resource P add x", "resource Q add 1",
-            "extval v", "extval v 0", "input i 8 Q",
-            "func f add P 8 : missing", "func f add P abc",
-            "pending X 8 P Q", "bind X missing", "bind missing v",
-            "split s missing : 8", "split s v :", "split s v : 0 8",
-            "merge m P 8 : missing", "output o missing",
-            "edge a b c", "edge a b c@x", ": : :", "guard +0",
-            "\u{0}weird\u{7f}", "func f add P 8 guard %0 : v",
-            "func f add P 8 guard \u{e9}0 : v", "conds 99999999999",
-            "stage 100\u{2028}", "partition \u{fe}\u{ff} 8",
+            "stage",
+            "stage x",
+            "stage 0",
+            "iodelay 9999999",
+            "module",
+            "module add",
+            "module add x",
+            "module add 10 wat",
+            "conds -1",
+            "conds abc",
+            "envpins x",
+            "partition",
+            "partition P 8 split 1",
+            "partition P 8 wat",
+            "resource P add x",
+            "resource Q add 1",
+            "extval v",
+            "extval v 0",
+            "input i 8 Q",
+            "func f add P 8 : missing",
+            "func f add P abc",
+            "pending X 8 P Q",
+            "bind X missing",
+            "bind missing v",
+            "split s missing : 8",
+            "split s v :",
+            "split s v : 0 8",
+            "merge m P 8 : missing",
+            "output o missing",
+            "edge a b c",
+            "edge a b c@x",
+            ": : :",
+            "guard +0",
+            "\u{0}weird\u{7f}",
+            "func f add P 8 guard %0 : v",
+            "func f add P 8 guard \u{e9}0 : v",
+            "conds 99999999999",
+            "stage 100\u{2028}",
+            "partition \u{fe}\u{ff} 8",
         ];
         // A valid prefix so later statements have something to refer to.
         let prefix = "stage 100\npartition P 64\ninput v 16 P\n";

@@ -711,7 +711,13 @@ impl CdfgBuilder {
         r
     }
 
-    fn push_value(&mut self, name: &str, bits: u32, producer: Option<OpId>, home: PartitionId) -> ValueId {
+    fn push_value(
+        &mut self,
+        name: &str,
+        bits: u32,
+        producer: Option<OpId>,
+        home: PartitionId,
+    ) -> ValueId {
         let id = ValueId::new(self.values.len() as u32);
         self.values.push(Value {
             name: name.to_string(),
@@ -1262,10 +1268,7 @@ mod tests {
         let (mut b, p1, _) = two_chip_builder();
         let (_, a) = b.input("a", 8, p1);
         let _ = b.func("f", OperatorClass::Add, p1, &[(a, 0)], 0);
-        assert!(matches!(
-            b.finish(),
-            Err(GraphError::ZeroWidthValue { .. })
-        ));
+        assert!(matches!(b.finish(), Err(GraphError::ZeroWidthValue { .. })));
     }
 
     #[test]
@@ -1301,10 +1304,7 @@ mod tests {
             value: m2,
             degree: 0,
         });
-        assert!(matches!(
-            b.finish(),
-            Err(GraphError::InconsistentIo { .. })
-        ));
+        assert!(matches!(b.finish(), Err(GraphError::InconsistentIo { .. })));
     }
 
     #[test]

@@ -96,7 +96,11 @@ pub fn place_after(cdfg: &Cdfg, op: OpId, ready_ns: i64) -> StepTime {
     let delay = cdfg.op_delay_ns(op) as i64;
     if boundary_start(cdfg, op) {
         let step = ready_ns.div_euclid(stage)
-            + if ready_ns.rem_euclid(stage) != 0 { 1 } else { 0 };
+            + if ready_ns.rem_euclid(stage) != 0 {
+                1
+            } else {
+                0
+            };
         return StepTime::at_step(step);
     }
     let step = ready_ns.div_euclid(stage);
@@ -231,10 +235,8 @@ pub fn feedback_group_windows(
     cdfg: &Cdfg,
     l: u32,
 ) -> std::collections::BTreeMap<crate::ValueId, std::collections::BTreeSet<u32>> {
-    let mut map: std::collections::BTreeMap<
-        crate::ValueId,
-        std::collections::BTreeSet<u32>,
-    > = std::collections::BTreeMap::new();
+    let mut map: std::collections::BTreeMap<crate::ValueId, std::collections::BTreeSet<u32>> =
+        std::collections::BTreeMap::new();
     let Ok(asap_times) = asap(cdfg) else {
         return map;
     };
@@ -369,9 +371,21 @@ mod tests {
         let g = b.finish().unwrap();
         let t = asap(&g).unwrap();
         // Input I/O occupies step 0 (offset 0); mul chains after it at 10ns.
-        assert_eq!(t.of(m_op), StepTime { step: 0, offset_ns: 10 });
+        assert_eq!(
+            t.of(m_op),
+            StepTime {
+                step: 0,
+                offset_ns: 10
+            }
+        );
         // 10 + 210 = 220; add fits: starts at 220, ends 250.
-        assert_eq!(t.of(s_op), StepTime { step: 0, offset_ns: 220 });
+        assert_eq!(
+            t.of(s_op),
+            StepTime {
+                step: 0,
+                offset_ns: 220
+            }
+        );
     }
 
     #[test]
@@ -401,7 +415,13 @@ mod tests {
         let g = b.finish().unwrap();
         let t = asap(&g).unwrap();
         assert_eq!(t.of(x_op), StepTime::at_step(1));
-        assert_eq!(t.of(s_op), StepTime { step: 1, offset_ns: 10 });
+        assert_eq!(
+            t.of(s_op),
+            StepTime {
+                step: 1,
+                offset_ns: 10
+            }
+        );
     }
 
     #[test]
@@ -433,7 +453,10 @@ mod tests {
         assert!(l.of(m_op).ns(250) + 210 <= l.of(s_op).ns(250));
         let a_ = asap(&g).unwrap();
         for op in g.op_ids() {
-            assert!(a_.of(op).ns(250) <= l.of(op).ns(250), "frame inverted for {op}");
+            assert!(
+                a_.of(op).ns(250) <= l.of(op).ns(250),
+                "frame inverted for {op}"
+            );
         }
     }
 
@@ -461,14 +484,23 @@ mod tests {
         let (_, a) = b.input("a", 16, p1);
         let (s_op, s) = b.func("s", OperatorClass::Add, p1, &[(a, 0)], 16);
         let (m_op, m) = b.func("m", OperatorClass::Mul, p1, &[(s, 0)], 16);
-        b.add_edge(Edge { from: m_op, to: s_op, value: m, degree: 2 });
+        b.add_edge(Edge {
+            from: m_op,
+            to: s_op,
+            value: m,
+            degree: 2,
+        });
         let g = b.finish().unwrap();
         let cs = max_time_constraints(&g, 5);
         assert_eq!(cs.len(), 1);
         // d*L - cycles(mul) = 2*5 - 2 = 8.
         assert_eq!(
             cs[0],
-            MaxTimeConstraint { from: m_op, to: s_op, bound: 8 }
+            MaxTimeConstraint {
+                from: m_op,
+                to: s_op,
+                bound: 8
+            }
         );
     }
 
@@ -481,7 +513,12 @@ mod tests {
         let (_, a) = b.input("a", 16, p1);
         let (s_op, s) = b.func("s", OperatorClass::Add, p1, &[(a, 0)], 16);
         let (m_op, m) = b.func("m", OperatorClass::Mul, p1, &[(s, 0)], 16);
-        b.add_edge(Edge { from: m_op, to: s_op, value: m, degree: 1 });
+        b.add_edge(Edge {
+            from: m_op,
+            to: s_op,
+            value: m,
+            degree: 1,
+        });
         let g = b.finish().unwrap();
         assert_eq!(min_initiation_rate(&g), 3);
     }
@@ -510,7 +547,12 @@ mod tests {
                 prev = v;
             }
             let last_op = OpId::new(b.op_count() as u32 - 1);
-            b.add_edge(Edge { from: last_op, to: first, value: prev, degree });
+            b.add_edge(Edge {
+                from: last_op,
+                to: first,
+                value: prev,
+                degree,
+            });
             b.finish().unwrap()
         };
         // Loop latency 8; degree 1 -> 8, degree 4 -> 2.
@@ -524,10 +566,7 @@ mod tests {
         // windows at every feasible rate, and every listed group is a
         // valid residue class.
         for l in [5u32, 6, 7] {
-            let d = crate::designs::elliptic::partitioned_with(
-                l,
-                crate::PortMode::Unidirectional,
-            );
+            let d = crate::designs::elliptic::partitioned_with(l, crate::PortMode::Unidirectional);
             let windows = feedback_group_windows(d.cdfg(), l);
             assert!(!windows.is_empty(), "EWF carries feedback transfers");
             for (v, groups) in &windows {
@@ -569,7 +608,10 @@ mod tests {
 
     #[test]
     fn step_time_ns_handles_negative_steps() {
-        let t = StepTime { step: -2, offset_ns: 50 };
+        let t = StepTime {
+            step: -2,
+            offset_ns: 50,
+        };
         assert_eq!(t.ns(250), -450);
         assert_eq!(StepTime::at_step(-1).ns(100), -100);
     }

@@ -74,8 +74,7 @@ struct Node {
 
 impl Node {
     fn compatible(&self, other: &Node, cdfg: &Cdfg) -> bool {
-        let frame_ok =
-            self.frame.0.max(other.frame.0) <= self.frame.1.min(other.frame.1);
+        let frame_ok = self.frame.0.max(other.frame.0) <= self.frame.1.min(other.frame.1);
         frame_ok
             && self.ops.iter().all(|&a| {
                 other.ops.iter().all(|&b| {
@@ -99,10 +98,8 @@ impl Node {
 
     /// Fraction of scheduling freedom lost (`penalty(e)`).
     fn penalty(&self, other: &Node) -> f64 {
-        let union =
-            (self.frame.1.max(other.frame.1) - self.frame.0.min(other.frame.0) + 1) as f64;
-        let inter =
-            (self.frame.1.min(other.frame.1) - self.frame.0.max(other.frame.0) + 1) as f64;
+        let union = (self.frame.1.max(other.frame.1) - self.frame.0.min(other.frame.0) + 1) as f64;
+        let inter = (self.frame.1.min(other.frame.1) - self.frame.0.max(other.frame.0) + 1) as f64;
         union / inter - 1.0
     }
 }
@@ -155,9 +152,7 @@ pub fn conditional_sharing_sets(cdfg: &Cdfg, cfg: &CondShareConfig) -> Vec<Shari
         // Modified weights: subtract the best combinations this merge
         // would exclude (edges from i or j to nodes not adjacent to the
         // other endpoint).
-        let adjacent = |a: usize, b: usize| -> bool {
-            basic.contains_key(&(a.min(b), a.max(b)))
-        };
+        let adjacent = |a: usize, b: usize| -> bool { basic.contains_key(&(a.min(b), a.max(b))) };
         let mut best: Option<(f64, usize, usize)> = None;
         for (&(i, j), &w) in &basic {
             let excluded = |from: usize, other: usize| -> f64 {

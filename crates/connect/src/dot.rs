@@ -21,9 +21,8 @@ use crate::model::Interconnect;
 /// assert!(dot.contains("C1"));
 /// ```
 pub fn to_dot(cdfg: &Cdfg, ic: &Interconnect) -> String {
-    let mut out = String::from(
-        "graph interconnect {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n",
-    );
+    let mut out =
+        String::from("graph interconnect {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n");
     for (pi, part) in cdfg.partitions().iter().enumerate() {
         let p = PartitionId::new(pi as u32);
         let used = ic.pins_used(p);
@@ -56,11 +55,7 @@ pub fn to_dot(cdfg: &Cdfg, ic: &Interconnect) -> String {
             bus.width()
         );
         let edge = |out: &mut String, p: PartitionId, w: u32, label: &str| {
-            let _ = writeln!(
-                out,
-                "  p{} -- c{h} [label=\"{label}{w}\"];",
-                p.index()
-            );
+            let _ = writeln!(out, "  p{} -- c{h} [label=\"{label}{w}\"];", p.index());
         };
         if ic.mode == PortMode::Bidirectional {
             for (&p, &w) in &bus.bi_ports {
@@ -125,8 +120,7 @@ mod tests {
     #[test]
     fn sub_bus_widths_are_annotated() {
         let d = elliptic::partitioned_with(7, PortMode::Unidirectional);
-        let mut ic =
-            synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(7)).unwrap();
+        let mut ic = synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(7)).unwrap();
         crate::share_pass(d.cdfg(), &mut ic, 7);
         let dot = to_dot(d.cdfg(), &ic);
         if ic.buses.iter().any(|b| b.sub_count() > 1) {

@@ -243,7 +243,10 @@ pub fn build_ch6(cdfg: &Cdfg, rate: u32, r: usize, s: usize, big_m: i64) -> Ch6M
         for h in 0..r {
             rports.insert(
                 (pid, h),
-                m.integer(&format!("r_{pid}_{h}"), Some(part.total_pins.min(1 << 20) as i64)),
+                m.integer(
+                    &format!("r_{pid}_{h}"),
+                    Some(part.total_pins.min(1 << 20) as i64),
+                ),
             );
         }
     }
@@ -275,7 +278,12 @@ pub fn build_ch6(cdfg: &Cdfg, rate: u32, r: usize, s: usize, big_m: i64) -> Ch6M
                         vec![(x[&(w, h, k, 0)], 1), (x[&(w, h, k, s - 1)], 1)];
                     for sb in 1..s {
                         let t = m.binary(&format!("t_{w}_{h}_{k}_{sb}"));
-                        linearize::eq_xor_binary(&mut m, t, x[&(w, h, k, sb - 1)], x[&(w, h, k, sb)]);
+                        linearize::eq_xor_binary(
+                            &mut m,
+                            t,
+                            x[&(w, h, k, sb - 1)],
+                            x[&(w, h, k, sb)],
+                        );
                         terms.push((t, 1));
                     }
                     m.le(&terms, 2);
@@ -295,8 +303,7 @@ pub fn build_ch6(cdfg: &Cdfg, rate: u32, r: usize, s: usize, big_m: i64) -> Ch6M
                         terms.push((x[&(ws[0], h, k, sb)], 1));
                     } else {
                         let u = m.binary(&format!("vmax_{v}_{h}_{k}_{sb}"));
-                        let members: Vec<VarId> =
-                            ws.iter().map(|&w| x[&(w, h, k, sb)]).collect();
+                        let members: Vec<VarId> = ws.iter().map(|&w| x[&(w, h, k, sb)]).collect();
                         linearize::eq_max_binary(&mut m, u, &members);
                         terms.push((u, 1));
                     }

@@ -31,8 +31,13 @@ pub mod bounds;
 pub mod dot;
 pub mod ilp_model;
 pub mod model;
+pub mod portfolio;
 pub mod search;
 
 pub use bounds::bus_upper_bound;
 pub use model::{Bus, BusAssignment, Interconnect, SubRange};
+pub use portfolio::{
+    portfolio_plans, synthesize_with_stats, CandidateOrder, OpOrder, SearchStats, WorkerOutcome,
+    WorkerPlan, WorkerReport,
+};
 pub use search::{share_pass, synthesize, ConnectError, SearchConfig};

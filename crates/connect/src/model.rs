@@ -26,7 +26,10 @@ pub struct SubRange {
 impl SubRange {
     /// The whole-bus range for a bus with `n` sub-buses.
     pub fn whole(n: usize) -> SubRange {
-        SubRange { lo: 0, hi: n.saturating_sub(1) }
+        SubRange {
+            lo: 0,
+            hi: n.saturating_sub(1),
+        }
     }
 
     /// `true` if the two ranges share a sub-bus.
@@ -166,7 +169,7 @@ pub struct BusAssignment {
 
 /// A complete interchip connection structure: the output of the Chapter 4
 /// (and Chapter 6) synthesis step, consumed by scheduling.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Interconnect {
     /// Port directionality the structure was built for.
     pub mode: PortMode,
@@ -234,10 +237,7 @@ impl Interconnect {
             let p = PartitionId::new(pi as u32);
             let used = self.pins_used(p);
             if used > part.total_pins {
-                problems.push(format!(
-                    "{p} uses {used} pins, budget {}",
-                    part.total_pins
-                ));
+                problems.push(format!("{p} uses {used} pins, budget {}", part.total_pins));
             }
         }
         problems

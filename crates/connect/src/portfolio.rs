@@ -1,0 +1,886 @@
+//! Deterministic parallel portfolio driver for the Figure 4.3 connection
+//! search.
+//!
+//! Instead of one branching search, a *portfolio* of diversified
+//! configurations — different branching factors, operation orders,
+//! candidate orders and node-budget slices — races toward the first
+//! connection. Workers run in **epoch lockstep**: each live worker
+//! expands exactly [`SearchConfig::epoch_nodes`] nodes per epoch, then
+//! all workers synchronize at a barrier. The race is decided by node
+//! counts, never by wall-clock timing, which makes the outcome a pure
+//! function of the portfolio:
+//!
+//! * the run stops at the end of the first epoch in which any worker
+//!   finds a connection (losers are cancelled *at the barrier*, not
+//!   asynchronously);
+//! * among same-epoch winners the result is chosen by fewest buses, then
+//!   fewest total pins, then lowest portfolio index;
+//! * the shared pruning cache is written only at barriers, merged in
+//!   portfolio-index order, so every cache read during an epoch sees the
+//!   same frozen snapshot no matter how threads are scheduled.
+//!
+//! The cache stores *exhaustively failed* search states: a worker that
+//! pops a node after trying every candidate publishes the state's
+//! signature (depth plus the exact bus/value structure). Another worker
+//! may prune a node on a signature hit only when the proving worker
+//! explored a superset of its own candidate set — same operation order,
+//! same candidate order, and a branching factor at least as large
+//! (truncated top-`k` candidate lists are prefixes of top-`k'` lists for
+//! `k <= k'`). A portfolio of one disables the cache entirely, so the
+//! default configuration reproduces the sequential search bit for bit.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+
+use mcs_cdfg::{Cdfg, OpId, PartitionId, PortMode};
+
+use crate::model::Interconnect;
+use crate::search::{
+    apply_move, candidate_moves, future_feasible, initial_state, share_pass, total_pins,
+    ConnectError, Move, SearchConfig, State,
+};
+
+/// The order in which I/O operations are fed to the branching search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpOrder {
+    /// Descending bit width, pin-scarce partitions first on ties (the
+    /// classic Figure 4.3 order).
+    WidthDesc,
+    /// Ascending bit width: small transfers seed the structure, wide ones
+    /// arrive when pressure is visible.
+    WidthAsc,
+    /// Grouped by (source, sink) partition pair, heaviest pair first:
+    /// each pair's transfers are assigned back to back, so their bus
+    /// fills before the next pair can be tempted to merge onto it.
+    PairGrouped,
+    /// Grouped by communicated value, widest value first: same-value
+    /// transfers meet immediately and share a slot.
+    ValueGrouped,
+}
+
+impl OpOrder {
+    fn describe(self) -> &'static str {
+        match self {
+            OpOrder::WidthDesc => "width-desc",
+            OpOrder::WidthAsc => "width-asc",
+            OpOrder::PairGrouped => "pair-grouped",
+            OpOrder::ValueGrouped => "value-grouped",
+        }
+    }
+}
+
+/// The order in which a node's candidate moves are explored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CandidateOrder {
+    /// Best gain first, fresh bus last (the classic order).
+    GainDesc,
+    /// A fresh bus first, then best gain first: distrust the gain
+    /// function's merging appetite.
+    FreshFirst,
+    /// Best gain first with equal-gain ties broken toward *newer* buses.
+    GainDescBusRev,
+}
+
+impl CandidateOrder {
+    fn describe(self) -> &'static str {
+        match self {
+            CandidateOrder::GainDesc => "gain-desc",
+            CandidateOrder::FreshFirst => "fresh-first",
+            CandidateOrder::GainDescBusRev => "gain-desc-busrev",
+        }
+    }
+}
+
+/// One diversified configuration in the portfolio.
+#[derive(Clone, Debug)]
+pub struct WorkerPlan {
+    /// Portfolio index (the final tie-breaker).
+    pub index: usize,
+    /// Candidates explored per node.
+    pub branching_factor: usize,
+    /// Operation order.
+    pub order: OpOrder,
+    /// Candidate order within a node.
+    pub candidates: CandidateOrder,
+    /// Node budget for this worker.
+    pub node_budget: usize,
+}
+
+impl WorkerPlan {
+    fn describe(&self) -> String {
+        format!(
+            "bf={} ops={} cand={} budget={}",
+            self.branching_factor,
+            self.order.describe(),
+            self.candidates.describe(),
+            self.node_budget
+        )
+    }
+}
+
+/// Derives the diversified portfolio from a base configuration. Plan 0 is
+/// always the classic search (base branching factor, width-descending
+/// order, gain-descending candidates, full node budget); the others cycle
+/// through a menu of disagreements and run on budget slices so a large
+/// portfolio does not multiply the worst-case work.
+pub fn portfolio_plans(cfg: &SearchConfig) -> Vec<WorkerPlan> {
+    let p = cfg.portfolio.unwrap_or(cfg.workers).max(1);
+    let bf = cfg.branching_factor.max(1);
+    let slice = (cfg.node_budget / 2).clamp(1, cfg.node_budget.max(1));
+    let menu: [(usize, OpOrder, CandidateOrder); 8] = [
+        (bf, OpOrder::WidthDesc, CandidateOrder::GainDesc),
+        (1, OpOrder::PairGrouped, CandidateOrder::GainDesc),
+        (bf, OpOrder::PairGrouped, CandidateOrder::GainDesc),
+        (1, OpOrder::WidthDesc, CandidateOrder::FreshFirst),
+        (bf, OpOrder::ValueGrouped, CandidateOrder::GainDesc),
+        (bf + 1, OpOrder::WidthDesc, CandidateOrder::GainDescBusRev),
+        (1, OpOrder::WidthAsc, CandidateOrder::GainDesc),
+        (bf.max(2), OpOrder::PairGrouped, CandidateOrder::FreshFirst),
+    ];
+    (0..p)
+        .map(|i| {
+            let (b, order, candidates) = menu[i % menu.len()];
+            WorkerPlan {
+                index: i,
+                // Past one menu cycle, widen the branching factor so
+                // bigger portfolios keep gaining coverage.
+                branching_factor: b + i / menu.len(),
+                order,
+                candidates,
+                node_budget: if i == 0 { cfg.node_budget } else { slice },
+            }
+        })
+        .collect()
+}
+
+/// Sorts the I/O operations of `cdfg` according to `order`. Every key
+/// ends in the operation id, so each order is a total order and identical
+/// across runs.
+pub(crate) fn ordered_ops(cdfg: &Cdfg, order: OpOrder) -> Vec<OpId> {
+    let mut ops: Vec<OpId> = cdfg.io_ops().collect();
+    let scarcity = |op: OpId| {
+        let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
+        cdfg.partition(from)
+            .total_pins
+            .min(cdfg.partition(to).total_pins)
+    };
+    match order {
+        OpOrder::WidthDesc => {
+            ops.sort_by_key(|&op| (std::cmp::Reverse(cdfg.io_bits(op)), scarcity(op), op));
+        }
+        OpOrder::WidthAsc => {
+            ops.sort_by_key(|&op| (cdfg.io_bits(op), scarcity(op), op));
+        }
+        OpOrder::PairGrouped => {
+            let mut pair_bits: BTreeMap<(PartitionId, PartitionId), u64> = BTreeMap::new();
+            for &op in &ops {
+                let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
+                *pair_bits.entry((from, to)).or_insert(0) += cdfg.io_bits(op) as u64;
+            }
+            ops.sort_by_key(|&op| {
+                let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
+                let pair = (from, to);
+                (
+                    std::cmp::Reverse(pair_bits[&pair]),
+                    pair,
+                    std::cmp::Reverse(cdfg.io_bits(op)),
+                    op,
+                )
+            });
+        }
+        OpOrder::ValueGrouped => {
+            ops.sort_by_key(|&op| {
+                let (value, _, _) = cdfg.op(op).io_endpoints().expect("io op");
+                (
+                    std::cmp::Reverse(cdfg.value(value).bits),
+                    value,
+                    std::cmp::Reverse(cdfg.io_bits(op)),
+                    op,
+                )
+            });
+        }
+    }
+    ops
+}
+
+/// Candidate-*set* family of a [`CandidateOrder`]. [`GainDesc`] and
+/// [`FreshFirst`] produce the identical move set at every state — same
+/// gain sort, same dedup, same truncation; only the fresh bus's position
+/// differs — so exhaustive-failure proofs transfer between them.
+/// [`GainDescBusRev`] breaks equal-gain ties the other way, which can
+/// change *which* same-topology representative survives deduplication,
+/// so it proves a different set.
+///
+/// [`GainDesc`]: CandidateOrder::GainDesc
+/// [`FreshFirst`]: CandidateOrder::FreshFirst
+/// [`GainDescBusRev`]: CandidateOrder::GainDescBusRev
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CandidateFamily {
+    GainTieLow,
+    GainTieHigh,
+}
+
+impl CandidateFamily {
+    fn of(cand: CandidateOrder) -> Self {
+        match cand {
+            CandidateOrder::GainDesc | CandidateOrder::FreshFirst => CandidateFamily::GainTieLow,
+            CandidateOrder::GainDescBusRev => CandidateFamily::GainTieHigh,
+        }
+    }
+}
+
+/// How strong a failure proof is: a cached entry prunes a reader only
+/// when the prover explored a superset of the reader's candidate sets —
+/// same operation order, same candidate-set family, and a branching
+/// factor at least as large (top-`k` truncated sets are prefixes of
+/// top-`k'` sets for `k <= k'`; exhaustive failure is order-independent
+/// within a set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Strength {
+    order: OpOrder,
+    family: CandidateFamily,
+    branching_factor: usize,
+}
+
+impl Strength {
+    fn dominates(&self, reader: &Strength) -> bool {
+        self.order == reader.order
+            && self.family == reader.family
+            && self.branching_factor >= reader.branching_factor
+    }
+}
+
+/// Upper bound on cached failure states; beyond it new proofs are
+/// dropped (the cache is an optimization, never a correctness need).
+const CACHE_CAP: usize = 1 << 16;
+
+/// Sharded map of exhaustively-failed state signatures. During an epoch
+/// the cache is read-only; staged entries are merged at the barrier in
+/// portfolio-index order, so its contents are deterministic.
+pub(crate) struct SharedCache {
+    shards: Vec<RwLock<HashMap<Vec<u8>, Vec<Strength>>>>,
+    enabled: bool,
+    len: std::sync::atomic::AtomicUsize,
+}
+
+impl SharedCache {
+    fn new(enabled: bool) -> Self {
+        SharedCache {
+            shards: (0..16).map(|_| RwLock::new(HashMap::new())).collect(),
+            enabled,
+            len: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        // FNV-1a over the key bytes; only shard selection depends on it.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn proven(&self, key: &[u8], reader: &Strength) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let shard = self.shards[self.shard_of(key)].read().expect("cache lock");
+        shard
+            .get(key)
+            .is_some_and(|entries| entries.iter().any(|e| e.dominates(reader)))
+    }
+
+    /// Barrier-time merge; called from the orchestrator only.
+    fn publish(&self, staged: Vec<(Vec<u8>, Strength)>) {
+        use std::sync::atomic::Ordering;
+        if !self.enabled {
+            return;
+        }
+        for (key, strength) in staged {
+            if self.len.load(Ordering::Relaxed) >= CACHE_CAP {
+                return;
+            }
+            let mut shard = self.shards[self.shard_of(&key)]
+                .write()
+                .expect("cache lock");
+            let entries = shard.entry(key).or_default();
+            if entries.iter().any(|e| e.dominates(&strength)) {
+                continue;
+            }
+            entries.retain(|e| !strength.dominates(e));
+            entries.push(strength);
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn entries(&self) -> usize {
+        self.len.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// A search state's identity for pruning: the depth (which, for a fixed
+/// operation order, pins down the set of assigned operations) plus the
+/// exact bus structure — widths, per-partition port widths, and the
+/// values riding each bus with their sub-ranges. Everything the future
+/// search can observe is derived from these, so two states with equal
+/// signatures have identical subtrees under the same plan.
+fn state_sig(state: &State, depth: usize) -> Vec<u8> {
+    let mut sig = Vec::with_capacity(32 + state.buses.len() * 48);
+    sig.extend_from_slice(&(depth as u32).to_le_bytes());
+    for (bus, values) in state.buses.iter().zip(&state.bus_values) {
+        sig.push(0xB5);
+        sig.push(bus.sub_widths.len() as u8);
+        for &w in &bus.sub_widths {
+            sig.extend_from_slice(&w.to_le_bytes());
+        }
+        for ports in [&bus.out_ports, &bus.in_ports, &bus.bi_ports] {
+            sig.push(ports.len() as u8);
+            for (&p, &w) in ports {
+                sig.extend_from_slice(&p.0.to_le_bytes());
+                sig.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        sig.push(values.len() as u8);
+        for (&v, r) in values {
+            sig.extend_from_slice(&v.0.to_le_bytes());
+            sig.push(r.lo as u8);
+            sig.push(r.hi as u8);
+        }
+    }
+    sig
+}
+
+/// Where a worker ended up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// Found a connection (possibly outvoted by a cheaper one).
+    Succeeded,
+    /// Ran out of node budget.
+    Exhausted,
+    /// Proved its (truncated) subspace empty.
+    Failed,
+    /// Still running when the portfolio stopped at a barrier.
+    Cancelled,
+}
+
+impl std::fmt::Display for WorkerOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WorkerOutcome::Succeeded => "succeeded",
+            WorkerOutcome::Exhausted => "exhausted",
+            WorkerOutcome::Failed => "failed",
+            WorkerOutcome::Cancelled => "cancelled",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Telemetry for one portfolio worker.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// Portfolio index.
+    pub index: usize,
+    /// Human-readable plan description.
+    pub config: String,
+    /// Final status.
+    pub outcome: WorkerOutcome,
+    /// Nodes expanded.
+    pub nodes: u64,
+    /// Nodes pruned via the shared failure cache.
+    pub cache_hits: u64,
+    /// Candidates cut by the dead-end test before expansion.
+    pub prunes: u64,
+    /// Nodes popped after exhausting their candidates.
+    pub backtracks: u64,
+    /// Failure proofs this worker staged for the shared cache.
+    pub cache_published: u64,
+    /// Time this worker spent expanding, summed over epochs.
+    pub wall: Duration,
+    /// `(buses, total pins)` of the worker's connection, when it found
+    /// one.
+    pub cost: Option<(u32, u32)>,
+}
+
+/// Telemetry for a whole portfolio run.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Per-worker reports, in portfolio order.
+    pub workers: Vec<WorkerReport>,
+    /// Portfolio index of the worker whose connection was returned.
+    pub winner: Option<usize>,
+    /// Synchronization epochs executed.
+    pub epochs: usize,
+    /// Threads used to expand the portfolio.
+    pub threads: usize,
+    /// Total nodes expanded across workers.
+    pub nodes: u64,
+    /// Total shared-cache prunes.
+    pub cache_hits: u64,
+    /// Failure proofs resident in the shared cache at the end.
+    pub cache_entries: u64,
+    /// Total dead-end prunes.
+    pub prunes: u64,
+    /// Total backtracks.
+    pub backtracks: u64,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+}
+
+impl SearchStats {
+    /// Aggregate expansion rate over the run's wall time.
+    pub fn nodes_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.nodes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WorkerStatus {
+    Running,
+    Succeeded,
+    Exhausted,
+    Failed,
+}
+
+/// One suspended node of the iterative backtracking search.
+struct Frame {
+    /// State at node entry; candidate application and backtracking
+    /// restore from it.
+    saved: State,
+    /// Signature to publish if the whole subtree fails (cache runs only).
+    key: Option<Vec<u8>>,
+    moves: Vec<Move>,
+    next: usize,
+}
+
+/// A resumable worker: the recursive search of Figure 4.3 unrolled onto
+/// an explicit stack so it can pause at epoch boundaries. With the cache
+/// disabled it expands, prunes and backtracks in exactly the order of the
+/// sequential implementation — including the "give up once the budget
+/// hits zero mid-backtrack" rule — so a portfolio of one is bit-for-bit
+/// the classic search.
+struct Worker<'a> {
+    cdfg: &'a Cdfg,
+    mode: PortMode,
+    rate: u32,
+    allow_split: bool,
+    plan: WorkerPlan,
+    strength: Strength,
+    cache_enabled: bool,
+    ops: Vec<OpId>,
+    state: State,
+    stack: Vec<Frame>,
+    budget_left: usize,
+    /// Next step enters a fresh node at depth `stack.len()`.
+    entering: bool,
+    /// A child just failed; the classic search aborts here when the
+    /// budget is spent instead of trying further siblings.
+    resuming: bool,
+    status: WorkerStatus,
+    nodes: u64,
+    cache_hits: u64,
+    prunes: u64,
+    backtracks: u64,
+    published: u64,
+    staged: Vec<(Vec<u8>, Strength)>,
+    result: Option<(Interconnect, (u32, u32))>,
+    wall: Duration,
+}
+
+impl<'a> Worker<'a> {
+    fn new(
+        cdfg: &'a Cdfg,
+        mode: PortMode,
+        cfg: &SearchConfig,
+        plan: WorkerPlan,
+        cache_enabled: bool,
+    ) -> Self {
+        let ops = ordered_ops(cdfg, plan.order);
+        let state = initial_state(cdfg, cfg.rate, &ops);
+        Worker {
+            cdfg,
+            mode,
+            rate: cfg.rate,
+            allow_split: cfg.allow_split,
+            strength: Strength {
+                order: plan.order,
+                family: CandidateFamily::of(plan.candidates),
+                branching_factor: plan.branching_factor,
+            },
+            budget_left: plan.node_budget,
+            plan,
+            cache_enabled,
+            ops,
+            state,
+            stack: Vec::new(),
+            entering: true,
+            resuming: false,
+            status: WorkerStatus::Running,
+            nodes: 0,
+            cache_hits: 0,
+            prunes: 0,
+            backtracks: 0,
+            published: 0,
+            staged: Vec::new(),
+            result: None,
+            wall: Duration::ZERO,
+        }
+    }
+
+    fn running(&self) -> bool {
+        self.status == WorkerStatus::Running
+    }
+
+    /// Expands up to `max_nodes` nodes, then pauses. Reads `cache` but
+    /// never writes it; proofs accumulate in `staged` for the barrier.
+    fn run_epoch(&mut self, max_nodes: usize, cache: &SharedCache) {
+        if !self.running() {
+            return;
+        }
+        let t0 = Instant::now();
+        let mut expanded = 0usize;
+        while expanded < max_nodes && self.running() {
+            if self.entering {
+                self.enter_node(&mut expanded, cache);
+            } else {
+                self.advance();
+            }
+        }
+        self.wall += t0.elapsed();
+    }
+
+    fn enter_node(&mut self, expanded: &mut usize, cache: &SharedCache) {
+        let depth = self.stack.len();
+        if depth == self.ops.len() {
+            let mut ic = Interconnect {
+                mode: self.mode,
+                buses: self.state.buses.clone(),
+                assignment: self.state.assignment.clone(),
+            };
+            if self.allow_split {
+                share_pass(self.cdfg, &mut ic, self.rate);
+            }
+            let cost = (ic.buses.len() as u32, total_pins(self.cdfg, &ic));
+            self.result = Some((ic, cost));
+            self.status = WorkerStatus::Succeeded;
+            return;
+        }
+        if self.budget_left == 0 {
+            self.status = WorkerStatus::Exhausted;
+            return;
+        }
+        self.budget_left -= 1;
+        *expanded += 1;
+        self.nodes += 1;
+        let key = if self.cache_enabled {
+            Some(state_sig(&self.state, depth))
+        } else {
+            None
+        };
+        if let Some(k) = &key {
+            if cache.proven(k, &self.strength) {
+                // Another plan with at least our candidate sets proved
+                // this exact structure a dead end.
+                self.cache_hits += 1;
+                self.child_failed();
+                return;
+            }
+        }
+        let moves = candidate_moves(
+            self.cdfg,
+            self.mode,
+            self.rate,
+            self.plan.branching_factor,
+            self.plan.candidates,
+            &self.state,
+            self.ops[depth],
+        );
+        self.stack.push(Frame {
+            saved: self.state.clone(),
+            key,
+            moves,
+            next: 0,
+        });
+        self.entering = false;
+    }
+
+    /// Resumes the top frame: try its next candidate, or pop it as an
+    /// exhaustive failure. Every popped frame IS exhaustive — running out
+    /// of budget terminates the whole worker rather than unwinding — so
+    /// popping may always publish a failure proof.
+    fn advance(&mut self) {
+        let depth = self.stack.len();
+        if depth == 0 {
+            self.status = WorkerStatus::Failed;
+            return;
+        }
+        if self.resuming {
+            self.resuming = false;
+            if self.budget_left == 0 {
+                self.status = WorkerStatus::Exhausted;
+                return;
+            }
+        }
+        let op = self.ops[depth - 1];
+        loop {
+            let frame = self.stack.last_mut().expect("non-empty stack");
+            if frame.next >= frame.moves.len() {
+                break;
+            }
+            let mv = frame.moves[frame.next].clone();
+            frame.next += 1;
+            self.state = frame.saved.clone();
+            apply_move(self.cdfg, self.mode, &mut self.state, op, &mv);
+            if future_feasible(self.cdfg, self.mode, &self.state, &self.ops[depth..]) {
+                self.entering = true;
+                return;
+            }
+            self.prunes += 1;
+            if self.budget_left == 0 {
+                self.status = WorkerStatus::Exhausted;
+                return;
+            }
+        }
+        let frame = self.stack.pop().expect("non-empty stack");
+        self.backtracks += 1;
+        if let Some(key) = frame.key {
+            self.staged.push((key, self.strength));
+            self.published += 1;
+        }
+        self.state = frame.saved;
+        self.child_failed();
+    }
+
+    fn child_failed(&mut self) {
+        if self.stack.is_empty() {
+            self.status = WorkerStatus::Failed;
+        } else {
+            self.entering = false;
+            self.resuming = true;
+        }
+    }
+
+    fn report(&self, cancelled: bool) -> WorkerReport {
+        let outcome = match self.status {
+            WorkerStatus::Running => {
+                debug_assert!(cancelled);
+                WorkerOutcome::Cancelled
+            }
+            WorkerStatus::Succeeded => WorkerOutcome::Succeeded,
+            WorkerStatus::Exhausted => WorkerOutcome::Exhausted,
+            WorkerStatus::Failed => WorkerOutcome::Failed,
+        };
+        WorkerReport {
+            index: self.plan.index,
+            config: self.plan.describe(),
+            outcome,
+            nodes: self.nodes,
+            cache_hits: self.cache_hits,
+            prunes: self.prunes,
+            backtracks: self.backtracks,
+            cache_published: self.published,
+            wall: self.wall,
+            cost: self.result.as_ref().map(|(_, c)| *c),
+        }
+    }
+}
+
+/// Runs the portfolio search and returns both the connection (or the
+/// error) and the full telemetry. [`crate::synthesize`] is this with the
+/// stats discarded.
+pub fn synthesize_with_stats(
+    cdfg: &Cdfg,
+    mode: PortMode,
+    cfg: &SearchConfig,
+) -> (Result<Interconnect, ConnectError>, SearchStats) {
+    let t0 = Instant::now();
+    if cfg.rate == 0 {
+        return (Err(ConnectError::ZeroRate), SearchStats::default());
+    }
+    let plans = portfolio_plans(cfg);
+    let cache = SharedCache::new(plans.len() > 1);
+    let threads = cfg.workers.clamp(1, plans.len());
+    let epoch_nodes = cfg.epoch_nodes.max(1);
+    let mut workers: Vec<Worker<'_>> = plans
+        .into_iter()
+        .map(|plan| Worker::new(cdfg, mode, cfg, plan, cache.enabled))
+        .collect();
+
+    let mut epochs = 0usize;
+    loop {
+        epochs += 1;
+        if threads == 1 {
+            for w in &mut workers {
+                w.run_epoch(epoch_nodes, &cache);
+            }
+        } else {
+            let chunk = workers.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for group in workers.chunks_mut(chunk) {
+                    scope.spawn(|| {
+                        for w in group {
+                            w.run_epoch(epoch_nodes, &cache);
+                        }
+                    });
+                }
+            });
+        }
+        // Barrier: merge staged failure proofs in portfolio order so the
+        // next epoch's snapshot is deterministic.
+        for w in &mut workers {
+            cache.publish(std::mem::take(&mut w.staged));
+        }
+        let any_success = workers.iter().any(|w| w.status == WorkerStatus::Succeeded);
+        let all_terminal = workers.iter().all(|w| !w.running());
+        if any_success || all_terminal {
+            break;
+        }
+    }
+
+    // Deterministic winner: fewest buses, then fewest pins, then lowest
+    // portfolio index.
+    let winner = workers
+        .iter()
+        .filter_map(|w| w.result.as_ref().map(|(_, cost)| (*cost, w.plan.index)))
+        .min()
+        .map(|(_, index)| index);
+    let stats = SearchStats {
+        workers: workers.iter().map(|w| w.report(w.running())).collect(),
+        winner,
+        epochs,
+        threads,
+        nodes: workers.iter().map(|w| w.nodes).sum(),
+        cache_hits: workers.iter().map(|w| w.cache_hits).sum(),
+        cache_entries: cache.entries() as u64,
+        prunes: workers.iter().map(|w| w.prunes).sum(),
+        backtracks: workers.iter().map(|w| w.backtracks).sum(),
+        wall: t0.elapsed(),
+    };
+    let result = match winner {
+        Some(index) => {
+            let w = workers
+                .into_iter()
+                .find(|w| w.plan.index == index)
+                .expect("winner present");
+            Ok(w.result.expect("winner has result").0)
+        }
+        None => Err(ConnectError::NoConnectionFound),
+    };
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cdfg::designs::{ar_filter, elliptic};
+
+    #[test]
+    fn single_worker_matches_portfolio_of_one() {
+        let d = ar_filter::general(3, PortMode::Unidirectional);
+        let cfg = SearchConfig::new(3);
+        let (a, stats) = synthesize_with_stats(d.cdfg(), PortMode::Unidirectional, &cfg);
+        assert_eq!(stats.workers.len(), 1);
+        assert_eq!(stats.winner, Some(0));
+        assert!(stats.nodes > 0);
+        let b = crate::synthesize(d.cdfg(), PortMode::Unidirectional, &cfg).unwrap();
+        assert_eq!(a.unwrap(), b);
+    }
+
+    #[test]
+    fn portfolio_result_is_independent_of_thread_count() {
+        let d = elliptic::partitioned();
+        let base = SearchConfig::new(6).with_portfolio(4);
+        let reference = synthesize_with_stats(d.cdfg(), PortMode::Unidirectional, &base)
+            .0
+            .unwrap();
+        for workers in [1usize, 2, 3, 8] {
+            let cfg = base.clone().with_workers(workers);
+            let (got, stats) = synthesize_with_stats(d.cdfg(), PortMode::Unidirectional, &cfg);
+            assert_eq!(got.unwrap(), reference, "workers={workers}");
+            assert_eq!(stats.threads, workers.min(4), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn winner_ties_break_to_lowest_index() {
+        // All plans on a tiny design find the same cheap structure in
+        // epoch 1; the tie must resolve to the lowest portfolio index
+        // among the cheapest results.
+        let d = mcs_cdfg::designs::synthetic::quickstart();
+        let cfg = SearchConfig::new(1).with_portfolio(8);
+        let (ic, stats) = synthesize_with_stats(d.cdfg(), PortMode::Unidirectional, &cfg);
+        let ic = ic.unwrap();
+        assert!(ic.verify(d.cdfg()).is_empty());
+        let winner = stats.winner.expect("a winner");
+        let min_cost = stats
+            .workers
+            .iter()
+            .filter_map(|w| w.cost)
+            .min()
+            .expect("successes");
+        let expected = stats
+            .workers
+            .iter()
+            .filter(|w| w.cost == Some(min_cost))
+            .map(|w| w.index)
+            .min()
+            .unwrap();
+        assert_eq!(winner, expected);
+    }
+
+    #[test]
+    fn ordered_ops_are_permutations_of_io_ops() {
+        let d = elliptic::partitioned();
+        let mut reference: Vec<OpId> = d.cdfg().io_ops().collect();
+        reference.sort();
+        for order in [
+            OpOrder::WidthDesc,
+            OpOrder::WidthAsc,
+            OpOrder::PairGrouped,
+            OpOrder::ValueGrouped,
+        ] {
+            let mut ops = ordered_ops(d.cdfg(), order);
+            ops.sort();
+            assert_eq!(ops, reference, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn cache_strength_domination_is_prefix_safe() {
+        let a = Strength {
+            order: OpOrder::WidthDesc,
+            family: CandidateFamily::of(CandidateOrder::GainDesc),
+            branching_factor: 4,
+        };
+        let b = Strength {
+            branching_factor: 2,
+            ..a
+        };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // FreshFirst proves the same candidate sets as GainDesc...
+        let c = Strength {
+            family: CandidateFamily::of(CandidateOrder::FreshFirst),
+            ..a
+        };
+        assert!(a.dominates(&c));
+        // ...but the reversed tie-break deduplicates differently.
+        let d = Strength {
+            family: CandidateFamily::of(CandidateOrder::GainDescBusRev),
+            ..a
+        };
+        assert!(!a.dominates(&d));
+        let e = Strength {
+            order: OpOrder::PairGrouped,
+            ..a
+        };
+        assert!(!a.dominates(&e));
+    }
+}

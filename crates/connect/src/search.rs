@@ -30,12 +30,29 @@ pub struct SearchConfig {
     /// Initiation rate `L` (bus slots per bus).
     pub rate: u32,
     /// Candidates explored per node (the paper's user-set branching
-    /// factor).
+    /// factor). In a portfolio run this is the *base* factor that the
+    /// diversified worker plans are derived from.
     pub branching_factor: usize,
     /// Enable Chapter 6 sub-bus sharing (at most two sub-buses per bus).
     pub allow_split: bool,
-    /// Backtracking node budget.
+    /// Backtracking node budget (per portfolio worker; worker 0 always
+    /// keeps the full budget, the diversified workers run on slices).
     pub node_budget: usize,
+    /// Threads used to expand portfolio workers. Purely an execution
+    /// knob: the synthesized `Interconnect` is a function of the
+    /// *portfolio*, never of how many threads expanded it.
+    pub workers: usize,
+    /// Number of diversified search configurations raced against each
+    /// other. `None` means "one per worker". A portfolio of 1 runs
+    /// exactly the classic Figure 4.3 search (and disables the shared
+    /// pruning cache), so single-config results are bit-for-bit those of
+    /// the sequential implementation.
+    pub portfolio: Option<usize>,
+    /// Nodes each live worker expands between synchronization barriers.
+    /// Epoch-lockstep execution is what makes the parallel search
+    /// deterministic: cancellation and cache visibility are decided by
+    /// node counts, never by wall-clock timing.
+    pub epoch_nodes: usize,
 }
 
 impl SearchConfig {
@@ -46,12 +63,30 @@ impl SearchConfig {
             branching_factor: 3,
             allow_split: false,
             node_budget: 200_000,
+            workers: 1,
+            portfolio: None,
+            epoch_nodes: 512,
         }
     }
 
     /// Enables Chapter 6 sub-bus sharing.
     pub fn with_sharing(mut self) -> Self {
         self.allow_split = true;
+        self
+    }
+
+    /// Sets the number of expansion threads (and, unless
+    /// [`with_portfolio`](Self::with_portfolio) pins it, the portfolio
+    /// size).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Pins the portfolio size independently of the thread count, so the
+    /// result stays identical while `workers` varies.
+    pub fn with_portfolio(mut self, portfolio: usize) -> Self {
+        self.portfolio = Some(portfolio.max(1));
         self
     }
 }
@@ -80,16 +115,41 @@ impl std::fmt::Display for ConnectError {
 impl std::error::Error for ConnectError {}
 
 #[derive(Clone)]
-struct State {
-    buses: Vec<Bus>,
+pub(crate) struct State {
+    pub(crate) buses: Vec<Bus>,
     /// Values riding each bus and their sub-ranges.
-    bus_values: Vec<BTreeMap<ValueId, SubRange>>,
-    assignment: BTreeMap<OpId, BusAssignment>,
-    pins_left: Vec<i64>,
-    demand_left: Vec<i64>,
+    pub(crate) bus_values: Vec<BTreeMap<ValueId, SubRange>>,
+    pub(crate) assignment: BTreeMap<OpId, BusAssignment>,
+    pub(crate) pins_left: Vec<i64>,
+    pub(crate) demand_left: Vec<i64>,
     /// Static group windows of feedback values (Section 7.1): a bus can
     /// only host value sets whose windows admit distinct step groups.
-    windows: BTreeMap<ValueId, std::collections::BTreeSet<u32>>,
+    pub(crate) windows: BTreeMap<ValueId, std::collections::BTreeSet<u32>>,
+}
+
+/// Builds the root search state: empty connection structure, full pin
+/// budgets, per-partition bit demand, and feedback group windows.
+pub(crate) fn initial_state(cdfg: &Cdfg, rate: u32, ops: &[OpId]) -> State {
+    let nparts = cdfg.partition_count();
+    let mut pins_left = vec![0i64; nparts];
+    let mut demand_left = vec![0i64; nparts];
+    for (pi, part) in cdfg.partitions().iter().enumerate() {
+        pins_left[pi] = part.total_pins as i64;
+    }
+    for &op in ops {
+        let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
+        let bits = cdfg.io_bits(op) as i64;
+        demand_left[from.index()] += bits;
+        demand_left[to.index()] += bits;
+    }
+    State {
+        buses: Vec::new(),
+        bus_values: Vec::new(),
+        assignment: BTreeMap::new(),
+        pins_left,
+        demand_left,
+        windows: mcs_cdfg::timing::feedback_group_windows(cdfg, rate),
+    }
 }
 
 /// Can every value get its own step group, respecting feedback windows?
@@ -97,7 +157,7 @@ struct State {
 /// feedback value additionally keep one spare group: the static windows
 /// underestimate how far resource contention pushes the real ones, and a
 /// fully packed bus leaves the preloaded transfer no room to maneuver.
-fn groups_assignable(
+pub(crate) fn groups_assignable(
     values: &[ValueId],
     windows: &BTreeMap<ValueId, std::collections::BTreeSet<u32>>,
     l: u32,
@@ -149,17 +209,17 @@ fn groups_assignable(
 }
 
 #[derive(Clone, Debug)]
-struct Move {
+pub(crate) struct Move {
     /// Bus index; `== buses.len()` means a fresh bus.
-    bus: usize,
+    pub(crate) bus: usize,
     /// Replace the bus's sub-widths before assigning (a Chapter 6 split).
-    split_into: Option<Vec<u32>>,
-    range: SubRange,
-    gain: f64,
+    pub(crate) split_into: Option<Vec<u32>>,
+    pub(crate) range: SubRange,
+    pub(crate) gain: f64,
 }
 
 /// Synthesizes the interchip connection structure for all I/O operations
-/// of `cdfg` (Figure 4.3).
+/// of `cdfg` (Figure 4.3), discarding the telemetry.
 ///
 /// # Errors
 ///
@@ -169,57 +229,7 @@ pub fn synthesize(
     mode: PortMode,
     cfg: &SearchConfig,
 ) -> Result<Interconnect, ConnectError> {
-    if cfg.rate == 0 {
-        return Err(ConnectError::ZeroRate);
-    }
-    // Sorted list of I/O operations, descending bit width (Figure 4.3
-    // line 2); ties prefer transfers touching pin-scarce partitions so
-    // their forced port sharing forms early, then ids for determinism.
-    let mut ops: Vec<OpId> = cdfg.io_ops().collect();
-    ops.sort_by_key(|&op| {
-        let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
-        let scarcity = cdfg
-            .partition(from)
-            .total_pins
-            .min(cdfg.partition(to).total_pins);
-        (std::cmp::Reverse(cdfg.io_bits(op)), scarcity, op)
-    });
-
-    let nparts = cdfg.partition_count();
-    let mut pins_left = vec![0i64; nparts];
-    let mut demand_left = vec![0i64; nparts];
-    for (pi, part) in cdfg.partitions().iter().enumerate() {
-        pins_left[pi] = part.total_pins as i64;
-    }
-    for &op in &ops {
-        let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
-        let bits = cdfg.io_bits(op) as i64;
-        demand_left[from.index()] += bits;
-        demand_left[to.index()] += bits;
-    }
-
-    let mut state = State {
-        buses: Vec::new(),
-        bus_values: Vec::new(),
-        assignment: BTreeMap::new(),
-        pins_left,
-        demand_left,
-        windows: mcs_cdfg::timing::feedback_group_windows(cdfg, cfg.rate),
-    };
-    let mut budget = cfg.node_budget;
-    if assign(cdfg, mode, cfg, &mut state, &ops, 0, &mut budget) {
-        let mut ic = Interconnect {
-            mode,
-            buses: state.buses,
-            assignment: state.assignment,
-        };
-        if cfg.allow_split {
-            share_pass(cdfg, &mut ic, cfg.rate);
-        }
-        Ok(ic)
-    } else {
-        Err(ConnectError::NoConnectionFound)
-    }
+    crate::portfolio::synthesize_with_stats(cdfg, mode, cfg).0
 }
 
 /// One candidate relocation considered by [`share_pass`]: the transfer to
@@ -273,10 +283,7 @@ pub fn share_pass(cdfg: &Cdfg, ic: &mut Interconnect, rate: u32) {
                     // bus's narrow values drop to the lower one: they can
                     // then pair within a cycle (Figure 6.1).
                     if w > bits && !vals.is_empty() {
-                        targets.push((
-                            SubRange { lo: 1, hi: 1 },
-                            Some(vec![w - bits, bits]),
-                        ));
+                        targets.push((SubRange { lo: 1, hi: 1 }, Some(vec![w - bits, bits])));
                     }
                 } else {
                     for lo in 0..bus.sub_count() {
@@ -316,10 +323,7 @@ pub fn share_pass(cdfg: &Cdfg, ic: &mut Interconnect, rate: u32) {
                         let better = match &best {
                             None => true,
                             Some(b) => {
-                                saving > b.4
-                                    || (saving == b.4
-                                        && split.is_some()
-                                        && b.3.is_none())
+                                saving > b.4 || (saving == b.4 && split.is_some() && b.3.is_none())
                             }
                         };
                         if better {
@@ -338,7 +342,7 @@ pub fn share_pass(cdfg: &Cdfg, ic: &mut Interconnect, rate: u32) {
     }
 }
 
-fn total_pins(cdfg: &Cdfg, ic: &Interconnect) -> u32 {
+pub(crate) fn total_pins(cdfg: &Cdfg, ic: &Interconnect) -> u32 {
     (0..cdfg.partition_count())
         .map(|p| ic.pins_used(PartitionId::new(p as u32)))
         .sum()
@@ -432,7 +436,11 @@ fn shrink_bus(cdfg: &Cdfg, ic: &mut Interconnect, j: usize) {
         return;
     }
     if bus.sub_count() == 1 {
-        let w = riders.iter().map(|&(o, _)| cdfg.io_bits(o)).max().unwrap_or(0);
+        let w = riders
+            .iter()
+            .map(|&(o, _)| cdfg.io_bits(o))
+            .max()
+            .unwrap_or(0);
         bus.sub_widths = vec![w];
     }
     for (o, r) in riders {
@@ -455,46 +463,12 @@ fn shrink_bus(cdfg: &Cdfg, ic: &mut Interconnect, j: usize) {
     }
 }
 
-fn assign(
-    cdfg: &Cdfg,
-    mode: PortMode,
-    cfg: &SearchConfig,
-    state: &mut State,
-    ops: &[OpId],
-    idx: usize,
-    budget: &mut usize,
-) -> bool {
-    if idx == ops.len() {
-        return true;
-    }
-    if *budget == 0 {
-        return false;
-    }
-    *budget -= 1;
-    let op = ops[idx];
-    let candidates = candidate_moves(cdfg, mode, cfg, state, op);
-    for mv in candidates {
-        let saved = state.clone();
-        apply_move(cdfg, mode, cfg, state, op, &mv);
-        if future_feasible(cdfg, mode, state, &ops[idx + 1..])
-            && assign(cdfg, mode, cfg, state, ops, idx + 1, budget)
-        {
-            return true;
-        }
-        *state = saved;
-        if *budget == 0 {
-            return false;
-        }
-    }
-    false
-}
-
 /// Dead-end pruning: every still-unassigned transfer must have at least
 /// one geometrically and pin-feasible carrier (existing ports wide enough,
 /// or a port extension/fresh bus the remaining pin budgets can pay for).
 /// Slot capacity is ignored here — the check is a cheap necessary
 /// condition that cuts hopeless subtrees early.
-fn future_feasible(cdfg: &Cdfg, mode: PortMode, state: &State, rest: &[OpId]) -> bool {
+pub(crate) fn future_feasible(cdfg: &Cdfg, mode: PortMode, state: &State, rest: &[OpId]) -> bool {
     'ops: for &op in rest {
         let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
         let bits = cdfg.io_bits(op) as i64;
@@ -526,20 +500,21 @@ fn future_feasible(cdfg: &Cdfg, mode: PortMode, state: &State, rest: &[OpId]) ->
 }
 
 /// Enumerates, scores, deduplicates and truncates the moves for one
-/// operation.
-fn candidate_moves(
+/// operation. `branching_factor` and `cand` come from the worker plan so
+/// portfolio members can disagree on how wide and in what order to
+/// explore.
+pub(crate) fn candidate_moves(
     cdfg: &Cdfg,
     mode: PortMode,
-    cfg: &SearchConfig,
+    rate: u32,
+    branching_factor: usize,
+    cand: crate::portfolio::CandidateOrder,
     state: &State,
     op: OpId,
 ) -> Vec<Move> {
     let (value, from, to) = cdfg.op(op).io_endpoints().expect("io op");
     let bits = cdfg.io_bits(op);
-    let l = cfg.rate as i64;
-    let wf = |p: PartitionId| -> f64 {
-        state.demand_left[p.index()] as f64 / state.pins_left[p.index()].max(1) as f64
-    };
+    let l = rate as i64;
 
     let mut moves: Vec<Move> = Vec::new();
     for (h, bus) in state.buses.iter().enumerate() {
@@ -569,9 +544,19 @@ fn candidate_moves(
             }
         }
         for (range, split_into) in options {
-            if let Some(gain) =
-                score_move(cdfg, mode, cfg, state, h, &split_into, range, value, from, to, bits)
-            {
+            if let Some(gain) = score_move(
+                cdfg,
+                mode,
+                rate,
+                state,
+                h,
+                &split_into,
+                range,
+                value,
+                from,
+                to,
+                bits,
+            ) {
                 moves.push(Move {
                     bus: h,
                     split_into,
@@ -583,11 +568,19 @@ fn candidate_moves(
     }
 
     // Order by gain, dedup same-topology buses (Section 4.1.2), truncate.
+    use crate::portfolio::CandidateOrder;
     moves.sort_by(|a, b| {
+        let tie = match cand {
+            // The classic search prefers lower bus indices among equal
+            // gains; the reversed plan breaks ties the other way to
+            // diversify which equal-gain carrier gets explored first.
+            CandidateOrder::GainDescBusRev => b.bus.cmp(&a.bus),
+            _ => a.bus.cmp(&b.bus),
+        };
         b.gain
             .partial_cmp(&a.gain)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.bus.cmp(&b.bus))
+            .then(tie)
     });
     let mut seen = std::collections::BTreeSet::new();
     moves.retain(|mv| {
@@ -598,39 +591,36 @@ fn candidate_moves(
         );
         seen.insert(sig)
     });
-    moves.truncate(cfg.branching_factor.max(1));
+    moves.truncate(branching_factor.max(1));
 
-    // A fresh bus is always a (last-resort) candidate if pins allow.
+    // A fresh bus is always a candidate if pins allow: last resort for the
+    // gain-ordered plans, first move for the fresh-first plan.
     let fresh = state.buses.len();
-    let fresh_feasible = match mode {
-        PortMode::Unidirectional => {
-            state.pins_left[from.index()] >= bits as i64
-                && state.pins_left[to.index()] >= bits as i64
-        }
-        PortMode::Bidirectional => {
-            state.pins_left[from.index()] >= bits as i64
-                && state.pins_left[to.index()] >= bits as i64
-        }
-    };
+    let fresh_feasible =
+        state.pins_left[from.index()] >= bits as i64 && state.pins_left[to.index()] >= bits as i64;
     if fresh_feasible {
-        moves.push(Move {
+        let mv = Move {
             bus: fresh,
             split_into: None,
             range: SubRange { lo: 0, hi: 0 },
             gain: l as f64, // g1 = g2 = 0, g3 = L free slots
-        });
+        };
+        if matches!(cand, CandidateOrder::FreshFirst) {
+            moves.insert(0, mv);
+        } else {
+            moves.push(mv);
+        }
     }
-    let _ = wf; // used inside score_move via closure-free recomputation
     moves
 }
 
 /// Scores assigning `value` to bus `h` at `range`; `None` when infeasible
 /// (pins or slot capacity).
 #[allow(clippy::too_many_arguments)]
-fn score_move(
+pub(crate) fn score_move(
     _cdfg: &Cdfg,
     mode: PortMode,
-    cfg: &SearchConfig,
+    rate: u32,
     state: &State,
     h: usize,
     split_into: &Option<Vec<u32>>,
@@ -641,7 +631,7 @@ fn score_move(
     bits: u32,
 ) -> Option<f64> {
     let bus = &state.buses[h];
-    let l = cfg.rate as i64;
+    let l = rate as i64;
     let shares_value = state.bus_values[h].contains_key(&value);
 
     // Geometry after the move.
@@ -660,9 +650,8 @@ fn score_move(
     let prefix_need: u32 = new_widths[..range.lo].iter().sum::<u32>() + bits;
 
     // Pin deltas for the two endpoint ports.
-    let port_width = |ports: &BTreeMap<PartitionId, u32>, p: PartitionId| {
-        ports.get(&p).copied().unwrap_or(0)
-    };
+    let port_width =
+        |ports: &BTreeMap<PartitionId, u32>, p: PartitionId| ports.get(&p).copied().unwrap_or(0);
     let (delta_from, delta_to, had_from, had_to) = match mode {
         PortMode::Unidirectional => {
             let cur_out = port_width(&bus.out_ports, from);
@@ -699,7 +688,7 @@ fn score_move(
     if !shares_value {
         let mut values: Vec<ValueId> = state.bus_values[h].keys().copied().collect();
         values.push(value);
-        if !groups_assignable(&values, &state.windows, cfg.rate) {
+        if !groups_assignable(&values, &state.windows, rate) {
             return None;
         }
     }
@@ -723,14 +712,7 @@ fn score_move(
     Some(10_000.0 * g1 + 100.0 * g2 + g3)
 }
 
-fn apply_move(
-    cdfg: &Cdfg,
-    mode: PortMode,
-    _cfg: &SearchConfig,
-    state: &mut State,
-    op: OpId,
-    mv: &Move,
-) {
+pub(crate) fn apply_move(cdfg: &Cdfg, mode: PortMode, state: &mut State, op: OpId, mv: &Move) {
     let (value, from, to) = cdfg.op(op).io_endpoints().expect("io op");
     let bits = cdfg.io_bits(op);
     if mv.bus == state.buses.len() {
@@ -856,12 +838,18 @@ mod tests {
         for rate in [3u32, 4, 5] {
             let du = ar_filter::general(rate, PortMode::Unidirectional);
             let db = ar_filter::general(rate, PortMode::Bidirectional);
-            let icu =
-                synthesize(du.cdfg(), PortMode::Unidirectional, &SearchConfig::new(rate)).unwrap();
+            let icu = synthesize(
+                du.cdfg(),
+                PortMode::Unidirectional,
+                &SearchConfig::new(rate),
+            )
+            .unwrap();
             let icb =
                 synthesize(db.cdfg(), PortMode::Bidirectional, &SearchConfig::new(rate)).unwrap();
             let total = |ic: &Interconnect, n: usize| -> u32 {
-                (1..n as u32).map(|p| ic.pins_used(mcs_cdfg::PartitionId::new(p))).sum()
+                (1..n as u32)
+                    .map(|p| ic.pins_used(mcs_cdfg::PartitionId::new(p)))
+                    .sum()
             };
             let n = du.cdfg().partition_count();
             assert!(
@@ -898,7 +886,9 @@ mod tests {
             )
             .unwrap();
             let total = |ic: &Interconnect| -> u32 {
-                (1..5u32).map(|p| ic.pins_used(mcs_cdfg::PartitionId::new(p))).sum()
+                (1..5u32)
+                    .map(|p| ic.pins_used(mcs_cdfg::PartitionId::new(p)))
+                    .sum()
             };
             assert!(
                 total(&shared) <= total(&plain),
@@ -940,7 +930,9 @@ mod tests {
         // Strangle the quickstart design's pins so no structure fits.
         let mut d = synthetic::quickstart();
         for p in 1..=2u32 {
-            d.cdfg_mut().partition_mut(mcs_cdfg::PartitionId::new(p)).total_pins = 4;
+            d.cdfg_mut()
+                .partition_mut(mcs_cdfg::PartitionId::new(p))
+                .total_pins = 4;
         }
         assert!(matches!(
             synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(1)),

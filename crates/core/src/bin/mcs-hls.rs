@@ -21,12 +21,12 @@
 use std::process::ExitCode;
 
 use mcs_cdfg::{format, timing, Cdfg, PortMode};
-use multichip_hls::sched::Schedule;
 use multichip_hls::flows::{
     connect_first_flow, schedule_first_flow, simple_flow, ConnectFirstOptions, SynthesisResult,
 };
 use multichip_hls::netlist;
-use multichip_hls::report::{render_interconnect, render_schedule};
+use multichip_hls::report::{render_interconnect, render_schedule, render_search_stats};
+use multichip_hls::sched::Schedule;
 use multichip_hls::sim::{verify, Semantics, Stimulus};
 
 struct Args {
@@ -42,6 +42,10 @@ struct Args {
     chips: usize,
     pins: u32,
     buses: bool,
+    workers: usize,
+    portfolio: Option<usize>,
+    branching: Option<usize>,
+    budget: Option<usize>,
 }
 
 fn usage() -> ExitCode {
@@ -49,7 +53,8 @@ fn usage() -> ExitCode {
         "usage: mcs-hls <check|synth|simulate|rtl|fmt|partition|dot> <design.mcs> \
          [--rate N] [--flow simple|connect|schedule] [--pipe N] \
          [--bidir] [--sharing] [--instances N] [--seed N] \
-         [--chips N] [--pins N] [--buses]"
+         [--chips N] [--pins N] [--buses] \
+         [--workers N] [--portfolio N] [--branching N] [--budget N]"
     );
     ExitCode::from(2)
 }
@@ -71,6 +76,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         chips: 2,
         pins: 64,
         buses: false,
+        workers: 1,
+        portfolio: None,
+        branching: None,
+        budget: None,
     };
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| {
@@ -80,23 +89,68 @@ fn parse_args() -> Result<Args, ExitCode> {
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--rate" => out.rate = next_value(&mut args, "--rate")?.parse().map_err(|_| usage())?,
+            "--rate" => {
+                out.rate = next_value(&mut args, "--rate")?
+                    .parse()
+                    .map_err(|_| usage())?
+            }
             "--pipe" => {
-                out.pipe = Some(next_value(&mut args, "--pipe")?.parse().map_err(|_| usage())?)
+                out.pipe = Some(
+                    next_value(&mut args, "--pipe")?
+                        .parse()
+                        .map_err(|_| usage())?,
+                )
             }
             "--flow" => out.flow = next_value(&mut args, "--flow")?,
             "--bidir" => out.bidir = true,
             "--sharing" => out.sharing = true,
             "--instances" => {
-                out.instances =
-                    next_value(&mut args, "--instances")?.parse().map_err(|_| usage())?
+                out.instances = next_value(&mut args, "--instances")?
+                    .parse()
+                    .map_err(|_| usage())?
             }
-            "--seed" => out.seed = next_value(&mut args, "--seed")?.parse().map_err(|_| usage())?,
+            "--seed" => {
+                out.seed = next_value(&mut args, "--seed")?
+                    .parse()
+                    .map_err(|_| usage())?
+            }
             "--chips" => {
-                out.chips = next_value(&mut args, "--chips")?.parse().map_err(|_| usage())?
+                out.chips = next_value(&mut args, "--chips")?
+                    .parse()
+                    .map_err(|_| usage())?
             }
-            "--pins" => out.pins = next_value(&mut args, "--pins")?.parse().map_err(|_| usage())?,
+            "--pins" => {
+                out.pins = next_value(&mut args, "--pins")?
+                    .parse()
+                    .map_err(|_| usage())?
+            }
             "--buses" => out.buses = true,
+            "--workers" => {
+                out.workers = next_value(&mut args, "--workers")?
+                    .parse()
+                    .map_err(|_| usage())?
+            }
+            "--portfolio" => {
+                out.portfolio = Some(
+                    next_value(&mut args, "--portfolio")?
+                        .parse()
+                        .map_err(|_| usage())?,
+                )
+            }
+            "--branching" => {
+                out.branching = Some(
+                    next_value(&mut args, "--branching")?
+                        .parse()
+                        .map_err(|_| usage())?,
+                )
+            }
+            "--budget" => {
+                out.budget = Some(
+                    next_value(&mut args, "--budget")?
+                        .parse()
+                        .map_err(|_| usage())?,
+                )
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 return Err(usage());
@@ -129,13 +183,22 @@ fn synthesize(cdfg: &Cdfg, a: &Args) -> Result<SynthesisResult, ExitCode> {
             let mut opts = ConnectFirstOptions::new(a.rate);
             opts.mode = mode;
             opts.sharing = a.sharing;
+            opts.workers = a.workers;
+            opts.portfolio = a.portfolio;
+            opts.branching_factor = a.branching;
+            opts.node_budget = a.budget;
             connect_first_flow(cdfg, &opts)
         }
         "schedule" => {
             let pipe = a.pipe.unwrap_or_else(|| {
                 timing::asap(cdfg)
                     .map(|t| {
-                        Schedule { rate: a.rate, start: t.start }.pipe_length(cdfg) + a.rate as i64
+                        Schedule {
+                            rate: a.rate,
+                            start: t.start,
+                        }
+                        .pipe_length(cdfg)
+                            + a.rate as i64
                     })
                     .unwrap_or(3 * a.rate as i64)
             });
@@ -188,11 +251,29 @@ fn main() -> ExitCode {
                 Ok(r) => r,
                 Err(code) => return code,
             };
-            println!("pipe length: {} control steps at rate {}", r.pipe_length, a.rate);
+            println!(
+                "pipe length: {} control steps at rate {}",
+                r.pipe_length, a.rate
+            );
             println!("pins used:   {:?}", r.pins_used);
             println!();
             println!("{}", render_schedule(cdfg, &r.schedule));
             println!("{}", render_interconnect(cdfg, &r.final_interconnect()));
+            if let Some(stats) = &r.search_stats {
+                println!(
+                    "connection search: {} nodes in {:.1} ms over {} epochs \
+                     ({:.0} nodes/s, {} threads, {} cache hits, {} prunes, {} backtracks)",
+                    stats.nodes,
+                    stats.wall.as_secs_f64() * 1e3,
+                    stats.epochs,
+                    stats.nodes_per_sec(),
+                    stats.threads,
+                    stats.cache_hits,
+                    stats.prunes,
+                    stats.backtracks,
+                );
+                println!("{}", render_search_stats(stats));
+            }
             ExitCode::SUCCESS
         }
         "simulate" => {
@@ -259,8 +340,9 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let chips: Vec<mcs_cdfg::PartitionId> =
-                (1..=a.chips as u32).map(mcs_cdfg::PartitionId::new).collect();
+            let chips: Vec<mcs_cdfg::PartitionId> = (1..=a.chips as u32)
+                .map(mcs_cdfg::PartitionId::new)
+                .collect();
             let cap = flat.ops.len().div_ceil(a.chips) + 1;
             let caps = Capacities::balanced(cap);
             // Warm start from the original assignment when the chip count

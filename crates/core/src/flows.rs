@@ -4,12 +4,14 @@
 use std::collections::BTreeMap;
 
 use mcs_cdfg::{Cdfg, OpId, OperatorClass, PartitionId, PortMode};
-use mcs_connect::{share_pass, synthesize, ConnectError, Interconnect, SearchConfig};
+use mcs_connect::{
+    share_pass, synthesize_with_stats, ConnectError, Interconnect, SearchConfig, SearchStats,
+};
 use mcs_pinalloc::{check_simple, PinAllocError, PinChecker, SimplicityViolation};
 use mcs_postsyn::{connect_after_scheduling, verify_against_schedule, PostsynConfig};
 use mcs_sched::{
-    fds_schedule, list_schedule, validate, BusPolicy, FdsConfig, ListConfig, PinPolicy,
-    SchedError, Schedule, ScheduleViolation, SlotPlacement,
+    fds_schedule, list_schedule, validate, BusPolicy, FdsConfig, ListConfig, PinPolicy, SchedError,
+    Schedule, ScheduleViolation, SlotPlacement,
 };
 
 /// Anything a flow can fail with.
@@ -83,6 +85,9 @@ pub struct SynthesisResult {
     pub placements: BTreeMap<OpId, SlotPlacement>,
     /// Transfers that changed bus relative to the initial assignment.
     pub reassigned: usize,
+    /// Connection-search telemetry, for flows that run the Chapter 4
+    /// portfolio search (`None` for schedule-first flows).
+    pub search_stats: Option<SearchStats>,
 }
 
 impl SynthesisResult {
@@ -98,6 +103,7 @@ impl SynthesisResult {
             pipe_length,
             placements: BTreeMap::new(),
             reassigned: 0,
+            search_stats: None,
         }
     }
 
@@ -152,8 +158,7 @@ pub fn simple_flow(cdfg: &Cdfg, rate: u32) -> Result<SynthesisResult, FlowError>
     for _round in 0..8 {
         let mut cfg = PostsynConfig::new(rate);
         cfg.weights = weights.clone();
-        let candidate =
-            connect_after_scheduling(cdfg, &schedule, PortMode::Unidirectional, &cfg);
+        let candidate = connect_after_scheduling(cdfg, &schedule, PortMode::Unidirectional, &cfg);
         let mut over = Vec::new();
         for p in 0..cdfg.partition_count() {
             let pid = PartitionId::new(p as u32);
@@ -194,17 +199,50 @@ pub struct ConnectFirstOptions {
     /// Enable dynamic bus reassignment during scheduling (Section 4.2);
     /// `false` reproduces the static-assignment baseline.
     pub reassign: bool,
+    /// Threads expanding the connection-search portfolio.
+    pub workers: usize,
+    /// Portfolio size, when pinned independently of `workers`.
+    pub portfolio: Option<usize>,
+    /// Override of the search branching factor (`None` keeps the
+    /// default).
+    pub branching_factor: Option<usize>,
+    /// Override of the per-worker node budget (`None` keeps the
+    /// default).
+    pub node_budget: Option<usize>,
 }
 
 impl ConnectFirstOptions {
-    /// Defaults: unidirectional, no sharing, with reassignment.
+    /// Defaults: unidirectional, no sharing, with reassignment, a
+    /// single-worker (classic) connection search.
     pub fn new(rate: u32) -> Self {
         ConnectFirstOptions {
             rate,
             mode: PortMode::Unidirectional,
             sharing: false,
             reassign: true,
+            workers: 1,
+            portfolio: None,
+            branching_factor: None,
+            node_budget: None,
         }
+    }
+
+    /// The [`SearchConfig`] these options describe.
+    pub fn search_config(&self) -> SearchConfig {
+        let mut cfg = SearchConfig::new(self.rate).with_workers(self.workers);
+        if self.sharing {
+            cfg = cfg.with_sharing();
+        }
+        if let Some(p) = self.portfolio {
+            cfg = cfg.with_portfolio(p);
+        }
+        if let Some(bf) = self.branching_factor {
+            cfg.branching_factor = bf.max(1);
+        }
+        if let Some(b) = self.node_budget {
+            cfg.node_budget = b;
+        }
+        cfg
     }
 }
 
@@ -218,11 +256,9 @@ pub fn connect_first_flow(
     cdfg: &Cdfg,
     opts: &ConnectFirstOptions,
 ) -> Result<SynthesisResult, FlowError> {
-    let mut cfg = SearchConfig::new(opts.rate);
-    if opts.sharing {
-        cfg = cfg.with_sharing();
-    }
-    let ic = synthesize(cdfg, opts.mode, &cfg)?;
+    let cfg = opts.search_config();
+    let (ic, search_stats) = synthesize_with_stats(cdfg, opts.mode, &cfg);
+    let ic = ic?;
     // With reassignment enabled, dynamic allocation is an *addition* to
     // static allocation: the flow runs both and keeps the shorter
     // schedule, so enabling reassignment can only help — the relation the
@@ -275,6 +311,7 @@ pub fn connect_first_flow(
     let mut result = SynthesisResult::common(cdfg, schedule, ic);
     result.placements = policy.placements().clone();
     result.reassigned = policy.reassigned_count();
+    result.search_stats = Some(search_stats);
     Ok(result)
 }
 

@@ -257,7 +257,13 @@ fn value_copies(cdfg: &Cdfg, schedule: &Schedule, op: OpId) -> u32 {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -338,11 +344,19 @@ pub fn to_verilog(nl: &Netlist) -> String {
     }
     for chip in nl.chips.values() {
         let conns: Vec<String> = std::iter::once(".clk(clk)".to_string())
-            .chain(chip.ports.iter().map(|p| {
-                format!(".{}(bus{}[{}:0])", p.name, p.bus, p.width.saturating_sub(1))
-            }))
+            .chain(
+                chip.ports
+                    .iter()
+                    .map(|p| format!(".{}(bus{}[{}:0])", p.name, p.bus, p.width.saturating_sub(1))),
+            )
             .collect();
-        let _ = writeln!(out, "  {} u_{} ({});", chip.name, chip.name, conns.join(", "));
+        let _ = writeln!(
+            out,
+            "  {} u_{} ({});",
+            chip.name,
+            chip.name,
+            conns.join(", ")
+        );
     }
     let _ = writeln!(out, "endmodule");
     out

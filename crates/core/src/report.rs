@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use mcs_cdfg::{Cdfg, OpId, PartitionId};
-use mcs_connect::Interconnect;
+use mcs_connect::{Interconnect, SearchStats};
 use mcs_sched::{Schedule, SlotPlacement};
 
 /// A simple column-aligned text table.
@@ -73,9 +73,8 @@ impl std::fmt::Display for Table {
 pub fn render_schedule(cdfg: &Cdfg, schedule: &Schedule) -> Table {
     let nparts = cdfg.partition_count();
     let mut t = Table::new(
-        std::iter::once("step".to_string()).chain(
-            (1..nparts).map(|p| cdfg.partition(PartitionId::new(p as u32)).name.clone()),
-        ),
+        std::iter::once("step".to_string())
+            .chain((1..nparts).map(|p| cdfg.partition(PartitionId::new(p as u32)).name.clone())),
     );
     let lo = schedule.first_step();
     let hi = schedule.last_step();
@@ -115,8 +114,7 @@ pub fn render_bus_allocation(
         .max()
         .unwrap_or(0);
     let mut t = Table::new(
-        std::iter::once("steps".to_string())
-            .chain((0..nbuses).map(|h| format!("C{}", h + 1))),
+        std::iter::once("steps".to_string()).chain((0..nbuses).map(|h| format!("C{}", h + 1))),
     );
     for g in 0..schedule.rate {
         let mut cells = vec![format!("{g}, {}, ...", g + schedule.rate)];
@@ -124,8 +122,7 @@ pub fn render_bus_allocation(
             let names: Vec<String> = placements
                 .iter()
                 .filter(|(_, pl)| {
-                    pl.bus.index() == h
-                        && pl.step.rem_euclid(schedule.rate as i64) as u32 == g
+                    pl.bus.index() == h && pl.step.rem_euclid(schedule.rate as i64) as u32 == g
                 })
                 .map(|(&op, _)| cdfg.op(op).name.clone())
                 .collect();
@@ -142,10 +139,13 @@ pub fn render_bus_assignment(
     initial: &Interconnect,
     placements: &BTreeMap<OpId, SlotPlacement>,
 ) -> Table {
-    let nbuses = initial
-        .buses
-        .len()
-        .max(placements.values().map(|p| p.bus.index() + 1).max().unwrap_or(0));
+    let nbuses = initial.buses.len().max(
+        placements
+            .values()
+            .map(|p| p.bus.index() + 1)
+            .max()
+            .unwrap_or(0),
+    );
     let mut t = Table::new(["bus", "initial", "final"]);
     for h in 0..nbuses {
         let mut first: Vec<String> = initial
@@ -185,7 +185,10 @@ pub fn render_interconnect(cdfg: &Cdfg, ic: &Interconnect) -> Table {
                 .join(" ")
         };
         let (outs, ins) = if ic.mode == mcs_cdfg::PortMode::Bidirectional {
-            (format!("(bidir) {}", fmt_ports(&bus.bi_ports)), String::new())
+            (
+                format!("(bidir) {}", fmt_ports(&bus.bi_ports)),
+                String::new(),
+            )
         } else {
             (fmt_ports(&bus.out_ports), fmt_ports(&bus.in_ports))
         };
@@ -195,6 +198,43 @@ pub fn render_interconnect(cdfg: &Cdfg, ic: &Interconnect) -> Table {
             subs,
             outs,
             ins,
+        ]);
+    }
+    t
+}
+
+/// Renders the portfolio connection search's per-worker telemetry: which
+/// configurations raced, how far each got, and who won.
+pub fn render_search_stats(stats: &SearchStats) -> Table {
+    let mut t = Table::new([
+        "worker",
+        "plan",
+        "outcome",
+        "nodes",
+        "cache hits",
+        "prunes",
+        "backtracks",
+        "cost",
+    ]);
+    for w in &stats.workers {
+        let marker = if stats.winner == Some(w.index) {
+            " *"
+        } else {
+            ""
+        };
+        let cost = match w.cost {
+            Some((buses, pins)) => format!("{buses} buses / {pins} pins"),
+            None => String::from("-"),
+        };
+        t.row([
+            format!("{}{marker}", w.index),
+            w.config.clone(),
+            w.outcome.to_string(),
+            w.nodes.to_string(),
+            w.cache_hits.to_string(),
+            w.prunes.to_string(),
+            w.backtracks.to_string(),
+            cost,
         ]);
     }
     t
@@ -258,7 +298,13 @@ mod tests {
         let t = render_bus_allocation(d.cdfg(), &s, policy.placements());
         assert_eq!(t.rows.len(), rate as usize, "one row per step group");
         // Every placed transfer appears exactly once across the body.
-        let body: String = t.rows.iter().flatten().cloned().collect::<Vec<_>>().join(" ");
+        let body: String = t
+            .rows
+            .iter()
+            .flatten()
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(" ");
         for &op in policy.placements().keys() {
             assert!(body.contains(&d.cdfg().op(op).name));
         }

@@ -125,8 +125,8 @@ pub fn estimate(cdfg: &Cdfg, schedule: &Schedule) -> DataPath {
         let lifetime_steps = (last_use - avail).div_euclid(stage as i64)
             + i64::from((last_use - avail).rem_euclid(stage as i64) != 0);
         if lifetime_steps > 0 {
-            let copies = lifetime_steps.div_euclid(rate)
-                + i64::from(lifetime_steps.rem_euclid(rate) != 0);
+            let copies =
+                lifetime_steps.div_euclid(rate) + i64::from(lifetime_steps.rem_euclid(rate) != 0);
             dp.partitions.entry(home).or_default().registers += copies as u32;
         }
     }
@@ -147,7 +147,10 @@ mod tests {
         for (p, rtl) in &dp.partitions {
             for (class, &n) in &rtl.units {
                 if let Some(&declared) = d.cdfg().partition(*p).resources.get(class) {
-                    assert!(n <= declared, "{p} {class}: bound {n} > declared {declared}");
+                    assert!(
+                        n <= declared,
+                        "{p} {class}: bound {n} > declared {declared}"
+                    );
                 }
             }
         }
@@ -176,7 +179,10 @@ mod tests {
         let dp2 = estimate(d.cdfg(), &s);
         // The same schedule at a coarser fold (pretend rate 4) halves the
         // overlapping copies.
-        let s4 = Schedule { rate: 4, start: s.start.clone() };
+        let s4 = Schedule {
+            rate: 4,
+            start: s.start.clone(),
+        };
         let dp4 = estimate(d.cdfg(), &s4);
         assert!(dp4.total_registers() <= dp2.total_registers());
     }

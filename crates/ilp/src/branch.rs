@@ -169,15 +169,14 @@ mod tests {
     fn node_limit_is_respected() {
         let mut m = Model::new();
         // A small hard-ish subset-sum to burn nodes.
-        let xs: Vec<_> = (0..12).map(|i| m.integer(&format!("x{i}"), Some(1))).collect();
+        let xs: Vec<_> = (0..12)
+            .map(|i| m.integer(&format!("x{i}"), Some(1)))
+            .collect();
         let weights = [31, 41, 59, 26, 53, 58, 97, 93, 23, 84, 62, 64];
         let terms: Vec<_> = xs.iter().zip(weights).map(|(&x, w)| (x, w)).collect();
         m.eq(&terms, 101);
         m.node_limit = 1;
         // With a single node we cannot prove anything.
-        assert!(matches!(
-            m.solve(),
-            Err(SolveError::LimitReached) | Ok(_)
-        ));
+        assert!(matches!(m.solve(), Err(SolveError::LimitReached) | Ok(_)));
     }
 }

@@ -163,9 +163,7 @@ impl AllIntegerSolver {
                 return Feasibility::Feasible;
             };
             // Columns that can raise row r: t_rj < 0.
-            let Some(k) = (0..self.ncols)
-                .find(|&j| self.rows[r].coeffs[j] < 0)
-            else {
+            let Some(k) = (0..self.ncols).find(|&j| self.rows[r].coeffs[j] < 0) else {
                 return Feasibility::Infeasible;
             };
             // All-integer Gomory cut with divisor lambda = -t_rk, giving a
@@ -173,8 +171,7 @@ impl AllIntegerSolver {
             let lambda = -self.rows[r].coeffs[k];
             let cut = Row {
                 t0: self.rows[r].t0.div_euclid(lambda),
-                coeffs: self
-                    .rows[r]
+                coeffs: self.rows[r]
                     .coeffs
                     .iter()
                     .map(|&a| a.div_euclid(lambda))

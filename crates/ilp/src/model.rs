@@ -78,7 +78,9 @@ impl fmt::Display for SolveError {
         match self {
             SolveError::Infeasible => write!(f, "model is infeasible"),
             SolveError::Unbounded => write!(f, "objective is unbounded"),
-            SolveError::LimitReached => write!(f, "search budget exhausted before proving a result"),
+            SolveError::LimitReached => {
+                write!(f, "search budget exhausted before proving a result")
+            }
             SolveError::UnknownVariable(v) => write!(f, "unknown variable id {v:?}"),
         }
     }

@@ -277,8 +277,7 @@ fn pivot_loop(
     let ncols = obj.len() - 1;
     loop {
         // Entering: smallest index with positive reduced cost.
-        let Some(col) = (0..ncols)
-            .find(|&j| obj[j].is_positive() && !(skip_art && is_art[j]))
+        let Some(col) = (0..ncols).find(|&j| obj[j].is_positive() && !(skip_art && is_art[j]))
         else {
             return Outcome::Optimal;
         };

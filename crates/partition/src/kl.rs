@@ -117,9 +117,10 @@ pub fn refine(
                     assign[op] = dest;
                     let cut = flat.cut_bits(&assign);
                     assign[op] = home;
-                    if best.as_ref().is_none_or(|&(c, o, d)| {
-                        cut < c || (cut == c && (op, dest) < (o, d))
-                    }) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|&(c, o, d)| cut < c || (cut == c && (op, dest) < (o, d)))
+                    {
                         best = Some((cut, op, dest));
                     }
                 }

@@ -86,13 +86,19 @@ pub fn rebuild(
             let v = match origin {
                 Origin::Op(src) if assign[src] == home => ops[src].1,
                 Origin::Op(src) => {
-                    let (_, copy) =
-                        b.io(&format!("t_{}_{}", flat.ops[src].name, home), ops[src].1, home);
+                    let (_, copy) = b.io(
+                        &format!("t_{}_{}", flat.ops[src].name, home),
+                        ops[src].1,
+                        home,
+                    );
                     copy
                 }
                 Origin::Input(i) => {
-                    let (_, copy) =
-                        b.io(&format!("in_{}_{}", flat.inputs[i].name, home), ext[i], home);
+                    let (_, copy) = b.io(
+                        &format!("in_{}_{}", flat.inputs[i].name, home),
+                        ext[i],
+                        home,
+                    );
                     copy
                 }
             };
@@ -198,7 +204,12 @@ mod tests {
         let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
         let chips: Vec<PartitionId> = (1..=4).map(PartitionId::new).collect();
         let cap = flat.ops.len().div_ceil(4) + 1;
-        let r = refine(&flat, &chips, &spread(&flat, &chips), &Capacities::balanced(cap));
+        let r = refine(
+            &flat,
+            &chips,
+            &spread(&flat, &chips),
+            &Capacities::balanced(cap),
+        );
         let g = rebuild(&flat, &r.assign, &specs(4, 512), d.cdfg().library().clone()).unwrap();
         let reflat = FlatGraph::from_cdfg(&g).unwrap();
         assert_eq!(
@@ -220,7 +231,12 @@ mod tests {
         let flat = FlatGraph::from_cdfg(d.cdfg()).unwrap();
         let chips: Vec<PartitionId> = (1..=4).map(PartitionId::new).collect();
         let cap = flat.ops.len().div_ceil(4) + 1;
-        let r = refine(&flat, &chips, &spread(&flat, &chips), &Capacities::balanced(cap));
+        let r = refine(
+            &flat,
+            &chips,
+            &spread(&flat, &chips),
+            &Capacities::balanced(cap),
+        );
         let g = rebuild(&flat, &r.assign, &specs(4, 512), d.cdfg().library().clone()).unwrap();
 
         let sem = Semantics::new();

@@ -413,7 +413,10 @@ mod tests {
         let ok0 = c.can_commit(v2, 0);
         let ok1 = c.can_commit(v2, 1);
         assert!(ok1, "V2 must be placeable in the other group");
-        assert!(!ok0, "the checker must foresee that V1,V2 in one group strands V3/V4");
+        assert!(
+            !ok0,
+            "the checker must foresee that V1,V2 in one group strands V3/V4"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl std::fmt::Display for ConflictError {
                 write!(f, "group {group} demand exceeds the junction pin budget")
             }
             ConflictError::MalformedDemand { group } => {
-                write!(f, "group {group} doubly-destined bits exceed a single-destination total")
+                write!(
+                    f,
+                    "group {group} doubly-destined bits exceed a single-destination total"
+                )
             }
         }
     }
@@ -205,11 +208,26 @@ mod tests {
             dest_b_inputs: 16,
         };
         let demands = [
-            GroupDemand { to_a: 8, to_b: 16, to_both: 0 },
-            GroupDemand { to_a: 16, to_b: 8, to_both: 8 },
+            GroupDemand {
+                to_a: 8,
+                to_b: 16,
+                to_both: 0,
+            },
+            GroupDemand {
+                to_a: 16,
+                to_b: 8,
+                to_both: 8,
+            },
         ];
         let (links, _) = construct_fanout(&j, &demands).unwrap();
-        assert_eq!(links, Links { direct_a: 16, direct_b: 16, shared: 0 });
+        assert_eq!(
+            links,
+            Links {
+                direct_a: 16,
+                direct_b: 16,
+                shared: 0
+            }
+        );
     }
 
     #[test]
@@ -221,11 +239,26 @@ mod tests {
             dest_b_inputs: 16,
         };
         let demands = [
-            GroupDemand { to_a: 16, to_b: 8, to_both: 8 },
-            GroupDemand { to_a: 8, to_b: 16, to_both: 8 },
+            GroupDemand {
+                to_a: 16,
+                to_b: 8,
+                to_both: 8,
+            },
+            GroupDemand {
+                to_a: 8,
+                to_b: 16,
+                to_both: 8,
+            },
         ];
         let (links, allocs) = construct_fanout(&j, &demands).unwrap();
-        assert_eq!(links, Links { direct_a: 8, direct_b: 8, shared: 8 });
+        assert_eq!(
+            links,
+            Links {
+                direct_a: 8,
+                direct_b: 8,
+                shared: 8
+            }
+        );
         for a in &allocs {
             assert_eq!(a.shared_both, 8);
         }
@@ -240,8 +273,16 @@ mod tests {
             dest_b_inputs: 16,
         };
         let demands = [
-            GroupDemand { to_a: 16, to_b: 16, to_both: 16 },
-            GroupDemand { to_a: 16, to_b: 14, to_both: 0 },
+            GroupDemand {
+                to_a: 16,
+                to_b: 16,
+                to_both: 16,
+            },
+            GroupDemand {
+                to_a: 16,
+                to_b: 14,
+                to_both: 0,
+            },
         ];
         let (links, allocs) = construct_fanout(&j, &demands).unwrap();
         assert_eq!(links.shared, 2);
@@ -257,7 +298,11 @@ mod tests {
             dest_a_inputs: 8,
             dest_b_inputs: 8,
         };
-        let demands = [GroupDemand { to_a: 8, to_b: 8, to_both: 0 }];
+        let demands = [GroupDemand {
+            to_a: 8,
+            to_b: 8,
+            to_both: 0,
+        }];
         assert_eq!(
             construct_fanout(&j, &demands),
             Err(ConflictError::DemandExceedsPins { group: 0 })
@@ -271,7 +316,11 @@ mod tests {
             dest_a_inputs: 16,
             dest_b_inputs: 16,
         };
-        let demands = [GroupDemand { to_a: 4, to_b: 4, to_both: 8 }];
+        let demands = [GroupDemand {
+            to_a: 4,
+            to_b: 4,
+            to_both: 8,
+        }];
         assert_eq!(
             construct_fanout(&j, &demands),
             Err(ConflictError::MalformedDemand { group: 0 })
@@ -300,8 +349,16 @@ mod tests {
                         for b1 in 0..=4u32 {
                             for c1 in 0..=a1.min(b1) {
                                 let d = [
-                                    GroupDemand { to_a: a0, to_b: b0, to_both: c0 },
-                                    GroupDemand { to_a: a1, to_b: b1, to_both: c1 },
+                                    GroupDemand {
+                                        to_a: a0,
+                                        to_b: b0,
+                                        to_both: c0,
+                                    },
+                                    GroupDemand {
+                                        to_a: a1,
+                                        to_b: b1,
+                                        to_both: c1,
+                                    },
                                 ];
                                 let feasible = d.iter().all(|g| {
                                     g.to_a <= 4 && g.to_b <= 4 && g.to_a + g.to_b - g.to_both <= 6

@@ -48,10 +48,18 @@ impl std::fmt::Display for SimplicityViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimplicityViolation::DrivesTooMany { partition, drives } => {
-                write!(f, "{partition} drives {} partitions: {drives:?}", drives.len())
+                write!(
+                    f,
+                    "{partition} drives {} partitions: {drives:?}",
+                    drives.len()
+                )
             }
             SimplicityViolation::DrivenByTooMany { partition, drivers } => {
-                write!(f, "{partition} is driven by {} partitions: {drivers:?}", drivers.len())
+                write!(
+                    f,
+                    "{partition} is driven by {} partitions: {drivers:?}",
+                    drivers.len()
+                )
             }
             SimplicityViolation::SharedDriverDrivesOthers { partition, driver } => write!(
                 f,

@@ -203,12 +203,7 @@ pub fn connect_after_scheduling(
     let mut assignment = BTreeMap::new();
     for (h, sn) in combined.iter().enumerate() {
         let mut bus = Bus::new();
-        let width = sn
-            .ops
-            .iter()
-            .map(|&op| cdfg.io_bits(op))
-            .max()
-            .unwrap_or(0);
+        let width = sn.ops.iter().map(|&op| cdfg.io_bits(op)).max().unwrap_or(0);
         bus.sub_widths = vec![width];
         for &op in &sn.ops {
             let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
@@ -249,24 +244,15 @@ pub fn connect_after_scheduling(
 /// guarantees). Returns violations as strings (pin-budget overruns are
 /// *not* flagged here — Chapter 5 reports the pins required rather than
 /// fitting a budget).
-pub fn verify_against_schedule(
-    cdfg: &Cdfg,
-    schedule: &Schedule,
-    ic: &Interconnect,
-) -> Vec<String> {
+pub fn verify_against_schedule(cdfg: &Cdfg, schedule: &Schedule, ic: &Interconnect) -> Vec<String> {
     let mut problems = Vec::new();
     for op in cdfg.io_ops() {
         match ic.assignment.get(&op) {
             None => problems.push(format!("{op} has no bus")),
             Some(a) => {
                 let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
-                if !ic.buses[a.bus.index()].can_carry(
-                    ic.mode,
-                    from,
-                    to,
-                    cdfg.io_bits(op),
-                    a.range,
-                ) {
+                if !ic.buses[a.bus.index()].can_carry(ic.mode, from, to, cdfg.io_bits(op), a.range)
+                {
                     problems.push(format!("{op} cannot ride {}", a.bus));
                 }
             }
@@ -294,6 +280,40 @@ pub fn verify_against_schedule(
     problems
 }
 
+/// Per-partition pin accounting of an interconnect against the chip
+/// budgets: `(partition, pins used, pins available)` for every partition
+/// that uses at least one pin. The Chapter 4 flow must keep every entry
+/// within budget; the Chapter 5 flow merely reports them.
+pub fn pin_budget_report(cdfg: &Cdfg, ic: &Interconnect) -> Vec<(PartitionId, u32, u32)> {
+    (0..cdfg.partition_count())
+        .filter_map(|p| {
+            let pid = PartitionId::new(p as u32);
+            let used = ic.pins_used(pid);
+            (used > 0).then(|| (pid, used, cdfg.partition(pid).total_pins))
+        })
+        .collect()
+}
+
+/// Like [`verify_against_schedule`], additionally flagging partitions
+/// whose pin budget the interconnect overruns — the full acceptance check
+/// for connection-before-scheduling flows (Chapter 4), where budgets are
+/// hard constraints rather than reported costs.
+pub fn verify_against_schedule_with_budgets(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    ic: &Interconnect,
+) -> Vec<String> {
+    let mut problems = verify_against_schedule(cdfg, schedule, ic);
+    for (pid, used, budget) in pin_budget_report(cdfg, ic) {
+        if used > budget {
+            problems.push(format!(
+                "partition {pid} uses {used} pins but has only {budget}"
+            ));
+        }
+    }
+    problems
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,20 +329,37 @@ mod tests {
     #[test]
     fn quickstart_connection_is_conflict_free() {
         let d = synthetic::quickstart();
-        let s = fds_schedule(d.cdfg(), &FdsConfig { rate: 2, pipe_length: 6 }).unwrap();
+        let s = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate: 2,
+                pipe_length: 6,
+            },
+        )
+        .unwrap();
         let ic = connect_after_scheduling(
             d.cdfg(),
             &s,
             PortMode::Unidirectional,
             &PostsynConfig::new(2),
         );
-        assert_eq!(verify_against_schedule(d.cdfg(), &s, &ic), Vec::<String>::new());
+        assert_eq!(
+            verify_against_schedule(d.cdfg(), &s, &ic),
+            Vec::<String>::new()
+        );
     }
 
     #[test]
     fn sharing_beats_one_bus_per_transfer() {
         let d = ar_filter::general(3, PortMode::Unidirectional);
-        let s = fds_schedule(d.cdfg(), &FdsConfig { rate: 3, pipe_length: 10 }).unwrap();
+        let s = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate: 3,
+                pipe_length: 10,
+            },
+        )
+        .unwrap();
         let ic = connect_after_scheduling(
             d.cdfg(),
             &s,
@@ -343,7 +380,14 @@ mod tests {
     fn bidirectional_mode_shares_more() {
         let rate = 4;
         let d = ar_filter::general(rate, PortMode::Bidirectional);
-        let s = fds_schedule(d.cdfg(), &FdsConfig { rate, pipe_length: 12 }).unwrap();
+        let s = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate,
+                pipe_length: 12,
+            },
+        )
+        .unwrap();
         let uni = connect_after_scheduling(
             d.cdfg(),
             &s,
@@ -362,7 +406,14 @@ mod tests {
     #[test]
     fn elliptic_filter_round_trip() {
         let d = elliptic::partitioned_with(6, PortMode::Unidirectional);
-        let s = fds_schedule(d.cdfg(), &FdsConfig { rate: 6, pipe_length: 26 }).unwrap();
+        let s = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate: 6,
+                pipe_length: 26,
+            },
+        )
+        .unwrap();
         let ic = connect_after_scheduling(
             d.cdfg(),
             &s,
@@ -377,7 +428,14 @@ mod tests {
         // Raising a partition's weight must not meaningfully worsen the
         // pins spent on that partition.
         let d = ar_filter::general(3, PortMode::Unidirectional);
-        let s = fds_schedule(d.cdfg(), &FdsConfig { rate: 3, pipe_length: 10 }).unwrap();
+        let s = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate: 3,
+                pipe_length: 10,
+            },
+        )
+        .unwrap();
         let p1 = PartitionId::new(1);
         let plain = connect_after_scheduling(
             d.cdfg(),
@@ -397,7 +455,14 @@ mod tests {
     #[test]
     fn same_value_same_step_transfers_share_one_slot() {
         let d = elliptic::partitioned_with(6, PortMode::Unidirectional);
-        let mut s = fds_schedule(d.cdfg(), &FdsConfig { rate: 6, pipe_length: 26 }).unwrap();
+        let mut s = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate: 6,
+                pipe_length: 26,
+            },
+        )
+        .unwrap();
         // Pin Ia and Ib to one step: they transfer the same value and may
         // share a slot (Table 4.15's "(Ia, Ib)").
         let ia = d.op_named("Ia");

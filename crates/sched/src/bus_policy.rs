@@ -144,8 +144,7 @@ impl BusPolicy {
                 let lo = recursive
                     .iter()
                     .map(|e| {
-                        asap.of(e.from).step + cdfg.op_cycles(e.from) as i64
-                            - e.degree as i64 * l
+                        asap.of(e.from).step + cdfg.op_cycles(e.from) as i64 - e.degree as i64 * l
                     })
                     .max()
                     .expect("nonempty");
@@ -254,9 +253,7 @@ impl BusPolicy {
                     let mut free = self
                         .used
                         .get(&(bus, g))
-                        .is_none_or(|es| {
-                            es.iter().all(|&(er, _, _)| !er.overlaps(c.range))
-                        });
+                        .is_none_or(|es| es.iter().all(|&(er, _, _)| !er.overlaps(c.range)));
                     if let Some((eb, eg, er, _)) = extra {
                         if eb.0 == bus && eg == g && er.overlaps(c.range) {
                             free = false;
@@ -309,7 +306,11 @@ impl BusPolicy {
     ) -> bool {
         let occupants: Vec<SlotEntry> = match self.used.get(&(bus, g)) {
             None => return true,
-            Some(es) => es.iter().copied().filter(|&(r, _, _)| r.overlaps(range)).collect(),
+            Some(es) => es
+                .iter()
+                .copied()
+                .filter(|&(r, _, _)| r.overlaps(range))
+                .collect(),
         };
         if occupants.is_empty() {
             return true;
@@ -384,14 +385,7 @@ impl BusPolicy {
         if self.allow_reassign {
             let planned = self.plan.get(&op).copied();
             let mut carriers = self.interconnect.capable_carriers(cdfg, op);
-            carriers.sort_by_key(|c| {
-                (
-                    Some(*c) != planned,
-                    Some(*c) != original,
-                    c.bus,
-                    c.range,
-                )
-            });
+            carriers.sort_by_key(|c| (Some(*c) != planned, Some(*c) != original, c.bus, c.range));
             options = carriers;
         } else if let Some(a) = original {
             options.push(a);
@@ -409,7 +403,8 @@ impl BusPolicy {
                 continue;
             }
             let sharing = self.used.get(&(cand.bus.0, g)).is_some_and(|es| {
-                es.iter().any(|&(r, v, t)| v == value && r == cand.range && t == step)
+                es.iter()
+                    .any(|&(r, v, t)| v == value && r == cand.range && t == step)
             });
             let admissible = sharing
                 || !self.allow_reassign

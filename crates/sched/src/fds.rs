@@ -59,9 +59,7 @@ fn composite_constraints(cdfg: &Cdfg, rate: u32, deferred: &[bool]) -> Vec<Compo
                     out.push(Composite {
                         from: pe.from,
                         to: se.to,
-                        bound: pe.degree as i64 * rate as i64
-                            - cdfg.op_cycles(pe.from) as i64
-                            - 1,
+                        bound: pe.degree as i64 * rate as i64 - cdfg.op_cycles(pe.from) as i64 - 1,
                     });
                 }
             }
@@ -242,15 +240,7 @@ impl Distributions {
     }
 
     /// Force of narrowing `op`'s frame from `[lo, hi]` to exactly `s`.
-    fn force(
-        &self,
-        cdfg: &Cdfg,
-        rate: u32,
-        op: OpId,
-        lo: i64,
-        hi: i64,
-        s: i64,
-    ) -> f64 {
+    fn force(&self, cdfg: &Cdfg, rate: u32, op: OpId, lo: i64, hi: i64, s: i64) -> f64 {
         let w = (hi - lo + 1) as f64;
         let cycles = cdfg.op_cycles(op) as i64;
         let fold = |x: i64| x.rem_euclid(rate as i64) as usize;
@@ -268,7 +258,10 @@ impl Distributions {
             }
             OpKind::Io { from, to, .. } => {
                 let bits = cdfg.io_bits(op) as f64;
-                for dg in [self.io_out.get(from), self.io_in.get(to)].into_iter().flatten() {
+                for dg in [self.io_out.get(from), self.io_in.get(to)]
+                    .into_iter()
+                    .flatten()
+                {
                     f += bits * dg[fold(s)];
                     for t in lo..=hi {
                         f -= bits * dg[fold(t)] / w;
@@ -298,9 +291,7 @@ pub fn fds_schedule(cdfg: &Cdfg, cfg: &FdsConfig) -> Result<Schedule, SchedError
     let n = cdfg.ops().len();
     let deferred: Vec<bool> = cdfg
         .op_ids()
-        .map(|op| {
-            cdfg.op(op).is_io() && cdfg.preds(op).iter().any(|&e| cdfg.edge(e).degree > 0)
-        })
+        .map(|op| cdfg.op(op).is_io() && cdfg.preds(op).iter().any(|&e| cdfg.edge(e).degree > 0))
         .collect();
     let mut pinned: Vec<Option<i64>> = vec![None; n];
     let composites = composite_constraints(cdfg, cfg.rate, &deferred);
@@ -318,7 +309,10 @@ pub fn fds_schedule(cdfg: &Cdfg, cfg: &FdsConfig) -> Result<Schedule, SchedError
             if pinned[op.index()].is_some() || deferred[op.index()] {
                 continue;
             }
-            let (lo, hi) = (est[op.index()].step, lst[op.index()].step.max(est[op.index()].step));
+            let (lo, hi) = (
+                est[op.index()].step,
+                lst[op.index()].step.max(est[op.index()].step),
+            );
             if lo == hi {
                 // Forced placement costs nothing to decide.
                 best = Some((f64::MIN, op, lo));
@@ -335,8 +329,7 @@ pub fn fds_schedule(cdfg: &Cdfg, cfg: &FdsConfig) -> Result<Schedule, SchedError
                 let better = match &best {
                     None => true,
                     Some((bf, bop, bs)) => {
-                        f < *bf - 1e-9
-                            || ((f - *bf).abs() <= 1e-9 && (op, s) < (*bop, *bs))
+                        f < *bf - 1e-9 || ((f - *bf).abs() <= 1e-9 && (op, s) < (*bop, *bs))
                     }
                 };
                 if better {
@@ -366,10 +359,8 @@ pub fn fds_schedule(cdfg: &Cdfg, cfg: &FdsConfig) -> Result<Schedule, SchedError
         }
         let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
         let g = start[op.index()].step.rem_euclid(cfg.rate as i64) as usize;
-        io_load.entry((from, true)).or_insert_with(|| vec![0.0; l])[g] +=
-            cdfg.io_bits(op) as f64;
-        io_load.entry((to, false)).or_insert_with(|| vec![0.0; l])[g] +=
-            cdfg.io_bits(op) as f64;
+        io_load.entry((from, true)).or_insert_with(|| vec![0.0; l])[g] += cdfg.io_bits(op) as f64;
+        io_load.entry((to, false)).or_insert_with(|| vec![0.0; l])[g] += cdfg.io_bits(op) as f64;
     }
     let stage = cdfg.library().stage_ns() as i64;
     for op in cdfg.op_ids() {
@@ -384,8 +375,7 @@ pub fn fds_schedule(cdfg: &Cdfg, cfg: &FdsConfig) -> Result<Schedule, SchedError
             let t = start[e.from.index()];
             if e.degree > 0 {
                 lo = lo.max(
-                    t.step + cdfg.op_cycles(e.from) as i64
-                        - e.degree as i64 * cfg.rate as i64,
+                    t.step + cdfg.op_cycles(e.from) as i64 - e.degree as i64 * cfg.rate as i64,
                 );
             } else {
                 let fin = timing::finish_ns(cdfg, e.from, t);
@@ -442,7 +432,14 @@ mod tests {
     #[test]
     fn quickstart_meets_its_pipe_length() {
         let d = synthetic::quickstart();
-        let s = fds_schedule(d.cdfg(), &FdsConfig { rate: 1, pipe_length: 6 }).unwrap();
+        let s = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate: 1,
+                pipe_length: 6,
+            },
+        )
+        .unwrap();
         // FDS does not enforce unit counts, so filter those violations out
         // and insist on timing correctness.
         let v: Vec<_> = validate(d.cdfg(), &s)
@@ -456,8 +453,22 @@ mod tests {
     #[test]
     fn longer_pipe_never_needs_more_resources_on_balance() {
         let d = ar_filter::general(3, PortMode::Unidirectional);
-        let short = fds_schedule(d.cdfg(), &FdsConfig { rate: 3, pipe_length: 8 }).unwrap();
-        let long = fds_schedule(d.cdfg(), &FdsConfig { rate: 3, pipe_length: 12 }).unwrap();
+        let short = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate: 3,
+                pipe_length: 8,
+            },
+        )
+        .unwrap();
+        let long = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate: 3,
+                pipe_length: 12,
+            },
+        )
+        .unwrap();
         let total = |s: &Schedule| -> u32 { s.resource_usage(d.cdfg()).values().sum() };
         assert!(
             total(&long) <= total(&short) + 2,
@@ -471,7 +482,13 @@ mod tests {
     fn infeasible_pipe_length_is_reported() {
         let d = ar_filter::general(3, PortMode::Unidirectional);
         assert_eq!(
-            fds_schedule(d.cdfg(), &FdsConfig { rate: 3, pipe_length: 2 }),
+            fds_schedule(
+                d.cdfg(),
+                &FdsConfig {
+                    rate: 3,
+                    pipe_length: 2
+                }
+            ),
             Err(SchedError::StepLimit)
         );
     }
@@ -482,7 +499,10 @@ mod tests {
             let d = ar_filter::general(rate, PortMode::Unidirectional);
             let s = fds_schedule(
                 d.cdfg(),
-                &FdsConfig { rate, pipe_length: 10 },
+                &FdsConfig {
+                    rate,
+                    pipe_length: 10,
+                },
             )
             .unwrap();
             let v: Vec<_> = validate(d.cdfg(), &s)
@@ -498,9 +518,19 @@ mod tests {
         // ASAP piles the AR filter's 16 multiplications into the earliest
         // steps; FDS must spread them across groups.
         let d = ar_filter::general(4, PortMode::Unidirectional);
-        let fds = fds_schedule(d.cdfg(), &FdsConfig { rate: 4, pipe_length: 12 }).unwrap();
+        let fds = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate: 4,
+                pipe_length: 12,
+            },
+        )
+        .unwrap();
         let asap_t = mcs_cdfg::timing::asap(d.cdfg()).unwrap();
-        let asap = Schedule { rate: 4, start: asap_t.start };
+        let asap = Schedule {
+            rate: 4,
+            start: asap_t.start,
+        };
         let peak = |s: &Schedule| -> u32 {
             s.resource_usage(d.cdfg())
                 .iter()
@@ -520,7 +550,10 @@ mod tests {
             let d = mcs_cdfg::designs::elliptic::partitioned_with(rate, PortMode::Unidirectional);
             let s = fds_schedule(
                 d.cdfg(),
-                &FdsConfig { rate, pipe_length: 30 },
+                &FdsConfig {
+                    rate,
+                    pipe_length: 30,
+                },
             )
             .unwrap_or_else(|e| panic!("rate {rate}: {e}"));
             let timing: Vec<_> = validate(d.cdfg(), &s)
@@ -537,7 +570,14 @@ mod tests {
         let d = ar_filter::simple();
         let mut shortest = None;
         for pipe in 3..=12 {
-            let ok = fds_schedule(d.cdfg(), &FdsConfig { rate: 2, pipe_length: pipe }).is_ok();
+            let ok = fds_schedule(
+                d.cdfg(),
+                &FdsConfig {
+                    rate: 2,
+                    pipe_length: pipe,
+                },
+            )
+            .is_ok();
             if ok && shortest.is_none() {
                 shortest = Some(pipe);
             }
@@ -554,7 +594,14 @@ mod tests {
     #[test]
     fn multicycle_ops_stay_on_stage_boundaries() {
         let d = synthetic::multicycle_example();
-        let s = fds_schedule(d.cdfg(), &FdsConfig { rate: 6, pipe_length: 12 }).unwrap();
+        let s = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate: 6,
+                pipe_length: 12,
+            },
+        )
+        .unwrap();
         for op in d.cdfg().op_ids() {
             if d.cdfg().op_cycles(op) > 1 {
                 assert_eq!(s.of(op).offset_ns, 0, "{op} must start a stage");
@@ -565,7 +612,14 @@ mod tests {
     #[test]
     fn io_transfers_get_boundary_starts() {
         let d = synthetic::quickstart();
-        let s = fds_schedule(d.cdfg(), &FdsConfig { rate: 1, pipe_length: 6 }).unwrap();
+        let s = fds_schedule(
+            d.cdfg(),
+            &FdsConfig {
+                rate: 1,
+                pipe_length: 6,
+            },
+        )
+        .unwrap();
         for op in d.cdfg().io_ops() {
             assert_eq!(s.of(op).offset_ns, 0, "{op} is an I/O transfer");
         }

@@ -180,13 +180,7 @@ pub fn list_schedule<P: IoPolicy>(
     // Feedback transfers (fed by a recursive edge) go to phase 2.
     let deferred: Vec<bool> = cdfg
         .op_ids()
-        .map(|op| {
-            cdfg.op(op).is_io()
-                && cdfg
-                    .preds(op)
-                    .iter()
-                    .any(|&e| cdfg.edge(e).degree > 0)
-        })
+        .map(|op| cdfg.op(op).is_io() && cdfg.preds(op).iter().any(|&e| cdfg.edge(e).degree > 0))
         .collect();
 
     // Priority: longest path to a sink over degree-0 edges, in ns.
@@ -215,10 +209,8 @@ pub fn list_schedule<P: IoPolicy>(
     {
         let groups = cdfg.io_ops_by_value();
         for (_, ops) in groups {
-            let mut members: Vec<OpId> = ops
-                .into_iter()
-                .filter(|op| !deferred[op.index()])
-                .collect();
+            let mut members: Vec<OpId> =
+                ops.into_iter().filter(|op| !deferred[op.index()]).collect();
             if members.len() < 2 {
                 continue;
             }
@@ -340,10 +332,7 @@ pub fn list_schedule<P: IoPolicy>(
             }
         }
         for op in cdfg.op_ids() {
-            if start[op.index()].is_none()
-                && !deferred[op.index()]
-                && step > deadline[op.index()]
-            {
+            if start[op.index()].is_none() && !deferred[op.index()] && step > deadline[op.index()] {
                 return Err(SchedError::DeadlineMissed { op });
             }
         }
@@ -387,7 +376,8 @@ pub fn list_schedule<P: IoPolicy>(
                     } else {
                         // Small deterministic hash of (bias, op): enough to
                         // reorder ties and near-ties between restarts.
-                        let mut h = cfg.priority_bias ^ (op.0 as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                        let mut h =
+                            cfg.priority_bias ^ (op.0 as u64).wrapping_mul(0x9E3779B97F4A7C15);
                         h ^= h >> 33;
                         (h % 64) as i64
                     };
@@ -512,8 +502,8 @@ pub fn list_schedule<P: IoPolicy>(
 pub fn feedback_consumers(cdfg: &Cdfg) -> Vec<OpId> {
     let mut out = Vec::new();
     for w in cdfg.op_ids() {
-        let is_feedback = cdfg.op(w).is_io()
-            && cdfg.preds(w).iter().any(|&e| cdfg.edge(e).degree > 0);
+        let is_feedback =
+            cdfg.op(w).is_io() && cdfg.preds(w).iter().any(|&e| cdfg.edge(e).degree > 0);
         if !is_feedback {
             continue;
         }
@@ -624,8 +614,7 @@ mod tests {
                 if e.degree == 0 {
                     assert!(
                         s.of(x).step < s.of(e.to).step
-                            || (s.of(x).step == s.of(e.to).step
-                                && s.of(e.to).offset_ns > 0),
+                            || (s.of(x).step == s.of(e.to).step && s.of(e.to).offset_ns > 0),
                         "{name} must finish before its consumer"
                     );
                 }

@@ -60,7 +60,9 @@ impl Schedule {
 
     /// Operations starting in `step`, in id order.
     pub fn ops_at(&self, cdfg: &Cdfg, step: i64) -> Vec<OpId> {
-        cdfg.op_ids().filter(|op| self.of(*op).step == step).collect()
+        cdfg.op_ids()
+            .filter(|op| self.of(*op).step == step)
+            .collect()
     }
 
     /// Maximum concurrent use per `(partition, class)` over step groups —
@@ -128,10 +130,16 @@ impl std::fmt::Display for ScheduleViolation {
                 write!(f, "{op} violates the chaining/boundary placement rules")
             }
             ScheduleViolation::Resources { partition, class } => {
-                write!(f, "{partition} exceeds its {class} units in some step group")
+                write!(
+                    f,
+                    "{partition} exceeds its {class} units in some step group"
+                )
             }
             ScheduleViolation::MaxTime { from, to } => {
-                write!(f, "recursive edge {from}->{to} violates its maximum time constraint")
+                write!(
+                    f,
+                    "recursive edge {from}->{to} violates its maximum time constraint"
+                )
             }
         }
     }

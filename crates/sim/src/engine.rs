@@ -102,24 +102,58 @@ pub enum Violation {
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Violation::DataNotReady { op, instance, value } => {
-                write!(f, "{op} (instance {instance}) starts before value {value} is ready")
+            Violation::DataNotReady {
+                op,
+                instance,
+                value,
+            } => {
+                write!(
+                    f,
+                    "{op} (instance {instance}) starts before value {value} is ready"
+                )
             }
             Violation::MissingOperand { op, instance } => {
-                write!(f, "{op} (instance {instance}) reads a value nothing produced")
+                write!(
+                    f,
+                    "{op} (instance {instance}) reads a value nothing produced"
+                )
             }
             Violation::Unrouted { op } => write!(f, "transfer {op} has no bus assignment"),
             Violation::BusConflict { bus, step, ops } => {
-                write!(f, "bus {bus} carries different words for {} and {} at step {step}", ops.0, ops.1)
+                write!(
+                    f,
+                    "bus {bus} carries different words for {} and {} at step {step}",
+                    ops.0, ops.1
+                )
             }
-            Violation::PinOveruse { partition, step, bits, budget } => {
-                write!(f, "{partition} moves {bits} bits at step {step}, budget {budget}")
+            Violation::PinOveruse {
+                partition,
+                step,
+                bits,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "{partition} moves {bits} bits at step {step}, budget {budget}"
+                )
             }
-            Violation::ResourceOveruse { partition, class, step } => {
+            Violation::ResourceOveruse {
+                partition,
+                class,
+                step,
+            } => {
                 write!(f, "{partition} exceeds its {class} units at step {step}")
             }
-            Violation::OutputMismatch { op, instance, got, want } => {
-                write!(f, "output {op} (instance {instance}): got {got:?}, want {want:?}")
+            Violation::OutputMismatch {
+                op,
+                instance,
+                got,
+                want,
+            } => {
+                write!(
+                    f,
+                    "output {op} (instance {instance}): got {got:?}, want {want:?}"
+                )
             }
         }
     }
@@ -357,11 +391,8 @@ pub fn verify(
     let mut report = simulate(cdfg, schedule, interconnect, sem, stim);
     match reference::run(cdfg, sem, stim) {
         Ok(want) => {
-            let keys: std::collections::BTreeSet<_> = want
-                .keys()
-                .chain(report.outputs.keys())
-                .copied()
-                .collect();
+            let keys: std::collections::BTreeSet<_> =
+                want.keys().chain(report.outputs.keys()).copied().collect();
             for (op, k) in keys {
                 let got = report.outputs.get(&(op, k)).copied();
                 let spec = want.get(&(op, k)).copied();

@@ -170,8 +170,7 @@ pub fn compute(
             };
             out.io_data = Some((*value, instance, word));
             if let Some(dest) = node.result {
-                out.produced
-                    .push((dest, mask(word, cdfg.value(dest).bits)));
+                out.produced.push((dest, mask(word, cdfg.value(dest).bits)));
             }
         }
         OpKind::Split { .. } => {
@@ -294,9 +293,8 @@ mod tests {
         for op in g.topo_order().unwrap() {
             let c = compute(g, &sem, &stim, &env, 0, op);
             // The accumulator reads its own previous instance (-1).
-            preload_seen |= c.missing.is_empty()
-                && cdfg_reads_negative(g, op)
-                && !c.produced.is_empty();
+            preload_seen |=
+                c.missing.is_empty() && cdfg_reads_negative(g, op) && !c.produced.is_empty();
             for (v, w) in c.produced {
                 env.insert((v, 0), w);
             }
@@ -314,10 +312,12 @@ mod tests {
         let p1 = b.partition("P1", 64);
         let cvar = b.condition_var();
         let (_, a) = b.input("a", 8, p1);
-        let (t_op, t) =
-            b.under_condition(cvar, true, |b| b.func("t", OperatorClass::Add, p1, &[(a, 0)], 8));
-        let (f_op, _) =
-            b.under_condition(cvar, false, |b| b.func("f", OperatorClass::Add, p1, &[(a, 0)], 8));
+        let (t_op, t) = b.under_condition(cvar, true, |b| {
+            b.func("t", OperatorClass::Add, p1, &[(a, 0)], 8)
+        });
+        let (f_op, _) = b.under_condition(cvar, false, |b| {
+            b.func("f", OperatorClass::Add, p1, &[(a, 0)], 8)
+        });
         b.output("o", t);
         let g = b.finish().unwrap();
 

@@ -43,11 +43,7 @@ impl std::fmt::Display for RefError {
 
 /// Evaluates `instances` executions of the design and returns the words on
 /// every primary output.
-pub fn run(
-    cdfg: &Cdfg,
-    sem: &Semantics,
-    stim: &Stimulus,
-) -> Result<Outputs, RefError> {
+pub fn run(cdfg: &Cdfg, sem: &Semantics, stim: &Stimulus) -> Result<Outputs, RefError> {
     let order = cdfg.topo_order().expect("validated graphs are acyclic");
     let producers = flow::producer_map(cdfg);
     let mut env = Env::new();
@@ -103,10 +99,7 @@ mod tests {
         let out = run(g, &sem, &stim).unwrap();
         assert!(!out.is_empty());
         // Outputs exist for every instance of every output op.
-        let output_ops: Vec<OpId> = g
-            .io_ops()
-            .filter(|&op| io_to_environment(g, op))
-            .collect();
+        let output_ops: Vec<OpId> = g.io_ops().filter(|&op| io_to_environment(g, op)).collect();
         assert_eq!(out.len(), output_ops.len() * 3);
     }
 

@@ -79,9 +79,11 @@ impl Semantics {
             OperatorClass::Add => eval_add(operands),
             OperatorClass::Sub => eval_sub(operands),
             OperatorClass::Mul => eval_mul(operands),
-            OperatorClass::Custom(name) => {
-                self.custom.get(name).copied().unwrap_or(eval_custom as OpFn)(operands)
-            }
+            OperatorClass::Custom(name) => self
+                .custom
+                .get(name)
+                .copied()
+                .unwrap_or(eval_custom as OpFn)(operands),
         }
     }
 }

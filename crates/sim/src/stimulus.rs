@@ -60,7 +60,9 @@ impl Stimulus {
             s.external.insert(v, words);
         }
         for c in condition_vars(cdfg) {
-            let flips = (0..instances).map(|_| splitmix64(&mut state) & 1 == 1).collect();
+            let flips = (0..instances)
+                .map(|_| splitmix64(&mut state) & 1 == 1)
+                .collect();
             s.conds.insert(c, flips);
         }
         s.preload = splitmix64(&mut state);

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let simple = ar_filter::simple();
     let r = simple_flow(simple.cdfg(), 2)?;
     println!("== Chapter 3: simple partitioning, L = 2 ==");
-    println!("pins used: {:?}, pipe length {}\n", r.pins_used, r.pipe_length);
+    println!(
+        "pins used: {:?}, pipe length {}\n",
+        r.pins_used, r.pipe_length
+    );
     println!("{}", render_schedule(simple.cdfg(), &r.schedule));
 
     // --- Chapter 4: the general partitioning ----------------------------

@@ -11,7 +11,7 @@
 use mcs_cdfg::designs::ar_filter;
 use mcs_cdfg::{OperatorClass, PartitionId};
 use multichip_hls::flows::{connect_first_flow, ConnectFirstOptions};
-use multichip_hls::partition::{refine, rebuild, spread, Capacities, ChipSpec, FlatGraph};
+use multichip_hls::partition::{rebuild, refine, spread, Capacities, ChipSpec, FlatGraph};
 use multichip_hls::sim::{verify, Semantics, Stimulus};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flat.cut_bits(&flat.original_assignment()),
     );
 
-    println!("{:>6} {:>10} {:>10} {:>8} {:>14}", "chips", "cold cut", "refined", "passes", "synth+sim");
+    println!(
+        "{:>6} {:>10} {:>10} {:>8} {:>14}",
+        "chips", "cold cut", "refined", "passes", "synth+sim"
+    );
     for n in [2usize, 3, 4] {
         let chips: Vec<PartitionId> = (1..=n as u32).map(PartitionId::new).collect();
         let cap = flat.ops.len().div_ceil(n) + 1;

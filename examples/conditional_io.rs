@@ -21,7 +21,11 @@ fn main() {
         return;
     }
     for (i, set) in sets.iter().enumerate() {
-        let names: Vec<&str> = set.ops.iter().map(|&op| cdfg.op(op).name.as_str()).collect();
+        let names: Vec<&str> = set
+            .ops
+            .iter()
+            .map(|&op| cdfg.op(op).name.as_str())
+            .collect();
         println!(
             "sharing set {}: {} — frame steps {}..={}, saves {} pins",
             i + 1,

@@ -18,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         timing::min_initiation_rate(d.cdfg())
     );
 
-    let mut summary = Table::new(["mode", "L", "P1", "P2", "P3", "P4", "P5", "steps", "outcome"]);
+    let mut summary = Table::new([
+        "mode", "L", "P1", "P2", "P3", "P4", "P5", "steps", "outcome",
+    ]);
     for mode in [PortMode::Unidirectional, PortMode::Bidirectional] {
         for rate in [5u32, 6, 7] {
             let d = elliptic::partitioned_with(rate, mode);

@@ -14,7 +14,11 @@ use multichip_hls::netlist::{build, to_verilog};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = ar_filter::simple();
     let result = simple_flow(design.cdfg(), 2)?;
-    let netlist = build(design.cdfg(), &result.schedule, &result.final_interconnect());
+    let netlist = build(
+        design.cdfg(),
+        &result.schedule,
+        &result.final_interconnect(),
+    );
 
     for (p, chip) in &netlist.chips {
         println!(

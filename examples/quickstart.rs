@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "pins used:   {:?} (per partition, including the environment)\n",
         result.pins_used
     );
-    println!("interchip connection:\n{}", render_interconnect(&cdfg, &result.interconnect));
+    println!(
+        "interchip connection:\n{}",
+        render_interconnect(&cdfg, &result.interconnect)
+    );
     println!("schedule:\n{}", render_schedule(&cdfg, &result.schedule));
     Ok(())
 }

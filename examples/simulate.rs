@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match verify(cdfg, &result.schedule, Some(&ic), &sem, &stim) {
         Ok(r) => {
-            println!("verified:    all {} output words match the specification", r.outputs.len());
+            println!(
+                "verified:    all {} output words match the specification",
+                r.outputs.len()
+            );
             for ((op, k), w) in r.outputs.iter().take(6) {
                 println!("  instance {k}: {op} = {w:#06x}");
             }

@@ -80,8 +80,14 @@ fn partition_output_simulates_cleanly() {
     assert!(stderr.contains("cut:"), "{stderr}");
     let tmp = std::env::temp_dir().join("mcs_cli_partition_test.mcs");
     std::fs::write(&tmp, &text).unwrap();
-    let (ok2, stdout, stderr2) =
-        run(&["simulate", tmp.to_str().unwrap(), "--rate", "2", "--instances", "6"]);
+    let (ok2, stdout, stderr2) = run(&[
+        "simulate",
+        tmp.to_str().unwrap(),
+        "--rate",
+        "2",
+        "--instances",
+        "6",
+    ]);
     assert!(ok2, "{stderr2}");
     assert!(stdout.contains("match the reference"), "{stdout}");
 }

@@ -119,8 +119,7 @@ fn shape5b_schedule_first_uses_more_pins_on_average() {
     for rate in [3u32, 4, 5] {
         let d = designs::ar_filter::general(rate, PortMode::Unidirectional);
         let r4 = connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(rate)).expect("ch4");
-        let r5 =
-            schedule_first_flow(d.cdfg(), rate, 12, PortMode::Unidirectional).expect("ch5");
+        let r5 = schedule_first_flow(d.cdfg(), rate, 12, PortMode::Unidirectional).expect("ch5");
         ch4_total += real_pins(&r4);
         ch5_total += real_pins(&r5);
     }

@@ -102,9 +102,8 @@ fn chapter6_sharing_never_costs_pins() {
         shared.sharing = true;
         let rp = connect_first_flow(d.cdfg(), &plain).expect("plain");
         let rs = connect_first_flow(d.cdfg(), &shared).expect("shared");
-        let total = |r: &multichip_hls::flows::SynthesisResult| -> u32 {
-            r.pins_used[1..].iter().sum()
-        };
+        let total =
+            |r: &multichip_hls::flows::SynthesisResult| -> u32 { r.pins_used[1..].iter().sum() };
         assert!(total(&rs) <= total(&rp), "L={rate}");
     }
 }

@@ -19,6 +19,19 @@ fn random_design(
     bits: u32,
     seed: u64,
 ) -> mcs_cdfg::Cdfg {
+    random_design_with_pins(chips, ops_per_chip, crossings, bits, seed, 512)
+}
+
+/// [`random_design`] with an explicit per-chip pin budget, for
+/// properties that exercise the search under tight pin constraints.
+fn random_design_with_pins(
+    chips: usize,
+    ops_per_chip: usize,
+    crossings: usize,
+    bits: u32,
+    seed: u64,
+    pins: u32,
+) -> mcs_cdfg::Cdfg {
     let mut b = CdfgBuilder::new(Library::ar_filter());
     let mut rng = seed;
     let mut next = move || {
@@ -28,7 +41,7 @@ fn random_design(
         rng
     };
     let parts: Vec<PartitionId> = (0..chips)
-        .map(|i| b.partition(&format!("P{}", i + 1), 512))
+        .map(|i| b.partition(&format!("P{}", i + 1), pins))
         .collect();
     for &p in &parts {
         // Enough units for any generated load at any tested rate (the
@@ -59,7 +72,13 @@ fn random_design(
             continue;
         }
         let (_, moved) = b.io(&format!("X{x}"), v, dst);
-        let (_, nv) = b.func(&format!("g{x}"), OperatorClass::Add, dst, &[(moved, 0)], bits);
+        let (_, nv) = b.func(
+            &format!("g{x}"),
+            OperatorClass::Add,
+            dst,
+            &[(moved, 0)],
+            bits,
+        );
         frontier[j] = (dst, nv);
     }
     for (ci, &(_, v)) in frontier.iter().enumerate() {
@@ -279,6 +298,65 @@ proptest! {
             .map(|c| c.units.iter().map(|u| u.ops.len()).sum::<usize>())
             .sum();
         prop_assert_eq!(bound, cdfg.func_ops().count());
+    }
+
+    /// Whenever the parallel portfolio search connects a random design —
+    /// even under tight per-chip pin budgets — no partition ever exceeds
+    /// its pin capacity, and the structure passes full verification.
+    /// Infeasible instances may fail; they must never over-commit pins.
+    #[test]
+    fn portfolio_search_respects_pin_capacity(
+        chips in 2usize..4,
+        ops in 1usize..4,
+        crossings in 1usize..5,
+        rate in 1u32..4,
+        pins in 24u32..120,
+        workers in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let cdfg = random_design_with_pins(chips, ops, crossings, 8, seed | 1, pins);
+        let cfg = SearchConfig::new(rate).with_workers(workers).with_portfolio(6);
+        if let Ok(ic) = synthesize(&cdfg, PortMode::Unidirectional, &cfg) {
+            prop_assert_eq!(ic.verify(&cdfg), Vec::<String>::new());
+            // Partition 0 is the environment; the chips follow it.
+            for p in 0..cdfg.partition_count() {
+                let pid = PartitionId::new(p as u32);
+                let used = ic.pins_used(pid);
+                let budget = cdfg.partition(pid).total_pins;
+                prop_assert!(
+                    used <= budget,
+                    "partition {} uses {} of {} pins", pid, used, budget
+                );
+            }
+        }
+    }
+
+    /// Sub-bus sharing (`allow_split`) splits a bus at most once: no bus
+    /// the portfolio search emits ever carries more than two sub-buses,
+    /// under any worker count.
+    #[test]
+    fn allow_split_never_exceeds_two_sub_buses(
+        chips in 2usize..4,
+        ops in 1usize..4,
+        crossings in 1usize..6,
+        rate in 1u32..4,
+        workers in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let cdfg = random_design(chips, ops, crossings, 8, seed | 1);
+        let cfg = SearchConfig::new(rate)
+            .with_sharing()
+            .with_workers(workers)
+            .with_portfolio(6);
+        let ic = synthesize(&cdfg, PortMode::Unidirectional, &cfg)
+            .expect("512-pin chips always connect");
+        for (h, bus) in ic.buses.iter().enumerate() {
+            prop_assert!(
+                bus.sub_count() <= 2,
+                "bus {} has {} sub-buses", h, bus.sub_count()
+            );
+        }
+        prop_assert_eq!(ic.verify(&cdfg), Vec::<String>::new());
     }
 
     /// Repartitioning never changes the computed function: flatten,
