@@ -1,0 +1,42 @@
+//! Measures what the observability layer costs the pipeline: the
+//! connect-first flow on the AR filter with (a) no recorder (the default
+//! inactive handle — one dead branch per instrumentation site), (b) a
+//! buffering recorder capturing the full event stream, and (c) the raw
+//! baseline through the untraced entry point. The design target is that
+//! (a) is indistinguishable from (c) and (b) stays within a few percent.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_cdfg::{designs::ar_filter, PortMode};
+use multichip_hls::flows::{connect_first_flow, connect_first_flow_traced, ConnectFirstOptions};
+use multichip_hls::obs::{BufferingRecorder, RecorderHandle};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(20);
+    let rate = 3;
+    let d = ar_filter::general(rate, PortMode::Unidirectional);
+    let opts = ConnectFirstOptions::new(rate);
+
+    g.bench_function(BenchmarkId::new("connect_first", "untraced"), |b| {
+        b.iter(|| connect_first_flow(d.cdfg(), &opts).expect("flow succeeds"))
+    });
+    g.bench_function(BenchmarkId::new("connect_first", "null_recorder"), |b| {
+        let rec = RecorderHandle::default();
+        b.iter(|| connect_first_flow_traced(d.cdfg(), &opts, &rec).expect("flow succeeds"))
+    });
+    g.bench_function(BenchmarkId::new("connect_first", "buffering"), |b| {
+        b.iter(|| {
+            let buf = Arc::new(BufferingRecorder::new());
+            let rec = RecorderHandle::new(buf.clone());
+            let r = connect_first_flow_traced(d.cdfg(), &opts, &rec).expect("flow succeeds");
+            assert!(!buf.events().is_empty());
+            r
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,66 +2,32 @@
 //! connection search with the 8-plan portfolio on the adversarial fan-in
 //! design: wall time, nodes expanded, nodes/second and the measured
 //! speedup. The output is one JSON object on stdout, suitable for
-//! machine-diffing runs before and after search changes.
+//! machine-diffing runs before and after search changes. The rendering
+//! lives in [`mcs_bench::search_stats_line`], where it is golden-tested.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
+use mcs_bench::{search_stats_line, MeasuredSearch};
 use mcs_cdfg::{designs::synthetic, PortMode};
-use mcs_connect::{synthesize_with_stats, SearchConfig, SearchStats};
+use mcs_connect::{synthesize_with_stats, SearchConfig};
 
-struct Measured {
-    ok: bool,
-    stats: SearchStats,
-    wall_ms: f64,
-}
-
-fn run(workers: usize) -> Measured {
+fn run(workers: usize) -> MeasuredSearch {
     let d = synthetic::portfolio_adversarial(6);
     let cfg = SearchConfig::new(2).with_workers(workers);
     let t0 = Instant::now();
     let (ic, stats) = synthesize_with_stats(d.cdfg(), PortMode::Unidirectional, &cfg);
-    Measured {
+    MeasuredSearch {
         ok: ic.is_ok(),
         stats,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
     }
 }
 
-fn emit(out: &mut String, label: &str, m: &Measured) {
-    let _ = write!(
-        out,
-        "\"{label}\":{{\"ok\":{},\"nodes\":{},\"nodes_per_sec\":{:.0},\
-         \"epochs\":{},\"threads\":{},\"cache_hits\":{},\"prunes\":{},\
-         \"backtracks\":{},\"wall_ms\":{:.3},\"winner\":{}}}",
-        m.ok,
-        m.stats.nodes,
-        m.stats.nodes_per_sec(),
-        m.stats.epochs,
-        m.stats.threads,
-        m.stats.cache_hits,
-        m.stats.prunes,
-        m.stats.backtracks,
-        m.wall_ms,
-        match m.stats.winner {
-            Some(w) => w.to_string(),
-            None => String::from("null"),
-        },
-    );
-}
-
 fn main() {
     let before = run(1);
     let after = run(8);
-    let mut out = String::from("{\"bench\":\"portfolio_adversarial\",\"senders\":6,");
-    emit(&mut out, "before", &before);
-    out.push(',');
-    emit(&mut out, "after", &after);
-    let speedup = if after.wall_ms > 0.0 {
-        before.wall_ms / after.wall_ms
-    } else {
-        0.0
-    };
-    let _ = write!(out, ",\"speedup\":{speedup:.2}}}");
-    println!("{out}");
+    println!(
+        "{}",
+        search_stats_line("portfolio_adversarial", 6, &before, &after)
+    );
 }

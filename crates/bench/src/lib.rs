@@ -588,9 +588,107 @@ pub fn e7_tdm() -> String {
     format!("E7.4 (Section 7.3): TDM trade-off\n{t}")
 }
 
+/// One measured connection-search run, as consumed by
+/// [`search_stats_line`].
+#[derive(Clone, Debug)]
+pub struct MeasuredSearch {
+    /// Whether the search produced a connection.
+    pub ok: bool,
+    /// The run's telemetry.
+    pub stats: mcs_connect::SearchStats,
+    /// Wall time of the run, milliseconds.
+    pub wall_ms: f64,
+}
+
+fn emit_measured(out: &mut String, label: &str, m: &MeasuredSearch) {
+    let _ = write!(
+        out,
+        "\"{label}\":{{\"ok\":{},\"nodes\":{},\"nodes_per_sec\":{:.0},\
+         \"epochs\":{},\"threads\":{},\"cache_hits\":{},\"prunes\":{},\
+         \"backtracks\":{},\"wall_ms\":{:.3},\"winner\":{}}}",
+        m.ok,
+        m.stats.nodes,
+        m.stats.nodes_per_sec(),
+        m.stats.epochs,
+        m.stats.threads,
+        m.stats.cache_hits,
+        m.stats.prunes,
+        m.stats.backtracks,
+        m.wall_ms,
+        match m.stats.winner {
+            Some(w) => w.to_string(),
+            None => String::from("null"),
+        },
+    );
+}
+
+/// Renders the `search_stats` BENCH line: one JSON object comparing a
+/// single-worker run against the portfolio on the same design. This is
+/// the exact format the `search_stats` binary prints (golden-tested), so
+/// downstream machine-diffing of runs keeps working across refactors.
+pub fn search_stats_line(
+    bench: &str,
+    senders: u32,
+    before: &MeasuredSearch,
+    after: &MeasuredSearch,
+) -> String {
+    let mut out = format!("{{\"bench\":\"{bench}\",\"senders\":{senders},");
+    emit_measured(&mut out, "before", before);
+    out.push(',');
+    emit_measured(&mut out, "after", after);
+    let speedup = if after.wall_ms > 0.0 {
+        before.wall_ms / after.wall_ms
+    } else {
+        0.0
+    };
+    let _ = write!(out, ",\"speedup\":{speedup:.2}}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn search_stats_line_matches_golden_output() {
+        use mcs_connect::SearchStats;
+        use std::time::Duration;
+        let stats = |nodes: u64, winner| SearchStats {
+            workers: Vec::new(),
+            winner,
+            epochs: 12,
+            threads: 4,
+            nodes,
+            cache_hits: 7,
+            cache_entries: 3,
+            prunes: 5,
+            backtracks: 2,
+            wall: Duration::from_millis(250),
+        };
+        let before = MeasuredSearch {
+            ok: true,
+            stats: stats(1000, Some(0)),
+            wall_ms: 250.0,
+        };
+        let after = MeasuredSearch {
+            ok: true,
+            stats: stats(4000, None),
+            wall_ms: 125.0,
+        };
+        let line = search_stats_line("portfolio_adversarial", 6, &before, &after);
+        assert_eq!(
+            line,
+            "{\"bench\":\"portfolio_adversarial\",\"senders\":6,\
+             \"before\":{\"ok\":true,\"nodes\":1000,\"nodes_per_sec\":4000,\
+             \"epochs\":12,\"threads\":4,\"cache_hits\":7,\"prunes\":5,\
+             \"backtracks\":2,\"wall_ms\":250.000,\"winner\":0},\
+             \"after\":{\"ok\":true,\"nodes\":4000,\"nodes_per_sec\":16000,\
+             \"epochs\":12,\"threads\":4,\"cache_hits\":7,\"prunes\":5,\
+             \"backtracks\":2,\"wall_ms\":125.000,\"winner\":null},\
+             \"speedup\":2.00}"
+        );
+        mcs_obs::export::validate_json(&line).expect("BENCH line is strict JSON");
+    }
 
     #[test]
     fn every_experiment_runs() {

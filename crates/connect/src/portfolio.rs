@@ -713,6 +713,12 @@ pub fn synthesize_with_stats(
         .map(|plan| Worker::new(cdfg, mode, cfg, plan, cache.enabled))
         .collect();
 
+    // Counter snapshots for per-epoch `SearchNode` deltas; events are
+    // recorded only at barriers, in portfolio order, from this thread —
+    // the stream is a pure function of the portfolio, like the result.
+    let rec_on = cfg.recorder.enabled();
+    let mut recorded: Vec<(u64, u64, u64, u64)> = vec![(0, 0, 0, 0); workers.len()];
+
     let mut epochs = 0usize;
     loop {
         epochs += 1;
@@ -736,6 +742,23 @@ pub fn synthesize_with_stats(
         // next epoch's snapshot is deterministic.
         for w in &mut workers {
             cache.publish(std::mem::take(&mut w.staged));
+        }
+        if rec_on {
+            for (i, w) in workers.iter().enumerate() {
+                let cur = (w.nodes, w.prunes, w.backtracks, w.cache_hits);
+                let prev = recorded[i];
+                if cur != prev {
+                    cfg.recorder.record(mcs_obs::Event::SearchNode {
+                        worker: w.plan.index as u32,
+                        epoch: epochs as u32,
+                        nodes: cur.0 - prev.0,
+                        prunes: cur.1 - prev.1,
+                        backtracks: cur.2 - prev.2,
+                        cache_hits: cur.3 - prev.3,
+                    });
+                    recorded[i] = cur;
+                }
+            }
         }
         let any_success = workers.iter().any(|w| w.status == WorkerStatus::Succeeded);
         let all_terminal = workers.iter().all(|w| !w.running());
@@ -833,6 +856,30 @@ mod tests {
             .min()
             .unwrap();
         assert_eq!(winner, expected);
+    }
+
+    #[test]
+    fn search_events_are_deterministic_across_threads() {
+        use mcs_obs::{BufferingRecorder, RecorderHandle};
+        use std::sync::Arc;
+        let d = ar_filter::general(3, PortMode::Unidirectional);
+        let run = |workers: usize| {
+            let buf = Arc::new(BufferingRecorder::new());
+            let cfg = SearchConfig::new(3)
+                .with_portfolio(4)
+                .with_workers(workers)
+                .with_recorder(RecorderHandle::new(buf.clone()));
+            let _ = synthesize_with_stats(d.cdfg(), PortMode::Unidirectional, &cfg);
+            buf.events()
+        };
+        let reference = run(1);
+        assert!(
+            !reference.is_empty(),
+            "the search must emit SearchNode events"
+        );
+        for workers in [2usize, 8] {
+            assert_eq!(run(workers), reference, "workers={workers}");
+        }
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct SearchConfig {
     /// deterministic: cancellation and cache visibility are decided by
     /// node counts, never by wall-clock timing.
     pub epoch_nodes: usize,
+    /// Sink for `SearchNode` events. The orchestrator records one event
+    /// per (worker, epoch) at the barrier, in portfolio-index order, so
+    /// the event stream is deterministic across thread counts.
+    pub recorder: mcs_obs::RecorderHandle,
 }
 
 impl SearchConfig {
@@ -66,6 +70,7 @@ impl SearchConfig {
             workers: 1,
             portfolio: None,
             epoch_nodes: 512,
+            recorder: mcs_obs::RecorderHandle::default(),
         }
     }
 
@@ -87,6 +92,12 @@ impl SearchConfig {
     /// result stays identical while `workers` varies.
     pub fn with_portfolio(mut self, portfolio: usize) -> Self {
         self.portfolio = Some(portfolio.max(1));
+        self
+    }
+
+    /// Routes per-epoch `SearchNode` events to `recorder`.
+    pub fn with_recorder(mut self, recorder: mcs_obs::RecorderHandle) -> Self {
+        self.recorder = recorder;
         self
     }
 }

@@ -6,6 +6,9 @@
 //! mcs-hls synth    <design.mcs> --rate N         run a flow, print results
 //!                  [--flow simple|connect|schedule] [--bidir] [--sharing]
 //!                  [--pipe N]                    (schedule flow's pipe bound)
+//!                  [--trace-out trace.json [--trace-format chrome|jsonl]]
+//! mcs-hls explain  <design.mcs> --rate N         synthesize under a tracing
+//!                  recorder, print the per-phase decision summary
 //! mcs-hls simulate <design.mcs> --rate N [--instances N] [--seed N]
 //!                  synthesize, execute, cross-check outputs
 //! mcs-hls rtl      <design.mcs> --rate N         emit structural Verilog
@@ -19,13 +22,19 @@
 //! be exported for editing: `mcs-hls fmt` of any file is idempotent.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use mcs_cdfg::{format, timing, Cdfg, PortMode};
 use multichip_hls::flows::{
-    connect_first_flow, schedule_first_flow, simple_flow, ConnectFirstOptions, SynthesisResult,
+    connect_first_flow_traced, schedule_first_flow_traced, simple_flow_traced, ConnectFirstOptions,
+    SynthesisResult,
 };
 use multichip_hls::netlist;
-use multichip_hls::report::{render_interconnect, render_schedule, render_search_stats};
+use multichip_hls::obs::{export, summary::summarize, BufferingRecorder, RecorderHandle};
+use multichip_hls::report::{
+    render_interconnect, render_phase_summary, render_schedule, render_search_stats,
+    render_trace_aggregates,
+};
 use multichip_hls::sched::Schedule;
 use multichip_hls::sim::{verify, Semantics, Stimulus};
 
@@ -46,15 +55,18 @@ struct Args {
     portfolio: Option<usize>,
     branching: Option<usize>,
     budget: Option<usize>,
+    trace_out: Option<String>,
+    trace_format: String,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mcs-hls <check|synth|simulate|rtl|fmt|partition|dot> <design.mcs> \
+        "usage: mcs-hls <check|synth|explain|simulate|rtl|fmt|partition|dot> <design.mcs> \
          [--rate N] [--flow simple|connect|schedule] [--pipe N] \
          [--bidir] [--sharing] [--instances N] [--seed N] \
          [--chips N] [--pins N] [--buses] \
-         [--workers N] [--portfolio N] [--branching N] [--budget N]"
+         [--workers N] [--portfolio N] [--branching N] [--budget N] \
+         [--trace-out FILE] [--trace-format chrome|jsonl]"
     );
     ExitCode::from(2)
 }
@@ -80,6 +92,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         portfolio: None,
         branching: None,
         budget: None,
+        trace_out: None,
+        trace_format: "chrome".into(),
     };
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| {
@@ -151,6 +165,14 @@ fn parse_args() -> Result<Args, ExitCode> {
                         .map_err(|_| usage())?,
                 )
             }
+            "--trace-out" => out.trace_out = Some(next_value(&mut args, "--trace-out")?),
+            "--trace-format" => {
+                out.trace_format = next_value(&mut args, "--trace-format")?;
+                if !matches!(out.trace_format.as_str(), "chrome" | "jsonl") {
+                    eprintln!("--trace-format must be `chrome` or `jsonl`");
+                    return Err(usage());
+                }
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 return Err(usage());
@@ -172,13 +194,21 @@ fn load(path: &str) -> Result<mcs_cdfg::designs::Design, ExitCode> {
 }
 
 fn synthesize(cdfg: &Cdfg, a: &Args) -> Result<SynthesisResult, ExitCode> {
+    synthesize_traced(cdfg, a, &RecorderHandle::default())
+}
+
+fn synthesize_traced(
+    cdfg: &Cdfg,
+    a: &Args,
+    recorder: &RecorderHandle,
+) -> Result<SynthesisResult, ExitCode> {
     let mode = if a.bidir {
         PortMode::Bidirectional
     } else {
         PortMode::Unidirectional
     };
     let result = match a.flow.as_str() {
-        "simple" => simple_flow(cdfg, a.rate),
+        "simple" => simple_flow_traced(cdfg, a.rate, recorder),
         "connect" => {
             let mut opts = ConnectFirstOptions::new(a.rate);
             opts.mode = mode;
@@ -187,7 +217,7 @@ fn synthesize(cdfg: &Cdfg, a: &Args) -> Result<SynthesisResult, ExitCode> {
             opts.portfolio = a.portfolio;
             opts.branching_factor = a.branching;
             opts.node_budget = a.budget;
-            connect_first_flow(cdfg, &opts)
+            connect_first_flow_traced(cdfg, &opts, recorder)
         }
         "schedule" => {
             let pipe = a.pipe.unwrap_or_else(|| {
@@ -202,7 +232,7 @@ fn synthesize(cdfg: &Cdfg, a: &Args) -> Result<SynthesisResult, ExitCode> {
                     })
                     .unwrap_or(3 * a.rate as i64)
             });
-            schedule_first_flow(cdfg, a.rate, pipe, mode)
+            schedule_first_flow_traced(cdfg, a.rate, pipe, mode, recorder)
         }
         other => {
             eprintln!("unknown flow `{other}` (simple|connect|schedule)");
@@ -213,6 +243,29 @@ fn synthesize(cdfg: &Cdfg, a: &Args) -> Result<SynthesisResult, ExitCode> {
         eprintln!("synthesis failed: {e}");
         ExitCode::FAILURE
     })
+}
+
+/// Exports the recorded trace to `path` in the requested format and
+/// reports what was written (and whether the buffer overflowed).
+fn write_trace(buf: &BufferingRecorder, a: &Args, path: &str) -> Result<(), ExitCode> {
+    let timed = buf.timed_events();
+    let text = match a.trace_format.as_str() {
+        "jsonl" => export::jsonl(&timed),
+        _ => export::chrome_trace(&timed),
+    };
+    std::fs::write(path, text).map_err(|e| {
+        eprintln!("{path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    eprintln!(
+        "trace: {} events ({}) -> {path}",
+        timed.len(),
+        a.trace_format
+    );
+    if buf.dropped() > 0 {
+        eprintln!("trace: {} events dropped at capacity", buf.dropped());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -247,10 +300,23 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "synth" => {
-            let r = match synthesize(cdfg, &a) {
+            let buf = a
+                .trace_out
+                .as_ref()
+                .map(|_| Arc::new(BufferingRecorder::new()));
+            let rec = match &buf {
+                Some(b) => RecorderHandle::new(b.clone()),
+                None => RecorderHandle::default(),
+            };
+            let r = match synthesize_traced(cdfg, &a, &rec) {
                 Ok(r) => r,
                 Err(code) => return code,
             };
+            if let (Some(buf), Some(path)) = (&buf, &a.trace_out) {
+                if let Err(code) = write_trace(buf, &a, path) {
+                    return code;
+                }
+            }
             println!(
                 "pipe length: {} control steps at rate {}",
                 r.pipe_length, a.rate
@@ -274,6 +340,32 @@ fn main() -> ExitCode {
                 );
                 println!("{}", render_search_stats(stats));
             }
+            ExitCode::SUCCESS
+        }
+        "explain" => {
+            let buf = Arc::new(BufferingRecorder::new());
+            let rec = RecorderHandle::new(buf.clone());
+            let r = match synthesize_traced(cdfg, &a, &rec) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            if let Some(path) = &a.trace_out {
+                if let Err(code) = write_trace(&buf, &a, path) {
+                    return code;
+                }
+            }
+            let summary = summarize(&buf.timed_events());
+            println!(
+                "{}: pipe length {} at rate {} ({} flow, {} events recorded)",
+                design.name(),
+                r.pipe_length,
+                a.rate,
+                a.flow,
+                summary.total_events,
+            );
+            println!();
+            println!("{}", render_phase_summary(&summary));
+            println!("{}", render_trace_aggregates(&summary));
             ExitCode::SUCCESS
         }
         "simulate" => {

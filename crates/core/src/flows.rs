@@ -7,6 +7,7 @@ use mcs_cdfg::{Cdfg, OpId, OperatorClass, PartitionId, PortMode};
 use mcs_connect::{
     share_pass, synthesize_with_stats, ConnectError, Interconnect, SearchConfig, SearchStats,
 };
+use mcs_obs::{Event, RecorderHandle};
 use mcs_pinalloc::{check_simple, PinAllocError, PinChecker, SimplicityViolation};
 use mcs_postsyn::{connect_after_scheduling, verify_against_schedule, PostsynConfig};
 use mcs_sched::{
@@ -131,6 +132,29 @@ impl SynthesisResult {
     }
 }
 
+/// Records the final pin-budget verdict per partition under a
+/// `pin-check` phase span: one [`Event::PinCheck`] per partition, with
+/// `group` carrying the partition id and `cap` its declared pin budget.
+/// No-op when the recorder is disabled.
+fn record_pin_budget(cdfg: &Cdfg, result: &SynthesisResult, recorder: &RecorderHandle) {
+    if !recorder.enabled() {
+        return;
+    }
+    let _phase = recorder.phase("pin-check");
+    let ic = result.final_interconnect();
+    for p in 0..cdfg.partition_count() {
+        let pid = PartitionId::new(p as u32);
+        let used = ic.pins_used(pid);
+        let cap = cdfg.partition(pid).total_pins;
+        recorder.record(Event::PinCheck {
+            group: p as u32,
+            pins_used: used,
+            cap,
+            verdict: used <= cap,
+        });
+    }
+}
+
 /// The Chapter 3 flow for simple partitionings: verify Definition 3.2,
 /// list-schedule under the incremental pin-allocation feasibility checker,
 /// then build the interchip connection from the finished schedule (the
@@ -141,10 +165,33 @@ impl SynthesisResult {
 /// [`FlowError::NotSimple`], [`FlowError::PinAllocation`], or any
 /// scheduling failure.
 pub fn simple_flow(cdfg: &Cdfg, rate: u32) -> Result<SynthesisResult, FlowError> {
+    simple_flow_traced(cdfg, rate, &RecorderHandle::default())
+}
+
+/// [`simple_flow`] with every pipeline decision mirrored into `recorder`:
+/// a `schedule` phase carrying the list scheduler's placement verdicts and
+/// the pin checker's feasibility probes (Gomory pivots included), a
+/// `postsyn` phase for the clique-partitioning connection construction,
+/// and a closing `pin-check` budget audit.
+///
+/// # Errors
+///
+/// Identical to [`simple_flow`]; tracing never changes the result.
+pub fn simple_flow_traced(
+    cdfg: &Cdfg,
+    rate: u32,
+    recorder: &RecorderHandle,
+) -> Result<SynthesisResult, FlowError> {
     check_simple(cdfg).map_err(FlowError::NotSimple)?;
     let checker = PinChecker::new(cdfg, rate)?;
     let mut policy = PinPolicy::new(checker);
-    let schedule = list_schedule(cdfg, &ListConfig::new(rate), &mut policy)?;
+    policy.set_recorder(recorder.clone());
+    let mut lc = ListConfig::new(rate);
+    lc.recorder = recorder.clone();
+    let schedule = {
+        let _phase = recorder.phase("schedule");
+        list_schedule(cdfg, &lc, &mut policy)?
+    };
     let violations = validate(cdfg, &schedule);
     if !violations.is_empty() {
         return Err(FlowError::InvalidSchedule(violations));
@@ -153,11 +200,13 @@ pub fn simple_flow(cdfg: &Cdfg, rate: u32) -> Result<SynthesisResult, FlowError>
     // exists for this schedule. Construct one by clique partitioning,
     // escalating the weighting factor of any partition whose budget the
     // heuristic overruns (Section 5.2's wf_i knob) until everything fits.
+    let postsyn_phase = recorder.phase("postsyn");
     let mut weights: BTreeMap<PartitionId, i64> = BTreeMap::new();
     let mut ic = None;
     for _round in 0..8 {
         let mut cfg = PostsynConfig::new(rate);
         cfg.weights = weights.clone();
+        cfg.recorder = recorder.clone();
         let candidate = connect_after_scheduling(cdfg, &schedule, PortMode::Unidirectional, &cfg);
         let mut over = Vec::new();
         for p in 0..cdfg.partition_count() {
@@ -175,6 +224,7 @@ pub fn simple_flow(cdfg: &Cdfg, rate: u32) -> Result<SynthesisResult, FlowError>
             *w *= 4;
         }
     }
+    drop(postsyn_phase);
     let Some(ic) = ic else {
         return Err(FlowError::InvalidConnection(vec![
             "no budget-respecting clique partitioning found".to_string(),
@@ -184,7 +234,9 @@ pub fn simple_flow(cdfg: &Cdfg, rate: u32) -> Result<SynthesisResult, FlowError>
     if !problems.is_empty() {
         return Err(FlowError::InvalidConnection(problems));
     }
-    Ok(SynthesisResult::common(cdfg, schedule, ic))
+    let result = SynthesisResult::common(cdfg, schedule, ic);
+    record_pin_budget(cdfg, &result, recorder);
+    Ok(result)
 }
 
 /// Options for the connection-before-scheduling flow (Chapters 4 and 6).
@@ -256,8 +308,30 @@ pub fn connect_first_flow(
     cdfg: &Cdfg,
     opts: &ConnectFirstOptions,
 ) -> Result<SynthesisResult, FlowError> {
-    let cfg = opts.search_config();
-    let (ic, search_stats) = synthesize_with_stats(cdfg, opts.mode, &cfg);
+    connect_first_flow_traced(cdfg, opts, &RecorderHandle::default())
+}
+
+/// [`connect_first_flow`] with every pipeline decision mirrored into
+/// `recorder`: a `connect` phase carrying per-worker-epoch
+/// [`Event::SearchNode`] telemetry from the portfolio search, a
+/// `schedule` phase carrying placement verdicts and bus reassignments
+/// from every scheduling attempt (including hold-back retries that lose),
+/// a `postsyn` phase auditing the final connection against the winning
+/// schedule, and a closing `pin-check` budget audit.
+///
+/// # Errors
+///
+/// Identical to [`connect_first_flow`]; tracing never changes the result.
+pub fn connect_first_flow_traced(
+    cdfg: &Cdfg,
+    opts: &ConnectFirstOptions,
+    recorder: &RecorderHandle,
+) -> Result<SynthesisResult, FlowError> {
+    let cfg = opts.search_config().with_recorder(recorder.clone());
+    let (ic, search_stats) = {
+        let _phase = recorder.phase("connect");
+        synthesize_with_stats(cdfg, opts.mode, &cfg)
+    };
     let ic = ic?;
     // With reassignment enabled, dynamic allocation is an *addition* to
     // static allocation: the flow runs both and keeps the shorter
@@ -273,13 +347,16 @@ pub fn connect_first_flow(
     let holdable = mcs_sched::feedback_consumers(cdfg);
     let mut best: Option<(Schedule, BusPolicy)> = None;
     let mut last_err = SchedError::StepLimit;
+    let sched_phase = recorder.phase("schedule");
     for &reassign in &attempts {
         for hold in [0i64, 2, 4, 6, 8] {
             let mut lc = ListConfig::new(opts.rate);
+            lc.recorder = recorder.clone();
             for &op in &holdable {
                 lc.hold_back.insert(op, hold);
             }
             let mut policy = BusPolicy::new(ic.clone(), opts.rate, reassign);
+            policy.set_recorder(recorder.clone());
             match list_schedule(cdfg, &lc, &mut policy) {
                 Ok(s) => {
                     let better = best
@@ -303,6 +380,7 @@ pub fn connect_first_flow(
             }
         }
     }
+    drop(sched_phase);
     let (schedule, policy) = best.ok_or(FlowError::Schedule(last_err))?;
     let violations = validate(cdfg, &schedule);
     if !violations.is_empty() {
@@ -312,6 +390,17 @@ pub fn connect_first_flow(
     result.placements = policy.placements().clone();
     result.reassigned = policy.reassigned_count();
     result.search_stats = Some(search_stats);
+    if recorder.enabled() {
+        // Audit the winning schedule against the *final* connection (the
+        // checks the schedule-first flows run inline), purely for the
+        // trace — a clean run records zero problems.
+        let _phase = recorder.phase("postsyn");
+        let problems =
+            verify_against_schedule(cdfg, &result.schedule, &result.final_interconnect());
+        recorder.counter("postsyn.verify_problems", problems.len() as i64);
+        recorder.counter("flow.reassigned", result.reassigned as i64);
+    }
+    record_pin_budget(cdfg, &result, recorder);
     Ok(result)
 }
 
@@ -329,7 +418,31 @@ pub fn schedule_first_flow(
     pipe_length: i64,
     mode: PortMode,
 ) -> Result<SynthesisResult, FlowError> {
-    let schedule = fds_schedule(cdfg, &FdsConfig { rate, pipe_length })?;
+    schedule_first_flow_traced(cdfg, rate, pipe_length, mode, &RecorderHandle::default())
+}
+
+/// [`schedule_first_flow`] with phase spans mirrored into `recorder`: a
+/// `schedule` phase around force-directed scheduling, a `postsyn` phase
+/// carrying the clique-partitioning counters, and a closing `pin-check`
+/// budget audit.
+///
+/// # Errors
+///
+/// Identical to [`schedule_first_flow`]; tracing never changes the
+/// result.
+pub fn schedule_first_flow_traced(
+    cdfg: &Cdfg,
+    rate: u32,
+    pipe_length: i64,
+    mode: PortMode,
+    recorder: &RecorderHandle,
+) -> Result<SynthesisResult, FlowError> {
+    let schedule = {
+        let _phase = recorder.phase("schedule");
+        let schedule = fds_schedule(cdfg, &FdsConfig { rate, pipe_length })?;
+        recorder.counter("sched.pipe_length", schedule.pipe_length(cdfg));
+        schedule
+    };
     let violations: Vec<_> = validate(cdfg, &schedule)
         .into_iter()
         // FDS reports the resources it needs instead of obeying declared
@@ -339,12 +452,19 @@ pub fn schedule_first_flow(
     if !violations.is_empty() {
         return Err(FlowError::InvalidSchedule(violations));
     }
-    let ic = connect_after_scheduling(cdfg, &schedule, mode, &PostsynConfig::new(rate));
+    let ic = {
+        let _phase = recorder.phase("postsyn");
+        let mut cfg = PostsynConfig::new(rate);
+        cfg.recorder = recorder.clone();
+        connect_after_scheduling(cdfg, &schedule, mode, &cfg)
+    };
     let problems = verify_against_schedule(cdfg, &schedule, &ic);
     if !problems.is_empty() {
         return Err(FlowError::InvalidConnection(problems));
     }
-    Ok(SynthesisResult::common(cdfg, schedule, ic))
+    let result = SynthesisResult::common(cdfg, schedule, ic);
+    record_pin_budget(cdfg, &result, recorder);
+    Ok(result)
 }
 
 /// Applies the Chapter 6 sharing pass to an existing interconnect and

@@ -203,6 +203,64 @@ pub fn render_interconnect(cdfg: &Cdfg, ic: &Interconnect) -> Table {
     t
 }
 
+/// Renders a recorded trace's per-phase synthesis summary: wall time,
+/// merged span count and an event-kind breakdown per phase, the layout
+/// `mcs-hls explain` prints.
+pub fn render_phase_summary(summary: &mcs_obs::summary::TraceSummary) -> Table {
+    let mut t = Table::new(["phase", "wall ms", "spans", "events", "breakdown"]);
+    for p in &summary.phases {
+        let breakdown = p
+            .events
+            .iter()
+            .map(|(kind, n)| format!("{kind}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        t.row([
+            p.phase.to_string(),
+            format!("{:.3}", p.wall_us as f64 / 1e3),
+            p.spans.to_string(),
+            p.event_total().to_string(),
+            breakdown,
+        ]);
+    }
+    t
+}
+
+/// Renders a recorded trace's decision aggregates — reassignments,
+/// Gomory pivots, peak pin pressure per group and final counter values —
+/// the second half of the `mcs-hls explain` report.
+pub fn render_trace_aggregates(summary: &mcs_obs::summary::TraceSummary) -> Table {
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["events".to_string(), summary.total_events.to_string()]);
+    t.row([
+        "bus reassignments".to_string(),
+        summary.reassignments.to_string(),
+    ]);
+    if summary.max_augmenting_path > 0 {
+        t.row([
+            "longest preemption chain".to_string(),
+            summary.max_augmenting_path.to_string(),
+        ]);
+    }
+    t.row([
+        "gomory pivots".to_string(),
+        summary.gomory_pivots.to_string(),
+    ]);
+    for (group, (peak, cap)) in &summary.peak_pin_pressure {
+        t.row([
+            format!("peak pin pressure [group {group}]"),
+            format!("{peak} / {cap}"),
+        ]);
+    }
+    for (step, n) in &summary.reassigns_by_step {
+        t.row([format!("reassigns at step {step}"), n.to_string()]);
+    }
+    for (name, value) in &summary.counters {
+        t.row([(*name).to_string(), value.to_string()]);
+    }
+    t
+}
+
 /// Renders the portfolio connection search's per-worker telemetry: which
 /// configurations raced, how far each got, and who won.
 pub fn render_search_stats(stats: &SearchStats) -> Table {
@@ -343,6 +401,28 @@ mod tests {
         let ic = synthesize(d.cdfg(), PortMode::Bidirectional, &SearchConfig::new(3)).unwrap();
         let t = render_interconnect(d.cdfg(), &ic);
         assert!(t.to_string().contains("(bidir)"));
+    }
+
+    #[test]
+    fn phase_summary_renders_phases_and_aggregates() {
+        use crate::flows::{connect_first_flow_traced, ConnectFirstOptions};
+        use mcs_cdfg::designs::ar_filter;
+        use mcs_cdfg::PortMode;
+        use mcs_obs::{summary::summarize, BufferingRecorder, RecorderHandle};
+        use std::sync::Arc;
+        let d = ar_filter::general(3, PortMode::Unidirectional);
+        let buf = Arc::new(BufferingRecorder::new());
+        let rec = RecorderHandle::new(buf.clone());
+        connect_first_flow_traced(d.cdfg(), &ConnectFirstOptions::new(3), &rec).unwrap();
+        let summary = summarize(&buf.timed_events());
+        let phases = render_phase_summary(&summary).to_string();
+        for phase in ["connect", "schedule", "postsyn", "pin-check"] {
+            assert!(phases.contains(phase), "{phase} missing:\n{phases}");
+        }
+        assert!(phases.contains("ScheduleDecision"));
+        let aggregates = render_trace_aggregates(&summary).to_string();
+        assert!(aggregates.contains("bus reassignments"));
+        assert!(aggregates.contains("peak pin pressure"));
     }
 
     #[test]

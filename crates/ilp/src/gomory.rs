@@ -23,6 +23,7 @@
 //! probing without committing is [`AllIntegerSolver::probe_at_least`].
 
 use crate::model::{Model, SolveError};
+use mcs_obs::{Event, RecorderHandle};
 
 /// Verdict of a feasibility check.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +75,9 @@ pub struct AllIntegerSolver {
     shifts: Vec<i64>,
     /// Original constraints, kept for the exact fallback.
     original: Vec<(Vec<(usize, i64)>, i64)>,
+    /// Sink for per-pivot `GomoryCut` events (inactive by default).
+    /// Clones share the sink, so probe clones report their pivots too.
+    recorder: RecorderHandle,
 }
 
 impl AllIntegerSolver {
@@ -92,7 +96,13 @@ impl AllIntegerSolver {
             ncols: num_vars,
             shifts: vec![0; num_vars],
             original: Vec::new(),
+            recorder: RecorderHandle::default(),
         }
+    }
+
+    /// Routes per-pivot `GomoryCut` events to `recorder`.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Number of structural variables.
@@ -154,7 +164,7 @@ impl AllIntegerSolver {
     /// call is resumable and subsequent incremental checks are warm-started
     /// — exactly the usage pattern of the scheduling feasibility checker.
     pub fn solve(&mut self, max_pivots: usize) -> Feasibility {
-        for _ in 0..max_pivots {
+        for round in 0..max_pivots {
             // Most negative constant column; ties to the lowest row index.
             let Some(r) = (0..self.rows.len())
                 .filter(|&i| self.rows[i].t0 < 0)
@@ -178,6 +188,13 @@ impl AllIntegerSolver {
                     .collect(),
             };
             debug_assert_eq!(cut.coeffs[k], -1);
+            if self.recorder.enabled() {
+                self.recorder.record(Event::GomoryCut {
+                    round: round as u32,
+                    pivot: k as u32,
+                    objective: self.rows[r].t0.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+                });
+            }
             self.pivot_on_cut(cut, k);
         }
         Feasibility::PivotLimit
@@ -366,6 +383,28 @@ mod tests {
             other => other,
         };
         assert_eq!(v, Feasibility::Feasible);
+    }
+
+    #[test]
+    fn recorder_sees_every_pivot() {
+        use mcs_obs::BufferingRecorder;
+        use std::sync::Arc;
+        let buf = Arc::new(BufferingRecorder::new());
+        let mut s = AllIntegerSolver::new(2);
+        s.set_recorder(RecorderHandle::new(buf.clone()));
+        s.add_ge(&[(0, 1), (1, 1)], 3);
+        s.add_le(&[(0, 1)], 1);
+        assert_eq!(s.solve(1000), Feasibility::Feasible);
+        let cuts = buf
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::GomoryCut { .. }))
+            .count();
+        assert!(cuts > 0, "a forced-positive system needs at least one cut");
+        // Probe clones share the sink: probing records further pivots.
+        let before = buf.events().len();
+        let _ = s.probe_at_least(1, 1, 1000);
+        assert!(buf.events().len() >= before);
     }
 
     #[test]

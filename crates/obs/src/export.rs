@@ -1,0 +1,491 @@
+//! Trace exporters: Chrome `trace_event` JSON and newline-delimited
+//! JSON, plus a small strict JSON validity checker used by the tests
+//! (this workspace builds offline, so there is no serde to lean on).
+
+use crate::{Event, TimedEvent};
+
+/// One JSON scalar an event field can carry.
+#[derive(Clone, Copy, Debug)]
+enum JsonValue {
+    Int(i64),
+    UInt(u64),
+    Bool(bool),
+    Str(&'static str),
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonValue::Int(v) => write!(f, "{v}"),
+            JsonValue::UInt(v) => write!(f, "{v}"),
+            JsonValue::Bool(v) => write!(f, "{v}"),
+            JsonValue::Str(s) => write!(f, "\"{}\"", escape(s)),
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal. Event names
+/// are static identifiers today, but the exporters must never emit
+/// malformed JSON even if that changes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The payload fields of an event, in a stable order, as JSON scalars.
+fn fields(event: &Event) -> Vec<(&'static str, JsonValue)> {
+    use JsonValue::{Bool, Int, Str, UInt};
+    match *event {
+        Event::PhaseBegin { phase } | Event::PhaseEnd { phase } => {
+            vec![("phase", Str(phase))]
+        }
+        Event::Counter { name, value } => vec![("name", Str(name)), ("value", Int(value))],
+        Event::ScheduleDecision { op, step, verdict } => vec![
+            ("op", UInt(op as u64)),
+            ("step", Int(step)),
+            ("verdict", Str(verdict.name())),
+        ],
+        Event::PinCheck {
+            group,
+            pins_used,
+            cap,
+            verdict,
+        } => vec![
+            ("group", UInt(group as u64)),
+            ("pins_used", UInt(pins_used as u64)),
+            ("cap", UInt(cap as u64)),
+            ("verdict", Bool(verdict)),
+        ],
+        Event::GomoryCut {
+            round,
+            pivot,
+            objective,
+        } => vec![
+            ("round", UInt(round as u64)),
+            ("pivot", UInt(pivot as u64)),
+            ("objective", Int(objective)),
+        ],
+        Event::BusReassign {
+            op,
+            step,
+            from_bus,
+            to_bus,
+            augmenting_path_len,
+        } => vec![
+            ("op", UInt(op as u64)),
+            ("step", Int(step)),
+            ("from_bus", UInt(from_bus as u64)),
+            ("to_bus", UInt(to_bus as u64)),
+            ("augmenting_path_len", UInt(augmenting_path_len as u64)),
+        ],
+        Event::SearchNode {
+            worker,
+            epoch,
+            nodes,
+            prunes,
+            backtracks,
+            cache_hits,
+        } => vec![
+            ("worker", UInt(worker as u64)),
+            ("epoch", UInt(epoch as u64)),
+            ("nodes", UInt(nodes)),
+            ("prunes", UInt(prunes)),
+            ("backtracks", UInt(backtracks)),
+            ("cache_hits", UInt(cache_hits)),
+        ],
+    }
+}
+
+fn args_object(event: &Event) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields(event).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{k}\":{v}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a Chrome `trace_event` JSON document (the
+/// `{"traceEvents": [...]}` object form) loadable in `chrome://tracing`
+/// and Perfetto. Phase events become duration begin/end pairs (`B`/`E`),
+/// counters become counter samples (`C`), and decision events become
+/// thread-scoped instants (`i`) carrying their payload in `args`.
+pub fn chrome_trace(timed: &[TimedEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, t) in timed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts = t.ts_us;
+        match &t.event {
+            Event::PhaseBegin { phase } => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"B\",\"ts\":{ts},\"pid\":1,\"tid\":1}}",
+                    escape(phase)
+                ));
+            }
+            Event::PhaseEnd { phase } => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"E\",\"ts\":{ts},\"pid\":1,\"tid\":1}}",
+                    escape(phase)
+                ));
+            }
+            Event::Counter { name, value } => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"tid\":1,\"args\":{{\"value\":{value}}}}}",
+                    escape(name)
+                ));
+            }
+            ev => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"decision\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\"tid\":1,\"args\":{}}}",
+                    ev.kind(),
+                    args_object(ev)
+                ));
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders newline-delimited JSON: one object per event with `ts_us`,
+/// `type`, and the event's payload fields.
+pub fn jsonl(timed: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for t in timed {
+        out.push_str(&format!(
+            "{{\"ts_us\":{},\"type\":\"{}\"",
+            t.ts_us,
+            t.event.kind()
+        ));
+        for (k, v) in fields(&t.event) {
+            out.push_str(&format!(",\"{k}\":{v}"));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Validates that `text` is one syntactically well-formed JSON value
+/// (with nothing but whitespace after it). Strict recursive-descent
+/// check — no values are materialized. Returns the byte offset and a
+/// message on failure.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, b"true"),
+        Some(b'f') => parse_literal(b, pos, b"false"),
+        Some(b'n') => parse_literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!(
+                    "unescaped control byte in string at {pos}",
+                    pos = *pos
+                ))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlaceVerdict;
+
+    fn sample() -> Vec<TimedEvent> {
+        let events = vec![
+            Event::PhaseBegin { phase: "schedule" },
+            Event::ScheduleDecision {
+                op: 3,
+                step: 2,
+                verdict: PlaceVerdict::SameCycleConflict,
+            },
+            Event::PinCheck {
+                group: 1,
+                pins_used: 14,
+                cap: 16,
+                verdict: true,
+            },
+            Event::GomoryCut {
+                round: 2,
+                pivot: 5,
+                objective: -3,
+            },
+            Event::BusReassign {
+                op: 9,
+                step: 4,
+                from_bus: 0,
+                to_bus: 2,
+                augmenting_path_len: 1,
+            },
+            Event::SearchNode {
+                worker: 1,
+                epoch: 3,
+                nodes: 120,
+                prunes: 7,
+                backtracks: 2,
+                cache_hits: 5,
+            },
+            Event::Counter {
+                name: "pivots",
+                value: 42,
+            },
+            Event::PhaseEnd { phase: "schedule" },
+        ];
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| TimedEvent {
+                ts_us: 10 * i as u64,
+                event,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_all_kinds() {
+        let trace = chrome_trace(&sample());
+        validate_json(&trace).expect("chrome trace parses");
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        for needle in [
+            "\"ph\":\"B\"",
+            "\"ph\":\"E\"",
+            "\"ph\":\"C\"",
+            "\"ph\":\"i\"",
+            "ScheduleDecision",
+            "PinCheck",
+            "GomoryCut",
+            "BusReassign",
+            "SearchNode",
+            "same-cycle-conflict",
+        ] {
+            assert!(trace.contains(needle), "missing {needle} in {trace}");
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let text = jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 8);
+        for line in lines {
+            validate_json(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
+        assert!(text.contains("\"type\":\"PinCheck\""));
+        assert!(text.contains("\"pins_used\":14"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        validate_json(&chrome_trace(&[])).expect("empty trace parses");
+        assert_eq!(jsonl(&[]), "");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "\"unterminated",
+            "01x",
+            "1.",
+            "1e",
+            "{\"a\":1} extra",
+            "tru",
+            "[1 2]",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted {bad:?}");
+        }
+        for good in [
+            "0",
+            "-1.5e10",
+            "true",
+            "null",
+            "[]",
+            "{}",
+            "{\"a\":[1,2,{\"b\":\"\\u0041\"}]}",
+            "  {\"x\":false}  ",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("rejected {good:?}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Aggregation of a recorded event stream into a per-phase synthesis
+//! summary: wall time and event counts per phase, peak pin pressure per
+//! control-step group, and bus reassignments per step — the numbers a
+//! designer asks for before ever opening the full trace.
+
+use crate::{Event, TimedEvent};
+use std::collections::BTreeMap;
+
+/// Aggregates for one named phase (merged across repeated spans of the
+/// same name, e.g. per-attempt scheduling passes).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// Phase name.
+    pub phase: &'static str,
+    /// Total wall time across all spans of this phase, microseconds.
+    pub wall_us: u64,
+    /// Number of spans merged into this row.
+    pub spans: u64,
+    /// Events attributed to this phase (innermost enclosing span wins),
+    /// keyed by event kind.
+    pub events: BTreeMap<&'static str, u64>,
+}
+
+impl PhaseSummary {
+    /// Total events attributed to this phase.
+    pub fn event_total(&self) -> u64 {
+        self.events.values().sum()
+    }
+}
+
+/// Whole-trace aggregation produced by [`summarize`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Phases in order of first appearance.
+    pub phases: Vec<PhaseSummary>,
+    /// All recorded events, including ones outside any phase.
+    pub total_events: u64,
+    /// Peak `pins_used` observed per control-step group (from
+    /// [`Event::PinCheck`]), with the capacity it was checked against.
+    pub peak_pin_pressure: BTreeMap<u32, (u32, u32)>,
+    /// Bus reassignments per control step (from [`Event::BusReassign`]).
+    pub reassigns_by_step: BTreeMap<i64, u64>,
+    /// Total bus reassignments.
+    pub reassignments: u64,
+    /// Longest augmenting/preemption chain seen in a reassignment.
+    pub max_augmenting_path: u32,
+    /// Total Gomory pivots across all feasibility solves.
+    pub gomory_pivots: u64,
+    /// Final value of each named counter (last sample wins).
+    pub counters: BTreeMap<&'static str, i64>,
+}
+
+impl TraceSummary {
+    /// The summary row for `phase`, if that phase appeared.
+    pub fn phase(&self, phase: &str) -> Option<&PhaseSummary> {
+        self.phases.iter().find(|p| p.phase == phase)
+    }
+}
+
+/// Folds a timestamped event stream into a [`TraceSummary`]. Events are
+/// attributed to the innermost open phase at the point they occur; an
+/// unclosed phase (e.g. a flow aborted by an error) is closed at the
+/// timestamp of the last event in the stream.
+pub fn summarize(timed: &[TimedEvent]) -> TraceSummary {
+    let mut out = TraceSummary::default();
+    // Stack of (phase name, begin timestamp, index into out.phases).
+    let mut open: Vec<(&'static str, u64, usize)> = Vec::new();
+    let last_ts = timed.last().map_or(0, |t| t.ts_us);
+
+    let row = |out: &mut TraceSummary, phase: &'static str| -> usize {
+        if let Some(i) = out.phases.iter().position(|p| p.phase == phase) {
+            i
+        } else {
+            out.phases.push(PhaseSummary {
+                phase,
+                ..PhaseSummary::default()
+            });
+            out.phases.len() - 1
+        }
+    };
+
+    for t in timed {
+        out.total_events += 1;
+        match &t.event {
+            Event::PhaseBegin { phase } => {
+                let i = row(&mut out, phase);
+                out.phases[i].spans += 1;
+                open.push((phase, t.ts_us, i));
+            }
+            Event::PhaseEnd { phase } => {
+                // Close the innermost span of this name; tolerate
+                // mismatched ends rather than panicking in a reporter.
+                if let Some(pos) = open.iter().rposition(|(p, _, _)| p == phase) {
+                    let (_, begin, i) = open.remove(pos);
+                    out.phases[i].wall_us += t.ts_us.saturating_sub(begin);
+                }
+            }
+            ev => {
+                if let Some(&(_, _, i)) = open.last() {
+                    *out.phases[i].events.entry(ev.kind()).or_insert(0) += 1;
+                }
+                match *ev {
+                    Event::PinCheck {
+                        group,
+                        pins_used,
+                        cap,
+                        ..
+                    } => {
+                        let entry = out.peak_pin_pressure.entry(group).or_insert((0, cap));
+                        if pins_used >= entry.0 {
+                            *entry = (pins_used, cap);
+                        }
+                    }
+                    Event::BusReassign {
+                        step,
+                        augmenting_path_len,
+                        ..
+                    } => {
+                        *out.reassigns_by_step.entry(step).or_insert(0) += 1;
+                        out.reassignments += 1;
+                        out.max_augmenting_path = out.max_augmenting_path.max(augmenting_path_len);
+                    }
+                    Event::GomoryCut { .. } => out.gomory_pivots += 1,
+                    Event::Counter { name, value } => {
+                        out.counters.insert(name, value);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Close anything left open (aborted flows) at the last timestamp.
+    while let Some((_, begin, i)) = open.pop() {
+        out.phases[i].wall_us += last_ts.saturating_sub(begin);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlaceVerdict;
+
+    fn at(ts_us: u64, event: Event) -> TimedEvent {
+        TimedEvent { ts_us, event }
+    }
+
+    #[test]
+    fn attributes_events_to_innermost_phase_and_sums_wall() {
+        let stream = vec![
+            at(0, Event::PhaseBegin { phase: "connect" }),
+            at(
+                5,
+                Event::SearchNode {
+                    worker: 0,
+                    epoch: 1,
+                    nodes: 10,
+                    prunes: 0,
+                    backtracks: 0,
+                    cache_hits: 0,
+                },
+            ),
+            at(10, Event::PhaseBegin { phase: "schedule" }),
+            at(
+                12,
+                Event::ScheduleDecision {
+                    op: 1,
+                    step: 0,
+                    verdict: PlaceVerdict::Placed,
+                },
+            ),
+            at(
+                14,
+                Event::GomoryCut {
+                    round: 0,
+                    pivot: 1,
+                    objective: -2,
+                },
+            ),
+            at(20, Event::PhaseEnd { phase: "schedule" }),
+            at(30, Event::PhaseEnd { phase: "connect" }),
+            // Second span of an existing phase merges into the same row.
+            at(40, Event::PhaseBegin { phase: "schedule" }),
+            at(45, Event::PhaseEnd { phase: "schedule" }),
+        ];
+        let s = summarize(&stream);
+        assert_eq!(s.total_events, 9);
+        let connect = s.phase("connect").expect("connect row");
+        assert_eq!(connect.wall_us, 30);
+        assert_eq!(connect.spans, 1);
+        assert_eq!(connect.events.get("SearchNode"), Some(&1));
+        assert_eq!(connect.events.get("ScheduleDecision"), None);
+        let sched = s.phase("schedule").expect("schedule row");
+        assert_eq!(sched.wall_us, 10 + 5);
+        assert_eq!(sched.spans, 2);
+        assert_eq!(sched.event_total(), 2);
+        assert_eq!(s.gomory_pivots, 1);
+    }
+
+    #[test]
+    fn tracks_pin_pressure_reassigns_and_counters() {
+        let stream = vec![
+            at(
+                0,
+                Event::PinCheck {
+                    group: 0,
+                    pins_used: 10,
+                    cap: 16,
+                    verdict: true,
+                },
+            ),
+            at(
+                1,
+                Event::PinCheck {
+                    group: 0,
+                    pins_used: 14,
+                    cap: 16,
+                    verdict: true,
+                },
+            ),
+            at(
+                2,
+                Event::PinCheck {
+                    group: 1,
+                    pins_used: 4,
+                    cap: 8,
+                    verdict: false,
+                },
+            ),
+            at(
+                3,
+                Event::BusReassign {
+                    op: 7,
+                    step: 2,
+                    from_bus: 0,
+                    to_bus: 1,
+                    augmenting_path_len: 3,
+                },
+            ),
+            at(
+                4,
+                Event::BusReassign {
+                    op: 8,
+                    step: 2,
+                    from_bus: 1,
+                    to_bus: 0,
+                    augmenting_path_len: 0,
+                },
+            ),
+            at(
+                5,
+                Event::Counter {
+                    name: "pivots",
+                    value: 3,
+                },
+            ),
+            at(
+                6,
+                Event::Counter {
+                    name: "pivots",
+                    value: 9,
+                },
+            ),
+        ];
+        let s = summarize(&stream);
+        assert_eq!(s.peak_pin_pressure.get(&0), Some(&(14, 16)));
+        assert_eq!(s.peak_pin_pressure.get(&1), Some(&(4, 8)));
+        assert_eq!(s.reassigns_by_step.get(&2), Some(&2));
+        assert_eq!(s.reassignments, 2);
+        assert_eq!(s.max_augmenting_path, 3);
+        assert_eq!(s.counters.get("pivots"), Some(&9));
+        assert!(s.phases.is_empty());
+    }
+
+    #[test]
+    fn unclosed_phase_is_closed_at_last_event() {
+        let stream = vec![
+            at(0, Event::PhaseBegin { phase: "connect" }),
+            at(
+                25,
+                Event::Counter {
+                    name: "nodes",
+                    value: 1,
+                },
+            ),
+        ];
+        let s = summarize(&stream);
+        assert_eq!(s.phase("connect").expect("row").wall_us, 25);
+    }
+}

@@ -28,6 +28,7 @@ use std::collections::BTreeMap;
 
 use mcs_cdfg::{Cdfg, OpId, PartitionId, ValueId};
 use mcs_ilp::{AllIntegerSolver, Feasibility};
+use mcs_obs::{Event, RecorderHandle};
 
 /// Pivot budget per feasibility probe before falling back to exact
 /// branch-and-bound.
@@ -101,6 +102,16 @@ pub struct PinChecker {
     agg_remaining: Vec<i64>,
     /// Whether each member binary has been committed.
     member_done: Vec<bool>,
+    /// Bit-width of each transfer, captured at build so probe/commit
+    /// sites can report pin pressure without a `Cdfg` in hand.
+    op_bits: BTreeMap<OpId, u32>,
+    /// Committed pin-bits per control-step group `k in 0..L`.
+    group_load: Vec<u32>,
+    /// Total pin budget across all partitions — the ceiling the per-group
+    /// pressure in `PinCheck` events is reported against.
+    total_cap: u32,
+    /// Sink for `PinCheck` (and the solver's `GomoryCut`) events.
+    recorder: RecorderHandle,
 }
 
 impl PinChecker {
@@ -293,6 +304,16 @@ impl PinChecker {
             }
         }
 
+        let op_bits: BTreeMap<OpId, u32> =
+            op_vars.keys().map(|&op| (op, cdfg.io_bits(op))).collect();
+        let total_cap: u32 = cdfg
+            .partitions()
+            .iter()
+            .map(|part| match part.fixed_split {
+                Some((i_cap, o_cap)) => i_cap + o_cap,
+                None => part.total_pins,
+            })
+            .sum();
         let mut checker = PinChecker {
             solver,
             rate,
@@ -301,6 +322,10 @@ impl PinChecker {
             member_base,
             agg_remaining,
             member_done: vec![false; member_list.len()],
+            op_bits,
+            group_load: vec![0; l],
+            total_cap,
+            recorder: RecorderHandle::default(),
         };
         match checker.resolve() {
             Feasibility::Feasible => Ok(checker),
@@ -311,6 +336,18 @@ impl PinChecker {
     /// The initiation rate the checker was built for.
     pub fn rate(&self) -> u32 {
         self.rate
+    }
+
+    /// Routes `PinCheck` events from probes/commits — and `GomoryCut`
+    /// events from the embedded solver — to `recorder`.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.solver.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// Committed pin-bits in control-step group `step mod L`.
+    pub fn group_load(&self, step: i64) -> u32 {
+        self.group_load[step.rem_euclid(self.rate as i64) as usize]
     }
 
     fn resolve(&mut self) -> Feasibility {
@@ -333,7 +370,17 @@ impl PinChecker {
     /// unscheduled transfers. Does not mutate the checker.
     pub fn can_commit(&self, op: OpId, step: i64) -> bool {
         let var = self.var_of(op, step);
-        self.solver.probe_at_least(var, 1, PIVOT_BUDGET) == Feasibility::Feasible
+        let verdict = self.solver.probe_at_least(var, 1, PIVOT_BUDGET) == Feasibility::Feasible;
+        if self.recorder.enabled() {
+            let k = step.rem_euclid(self.rate as i64) as usize;
+            self.recorder.record(Event::PinCheck {
+                group: k as u32,
+                pins_used: self.group_load[k] + self.op_bits.get(&op).copied().unwrap_or(0),
+                cap: self.total_cap,
+                verdict,
+            });
+        }
+        verdict
     }
 
     /// Commits the placement of `op` in `step`'s group (the incremental
@@ -354,10 +401,21 @@ impl PinChecker {
             OpVar::Aggregate(gi) => self.agg_remaining[gi] -= 1,
             OpVar::Member(mi) => self.member_done[mi] = true,
         }
-        match self.resolve() {
+        let k = step.rem_euclid(self.rate as i64) as usize;
+        self.group_load[k] += self.op_bits.get(&op).copied().unwrap_or(0);
+        let outcome = match self.resolve() {
             Feasibility::Feasible => Ok(()),
             _ => Err(PinAllocError::InfeasibleFromTheStart),
+        };
+        if self.recorder.enabled() {
+            self.recorder.record(Event::PinCheck {
+                group: k as u32,
+                pins_used: self.group_load[k],
+                cap: self.total_cap,
+                verdict: outcome.is_ok(),
+            });
         }
+        outcome
     }
 
     /// `true` once every transfer has been committed.
@@ -449,6 +507,40 @@ mod tests {
             assert!(c.can_commit(v1, 0));
         }
         assert!(!c.all_committed());
+    }
+
+    #[test]
+    fn recorder_sees_probes_and_commits() {
+        use mcs_obs::BufferingRecorder;
+        use std::sync::Arc;
+        let d = synthetic::fig_2_5();
+        let buf = Arc::new(BufferingRecorder::new());
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        c.set_recorder(RecorderHandle::new(buf.clone()));
+        let v1 = d.op_named("V1");
+        assert!(c.can_commit(v1, 0));
+        c.commit(v1, 0).unwrap();
+        let events = buf.events();
+        let checks: Vec<_> = events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::PinCheck {
+                    group,
+                    pins_used,
+                    cap,
+                    verdict,
+                } => Some((group, pins_used, cap, verdict)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(checks.len(), 2, "one probe + one commit: {events:?}");
+        // Both report V1's single bit in group 0 against the total budget
+        // (Pa: 2 out, Pb: 2 in + 1 out... summed across all partitions).
+        assert!(checks
+            .iter()
+            .all(|&(g, used, _, ok)| g == 0 && used > 0 && ok));
+        assert_eq!(c.group_load(0), checks[1].1);
+        assert_eq!(c.group_load(1), 0);
     }
 
     #[test]

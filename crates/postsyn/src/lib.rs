@@ -44,6 +44,7 @@ use std::collections::BTreeMap;
 use mcs_cdfg::{BusId, Cdfg, OpId, PartitionId, PortMode};
 use mcs_connect::{Bus, BusAssignment, Interconnect, SubRange};
 use mcs_matching::max_weight_matching;
+use mcs_obs::RecorderHandle;
 use mcs_sched::Schedule;
 
 /// Parameters of the post-scheduling connection synthesis.
@@ -55,6 +56,8 @@ pub struct PostsynConfig {
     /// share first; 1 everywhere by default (then the total weight equals
     /// the number of pins saved).
     pub weights: BTreeMap<PartitionId, i64>,
+    /// Sink for clique-merging counters (inactive by default).
+    pub recorder: RecorderHandle,
 }
 
 impl PostsynConfig {
@@ -63,6 +66,7 @@ impl PostsynConfig {
         PostsynConfig {
             rate,
             weights: BTreeMap::new(),
+            recorder: RecorderHandle::default(),
         }
     }
 
@@ -164,6 +168,7 @@ pub fn connect_after_scheduling(
 
     // Process the largest group first (Figure 5.2 orders by size).
     groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+    let mut merges = 0i64;
     let mut combined = groups.remove(0);
     for next in groups {
         if next.is_empty() {
@@ -191,6 +196,7 @@ pub fn connect_after_scheduling(
         for (i, pair) in m.pairs.iter().enumerate() {
             if let Some(j) = pair {
                 combined[i].merge(next[*j].take().expect("matched once"));
+                merges += 1;
             }
         }
         for sn in next.into_iter().flatten() {
@@ -232,6 +238,10 @@ pub fn connect_after_scheduling(
         }
         buses.push(bus);
     }
+    cfg.recorder.counter("postsyn.clique_merges", merges);
+    cfg.recorder.counter("postsyn.buses", buses.len() as i64);
+    cfg.recorder
+        .counter("postsyn.transfers", assignment.len() as i64);
     Interconnect {
         mode,
         buses,

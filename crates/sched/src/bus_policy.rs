@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use mcs_cdfg::{BusId, Cdfg, OpId, ValueId};
 use mcs_connect::{BusAssignment, Interconnect, SubRange};
 use mcs_matching::max_bipartite_matching;
+use mcs_obs::{Event, PlaceVerdict, RecorderHandle};
 
 use crate::list::IoPolicy;
 
@@ -57,6 +58,10 @@ pub struct BusPolicy {
     /// groups their transfer can legally occupy, estimated from ASAP times
     /// (used to keep phase-1 placements from exhausting them).
     feedback_groups: Option<BTreeMap<ValueId, std::collections::BTreeSet<u32>>>,
+    /// Sink for `BusReassign` events (inactive by default). Trial clones
+    /// used by the preemption chain share the sink but never record —
+    /// events are emitted only for committed placements.
+    recorder: RecorderHandle,
 }
 
 impl BusPolicy {
@@ -74,7 +79,13 @@ impl BusPolicy {
             placements: BTreeMap::new(),
             reassigned: 0,
             feedback_groups: None,
+            recorder: RecorderHandle::default(),
         }
+    }
+
+    /// Routes `BusReassign` events to `recorder`.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Final `(bus, step, range)` per scheduled transfer — the bus
@@ -374,10 +385,47 @@ impl BusPolicy {
         true
     }
 
+    /// Records a committed bus move (no-op with an inactive recorder).
+    fn record_reassign(
+        &self,
+        op: OpId,
+        step: i64,
+        from: Option<BusAssignment>,
+        to: BusId,
+        chain: u32,
+    ) {
+        if self.recorder.enabled() {
+            self.recorder.record(Event::BusReassign {
+                op: op.0,
+                step,
+                from_bus: from.map(|a| a.bus.0).unwrap_or(to.0),
+                to_bus: to.0,
+                augmenting_path_len: chain,
+            });
+        }
+    }
+
     /// Attempts to allocate a communication slot for `op` at `step`.
     pub fn try_place_impl(&mut self, cdfg: &Cdfg, op: OpId, step: i64) -> bool {
+        self.place_explained(cdfg, op, step).placed()
+    }
+
+    /// Like [`BusPolicy::try_place_impl`], but reports the accurate
+    /// rejection reason instead of a bare `false`:
+    ///
+    /// * [`PlaceVerdict::NoCapableBus`] — no bus can geometrically carry
+    ///   the transfer, so no candidate slot existed at all;
+    /// * [`PlaceVerdict::SameCycleConflict`] — capable buses exist but
+    ///   every candidate slot in the step's group is occupied by a
+    ///   conflicting transfer;
+    /// * [`PlaceVerdict::PendingInfeasible`] — a free slot exists but
+    ///   taking it would strand a not-yet-scheduled transfer (the
+    ///   Figure 4.5 matching loses perfection).
+    ///
+    /// These used to be conflated, making postponement undiagnosable.
+    pub fn place_explained(&mut self, cdfg: &Cdfg, op: OpId, step: i64) -> PlaceVerdict {
         let Some((value, _, _)) = cdfg.op(op).io_endpoints() else {
-            return true;
+            return PlaceVerdict::Placed;
         };
         let g = self.group(step);
         let original = self.interconnect.assignment.get(&op).copied();
@@ -390,6 +438,10 @@ impl BusPolicy {
         } else if let Some(a) = original {
             options.push(a);
         }
+        if options.is_empty() {
+            return PlaceVerdict::NoCapableBus;
+        }
+        let mut saw_free_slot = false;
         // Every placement must keep the remaining transfers routable — the
         // invariant behind the paper's preemption chains: whenever the
         // bipartite matching between pending transfers and free slots is
@@ -406,6 +458,9 @@ impl BusPolicy {
                 es.iter()
                     .any(|&(r, v, t)| v == value && r == cand.range && t == step)
             });
+            if !sharing {
+                saw_free_slot = true;
+            }
             let admissible = sharing
                 || !self.allow_reassign
                 || self.pending_feasible(cdfg, op, Some((cand.bus, g, cand.range, value)));
@@ -424,8 +479,13 @@ impl BusPolicy {
                 );
                 if original.map(|a| a.bus) != Some(cand.bus) {
                     self.reassigned += 1;
+                    self.record_reassign(op, step, original, cand.bus, 0);
                 }
-                return true;
+                return if sharing {
+                    PlaceVerdict::SharedSlot
+                } else {
+                    PlaceVerdict::Placed
+                };
             }
         }
         // Last resort, for feedback transfers only: their placement window
@@ -435,6 +495,7 @@ impl BusPolicy {
         // the point the paper's negative-step preloads are committed).
         let is_feedback = cdfg.preds(op).iter().any(|&e| cdfg.edge(e).degree > 0);
         if self.allow_reassign && is_feedback {
+            let before = self.reassigned;
             let carriers = self.interconnect.capable_carriers(cdfg, op);
             for cand in carriers {
                 let mut visited = std::collections::BTreeSet::new();
@@ -460,20 +521,34 @@ impl BusPolicy {
                 );
                 if trial.pending_feasible(cdfg, op, None) {
                     *self = trial;
-                    if original.map(|a| a.bus) != Some(cand.bus) {
+                    // Scheduled transfers moved by the eviction chain.
+                    let chain = (self.reassigned - before) as u32;
+                    let moved = original.map(|a| a.bus) != Some(cand.bus);
+                    if moved {
                         self.reassigned += 1;
                     }
-                    return true;
+                    if moved || chain > 0 {
+                        self.record_reassign(op, step, original, cand.bus, chain);
+                    }
+                    return PlaceVerdict::Placed;
                 }
             }
         }
-        false
+        if saw_free_slot {
+            PlaceVerdict::PendingInfeasible
+        } else {
+            PlaceVerdict::SameCycleConflict
+        }
     }
 }
 
 impl IoPolicy for BusPolicy {
     fn try_place(&mut self, cdfg: &Cdfg, op: OpId, step: i64) -> bool {
         self.try_place_impl(cdfg, op, step)
+    }
+
+    fn try_place_explained(&mut self, cdfg: &Cdfg, op: OpId, step: i64) -> PlaceVerdict {
+        self.place_explained(cdfg, op, step)
     }
 }
 
@@ -626,6 +701,67 @@ mod tests {
         assert!(!policy.try_place_impl(&g, ops[2], 2), "same step");
         assert!(!policy.try_place_impl(&g, ops[2], 4), "same group");
         assert!(policy.try_place_impl(&g, ops[2], 3), "other group");
+    }
+
+    #[test]
+    fn rejection_reasons_are_split() {
+        let (g, ic, ops) = one_bus_fixture();
+        // Same-cycle conflict: a capable bus exists but another value owns
+        // the slot in this group.
+        let mut policy = BusPolicy::new(ic.clone(), 2, false);
+        assert_eq!(policy.place_explained(&g, ops[0], 2), PlaceVerdict::Placed);
+        assert_eq!(
+            policy.place_explained(&g, ops[1], 2),
+            PlaceVerdict::SharedSlot,
+            "same value, same step rides along"
+        );
+        assert_eq!(
+            policy.place_explained(&g, ops[2], 2),
+            PlaceVerdict::SameCycleConflict
+        );
+        assert_eq!(
+            policy.place_explained(&g, ops[2], 4),
+            PlaceVerdict::SameCycleConflict,
+            "same group of another instance is still a transfer conflict"
+        );
+        assert_eq!(policy.place_explained(&g, ops[2], 3), PlaceVerdict::Placed);
+
+        // No capable bus: static allocation with no initial assignment has
+        // no candidate at all — distinct from a full slot.
+        let mut bare = ic.clone();
+        bare.assignment.remove(&ops[2]);
+        let mut policy = BusPolicy::new(bare, 2, false);
+        assert_eq!(
+            policy.place_explained(&g, ops[2], 3),
+            PlaceVerdict::NoCapableBus
+        );
+
+        // Pending-infeasible: at rate 1 the lone bus slot must serve two
+        // values; taking it for one strands the other, so the slot is free
+        // yet the placement is inadmissible.
+        let mut policy = BusPolicy::new(ic, 1, true);
+        assert_eq!(
+            policy.place_explained(&g, ops[0], 0),
+            PlaceVerdict::PendingInfeasible
+        );
+    }
+
+    #[test]
+    fn explained_and_bool_paths_agree() {
+        let (g, ic, ops) = one_bus_fixture();
+        let mut a = BusPolicy::new(ic.clone(), 2, true);
+        let mut b = BusPolicy::new(ic, 2, true);
+        for &op in &ops {
+            for step in 2..6 {
+                assert_eq!(
+                    a.try_place_impl(&g, op, step),
+                    b.place_explained(&g, op, step).placed(),
+                    "op {op} step {step}"
+                );
+            }
+        }
+        assert_eq!(a.placements(), b.placements());
+        assert_eq!(a.reassigned_count(), b.reassigned_count());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 
 use mcs_cdfg::timing::{self, StepTime};
 use mcs_cdfg::{Cdfg, OpId, OpKind, OperatorClass, PartitionId};
+use mcs_obs::{Event, PlaceVerdict, RecorderHandle};
 use mcs_pinalloc::PinChecker;
 
 use crate::schedule::Schedule;
@@ -29,6 +30,18 @@ pub trait IoPolicy {
     /// returns `true` on success, leaves state unchanged and returns
     /// `false` otherwise.
     fn try_place(&mut self, cdfg: &Cdfg, op: OpId, step: i64) -> bool;
+
+    /// Like [`IoPolicy::try_place`], but reports *why* a placement was
+    /// rejected. The default conflates every rejection into
+    /// [`PlaceVerdict::Rejected`]; policies that know better override it
+    /// (and implement `try_place` in terms of it).
+    fn try_place_explained(&mut self, cdfg: &Cdfg, op: OpId, step: i64) -> PlaceVerdict {
+        if self.try_place(cdfg, op, step) {
+            PlaceVerdict::Placed
+        } else {
+            PlaceVerdict::Rejected
+        }
+    }
 }
 
 /// A policy that admits everything (pure resource-constrained list
@@ -59,14 +72,23 @@ impl PinPolicy {
     pub fn checker(&self) -> &PinChecker {
         &self.checker
     }
+
+    /// Routes the checker's `PinCheck`/`GomoryCut` events to `recorder`.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.checker.set_recorder(recorder);
+    }
 }
 
 impl IoPolicy for PinPolicy {
-    fn try_place(&mut self, _cdfg: &Cdfg, op: OpId, step: i64) -> bool {
-        if self.checker.can_commit(op, step) {
-            self.checker.commit(op, step).is_ok()
+    fn try_place(&mut self, cdfg: &Cdfg, op: OpId, step: i64) -> bool {
+        self.try_place_explained(cdfg, op, step).placed()
+    }
+
+    fn try_place_explained(&mut self, _cdfg: &Cdfg, op: OpId, step: i64) -> PlaceVerdict {
+        if self.checker.can_commit(op, step) && self.checker.commit(op, step).is_ok() {
+            PlaceVerdict::Placed
         } else {
-            false
+            PlaceVerdict::PinInfeasible
         }
     }
 }
@@ -89,6 +111,9 @@ pub struct ListConfig {
     /// composite maximum time constraint proved too tight — the "constrain
     /// some of the operations and rerun" remedy of Sections 5.3/6.3.
     pub hold_back: BTreeMap<OpId, i64>,
+    /// Sink for per-placement `ScheduleDecision` events (inactive by
+    /// default, costing one branch per I/O consultation).
+    pub recorder: RecorderHandle,
 }
 
 impl ListConfig {
@@ -99,6 +124,7 @@ impl ListConfig {
             max_steps: 512,
             priority_bias: 0,
             hold_back: BTreeMap::new(),
+            recorder: RecorderHandle::default(),
         }
     }
 }
@@ -412,7 +438,13 @@ pub fn list_schedule<P: IoPolicy>(
                         }
                     }
                     OpKind::Io { .. } => {
-                        if policy.try_place(cdfg, op, cand.step) {
+                        let verdict = policy.try_place_explained(cdfg, op, cand.step);
+                        cfg.recorder.record(Event::ScheduleDecision {
+                            op: op.0,
+                            step: cand.step,
+                            verdict,
+                        });
+                        if verdict.placed() {
                             start[op.index()] = Some(cand);
                             pending_phase1 -= 1;
                             placed_any = true;
@@ -474,7 +506,13 @@ pub fn list_schedule<P: IoPolicy>(
         let mut placed = false;
         let mut s = hi;
         while s >= lo {
-            if policy.try_place(cdfg, op, s) {
+            let verdict = policy.try_place_explained(cdfg, op, s);
+            cfg.recorder.record(Event::ScheduleDecision {
+                op: op.0,
+                step: s,
+                verdict,
+            });
+            if verdict.placed() {
                 start[op.index()] = Some(StepTime::at_step(s));
                 placed = true;
                 break;

@@ -112,6 +112,101 @@ fn every_shipped_sample_design_simulates() {
     assert!(found >= 3, "sample designs must ship with the repo");
 }
 
+fn elliptic_benchmark() -> String {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    here.join("../../examples/benchmarks/elliptic.mcs")
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn synth_trace_out_writes_a_valid_chrome_trace() {
+    let tmp = std::env::temp_dir().join("mcs_cli_trace_test.json");
+    let (ok, _, stderr) = run(&[
+        "synth",
+        &elliptic_benchmark(),
+        "--rate",
+        "6",
+        "--trace-out",
+        tmp.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("trace:"), "{stderr}");
+    let text = std::fs::read_to_string(&tmp).unwrap();
+    multichip_hls::obs::export::validate_json(&text).expect("chrome trace is strict JSON");
+    assert!(text.contains("\"traceEvents\""), "not a chrome trace");
+    // The acceptance bar: all four pipeline phases span the trace and at
+    // least four distinct typed event kinds appear.
+    for phase in ["connect", "schedule", "postsyn", "pin-check"] {
+        assert!(
+            text.contains(&format!("\"name\":\"{phase}\"")),
+            "{phase} span missing"
+        );
+    }
+    let kinds = [
+        "ScheduleDecision",
+        "PinCheck",
+        "SearchNode",
+        "BusReassign",
+        "GomoryCut",
+    ];
+    let mut present: usize = kinds
+        .iter()
+        .filter(|k| text.contains(&format!("\"name\":\"{k}\"")))
+        .count();
+    // Counter samples carry the counter's own name; spot them by category.
+    present += usize::from(text.contains("\"cat\":\"counter\""));
+    assert!(present >= 4, "only {present} event kinds in trace");
+}
+
+#[test]
+fn synth_trace_out_jsonl_is_one_object_per_line() {
+    let tmp = std::env::temp_dir().join("mcs_cli_trace_test.jsonl");
+    let (ok, _, stderr) = run(&[
+        "synth",
+        &sample(),
+        "--rate",
+        "2",
+        "--trace-out",
+        tmp.to_str().unwrap(),
+        "--trace-format",
+        "jsonl",
+    ]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&tmp).unwrap();
+    assert!(text.lines().count() > 4, "{text}");
+    for line in text.lines() {
+        multichip_hls::obs::export::validate_json(line).expect("each line is strict JSON");
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+}
+
+#[test]
+fn explain_prints_the_per_phase_summary() {
+    let (ok, stdout, stderr) = run(&["explain", &sample(), "--rate", "2"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("events recorded"), "{stdout}");
+    for phase in ["connect", "schedule", "postsyn", "pin-check"] {
+        assert!(stdout.contains(phase), "{phase} missing:\n{stdout}");
+    }
+    assert!(stdout.contains("bus reassignments"), "{stdout}");
+    assert!(stdout.contains("peak pin pressure"), "{stdout}");
+}
+
+#[test]
+fn bad_trace_format_is_rejected() {
+    let (ok, _, stderr) = run(&[
+        "synth",
+        &sample(),
+        "--trace-out",
+        "x",
+        "--trace-format",
+        "xml",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("chrome"), "{stderr}");
+}
+
 #[test]
 fn dot_emits_both_graph_kinds() {
     let (ok, cdfg_dot, _) = run(&["dot", &sample()]);

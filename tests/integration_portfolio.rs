@@ -54,6 +54,44 @@ fn ar_filter_connection_is_identical_across_thread_counts() {
     assert_deterministic(d.name(), d.cdfg(), 3);
 }
 
+/// The observability contract on the whole pipeline: event *payloads*
+/// carry no wall-clock data, and every instrumented decision is recorded
+/// from a deterministic point, so the full event stream of a traced
+/// connect-first run is byte-identical across thread counts.
+#[test]
+fn traced_flow_event_stream_is_identical_across_thread_counts() {
+    use multichip_hls::flows::connect_first_flow_traced;
+    use multichip_hls::obs::{BufferingRecorder, Event, RecorderHandle};
+    use std::sync::Arc;
+
+    let d = designs::ar_filter::general(3, PortMode::Unidirectional);
+    let trace = |workers: usize| -> Vec<Event> {
+        let buf = Arc::new(BufferingRecorder::new());
+        let rec = RecorderHandle::new(buf.clone());
+        let mut opts = ConnectFirstOptions::new(3);
+        opts.workers = workers;
+        opts.portfolio = Some(PORTFOLIO);
+        connect_first_flow_traced(d.cdfg(), &opts, &rec)
+            .unwrap_or_else(|e| panic!("workers={workers}: {e}"));
+        buf.events()
+    };
+    let reference = trace(1);
+    assert!(!reference.is_empty());
+    assert!(reference
+        .iter()
+        .any(|e| matches!(e, Event::SearchNode { .. })));
+    assert!(reference
+        .iter()
+        .any(|e| matches!(e, Event::ScheduleDecision { .. })));
+    for workers in [2usize, 8] {
+        assert_eq!(
+            trace(workers),
+            reference,
+            "workers={workers} changed the recorded event stream"
+        );
+    }
+}
+
 /// Chapter 3 vs Chapter 4 on designs with simple partitionings: both
 /// flows must validate, the connection-first result must respect every
 /// chip's pin budget, and the simulator must accept both schedules.
