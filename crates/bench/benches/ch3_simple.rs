@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| PinChecker::new(design.cdfg(), 2).expect("feasible"))
     });
     g.bench_function("pin_checker_probe", |b| {
-        let checker = PinChecker::new(design.cdfg(), 2).expect("feasible");
+        let mut checker = PinChecker::new(design.cdfg(), 2).expect("feasible");
         let op = design.op_named("I1");
         b.iter(|| checker.can_commit(op, 0))
     });

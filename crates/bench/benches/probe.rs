@@ -1,0 +1,48 @@
+//! Microbenchmarks of the pin-feasibility probe engines: the trail-based
+//! checkpoint/rollback path against the legacy clone-per-probe path, on
+//! the Chapter 3 AR filter and the pin-tight portfolio-adversarial
+//! fan-in design. The `bench_probe` binary measures the same sweeps with
+//! allocation counting and a differential verdict gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_cdfg::designs::{ar_filter, synthetic, Design};
+use mcs_cdfg::OpId;
+use mcs_pinalloc::PinChecker;
+
+fn bench_design(c: &mut Criterion, name: &str, design: &Design, rate: u32) {
+    let cdfg = design.cdfg();
+    let Ok(mut checker) = PinChecker::new(cdfg, rate) else {
+        eprintln!("probe/{name}: infeasible at rate {rate}, skipped");
+        return;
+    };
+    let ops: Vec<OpId> = cdfg.io_ops().collect();
+    let mut g = c.benchmark_group("probe");
+    g.sample_size(10);
+    for (engine, via_clone) in [("trail", false), ("clone", true)] {
+        g.bench_function(BenchmarkId::new(engine, name), |b| {
+            b.iter(|| {
+                let mut feasible = 0u32;
+                for &op in &ops {
+                    for k in 0..rate as i64 {
+                        feasible += checker.probe_uncached(op, k, via_clone) as u32;
+                    }
+                }
+                feasible
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    bench_design(c, "ch3_simple", &ar_filter::simple(), 2);
+    bench_design(
+        c,
+        "portfolio_adversarial",
+        &synthetic::portfolio_adversarial(6),
+        2,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Emits BENCH json lines (one per design) comparing the trail-based
+//! probe engine against the legacy clone-per-probe path on the same
+//! pin-allocation tableau: wall time, heap allocations and a verdict
+//! digest. The two engines must agree on every verdict — the process
+//! exits nonzero when they do not, which is the differential gate CI
+//! runs. The rendering lives in [`mcs_bench::probe_bench_line`], where
+//! it is golden-tested.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mcs_bench::{probe_bench_line, verdict_digest, MeasuredProbe};
+use mcs_cdfg::designs::{ar_filter, synthetic, Design};
+use mcs_cdfg::OpId;
+use mcs_pinalloc::PinChecker;
+
+/// [`System`] with allocation counters, so the sweep can report how many
+/// heap allocations each probe engine performs.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Probes each of the design's transfers into every control-step group,
+/// `rounds` times, through one engine. The checker is warm (one unmeasured
+/// round) so one-time arena growth does not count against either engine.
+fn sweep(
+    checker: &mut PinChecker,
+    ops: &[OpId],
+    rate: u32,
+    rounds: usize,
+    via_clone: bool,
+) -> MeasuredProbe {
+    let mut verdicts: Vec<bool> = Vec::with_capacity(rounds * ops.len() * rate as usize);
+    for &op in ops {
+        for k in 0..rate as i64 {
+            let _ = checker.probe_uncached(op, k, via_clone);
+        }
+    }
+    let allocs0 = ALLOCS.load(Ordering::Relaxed);
+    let bytes0 = BYTES.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for &op in ops {
+            for k in 0..rate as i64 {
+                verdicts.push(checker.probe_uncached(op, k, via_clone));
+            }
+        }
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    MeasuredProbe {
+        probes: verdicts.len() as u64,
+        feasible: verdicts.iter().filter(|&&v| v).count() as u64,
+        allocations: ALLOCS.load(Ordering::Relaxed) - allocs0,
+        alloc_bytes: BYTES.load(Ordering::Relaxed) - bytes0,
+        wall_ms,
+        verdict_digest: verdict_digest(&verdicts),
+    }
+}
+
+fn run(name: &str, design: &Design, rate: u32, rounds: usize) -> bool {
+    let cdfg = design.cdfg();
+    let mut checker = match PinChecker::new(cdfg, rate) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{name}: pin checker infeasible at rate {rate}: {e}");
+            return false;
+        }
+    };
+    let ops: Vec<OpId> = cdfg.io_ops().collect();
+    let trail = sweep(&mut checker, &ops, rate, rounds, false);
+    let clone = sweep(&mut checker, &ops, rate, rounds, true);
+    let agree = trail.verdict_digest == clone.verdict_digest;
+    println!("{}", probe_bench_line(name, rate, &trail, &clone));
+    if !agree {
+        eprintln!("{name}: trail and clone probe engines disagree");
+    }
+    agree
+}
+
+fn main() -> std::process::ExitCode {
+    let mut ok = true;
+    ok &= run("ch3_simple", &ar_filter::simple(), 2, 5);
+    ok &= run(
+        "portfolio_adversarial",
+        &synthetic::portfolio_adversarial(6),
+        2,
+        5,
+    );
+    if ok {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

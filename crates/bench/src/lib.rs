@@ -622,6 +622,75 @@ fn emit_measured(out: &mut String, label: &str, m: &MeasuredSearch) {
     );
 }
 
+/// One measured probe sweep — every I/O operation of a design probed
+/// into every control-step group through one probe engine — as consumed
+/// by [`probe_bench_line`].
+#[derive(Clone, Debug)]
+pub struct MeasuredProbe {
+    /// Number of feasibility probes issued.
+    pub probes: u64,
+    /// How many of them answered "feasible".
+    pub feasible: u64,
+    /// Heap allocations during the sweep (0 when the harness does not
+    /// count them, e.g. under the criterion benches).
+    pub allocations: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Wall time of the sweep, milliseconds.
+    pub wall_ms: f64,
+    /// FNV-1a digest over the verdict sequence; two engines agree iff
+    /// their digests are equal.
+    pub verdict_digest: u64,
+}
+
+/// FNV-1a over a probe-verdict sequence, for [`MeasuredProbe`].
+pub fn verdict_digest(verdicts: &[bool]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in verdicts {
+        h ^= v as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn emit_probe(out: &mut String, label: &str, m: &MeasuredProbe) {
+    let _ = write!(
+        out,
+        "\"{label}\":{{\"probes\":{},\"feasible\":{},\"allocations\":{},\
+         \"alloc_bytes\":{},\"wall_ms\":{:.3},\"verdict_digest\":{}}}",
+        m.probes, m.feasible, m.allocations, m.alloc_bytes, m.wall_ms, m.verdict_digest,
+    );
+}
+
+/// Renders one `bench_probe` BENCH line: a JSON object comparing the
+/// trail-based probe engine against the legacy clone-per-probe path on
+/// one design. `agree` is the differential gate — the `bench_probe`
+/// binary exits nonzero when it is false. Golden-tested, like
+/// [`search_stats_line`], so machine-diffing stays stable.
+pub fn probe_bench_line(
+    design: &str,
+    rate: u32,
+    trail: &MeasuredProbe,
+    clone: &MeasuredProbe,
+) -> String {
+    let mut out = format!("{{\"bench\":\"probe\",\"design\":\"{design}\",\"rate\":{rate},");
+    emit_probe(&mut out, "trail", trail);
+    out.push(',');
+    emit_probe(&mut out, "clone", clone);
+    let agree = trail.verdict_digest == clone.verdict_digest && trail.probes == clone.probes;
+    let alloc_ratio = clone.allocations as f64 / (trail.allocations.max(1)) as f64;
+    let speedup = if trail.wall_ms > 0.0 {
+        clone.wall_ms / trail.wall_ms
+    } else {
+        0.0
+    };
+    let _ = write!(
+        out,
+        ",\"agree\":{agree},\"alloc_ratio\":{alloc_ratio:.2},\"speedup\":{speedup:.2}}}"
+    );
+    out
+}
+
 /// Renders the `search_stats` BENCH line: one JSON object comparing a
 /// single-worker run against the portfolio on the same design. This is
 /// the exact format the `search_stats` binary prints (golden-tested), so
@@ -688,6 +757,64 @@ mod tests {
              \"speedup\":2.00}"
         );
         mcs_obs::export::validate_json(&line).expect("BENCH line is strict JSON");
+    }
+
+    #[test]
+    fn probe_bench_line_matches_golden_output() {
+        let trail = MeasuredProbe {
+            probes: 64,
+            feasible: 48,
+            allocations: 10,
+            alloc_bytes: 2048,
+            wall_ms: 5.0,
+            verdict_digest: 42,
+        };
+        let clone = MeasuredProbe {
+            probes: 64,
+            feasible: 48,
+            allocations: 600,
+            alloc_bytes: 819200,
+            wall_ms: 40.0,
+            verdict_digest: 42,
+        };
+        let line = probe_bench_line("ch3_simple", 2, &trail, &clone);
+        assert_eq!(
+            line,
+            "{\"bench\":\"probe\",\"design\":\"ch3_simple\",\"rate\":2,\
+             \"trail\":{\"probes\":64,\"feasible\":48,\"allocations\":10,\
+             \"alloc_bytes\":2048,\"wall_ms\":5.000,\"verdict_digest\":42},\
+             \"clone\":{\"probes\":64,\"feasible\":48,\"allocations\":600,\
+             \"alloc_bytes\":819200,\"wall_ms\":40.000,\"verdict_digest\":42},\
+             \"agree\":true,\"alloc_ratio\":60.00,\"speedup\":8.00}"
+        );
+        mcs_obs::export::validate_json(&line).expect("BENCH line is strict JSON");
+    }
+
+    #[test]
+    fn probe_bench_line_flags_verdict_disagreement() {
+        let m = |digest: u64| MeasuredProbe {
+            probes: 8,
+            feasible: 4,
+            allocations: 0,
+            alloc_bytes: 0,
+            wall_ms: 1.0,
+            verdict_digest: digest,
+        };
+        let line = probe_bench_line("fig_2_5", 2, &m(1), &m(2));
+        assert!(line.contains("\"agree\":false"), "{line}");
+    }
+
+    #[test]
+    fn verdict_digest_separates_sequences() {
+        assert_eq!(
+            verdict_digest(&[true, false]),
+            verdict_digest(&[true, false])
+        );
+        assert_ne!(
+            verdict_digest(&[true, false]),
+            verdict_digest(&[false, true])
+        );
+        assert_ne!(verdict_digest(&[]), verdict_digest(&[false]));
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! mcs-hls synth    <design.mcs> --rate N         run a flow, print results
 //!                  [--flow simple|connect|schedule] [--bidir] [--sharing]
 //!                  [--pipe N]                    (schedule flow's pipe bound)
+//!                  [--pivot-budget N]            (simple flow's probe pivot cap)
+//!                  [--probe-differential]        (cross-check trail vs clone probes)
 //!                  [--trace-out trace.json [--trace-format chrome|jsonl]]
 //! mcs-hls explain  <design.mcs> --rate N         synthesize under a tracing
 //!                  recorder, print the per-phase decision summary
@@ -26,8 +28,8 @@ use std::sync::Arc;
 
 use mcs_cdfg::{format, timing, Cdfg, PortMode};
 use multichip_hls::flows::{
-    connect_first_flow_traced, schedule_first_flow_traced, simple_flow_traced, ConnectFirstOptions,
-    SynthesisResult,
+    connect_first_flow_traced, schedule_first_flow_traced, simple_flow_with, ConnectFirstOptions,
+    SynthesisConfig, SynthesisResult,
 };
 use multichip_hls::netlist;
 use multichip_hls::obs::{export, summary::summarize, BufferingRecorder, RecorderHandle};
@@ -55,6 +57,8 @@ struct Args {
     portfolio: Option<usize>,
     branching: Option<usize>,
     budget: Option<usize>,
+    pivot_budget: Option<usize>,
+    probe_differential: bool,
     trace_out: Option<String>,
     trace_format: String,
 }
@@ -66,6 +70,7 @@ fn usage() -> ExitCode {
          [--bidir] [--sharing] [--instances N] [--seed N] \
          [--chips N] [--pins N] [--buses] \
          [--workers N] [--portfolio N] [--branching N] [--budget N] \
+         [--pivot-budget N] [--probe-differential] \
          [--trace-out FILE] [--trace-format chrome|jsonl]"
     );
     ExitCode::from(2)
@@ -92,6 +97,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         portfolio: None,
         branching: None,
         budget: None,
+        pivot_budget: None,
+        probe_differential: false,
         trace_out: None,
         trace_format: "chrome".into(),
     };
@@ -165,6 +172,14 @@ fn parse_args() -> Result<Args, ExitCode> {
                         .map_err(|_| usage())?,
                 )
             }
+            "--pivot-budget" => {
+                out.pivot_budget = Some(
+                    next_value(&mut args, "--pivot-budget")?
+                        .parse()
+                        .map_err(|_| usage())?,
+                )
+            }
+            "--probe-differential" => out.probe_differential = true,
             "--trace-out" => out.trace_out = Some(next_value(&mut args, "--trace-out")?),
             "--trace-format" => {
                 out.trace_format = next_value(&mut args, "--trace-format")?;
@@ -208,7 +223,13 @@ fn synthesize_traced(
         PortMode::Unidirectional
     };
     let result = match a.flow.as_str() {
-        "simple" => simple_flow_traced(cdfg, a.rate, recorder),
+        "simple" => {
+            let config = SynthesisConfig {
+                pivot_budget: a.pivot_budget,
+                probe_differential: a.probe_differential,
+            };
+            simple_flow_with(cdfg, a.rate, &config, recorder)
+        }
         "connect" => {
             let mut opts = ConnectFirstOptions::new(a.rate);
             opts.mode = mode;

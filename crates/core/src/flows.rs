@@ -70,6 +70,22 @@ impl From<SchedError> for FlowError {
     }
 }
 
+/// Cross-flow synthesis tunables (the knobs of the copy-free probe
+/// engine). The default is the production configuration: the stock pivot
+/// budget and no differential cross-checking.
+#[derive(Clone, Debug, Default)]
+pub struct SynthesisConfig {
+    /// Pivot budget per pin-feasibility solve; `None` keeps
+    /// [`mcs_pinalloc::DEFAULT_PIVOT_BUDGET`]. Any value — including 0 —
+    /// is sound: the exact branch-and-bound fallback decides when the
+    /// budget runs out.
+    pub pivot_budget: Option<usize>,
+    /// Cross-check every trail-based probe against the legacy clone-based
+    /// path, panicking on divergence (differential testing; roughly
+    /// doubles probe cost).
+    pub probe_differential: bool,
+}
+
 /// Common result pieces every flow produces.
 #[derive(Clone, Debug)]
 pub struct SynthesisResult {
@@ -182,8 +198,28 @@ pub fn simple_flow_traced(
     rate: u32,
     recorder: &RecorderHandle,
 ) -> Result<SynthesisResult, FlowError> {
+    simple_flow_with(cdfg, rate, &SynthesisConfig::default(), recorder)
+}
+
+/// [`simple_flow_traced`] with explicit [`SynthesisConfig`] tunables:
+/// the pin checker's pivot budget and the probe differential mode.
+///
+/// # Errors
+///
+/// Identical to [`simple_flow`]; the tunables never change verdicts,
+/// only how they are computed.
+pub fn simple_flow_with(
+    cdfg: &Cdfg,
+    rate: u32,
+    config: &SynthesisConfig,
+    recorder: &RecorderHandle,
+) -> Result<SynthesisResult, FlowError> {
     check_simple(cdfg).map_err(FlowError::NotSimple)?;
-    let checker = PinChecker::new(cdfg, rate)?;
+    let mut checker = match config.pivot_budget {
+        Some(b) => PinChecker::with_pivot_budget(cdfg, rate, b)?,
+        None => PinChecker::new(cdfg, rate)?,
+    };
+    checker.set_differential(config.probe_differential);
     let mut policy = PinPolicy::new(checker);
     policy.set_recorder(recorder.clone());
     let mut lc = ListConfig::new(rate);
@@ -192,6 +228,14 @@ pub fn simple_flow_traced(
         let _phase = recorder.phase("schedule");
         list_schedule(cdfg, &lc, &mut policy)?
     };
+    if recorder.enabled() {
+        let stats = policy.checker().probe_stats();
+        recorder.counter("probe.memo_hits", stats.memo_hits as i64);
+        recorder.counter("probe.surrogate_rejects", stats.surrogate_rejects as i64);
+        recorder.counter("probe.solver", stats.solver_probes as i64);
+        recorder.counter("probe.exact_fallbacks", stats.exact_fallbacks as i64);
+        recorder.counter("probe.max_rollback_depth", stats.max_rollback_depth as i64);
+    }
     let violations = validate(cdfg, &schedule);
     if !violations.is_empty() {
         return Err(FlowError::InvalidSchedule(violations));
@@ -399,6 +443,10 @@ pub fn connect_first_flow_traced(
             verify_against_schedule(cdfg, &result.schedule, &result.final_interconnect());
         recorder.counter("postsyn.verify_problems", problems.len() as i64);
         recorder.counter("flow.reassigned", result.reassigned as i64);
+        let rm = policy.rematch_stats();
+        recorder.counter("rematch.rounds", rm.rounds as i64);
+        recorder.counter("rematch.seeded", rm.seeded as i64);
+        recorder.counter("rematch.augmentations", rm.augmentations as i64);
     }
     record_pin_budget(cdfg, &result, recorder);
     Ok(result)

@@ -246,6 +246,15 @@ pub fn render_trace_aggregates(summary: &mcs_obs::summary::TraceSummary) -> Tabl
         "gomory pivots".to_string(),
         summary.gomory_pivots.to_string(),
     ]);
+    for (source, n) in &summary.probes_by_source {
+        t.row([format!("probes resolved by {source}"), n.to_string()]);
+    }
+    if summary.max_rollback_depth > 0 {
+        t.row([
+            "max probe rollback depth".to_string(),
+            summary.max_rollback_depth.to_string(),
+        ]);
+    }
     for (group, (peak, cap)) in &summary.peak_pin_pressure {
         t.row([
             format!("peak pin pressure [group {group}]"),
@@ -423,6 +432,28 @@ mod tests {
         let aggregates = render_trace_aggregates(&summary).to_string();
         assert!(aggregates.contains("bus reassignments"));
         assert!(aggregates.contains("peak pin pressure"));
+        assert!(aggregates.contains("rematch.rounds"), "{aggregates}");
+    }
+
+    #[test]
+    fn simple_flow_trace_reports_probe_resolution_sources() {
+        use crate::flows::{simple_flow_with, SynthesisConfig};
+        use mcs_cdfg::designs::synthetic;
+        use mcs_obs::{summary::summarize, BufferingRecorder, RecorderHandle};
+        use std::sync::Arc;
+        let d = synthetic::fig_2_5();
+        let buf = Arc::new(BufferingRecorder::new());
+        let rec = RecorderHandle::new(buf.clone());
+        let config = SynthesisConfig {
+            probe_differential: true,
+            ..SynthesisConfig::default()
+        };
+        simple_flow_with(d.cdfg(), 2, &config, &rec).unwrap();
+        let summary = summarize(&buf.timed_events());
+        assert!(!summary.probes_by_source.is_empty());
+        let aggregates = render_trace_aggregates(&summary).to_string();
+        assert!(aggregates.contains("probes resolved by"), "{aggregates}");
+        assert!(aggregates.contains("probe.memo_hits"), "{aggregates}");
     }
 
     #[test]

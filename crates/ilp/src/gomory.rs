@@ -21,6 +21,24 @@
 //! `x' = x - 1`, i.e. subtracting the variable's column from the constant
 //! column (Equation 3.13) — is [`AllIntegerSolver::assume_at_least`];
 //! probing without committing is [`AllIntegerSolver::probe_at_least`].
+//!
+//! # The copy-free probe engine
+//!
+//! The tableau lives in one contiguous row-major `i128` arena (stride
+//! `ncols + 1`: the constant column followed by the coefficients), and
+//! every mutation — row append, lower-bound shift, cut pivot — can be
+//! recorded on an **undo trail**. A probe is therefore
+//! [`AllIntegerSolver::checkpoint`] → mutate/solve →
+//! [`AllIntegerSolver::rollback`] instead of a deep clone of the tableau
+//! plus every accumulated cut: rolling a pivot back replays its cut row
+//! (parked in a side arena) with the inverse sign, which restores the
+//! arena byte for byte. Trail recording is active only while a
+//! checkpoint is outstanding, so committed solves
+//! ([`AllIntegerSolver::assume_at_least`] + [`AllIntegerSolver::solve`])
+//! cost no trail memory at all. The legacy clone-based probe survives as
+//! [`AllIntegerSolver::probe_at_least_via_clone`] and backs a
+//! differential-testing mode ([`AllIntegerSolver::set_differential`])
+//! that cross-checks every trail verdict against it.
 
 use crate::model::{Model, SolveError};
 use mcs_obs::{Event, RecorderHandle};
@@ -38,12 +56,39 @@ pub enum Feasibility {
     PivotLimit,
 }
 
-#[derive(Clone, Debug)]
-struct Row {
-    /// Constant column `t_i0`.
-    t0: i128,
-    /// Coefficients `t_ij` over the current nonbasic columns.
-    coeffs: Vec<i128>,
+/// One undoable tableau mutation on the trail.
+#[derive(Clone, Copy, Debug)]
+enum TrailOp {
+    /// A constraint row was appended (with its `original` entry).
+    RowAppended,
+    /// `assume_at_least(var, by)` shifted a structural row.
+    Shifted { var: u32, by: i64 },
+    /// A Gomory cut pivot on column `k`; its cut row starts at
+    /// `cut_start` in the cut arena.
+    Pivoted { k: u32, cut_start: usize },
+}
+
+/// A position on the undo trail, returned by
+/// [`AllIntegerSolver::checkpoint`]. Checkpoints nest and must be rolled
+/// back in LIFO order.
+#[derive(Clone, Copy, Debug)]
+pub struct Checkpoint {
+    trail_len: usize,
+    nrows: usize,
+    cuts_len: usize,
+    original_len: usize,
+}
+
+/// Cost accounting for one probe, for observability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Gomory pivots the probe's solve performed.
+    pub pivots: u64,
+    /// Trail entries undone to restore the pre-probe tableau.
+    pub rollback_ops: u64,
+    /// Whether the pivot budget ran out and the exact branch-and-bound
+    /// fallback decided the verdict.
+    pub exact_fallback: bool,
 }
 
 /// Incremental all-integer feasibility solver for `A x <= b`, `x >= 0`
@@ -66,36 +111,56 @@ struct Row {
 #[derive(Clone, Debug)]
 pub struct AllIntegerSolver {
     num_vars: usize,
+    /// Width of the current nonbasic set (fixed: pivots swap columns in
+    /// place, they never widen the tableau).
+    ncols: usize,
+    /// Row-major tableau arena, stride `ncols + 1`: `t_i0` then `t_ij`.
     /// Rows 0..num_vars track the structural variables; later rows track
     /// original slacks (one per constraint).
-    rows: Vec<Row>,
-    /// Width of the current nonbasic set.
-    ncols: usize,
+    tab: Vec<i128>,
+    nrows: usize,
     /// Accumulated lower-bound shifts applied via `assume_at_least`.
     shifts: Vec<i64>,
     /// Original constraints, kept for the exact fallback.
     original: Vec<(Vec<(usize, i64)>, i64)>,
+    /// Cut rows parked for rollback (stride `ncols + 1` each). Outside a
+    /// checkpoint the slot is reused per pivot, so steady-state solves
+    /// allocate nothing.
+    cut_arena: Vec<i128>,
+    /// Undo trail; recorded only while a checkpoint is outstanding.
+    trail: Vec<TrailOp>,
+    /// Outstanding checkpoints.
+    watchers: usize,
+    /// Total pivots performed over the solver's lifetime.
+    pivots_total: u64,
+    /// Cross-check every trail probe against the clone-based path.
+    differential: bool,
     /// Sink for per-pivot `GomoryCut` events (inactive by default).
-    /// Clones share the sink, so probe clones report their pivots too.
+    /// Clones share the sink, so probe solves report their pivots too.
     recorder: RecorderHandle,
 }
 
 impl AllIntegerSolver {
     /// Creates a solver over `num_vars` nonnegative integer variables.
     pub fn new(num_vars: usize) -> Self {
-        let mut rows = Vec::with_capacity(num_vars);
+        let stride = num_vars + 1;
+        let mut tab = vec![0i128; num_vars * stride];
         for v in 0..num_vars {
             // x_v = 0 + (-1) * (-u_v)  =  u_v.
-            let mut coeffs = vec![0i128; num_vars];
-            coeffs[v] = -1;
-            rows.push(Row { t0: 0, coeffs });
+            tab[v * stride + 1 + v] = -1;
         }
         AllIntegerSolver {
             num_vars,
-            rows,
             ncols: num_vars,
+            tab,
+            nrows: num_vars,
             shifts: vec![0; num_vars],
             original: Vec::new(),
+            cut_arena: Vec::new(),
+            trail: Vec::new(),
+            watchers: 0,
+            pivots_total: 0,
+            differential: false,
             recorder: RecorderHandle::default(),
         }
     }
@@ -105,9 +170,64 @@ impl AllIntegerSolver {
         self.recorder = recorder;
     }
 
+    /// When enabled, every [`AllIntegerSolver::probe_at_least`] verdict is
+    /// cross-checked against the legacy clone-based probe and any
+    /// divergence panics — the differential-testing mode the CI probe
+    /// checks run under. Off by default (the clone path doubles the cost
+    /// of every probe).
+    pub fn set_differential(&mut self, on: bool) {
+        self.differential = on;
+    }
+
     /// Number of structural variables.
     pub fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// Total Gomory pivots performed so far (probes included).
+    pub fn pivots_total(&self) -> u64 {
+        self.pivots_total
+    }
+
+    /// Current undo-trail depth (0 outside a checkpoint).
+    pub fn trail_len(&self) -> usize {
+        self.trail.len()
+    }
+
+    #[inline]
+    fn stride(&self) -> usize {
+        self.ncols + 1
+    }
+
+    /// FNV-1a digest over the entire solver state (tableau arena, shifts,
+    /// original constraints). Two solvers with equal digests have
+    /// byte-identical tableaus — the hook the rollback property tests
+    /// assert restoration with.
+    pub fn tableau_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&(self.nrows as u64).to_le_bytes());
+        eat(&(self.ncols as u64).to_le_bytes());
+        for &cell in &self.tab[..self.nrows * self.stride()] {
+            eat(&cell.to_le_bytes());
+        }
+        for &s in &self.shifts {
+            eat(&s.to_le_bytes());
+        }
+        eat(&(self.original.len() as u64).to_le_bytes());
+        for (terms, rhs) in &self.original {
+            for &(v, a) in terms {
+                eat(&(v as u64).to_le_bytes());
+                eat(&a.to_le_bytes());
+            }
+            eat(&rhs.to_le_bytes());
+        }
+        h
     }
 
     /// Adds `sum(coeff * x_var) <= rhs`.
@@ -122,17 +242,23 @@ impl AllIntegerSolver {
         self.original.push((terms.to_vec(), rhs));
         // Slack s = rhs - sum a_v x_v, expressed over current nonbasics via
         // the structural rows (which are maintained for every variable).
-        let mut t0 = rhs as i128;
-        let mut coeffs = vec![0i128; self.ncols];
+        let stride = self.stride();
+        let mut row = vec![0i128; stride];
+        row[0] = rhs as i128;
         for &(v, a) in terms {
             let a = a as i128;
+            let base = v * stride;
             // The tracked row holds the shifted variable x' = x - shift.
-            t0 -= a * (self.rows[v].t0 + self.shifts[v] as i128);
-            for (c, &rv) in coeffs.iter_mut().zip(&self.rows[v].coeffs) {
+            row[0] -= a * (self.tab[base] + self.shifts[v] as i128);
+            for (c, &rv) in row[1..].iter_mut().zip(&self.tab[base + 1..base + stride]) {
                 *c -= a * rv;
             }
         }
-        self.rows.push(Row { t0, coeffs });
+        self.tab.extend_from_slice(&row);
+        self.nrows += 1;
+        if self.watchers > 0 {
+            self.trail.push(TrailOp::RowAppended);
+        }
     }
 
     /// Adds `sum(coeff * x_var) >= rhs` (negated `<=`).
@@ -143,20 +269,72 @@ impl AllIntegerSolver {
 
     /// Commits the assumption `x_var >= current assumption + by`
     /// (Section 3.3: substitute `x' = x - by` and subtract the column from
-    /// the constant vector, Equation 3.13).
+    /// the constant vector, Equation 3.13). With the tracked row stored
+    /// relative to the existing shift this is a single constant-column
+    /// update — no row copy.
     pub fn assume_at_least(&mut self, var: usize, by: i64) {
         assert!(var < self.num_vars, "variable index out of range");
-        // A new nonnegativity row for the shifted variable: x - (shift+by)
-        // >= 0. Expressed via the tracked row of x (which is relative to
-        // the existing shift): x_row - by >= 0.
-        let row = Row {
-            t0: self.rows[var].t0 - by as i128,
-            coeffs: self.rows[var].coeffs.clone(),
-        };
-        // Replace the structural row: from now on the tracked row is the
-        // re-shifted variable.
-        self.rows[var] = row;
+        let stride = self.stride();
+        self.tab[var * stride] -= by as i128;
         self.shifts[var] += by;
+        if self.watchers > 0 {
+            self.trail.push(TrailOp::Shifted {
+                var: var as u32,
+                by,
+            });
+        }
+    }
+
+    /// Opens a checkpoint: every subsequent mutation is recorded on the
+    /// undo trail until the matching [`AllIntegerSolver::rollback`].
+    /// Checkpoints nest; roll them back in LIFO order.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        self.watchers += 1;
+        Checkpoint {
+            trail_len: self.trail.len(),
+            nrows: self.nrows,
+            cuts_len: self.cut_arena.len(),
+            original_len: self.original.len(),
+        }
+    }
+
+    /// Undoes every mutation since `cp`, restoring the tableau byte for
+    /// byte, and closes the checkpoint. Returns the number of trail
+    /// entries undone (the probe's rollback depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint is outstanding or the trail is shorter
+    /// than `cp` records (out-of-order rollback).
+    pub fn rollback(&mut self, cp: Checkpoint) -> u64 {
+        assert!(self.watchers > 0, "rollback without a checkpoint");
+        assert!(cp.trail_len <= self.trail.len(), "out-of-order rollback");
+        let mut undone = 0u64;
+        while self.trail.len() > cp.trail_len {
+            let op = self.trail.pop().expect("trail entry");
+            undone += 1;
+            match op {
+                TrailOp::RowAppended => {
+                    self.nrows -= 1;
+                    self.tab.truncate(self.nrows * self.stride());
+                    self.original.pop();
+                }
+                TrailOp::Shifted { var, by } => {
+                    let base = var as usize * self.stride();
+                    self.tab[base] += by as i128;
+                    self.shifts[var as usize] -= by;
+                }
+                TrailOp::Pivoted { k, cut_start } => {
+                    self.apply_cut(cut_start, k as usize, -1);
+                    self.cut_arena.truncate(cut_start);
+                }
+            }
+        }
+        debug_assert_eq!(self.nrows, cp.nrows);
+        debug_assert_eq!(self.cut_arena.len(), cp.cuts_len);
+        debug_assert_eq!(self.original.len(), cp.original_len);
+        self.watchers -= 1;
+        undone
     }
 
     /// Runs the dual all-integer cutting-plane loop with at most
@@ -164,61 +342,75 @@ impl AllIntegerSolver {
     /// call is resumable and subsequent incremental checks are warm-started
     /// — exactly the usage pattern of the scheduling feasibility checker.
     pub fn solve(&mut self, max_pivots: usize) -> Feasibility {
+        let stride = self.stride();
         for round in 0..max_pivots {
             // Most negative constant column; ties to the lowest row index.
-            let Some(r) = (0..self.rows.len())
-                .filter(|&i| self.rows[i].t0 < 0)
-                .min_by_key(|&i| (self.rows[i].t0, i))
+            let Some(r) = (0..self.nrows)
+                .filter(|&i| self.tab[i * stride] < 0)
+                .min_by_key(|&i| (self.tab[i * stride], i))
             else {
                 return Feasibility::Feasible;
             };
+            let base = r * stride;
             // Columns that can raise row r: t_rj < 0.
-            let Some(k) = (0..self.ncols).find(|&j| self.rows[r].coeffs[j] < 0) else {
+            let Some(k) = (0..self.ncols).find(|&j| self.tab[base + 1 + j] < 0) else {
                 return Feasibility::Infeasible;
             };
             // All-integer Gomory cut with divisor lambda = -t_rk, giving a
-            // pivot element of exactly -1.
-            let lambda = -self.rows[r].coeffs[k];
-            let cut = Row {
-                t0: self.rows[r].t0.div_euclid(lambda),
-                coeffs: self.rows[r]
-                    .coeffs
-                    .iter()
-                    .map(|&a| a.div_euclid(lambda))
-                    .collect(),
-            };
-            debug_assert_eq!(cut.coeffs[k], -1);
+            // pivot element of exactly -1. The cut row is written into the
+            // side arena: kept there when a checkpoint needs it for
+            // rollback, reclaimed immediately otherwise.
+            let lambda = -self.tab[base + 1 + k];
+            let cut_start = self.cut_arena.len();
+            self.cut_arena.reserve(stride);
+            self.cut_arena.push(self.tab[base].div_euclid(lambda));
+            for j in 0..self.ncols {
+                self.cut_arena
+                    .push(self.tab[base + 1 + j].div_euclid(lambda));
+            }
+            debug_assert_eq!(self.cut_arena[cut_start + 1 + k], -1);
             if self.recorder.enabled() {
                 self.recorder.record(Event::GomoryCut {
                     round: round as u32,
                     pivot: k as u32,
-                    objective: self.rows[r].t0.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+                    objective: self.tab[base].clamp(i64::MIN as i128, i64::MAX as i128) as i64,
                 });
             }
-            self.pivot_on_cut(cut, k);
+            self.apply_cut(cut_start, k, 1);
+            self.pivots_total += 1;
+            if self.watchers > 0 {
+                self.trail.push(TrailOp::Pivoted {
+                    k: k as u32,
+                    cut_start,
+                });
+            } else {
+                self.cut_arena.truncate(cut_start);
+            }
         }
         Feasibility::PivotLimit
     }
 
-    /// Pivot: the cut's slack `s` enters the nonbasic set in place of
-    /// column `k`; `u_k = -t0 + sum_{j != k} t_j u_j + s` is substituted
-    /// into every tracked row. All arithmetic stays integral because the
-    /// pivot element is `-1`.
-    fn pivot_on_cut(&mut self, cut: Row, k: usize) {
-        for row in &mut self.rows {
-            let f = row.coeffs[k];
+    /// Pivot (`sign = 1`): the cut's slack `s` enters the nonbasic set in
+    /// place of column `k`; `u_k = -t0 + sum_{j != k} t_j u_j + s` is
+    /// substituted into every tracked row. All arithmetic stays integral
+    /// because the pivot element is `-1`. The stored coefficient at
+    /// column `k` is unchanged by the substitution, which makes the
+    /// transformation an involution up to sign: `sign = -1` replays the
+    /// identical loop subtracting instead of adding and restores the
+    /// pre-pivot tableau exactly — the rollback path.
+    fn apply_cut(&mut self, cut_start: usize, k: usize, sign: i128) {
+        let stride = self.ncols + 1;
+        let (tab, cuts) = (&mut self.tab, &self.cut_arena);
+        let cut = &cuts[cut_start..cut_start + stride];
+        for row in tab[..self.nrows * stride].chunks_exact_mut(stride) {
+            let f = sign * row[1 + k];
             if f != 0 {
-                row.t0 += f * cut.t0;
-                for j in 0..self.ncols {
+                row[0] += f * cut[0];
+                for (j, cell) in row[1..].iter_mut().enumerate() {
                     if j != k {
-                        row.coeffs[j] += f * cut.coeffs[j];
+                        *cell += f * cut[1 + j];
                     }
                 }
-                // Column k now belongs to the cut slack s; coefficient of
-                // (-s) in this row is f * (pivot -1) * -1 = f... derive:
-                // substituting u_k = -t0 + sum t_j u_j + s into
-                // x = ... + t_ik (-u_k): contribution -f*s => coefficient
-                // of (-s) is f. The stored coefficient stays f.
             }
         }
     }
@@ -227,15 +419,62 @@ impl AllIntegerSolver {
     /// variables, valid after [`AllIntegerSolver::solve`] returned
     /// [`Feasibility::Feasible`]. Includes accumulated shifts.
     pub fn solution(&self) -> Vec<i64> {
+        let stride = self.stride();
         (0..self.num_vars)
-            .map(|v| (self.rows[v].t0 + self.shifts[v] as i128) as i64)
+            .map(|v| (self.tab[v * stride] + self.shifts[v] as i128) as i64)
             .collect()
     }
 
     /// Checks whether committing `x_var >= by` more would keep the system
-    /// feasible, without changing the solver state.
-    pub fn probe_at_least(&self, var: usize, by: i64, max_pivots: usize) -> Feasibility {
+    /// feasible, leaving the solver state untouched: checkpoint, shift,
+    /// solve, roll the trail back. No tableau copy is made.
+    pub fn probe_at_least(&mut self, var: usize, by: i64, max_pivots: usize) -> Feasibility {
+        self.probe_at_least_with_stats(var, by, max_pivots).0
+    }
+
+    /// [`AllIntegerSolver::probe_at_least`] plus the probe's cost
+    /// accounting (pivots, rollback depth, exact fallback).
+    pub fn probe_at_least_with_stats(
+        &mut self,
+        var: usize,
+        by: i64,
+        max_pivots: usize,
+    ) -> (Feasibility, ProbeStats) {
+        let pivots_before = self.pivots_total;
+        let cp = self.checkpoint();
+        self.assume_at_least(var, by);
+        let mut verdict = self.solve(max_pivots);
+        let exact_fallback = verdict == Feasibility::PivotLimit;
+        if exact_fallback {
+            // The exact model is built from `original` + `shifts`, which
+            // still include the probed assumption at this point.
+            verdict = self.solve_exact();
+        }
+        let rollback_ops = self.rollback(cp);
+        if self.differential {
+            let cloned = self.probe_at_least_via_clone(var, by, max_pivots);
+            assert_eq!(
+                verdict, cloned,
+                "trail-based probe of x{var} >= +{by} disagrees with the clone path"
+            );
+        }
+        (
+            verdict,
+            ProbeStats {
+                pivots: self.pivots_total - pivots_before,
+                rollback_ops,
+                exact_fallback,
+            },
+        )
+    }
+
+    /// The legacy clone-per-probe path: deep-copies the solver, commits
+    /// the assumption on the copy and solves there. Kept as the reference
+    /// implementation for differential testing and the before/after
+    /// microbenches.
+    pub fn probe_at_least_via_clone(&self, var: usize, by: i64, max_pivots: usize) -> Feasibility {
         let mut clone = self.clone();
+        clone.differential = false;
         clone.assume_at_least(var, by);
         let verdict = clone.solve(max_pivots);
         if verdict == Feasibility::PivotLimit {
@@ -337,10 +576,92 @@ mod tests {
     fn probe_does_not_mutate_state() {
         let mut s = AllIntegerSolver::new(2);
         s.add_le(&[(0, 1), (1, 1)], 1);
+        let before = s.tableau_digest();
         let _ = s.probe_at_least(0, 1, 1000);
         let _ = s.probe_at_least(1, 1, 1000);
+        assert_eq!(s.tableau_digest(), before, "probes must leave no trace");
         assert_eq!(s.solve(1000), Feasibility::Feasible);
         assert_eq!(s.solution(), vec![0, 0]);
+    }
+
+    #[test]
+    fn checkpoint_rollback_restores_after_solve() {
+        let mut s = AllIntegerSolver::new(2);
+        s.add_ge(&[(0, 1), (1, 1)], 3);
+        s.add_le(&[(0, 1)], 1);
+        assert_eq!(s.solve(1000), Feasibility::Feasible);
+        let digest = s.tableau_digest();
+        let cp = s.checkpoint();
+        s.assume_at_least(1, 2);
+        s.add_le(&[(1, 1)], 5);
+        let _ = s.solve(1000);
+        let undone = s.rollback(cp);
+        assert!(undone >= 2, "shift + row append at minimum");
+        assert_eq!(s.tableau_digest(), digest);
+        assert_eq!(s.trail_len(), 0);
+    }
+
+    #[test]
+    fn nested_checkpoints_roll_back_in_lifo_order() {
+        let mut s = AllIntegerSolver::new(2);
+        s.add_le(&[(0, 1), (1, 1)], 4);
+        let d0 = s.tableau_digest();
+        let outer = s.checkpoint();
+        s.assume_at_least(0, 1);
+        let d1 = s.tableau_digest();
+        let inner = s.checkpoint();
+        s.assume_at_least(1, 2);
+        s.rollback(inner);
+        assert_eq!(s.tableau_digest(), d1);
+        s.rollback(outer);
+        assert_eq!(s.tableau_digest(), d0);
+    }
+
+    #[test]
+    fn trail_is_not_recorded_outside_checkpoints() {
+        let mut s = AllIntegerSolver::new(2);
+        s.add_ge(&[(0, 1), (1, 1)], 3);
+        assert_eq!(s.solve(1000), Feasibility::Feasible);
+        s.assume_at_least(0, 1);
+        assert_eq!(s.trail_len(), 0, "committed work must not grow the trail");
+    }
+
+    #[test]
+    fn trail_and_clone_probes_agree_with_differential_on() {
+        let mut s = AllIntegerSolver::new(3);
+        s.set_differential(true);
+        s.add_ge(&[(0, 1), (1, 1), (2, 1)], 2);
+        s.add_le(&[(0, 3), (1, 2), (2, 1)], 4);
+        assert_eq!(s.solve(10_000), Feasibility::Feasible);
+        for v in 0..3 {
+            // The differential mode asserts agreement internally.
+            let _ = s.probe_at_least(v, 1, 10_000);
+        }
+        s.assume_at_least(2, 1);
+        assert_eq!(s.solve(10_000), Feasibility::Feasible);
+        for v in 0..3 {
+            assert_eq!(
+                s.probe_at_least(v, 1, 10_000),
+                s.probe_at_least_via_clone(v, 1, 10_000),
+            );
+        }
+    }
+
+    #[test]
+    fn probe_stats_report_pivots_and_rollback_depth() {
+        let mut s = AllIntegerSolver::new(2);
+        s.add_le(&[(0, 1), (1, 1)], 1);
+        let (v, stats) = s.probe_at_least_with_stats(0, 1, 1000);
+        assert_eq!(v, Feasibility::Feasible);
+        // At least the shift itself is on the trail; forcing x0 >= 1
+        // requires pivoting.
+        assert!(stats.rollback_ops >= 1);
+        assert!(stats.pivots >= 1);
+        assert!(!stats.exact_fallback);
+        // A zero budget must fall back to the exact solver and stay sound.
+        let (v0, stats0) = s.probe_at_least_with_stats(0, 1, 0);
+        assert_eq!(v0, Feasibility::Feasible);
+        assert!(stats0.exact_fallback);
     }
 
     #[test]
@@ -401,7 +722,7 @@ mod tests {
             .filter(|e| matches!(e, Event::GomoryCut { .. }))
             .count();
         assert!(cuts > 0, "a forced-positive system needs at least one cut");
-        // Probe clones share the sink: probing records further pivots.
+        // Probe solves share the sink: probing records further pivots.
         let before = buf.events().len();
         let _ = s.probe_at_least(1, 1, 1000);
         assert!(buf.events().len() >= before);

@@ -35,44 +35,130 @@ pub struct Matching {
     pub total: i64,
 }
 
+/// Result of a [`max_bipartite_matching_seeded`] call, carrying the
+/// warm-start accounting the caller reports as rematch telemetry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeededMatching {
+    /// For each left node, the matched right node (or `None`).
+    pub pairs: Vec<Option<usize>>,
+    /// Seed pairs adopted verbatim (no search needed).
+    pub seeded: usize,
+    /// Augmenting-path searches run for left nodes the seed left
+    /// uncovered.
+    pub augmentations: usize,
+}
+
+/// One augmenting-path search (Kuhn's algorithm) from left node `l`,
+/// iterative — the search depth equals the augmenting-path length, which
+/// on large designs overflows the call stack if done recursively.
+///
+/// A right node counts as visited when `visited[r] == stamp`; passing a
+/// fresh stamp per search makes the per-search reset O(1) instead of
+/// clearing a boolean array. `match_left` / `match_right` are updated in
+/// place when an augmenting path is found. Returns whether `l` got
+/// matched.
+pub fn augment(
+    l: usize,
+    adj: &[Vec<usize>],
+    visited: &mut [u64],
+    stamp: u64,
+    match_left: &mut [Option<usize>],
+    match_right: &mut [Option<usize>],
+) -> bool {
+    // DFS frames: (left node, next edge index, right node entered via).
+    let mut stack: Vec<(usize, usize, Option<usize>)> = vec![(l, 0, None)];
+    while let Some(&mut (cur, ref mut ei, _)) = stack.last_mut() {
+        let Some(&r) = adj[cur].get(*ei) else {
+            stack.pop();
+            continue;
+        };
+        *ei += 1;
+        if visited[r] == stamp {
+            continue;
+        }
+        visited[r] = stamp;
+        match match_right[r] {
+            Some(l2) => stack.push((l2, 0, Some(r))),
+            None => {
+                // Augmenting path found: flip it along the stack — every
+                // frame's entry edge moves to its parent frame's left node.
+                match_right[r] = Some(cur);
+                match_left[cur] = Some(r);
+                let (_, _, mut via) = stack.pop().expect("current frame");
+                while let Some((parent, _, parent_via)) = stack.pop() {
+                    let v = via.expect("non-root frame has an entry edge");
+                    match_left[parent] = Some(v);
+                    match_right[v] = Some(parent);
+                    via = parent_via;
+                }
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// Maximum-cardinality bipartite matching (Kuhn's augmenting paths).
 ///
 /// `adj[l]` lists the right nodes reachable from left node `l`. Returns the
 /// matched right node per left node.
 pub fn max_bipartite_matching(n_right: usize, adj: &[Vec<usize>]) -> Vec<Option<usize>> {
+    max_bipartite_matching_seeded(n_right, adj, &[]).pairs
+}
+
+/// [`max_bipartite_matching`] warm-started from a partial matching.
+///
+/// `seed` pairs `(left, right)` are adopted greedily in order when still
+/// valid (edge exists, both endpoints unmatched); invalid pairs are
+/// skipped. Augmenting-path searches then run only for the left nodes the
+/// seed left uncovered — Section 4.2's "augment from the previous
+/// matching". Greedily adopting any valid partial matching and augmenting
+/// the rest still yields a maximum matching, so the cardinality is
+/// identical to the cold-start result; only the search work shrinks.
+pub fn max_bipartite_matching_seeded(
+    n_right: usize,
+    adj: &[Vec<usize>],
+    seed: &[(usize, usize)],
+) -> SeededMatching {
     let n_left = adj.len();
     let mut match_right: Vec<Option<usize>> = vec![None; n_right];
     let mut match_left: Vec<Option<usize>> = vec![None; n_left];
-
-    fn try_augment(
-        l: usize,
-        adj: &[Vec<usize>],
-        visited: &mut [bool],
-        match_left: &mut [Option<usize>],
-        match_right: &mut [Option<usize>],
-    ) -> bool {
-        for &r in &adj[l] {
-            if !visited[r] {
-                visited[r] = true;
-                let free = match match_right[r] {
-                    None => true,
-                    Some(l2) => try_augment(l2, adj, visited, match_left, match_right),
-                };
-                if free {
-                    match_right[r] = Some(l);
-                    match_left[l] = Some(r);
-                    return true;
-                }
-            }
+    let mut seeded = 0usize;
+    for &(l, r) in seed {
+        if l < n_left
+            && r < n_right
+            && match_left[l].is_none()
+            && match_right[r].is_none()
+            && adj[l].contains(&r)
+        {
+            match_left[l] = Some(r);
+            match_right[r] = Some(l);
+            seeded += 1;
         }
-        false
     }
-
+    let mut augmentations = 0usize;
+    let mut visited = vec![0u64; n_right];
+    let mut stamp = 0u64;
     for l in 0..n_left {
-        let mut visited = vec![false; n_right];
-        try_augment(l, adj, &mut visited, &mut match_left, &mut match_right);
+        if match_left[l].is_some() {
+            continue;
+        }
+        stamp += 1;
+        augmentations += 1;
+        augment(
+            l,
+            adj,
+            &mut visited,
+            stamp,
+            &mut match_left,
+            &mut match_right,
+        );
     }
-    match_left
+    SeededMatching {
+        pairs: match_left,
+        seeded,
+        augmentations,
+    }
 }
 
 /// Maximum-weight bipartite matching over an `n x m` weight table;
@@ -214,6 +300,57 @@ mod tests {
         let adj = vec![vec![0], vec![0]];
         let m = max_bipartite_matching(1, &adj);
         assert_eq!(m.iter().filter(|x| x.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // Left i (i < n) sees rights {i, i+1}; the final left n sees only
+        // right 0. Lefts 0..n grab their own index first, so matching
+        // left n forces an augmenting path of length n — a guaranteed
+        // stack overflow for the recursive formulation at this size.
+        let n = 200_000;
+        let mut adj: Vec<Vec<usize>> = (0..n).map(|i| vec![i, i + 1]).collect();
+        adj.push(vec![0]);
+        let m = max_bipartite_matching(n + 1, &adj);
+        assert_eq!(m.iter().filter(|x| x.is_some()).count(), n + 1);
+        assert_eq!(m[n], Some(0));
+    }
+
+    #[test]
+    fn seeded_matching_adopts_valid_seed_and_augments_rest() {
+        let adj = vec![vec![0, 1], vec![0], vec![1, 2]];
+        let cold = max_bipartite_matching(3, &adj);
+        // Re-run seeded with the cold result: everything adopts, nothing
+        // augments.
+        let seed: Vec<(usize, usize)> = cold
+            .iter()
+            .enumerate()
+            .filter_map(|(l, r)| r.map(|r| (l, r)))
+            .collect();
+        let warm = max_bipartite_matching_seeded(3, &adj, &seed);
+        assert_eq!(warm.pairs, cold);
+        assert_eq!(warm.seeded, 3);
+        assert_eq!(warm.augmentations, 0);
+    }
+
+    #[test]
+    fn seeded_matching_skips_stale_pairs_and_stays_maximum() {
+        let adj = vec![vec![0, 1], vec![0], vec![1, 2]];
+        // Out-of-range, non-edge and conflicting pairs are all ignored.
+        let warm = max_bipartite_matching_seeded(3, &adj, &[(0, 2), (1, 0), (2, 0), (9, 9)]);
+        assert_eq!(warm.seeded, 1, "only (1,0) is a valid fresh pair");
+        assert_eq!(warm.augmentations, 2);
+        assert_eq!(warm.pairs.iter().filter(|x| x.is_some()).count(), 3);
+    }
+
+    #[test]
+    fn seeded_with_empty_seed_equals_cold_start() {
+        let adj = vec![vec![0], vec![0, 1], vec![1, 2], vec![2]];
+        let cold = max_bipartite_matching(3, &adj);
+        let warm = max_bipartite_matching_seeded(3, &adj, &[]);
+        assert_eq!(warm.pairs, cold);
+        assert_eq!(warm.seeded, 0);
+        assert_eq!(warm.augmentations, 4);
     }
 
     #[test]

@@ -89,6 +89,19 @@ fn fields(event: &Event) -> Vec<(&'static str, JsonValue)> {
             ("to_bus", UInt(to_bus as u64)),
             ("augmenting_path_len", UInt(augmenting_path_len as u64)),
         ],
+        Event::ProbeResolved {
+            var,
+            by,
+            verdict,
+            source,
+            trail_depth,
+        } => vec![
+            ("var", UInt(var as u64)),
+            ("by", Int(by)),
+            ("verdict", Bool(verdict)),
+            ("source", Str(source.name())),
+            ("trail_depth", UInt(trail_depth)),
+        ],
         Event::SearchNode {
             worker,
             epoch,
@@ -388,6 +401,13 @@ mod tests {
                 to_bus: 2,
                 augmenting_path_len: 1,
             },
+            Event::ProbeResolved {
+                var: 6,
+                by: 1,
+                verdict: false,
+                source: crate::ProbeSource::Surrogate,
+                trail_depth: 0,
+            },
             Event::SearchNode {
                 worker: 1,
                 epoch: 3,
@@ -426,6 +446,8 @@ mod tests {
             "PinCheck",
             "GomoryCut",
             "BusReassign",
+            "ProbeResolved",
+            "\"source\":\"surrogate\"",
             "SearchNode",
             "same-cycle-conflict",
         ] {
@@ -437,7 +459,7 @@ mod tests {
     fn jsonl_lines_each_parse() {
         let text = jsonl(&sample());
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 8);
+        assert_eq!(lines.len(), 9);
         for line in lines {
             validate_json(line).unwrap_or_else(|e| panic!("{e}: {line}"));
         }

@@ -99,6 +99,36 @@ impl std::fmt::Display for PlaceVerdict {
     }
 }
 
+/// Which layer of the probe engine decided a pin-feasibility probe —
+/// cheapest first: the memo cache, the surrogate capacity bound, or an
+/// actual tableau solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProbeSource {
+    /// Answered from the probe memo cache (same commit epoch).
+    Memo,
+    /// Rejected by the surrogate group-capacity bound without pivoting.
+    Surrogate,
+    /// Decided by a checkpoint → solve → rollback of the ILP tableau.
+    Solver,
+}
+
+impl ProbeSource {
+    /// Stable lowercase name, used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeSource::Memo => "memo",
+            ProbeSource::Surrogate => "surrogate",
+            ProbeSource::Solver => "solver",
+        }
+    }
+}
+
+impl std::fmt::Display for ProbeSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
 /// One structured pipeline event. Payloads are plain deterministic data;
 /// identifiers are the raw `u32` indices of the workspace's id newtypes
 /// so this crate depends on nothing.
@@ -167,6 +197,22 @@ pub enum Event {
         /// (0 for a direct move onto a free slot).
         augmenting_path_len: u32,
     },
+    /// A pin-feasibility probe was resolved by the copy-free probe
+    /// engine, with which layer decided it and how deep the tableau
+    /// rollback ran.
+    ProbeResolved {
+        /// Raw solver-variable index probed.
+        var: u32,
+        /// Increment probed (`x_var >= committed + by`).
+        by: i64,
+        /// Whether the probe found the system still feasible.
+        verdict: bool,
+        /// Layer that produced the verdict.
+        source: ProbeSource,
+        /// Undo-trail entries rolled back to restore the tableau
+        /// (0 for memo/surrogate answers).
+        trail_depth: u64,
+    },
     /// One portfolio worker's expansion totals for one epoch (recorded
     /// at the barrier, in portfolio-index order — deterministic across
     /// thread counts).
@@ -198,6 +244,7 @@ impl Event {
             Event::PinCheck { .. } => "PinCheck",
             Event::GomoryCut { .. } => "GomoryCut",
             Event::BusReassign { .. } => "BusReassign",
+            Event::ProbeResolved { .. } => "ProbeResolved",
             Event::SearchNode { .. } => "SearchNode",
         }
     }

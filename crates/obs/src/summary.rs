@@ -46,6 +46,11 @@ pub struct TraceSummary {
     pub max_augmenting_path: u32,
     /// Total Gomory pivots across all feasibility solves.
     pub gomory_pivots: u64,
+    /// Pin-feasibility probes by resolution layer, keyed by
+    /// [`crate::ProbeSource::name`] (from [`Event::ProbeResolved`]).
+    pub probes_by_source: BTreeMap<&'static str, u64>,
+    /// Deepest tableau rollback any probe performed.
+    pub max_rollback_depth: u64,
     /// Final value of each named counter (last sample wins).
     pub counters: BTreeMap<&'static str, i64>,
 }
@@ -121,6 +126,14 @@ pub fn summarize(timed: &[TimedEvent]) -> TraceSummary {
                         out.max_augmenting_path = out.max_augmenting_path.max(augmenting_path_len);
                     }
                     Event::GomoryCut { .. } => out.gomory_pivots += 1,
+                    Event::ProbeResolved {
+                        source,
+                        trail_depth,
+                        ..
+                    } => {
+                        *out.probes_by_source.entry(source.name()).or_insert(0) += 1;
+                        out.max_rollback_depth = out.max_rollback_depth.max(trail_depth);
+                    }
                     Event::Counter { name, value } => {
                         out.counters.insert(name, value);
                     }
@@ -271,6 +284,58 @@ mod tests {
         assert_eq!(s.max_augmenting_path, 3);
         assert_eq!(s.counters.get("pivots"), Some(&9));
         assert!(s.phases.is_empty());
+    }
+
+    #[test]
+    fn aggregates_probe_resolutions_by_source() {
+        use crate::ProbeSource;
+        let stream = vec![
+            at(
+                0,
+                Event::ProbeResolved {
+                    var: 1,
+                    by: 1,
+                    verdict: true,
+                    source: ProbeSource::Solver,
+                    trail_depth: 7,
+                },
+            ),
+            at(
+                1,
+                Event::ProbeResolved {
+                    var: 1,
+                    by: 1,
+                    verdict: true,
+                    source: ProbeSource::Memo,
+                    trail_depth: 0,
+                },
+            ),
+            at(
+                2,
+                Event::ProbeResolved {
+                    var: 2,
+                    by: 1,
+                    verdict: false,
+                    source: ProbeSource::Surrogate,
+                    trail_depth: 0,
+                },
+            ),
+            at(
+                3,
+                Event::ProbeResolved {
+                    var: 3,
+                    by: 1,
+                    verdict: false,
+                    source: ProbeSource::Solver,
+                    trail_depth: 31,
+                },
+            ),
+        ];
+        let s = summarize(&stream);
+        assert_eq!(s.probes_by_source.get("solver"), Some(&2));
+        assert_eq!(s.probes_by_source.get("memo"), Some(&1));
+        assert_eq!(s.probes_by_source.get("surrogate"), Some(&1));
+        assert_eq!(s.max_rollback_depth, 31);
     }
 
     #[test]

@@ -28,11 +28,40 @@ use std::collections::BTreeMap;
 
 use mcs_cdfg::{Cdfg, OpId, PartitionId, ValueId};
 use mcs_ilp::{AllIntegerSolver, Feasibility};
-use mcs_obs::{Event, RecorderHandle};
+use mcs_obs::{Event, ProbeSource, RecorderHandle};
 
-/// Pivot budget per feasibility probe before falling back to exact
-/// branch-and-bound.
-const PIVOT_BUDGET: usize = 4_000;
+/// Default pivot budget per feasibility probe before falling back to
+/// exact branch-and-bound. Configurable per checker via
+/// [`PinChecker::with_pivot_budget`] / [`PinChecker::set_pivot_budget`];
+/// any budget — including 0 — yields sound verdicts because the exact
+/// fallback always decides.
+pub const DEFAULT_PIVOT_BUDGET: usize = 4_000;
+
+/// Cumulative accounting of how the checker's probe layers resolved
+/// feasibility questions, cheapest first: memo cache, surrogate
+/// capacity bound, tableau solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeCacheStats {
+    /// Probes answered from the memo cache (no solver work at all).
+    pub memo_hits: u64,
+    /// Probes rejected by the surrogate group-capacity bound.
+    pub surrogate_rejects: u64,
+    /// Probes that reached the tableau solver.
+    pub solver_probes: u64,
+    /// Solver probes whose pivot budget ran out (exact fallback decided).
+    pub exact_fallbacks: u64,
+    /// Deepest undo-trail rollback any solver probe performed.
+    pub max_rollback_depth: u64,
+    /// Commits, i.e. memo-cache invalidations (the commit epoch).
+    pub commits: u64,
+}
+
+impl ProbeCacheStats {
+    /// Total probes across all layers.
+    pub fn total_probes(&self) -> u64 {
+        self.memo_hits + self.surrogate_rejects + self.solver_probes
+    }
+}
 
 /// Errors from building the pin-allocation model.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -110,6 +139,23 @@ pub struct PinChecker {
     /// Total pin budget across all partitions — the ceiling the per-group
     /// pressure in `PinCheck` events is reported against.
     total_cap: u32,
+    /// Pivot budget per feasibility solve before the exact fallback.
+    pivot_budget: usize,
+    /// Memo cache of probe verdicts for the current commit epoch, keyed
+    /// by `(solver var, increment)`. Sound because probe verdicts are a
+    /// pure function of solver state, which only commits mutate; cleared
+    /// on every commit.
+    memo: BTreeMap<(usize, i64), bool>,
+    /// Destination-partition index of each transfer (surrogate bound).
+    op_dest: BTreeMap<OpId, u32>,
+    /// Committed input pin-bits per `[partition * L + group]`.
+    part_in_load: Vec<i64>,
+    /// Input-side pin capacity per partition: the fixed input split, or
+    /// the whole budget when the split is free (inputs can use at most
+    /// all of it since `o_j >= 0`).
+    in_cap: Vec<i64>,
+    /// Probe-layer resolution counters.
+    stats: ProbeCacheStats,
     /// Sink for `PinCheck` (and the solver's `GomoryCut`) events.
     recorder: RecorderHandle,
 }
@@ -124,6 +170,17 @@ impl PinChecker {
     /// [`PinAllocError::InfeasibleFromTheStart`] if the pin budgets cannot
     /// carry the design's transfers at all.
     pub fn new(cdfg: &Cdfg, rate: u32) -> Result<Self, PinAllocError> {
+        Self::with_pivot_budget(cdfg, rate, DEFAULT_PIVOT_BUDGET)
+    }
+
+    /// [`PinChecker::new`] with an explicit pivot budget per feasibility
+    /// solve. A budget of 0 sends every solve straight to the exact
+    /// branch-and-bound fallback — slow but still sound.
+    pub fn with_pivot_budget(
+        cdfg: &Cdfg,
+        rate: u32,
+        pivot_budget: usize,
+    ) -> Result<Self, PinAllocError> {
         if rate == 0 {
             return Err(PinAllocError::ZeroRate);
         }
@@ -314,6 +371,21 @@ impl PinChecker {
                 None => part.total_pins,
             })
             .sum();
+        let op_dest: BTreeMap<OpId, u32> = op_vars
+            .keys()
+            .map(|&op| {
+                let (_, _, to) = cdfg.op(op).io_endpoints().expect("io op");
+                (op, u32::from(to))
+            })
+            .collect();
+        let in_cap: Vec<i64> = cdfg
+            .partitions()
+            .iter()
+            .map(|part| match part.fixed_split {
+                Some((i_cap, _)) => i_cap as i64,
+                None => part.total_pins as i64,
+            })
+            .collect();
         let mut checker = PinChecker {
             solver,
             rate,
@@ -325,6 +397,12 @@ impl PinChecker {
             op_bits,
             group_load: vec![0; l],
             total_cap,
+            pivot_budget,
+            memo: BTreeMap::new(),
+            op_dest,
+            part_in_load: vec![0; cdfg.partitions().len() * l],
+            in_cap,
+            stats: ProbeCacheStats::default(),
             recorder: RecorderHandle::default(),
         };
         match checker.resolve() {
@@ -336,6 +414,31 @@ impl PinChecker {
     /// The initiation rate the checker was built for.
     pub fn rate(&self) -> u32 {
         self.rate
+    }
+
+    /// The pivot budget per feasibility solve.
+    pub fn pivot_budget(&self) -> usize {
+        self.pivot_budget
+    }
+
+    /// Changes the pivot budget for subsequent solves. Verdicts stay
+    /// sound for any value (the exact fallback decides when the budget
+    /// runs out); the memo cache is unaffected because verdicts do not
+    /// depend on the budget.
+    pub fn set_pivot_budget(&mut self, pivot_budget: usize) {
+        self.pivot_budget = pivot_budget;
+    }
+
+    /// Cross-checks every trail-based solver probe against the legacy
+    /// clone-based path (panicking on divergence). For differential
+    /// testing; off by default.
+    pub fn set_differential(&mut self, on: bool) {
+        self.solver.set_differential(on);
+    }
+
+    /// Cumulative probe-layer resolution counters.
+    pub fn probe_stats(&self) -> ProbeCacheStats {
+        self.stats
     }
 
     /// Routes `PinCheck` events from probes/commits — and `GomoryCut`
@@ -351,10 +454,25 @@ impl PinChecker {
     }
 
     fn resolve(&mut self) -> Feasibility {
-        match self.solver.solve(PIVOT_BUDGET) {
+        match self.solver.solve(self.pivot_budget) {
             Feasibility::PivotLimit => self.solver.solve_exact(),
             v => v,
         }
+    }
+
+    /// Surrogate quick-reject (necessary condition, checked without any
+    /// pivoting): the committed input pin-bits of the probed transfer's
+    /// destination partition in group `k`, plus the transfer's own bits,
+    /// must fit the partition's input capacity. With a free split the
+    /// bound is the whole pin budget (`o_j >= 0`). Exceeding it means
+    /// the full ILP is certainly infeasible, so rejecting is sound.
+    fn surrogate_rejects(&self, op: OpId, k: usize) -> bool {
+        let Some(&pi) = self.op_dest.get(&op) else {
+            return false;
+        };
+        let bits = self.op_bits.get(&op).copied().unwrap_or(0) as i64;
+        let load = self.part_in_load[pi as usize * self.rate as usize + k];
+        load + bits > self.in_cap[pi as usize]
     }
 
     fn var_of(&self, op: OpId, step: i64) -> usize {
@@ -367,20 +485,68 @@ impl PinChecker {
 
     /// Whether scheduling `op` in control step `step` (allocating pins in
     /// group `step mod L`) still leaves a complete pin allocation for all
-    /// unscheduled transfers. Does not mutate the checker.
-    pub fn can_commit(&self, op: OpId, step: i64) -> bool {
+    /// unscheduled transfers. Leaves the committed allocation state
+    /// untouched (`&mut` only for the probe caches and the solver's
+    /// checkpoint/rollback trail).
+    ///
+    /// Resolution is layered cheapest-first: the memo cache (valid until
+    /// the next commit), the surrogate capacity bound, and finally a
+    /// checkpointed tableau solve.
+    pub fn can_commit(&mut self, op: OpId, step: i64) -> bool {
         let var = self.var_of(op, step);
-        let verdict = self.solver.probe_at_least(var, 1, PIVOT_BUDGET) == Feasibility::Feasible;
+        let k = step.rem_euclid(self.rate as i64) as usize;
+        let (verdict, source, trail_depth) = if let Some(&v) = self.memo.get(&(var, 1)) {
+            self.stats.memo_hits += 1;
+            (v, ProbeSource::Memo, 0)
+        } else if self.surrogate_rejects(op, k) {
+            self.stats.surrogate_rejects += 1;
+            self.memo.insert((var, 1), false);
+            (false, ProbeSource::Surrogate, 0)
+        } else {
+            let (f, pstats) = self
+                .solver
+                .probe_at_least_with_stats(var, 1, self.pivot_budget);
+            self.stats.solver_probes += 1;
+            if pstats.exact_fallback {
+                self.stats.exact_fallbacks += 1;
+            }
+            self.stats.max_rollback_depth = self.stats.max_rollback_depth.max(pstats.rollback_ops);
+            let v = f == Feasibility::Feasible;
+            self.memo.insert((var, 1), v);
+            (v, ProbeSource::Solver, pstats.rollback_ops)
+        };
         if self.recorder.enabled() {
-            let k = step.rem_euclid(self.rate as i64) as usize;
             self.recorder.record(Event::PinCheck {
                 group: k as u32,
                 pins_used: self.group_load[k] + self.op_bits.get(&op).copied().unwrap_or(0),
                 cap: self.total_cap,
                 verdict,
             });
+            self.recorder.record(Event::ProbeResolved {
+                var: var as u32,
+                by: 1,
+                verdict,
+                source,
+                trail_depth,
+            });
         }
         verdict
+    }
+
+    /// Probes `op` at `step` through a chosen engine — the trail-based
+    /// checkpoint/rollback path or the legacy clone-per-probe path —
+    /// bypassing the memo cache and the surrogate bound. Benchmark and
+    /// differential-test hook: both engines answer the same question on
+    /// the same tableau, so their verdicts must agree.
+    pub fn probe_uncached(&mut self, op: OpId, step: i64, via_clone: bool) -> bool {
+        let var = self.var_of(op, step);
+        let verdict = if via_clone {
+            self.solver
+                .probe_at_least_via_clone(var, 1, self.pivot_budget)
+        } else {
+            self.solver.probe_at_least(var, 1, self.pivot_budget)
+        };
+        verdict == Feasibility::Feasible
     }
 
     /// Commits the placement of `op` in `step`'s group (the incremental
@@ -403,6 +569,13 @@ impl PinChecker {
         }
         let k = step.rem_euclid(self.rate as i64) as usize;
         self.group_load[k] += self.op_bits.get(&op).copied().unwrap_or(0);
+        if let Some(&pi) = self.op_dest.get(&op) {
+            self.part_in_load[pi as usize * self.rate as usize + k] +=
+                self.op_bits.get(&op).copied().unwrap_or(0) as i64;
+        }
+        // The solver state changed: every memoized probe verdict is stale.
+        self.memo.clear();
+        self.stats.commits += 1;
         let outcome = match self.resolve() {
             Feasibility::Feasible => Ok(()),
             _ => Err(PinAllocError::InfeasibleFromTheStart),
@@ -501,12 +674,88 @@ mod tests {
     #[test]
     fn probing_does_not_change_state() {
         let d = synthetic::fig_2_5();
-        let c = PinChecker::new(d.cdfg(), 2).unwrap();
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
         let v1 = d.op_named("V1");
         for _ in 0..3 {
             assert!(c.can_commit(v1, 0));
         }
         assert!(!c.all_committed());
+        // The first probe hit the solver; the repeats were memo hits.
+        let stats = c.probe_stats();
+        assert_eq!(stats.solver_probes, 1);
+        assert_eq!(stats.memo_hits, 2);
+    }
+
+    #[test]
+    fn memo_cache_is_invalidated_by_commits() {
+        let d = synthetic::fig_2_5();
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        let v1 = d.op_named("V1");
+        let v2 = d.op_named("V2");
+        assert!(c.can_commit(v1, 0));
+        c.commit(v1, 0).unwrap();
+        // V2-at-0 was never probed, and the V1 verdict must not leak:
+        // this probe re-enters the solver against the updated tableau.
+        let before = c.probe_stats().solver_probes;
+        assert!(!c.can_commit(v2, 0));
+        assert!(c.probe_stats().solver_probes > before);
+        assert_eq!(c.probe_stats().commits, 1);
+    }
+
+    #[test]
+    fn zero_pivot_budget_is_still_sound() {
+        // Budget 0 sends every solve to the exact fallback; verdicts must
+        // match the default-budget checker on the fig. 2.5 dead end.
+        let d = synthetic::fig_2_5();
+        let mut slow = PinChecker::with_pivot_budget(d.cdfg(), 2, 0).unwrap();
+        assert_eq!(slow.pivot_budget(), 0);
+        let mut fast = PinChecker::new(d.cdfg(), 2).unwrap();
+        let v1 = d.op_named("V1");
+        let v2 = d.op_named("V2");
+        for c in [&mut slow, &mut fast] {
+            assert!(c.can_commit(v1, 0));
+            c.commit(v1, 0).unwrap();
+            assert!(!c.can_commit(v2, 0));
+            assert!(c.can_commit(v2, 1));
+        }
+        assert!(slow.probe_stats().exact_fallbacks > 0);
+        assert_eq!(fast.probe_stats().exact_fallbacks, 0);
+    }
+
+    #[test]
+    fn surrogate_rejects_obvious_overload_without_pivoting() {
+        // fig_2_5: Pc has 1 input pin and V3/V4 (1 bit each) both target
+        // it. After committing V3 in group 0, probing V4 into group 0
+        // must be rejected by the surrogate bound alone.
+        let d = synthetic::fig_2_5();
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        let v3 = d.op_named("V3");
+        let v4 = d.op_named("V4");
+        assert!(c.can_commit(v3, 0));
+        c.commit(v3, 0).unwrap();
+        assert!(!c.can_commit(v4, 0));
+        assert_eq!(c.probe_stats().surrogate_rejects, 1);
+        // And the rejection is memoized.
+        assert!(!c.can_commit(v4, 0));
+        assert_eq!(c.probe_stats().surrogate_rejects, 1);
+        assert_eq!(c.probe_stats().memo_hits, 1);
+    }
+
+    #[test]
+    fn differential_mode_agrees_across_a_full_schedule() {
+        let d = synthetic::fig_2_5();
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        c.set_differential(true);
+        for (name, step) in [("V1", 0), ("V2", 1), ("V3", 1), ("V4", 0)] {
+            let op = d.op_named(name);
+            // Probe a few wrong steps too; differential mode panics on
+            // any trail/clone divergence.
+            let _ = c.can_commit(op, step + 1);
+            assert!(c.can_commit(op, step), "{name} at {step}");
+            c.commit(op, step).unwrap();
+        }
+        assert_eq!(c.probe_stats().commits, 4);
+        assert!(c.probe_stats().solver_probes > 0);
     }
 
     #[test]

@@ -23,5 +23,5 @@ mod checker;
 pub mod connection;
 pub mod simple;
 
-pub use checker::{PinAllocError, PinChecker};
+pub use checker::{PinAllocError, PinChecker, ProbeCacheStats, DEFAULT_PIVOT_BUDGET};
 pub use simple::{check_simple, is_simple, SimplicityViolation};

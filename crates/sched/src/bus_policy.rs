@@ -16,10 +16,26 @@ use std::collections::BTreeMap;
 
 use mcs_cdfg::{BusId, Cdfg, OpId, ValueId};
 use mcs_connect::{BusAssignment, Interconnect, SubRange};
-use mcs_matching::max_bipartite_matching;
+use mcs_matching::max_bipartite_matching_seeded;
 use mcs_obs::{Event, PlaceVerdict, RecorderHandle};
 
 use crate::list::IoPolicy;
+
+/// Accounting of the incremental (warm-started) Figure 4.5 matching:
+/// how often the pending-feasibility matching ran, how many pairs the
+/// previous matching seeded, and how many augmenting-path searches were
+/// still needed. With a cold start every pair costs a search; the gap
+/// between `seeded` and `augmentations` is the work the warm start
+/// saved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RematchStats {
+    /// Pending-feasibility matchings run.
+    pub rounds: u64,
+    /// Pairs adopted from the previous matching without any search.
+    pub seeded: u64,
+    /// Augmenting-path searches run for unseeded values.
+    pub augmentations: u64,
+}
 
 /// Occupancy of one bus slot: the sub-range used, the value carried, and
 /// the exact control step of the transfer.
@@ -58,6 +74,11 @@ pub struct BusPolicy {
     /// groups their transfer can legally occupy, estimated from ASAP times
     /// (used to keep phase-1 placements from exhausting them).
     feedback_groups: Option<BTreeMap<ValueId, std::collections::BTreeSet<u32>>>,
+    /// `(bus, group)` each pending value matched to in the last adopted
+    /// Figure 4.5 matching — the warm-start seed for the next one.
+    last_match: BTreeMap<ValueId, (u32, u32)>,
+    /// Warm-start accounting (rounds / seeded pairs / augmentations).
+    rematch: RematchStats,
     /// Sink for `BusReassign` events (inactive by default). Trial clones
     /// used by the preemption chain share the sink but never record —
     /// events are emitted only for committed placements.
@@ -79,8 +100,18 @@ impl BusPolicy {
             placements: BTreeMap::new(),
             reassigned: 0,
             feedback_groups: None,
+            last_match: BTreeMap::new(),
+            rematch: RematchStats::default(),
             recorder: RecorderHandle::default(),
         }
+    }
+
+    /// Warm-start accounting of the incremental pending-feasibility
+    /// matching. Trial clones used by the preemption chain share the
+    /// counters' lineage the same way they share the recorder: only
+    /// adopted trials contribute.
+    pub fn rematch_stats(&self) -> RematchStats {
+        self.rematch
     }
 
     /// Routes `BusReassign` events to `recorder`.
@@ -279,14 +310,31 @@ impl BusPolicy {
             }
             adj.push(edges);
         }
-        let matching = max_bipartite_matching(units.len(), &adj);
+        // Warm start from the last adopted matching: a value that kept
+        // its `(bus, group)` unit is re-adopted without search, and only
+        // the values the placement displaced get an augmenting path
+        // (Section 4.2's "augment from the previous matching").
+        let seed: Vec<(usize, usize)> = values
+            .iter()
+            .enumerate()
+            .filter_map(|(vi, (v, _))| {
+                let &(bus, g) = self.last_match.get(*v)?;
+                Some((vi, bus as usize * self.rate as usize + g as usize))
+            })
+            .collect();
+        let seeded = max_bipartite_matching_seeded(units.len(), &adj, &seed);
+        self.rematch.rounds += 1;
+        self.rematch.seeded += seeded.seeded as u64;
+        self.rematch.augmentations += seeded.augmentations as u64;
+        let matching = seeded.pairs;
         if matching.iter().any(Option::is_none) {
             return false;
         }
         // Adopt the matching as the new plan (dynamic reassignment).
-        for (i, (_, ops)) in values.iter().enumerate() {
+        for (i, (v, ops)) in values.iter().enumerate() {
             let ti = matching[i].expect("perfect matching");
-            let (bus, _) = units[ti];
+            let (bus, group) = units[ti];
+            self.last_match.insert(**v, (bus, group));
             let range = token_range[&(i, ti)];
             for &op in ops.iter() {
                 self.plan.insert(
@@ -762,6 +810,28 @@ mod tests {
         }
         assert_eq!(a.placements(), b.placements());
         assert_eq!(a.reassigned_count(), b.reassigned_count());
+    }
+
+    #[test]
+    fn incremental_rematch_reuses_prior_matching() {
+        let d = ar_filter::general(3, PortMode::Unidirectional);
+        let ic = synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(3)).unwrap();
+        let mut policy = BusPolicy::new(ic, 3, true);
+        let s = list_schedule(d.cdfg(), &ListConfig::new(3), &mut policy).unwrap();
+        assert_eq!(validate(d.cdfg(), &s), vec![]);
+        let stats = policy.rematch_stats();
+        assert!(stats.rounds > 0, "scheduling must run the matching");
+        assert!(
+            stats.seeded > 0,
+            "successive matchings must reuse prior pairs: {stats:?}"
+        );
+        // The warm start must save work: across all rounds, fewer
+        // augmenting searches than a cold start (which pays one search
+        // per pair, i.e. seeded + augmentations in total).
+        assert!(
+            stats.augmentations < stats.seeded + stats.augmentations,
+            "warm start saved no searches: {stats:?}"
+        );
     }
 
     #[test]

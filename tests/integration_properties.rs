@@ -8,6 +8,7 @@ use mcs_cdfg::{CdfgBuilder, Library, OperatorClass, PartitionId, PortMode};
 use mcs_connect::{synthesize, SearchConfig};
 use mcs_ilp::{AllIntegerSolver, Feasibility, Model};
 use mcs_matching::max_weight_matching;
+use mcs_pinalloc::PinChecker;
 use mcs_sched::{list_schedule, validate, BusPolicy, ListConfig, NullPolicy};
 
 /// A random layered two-to-four chip design: per-chip chains of adds and
@@ -359,6 +360,72 @@ proptest! {
         prop_assert_eq!(ic.verify(&cdfg), Vec::<String>::new());
     }
 
+    /// Checkpoint -> mutate (assumptions plus cutting-plane solves) ->
+    /// rollback restores the solver byte-for-byte: the tableau digest
+    /// after rollback equals the digest before the checkpoint.
+    #[test]
+    fn rollback_restores_the_tableau_byte_for_byte(
+        caps in prop::collection::vec(1i64..6, 2..4),
+        demands in prop::collection::vec(1i64..4, 1..5),
+        assumes in prop::collection::vec((any::<u64>(), 1i64..3), 1..5),
+    ) {
+        // The same random packing system gomory_agrees_with_exact uses.
+        let bins = caps.len();
+        let var = |d: usize, bin: usize| d * bins + bin;
+        let mut s = AllIntegerSolver::new(demands.len() * bins);
+        for (d, _) in demands.iter().enumerate() {
+            let terms: Vec<_> = (0..bins).map(|bin| (var(d, bin), 1)).collect();
+            s.add_ge(&terms, 1);
+            for bin in 0..bins {
+                s.add_le(&[(var(d, bin), 1)], 1);
+            }
+        }
+        for (bin, &cap) in caps.iter().enumerate() {
+            let terms: Vec<_> = demands.iter().enumerate().map(|(d, &w)| (var(d, bin), w)).collect();
+            s.add_le(&terms, cap);
+        }
+        let _ = s.solve(20_000);
+        let digest0 = s.tableau_digest();
+        let cp = s.checkpoint();
+        for &(vs, by) in &assumes {
+            let v = (vs as usize) % s.num_vars();
+            s.assume_at_least(v, by);
+            let _ = s.solve(2_000);
+        }
+        s.rollback(cp);
+        prop_assert_eq!(s.tableau_digest(), digest0, "rollback must restore the tableau");
+        prop_assert_eq!(s.trail_len(), 0, "the undo trail must drain");
+    }
+
+    /// The trail-based probe engine and the legacy clone-per-probe path
+    /// return the same feasibility verdict for every transfer and step
+    /// group of random pin-constrained designs.
+    #[test]
+    fn trail_and_clone_probe_engines_agree(
+        chips in 2usize..4,
+        ops in 1usize..4,
+        crossings in 1usize..5,
+        rate in 1u32..4,
+        pins in 24u32..120,
+        seed in any::<u64>(),
+    ) {
+        let cdfg = random_design_with_pins(chips, ops, crossings, 8, seed | 1, pins);
+        // Tight budgets may be infeasible outright; those instances have
+        // nothing to compare.
+        if let Ok(mut checker) = PinChecker::new(&cdfg, rate) {
+            for op in cdfg.io_ops().collect::<Vec<_>>() {
+                for k in 0..rate as i64 {
+                    let trail = checker.probe_uncached(op, k, false);
+                    let clone = checker.probe_uncached(op, k, true);
+                    prop_assert_eq!(
+                        trail, clone,
+                        "engines diverge on {:?} in group {}", op, k
+                    );
+                }
+            }
+        }
+    }
+
     /// Repartitioning never changes the computed function: flatten,
     /// refine onto two chips, rebuild, and compare reference outputs.
     #[test]
@@ -391,4 +458,43 @@ proptest! {
         let wb: Vec<u64> = b.values().copied().collect();
         prop_assert_eq!(wa, wb, "repartitioning changed the outputs");
     }
+}
+
+/// Trail-vs-clone differential sweep across the named synthetic designs
+/// (every pin-feasible one): both engines must return identical verdicts
+/// for every transfer at every step group, at rates 1..=3.
+#[test]
+fn probe_engines_agree_on_the_synthetic_designs() {
+    use mcs_cdfg::designs::synthetic;
+    let designs = [
+        ("fig_2_5", synthetic::fig_2_5()),
+        ("quickstart", synthetic::quickstart()),
+        ("tdm_whole", synthetic::tdm_example(false)),
+        ("tdm_split", synthetic::tdm_example(true)),
+        ("fig_7_4", synthetic::fig_7_4(1, 2, 2)),
+        ("multicycle", synthetic::multicycle_example()),
+        ("portfolio_adversarial", synthetic::portfolio_adversarial(4)),
+    ];
+    let mut swept = 0usize;
+    for (name, d) in &designs {
+        for rate in 1u32..=3 {
+            let Ok(mut checker) = PinChecker::new(d.cdfg(), rate) else {
+                continue;
+            };
+            swept += 1;
+            for op in d.cdfg().io_ops().collect::<Vec<_>>() {
+                for k in 0..rate as i64 {
+                    assert_eq!(
+                        checker.probe_uncached(op, k, false),
+                        checker.probe_uncached(op, k, true),
+                        "{name} at rate {rate}: engines diverge on {op:?} in group {k}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        swept >= 5,
+        "only {swept} (design, rate) pairs were feasible"
+    );
 }
