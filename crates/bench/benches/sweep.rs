@@ -1,0 +1,50 @@
+//! Macrobenchmark of the design-space exploration driver: the elliptic
+//! sweep of the `bench_explore` binary, pruned vs exhaustive and at one
+//! vs two workers, so driver overhead and pruning savings are visible
+//! separately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_cdfg::designs::elliptic;
+use mcs_explore::{FlowVariant, SweepOptions, SweepSpec};
+use mcs_obs::RecorderHandle;
+use multichip_hls::explore::run_sweep;
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        design: "elliptic".into(),
+        flow: FlowVariant::ConnectFirst,
+        rates: (4..=8).collect(),
+        budgets: vec![
+            vec![48, 48, 64, 48, 48],
+            vec![32, 48, 64, 48, 48],
+            vec![24, 32, 48, 32, 32],
+            vec![16, 16, 16, 16, 16],
+        ],
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let design = elliptic::partitioned();
+    let spec = spec();
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    for (label, jobs, prune) in [
+        ("pruned-1", 1, true),
+        ("pruned-2", 2, true),
+        ("exhaustive-1", 1, false),
+    ] {
+        let opts = SweepOptions { jobs, prune };
+        g.bench_function(BenchmarkId::new("elliptic", label), |b| {
+            b.iter(|| {
+                run_sweep(design.cdfg(), &spec, &opts, &RecorderHandle::default())
+                    .expect("well-formed spec")
+                    .stats
+                    .run
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -691,6 +691,117 @@ pub fn probe_bench_line(
     out
 }
 
+/// One measured design-space sweep — the whole rate × budget lattice
+/// through [`multichip_hls::explore::run_sweep`] — as consumed by
+/// [`explore_bench_line`].
+#[derive(Clone, Debug)]
+pub struct MeasuredSweep {
+    /// Lattice points in the spec.
+    pub points: u64,
+    /// Points actually synthesized.
+    pub run: u64,
+    /// Points skipped by dominance pruning.
+    pub pruned: u64,
+    /// Feasible points.
+    pub feasible: u64,
+    /// Pareto-frontier size.
+    pub frontier: u64,
+    /// Warm-start probe-memo hits summed over points.
+    pub probe_seed_hits: u64,
+    /// Warm-start refutation-certificate hits summed over points.
+    pub cert_seed_hits: u64,
+    /// FNV-1a digest over the frontier (see [`frontier_digest`]); two
+    /// sweeps agree on the frontier iff their digests are equal.
+    pub frontier_digest: u64,
+    /// Wall time of the sweep, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// FNV-1a over a Pareto frontier's `(rate, budget_ix, latency, pins,
+/// buses)` tuples, for [`MeasuredSweep`].
+pub fn frontier_digest(frontier: &[mcs_explore::FrontierPoint]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for p in frontier {
+        mix(p.coord.rate as u64);
+        mix(p.coord.budget_ix as u64);
+        mix(p.latency as u64);
+        mix(p.total_pins as u64);
+        mix(p.buses as u64);
+    }
+    h
+}
+
+/// A [`MeasuredSweep`] from a sweep report plus its measured wall time.
+pub fn measure_sweep(report: &mcs_explore::SweepReport, wall_ms: f64) -> MeasuredSweep {
+    let st = &report.stats;
+    MeasuredSweep {
+        points: st.points,
+        run: st.run,
+        pruned: st.pruned,
+        feasible: st.feasible,
+        frontier: report.frontier.len() as u64,
+        probe_seed_hits: st.probe_seed_hits,
+        cert_seed_hits: st.cert_seed_hits,
+        frontier_digest: frontier_digest(&report.frontier),
+        wall_ms,
+    }
+}
+
+fn emit_sweep(out: &mut String, label: &str, m: &MeasuredSweep) {
+    let _ = write!(
+        out,
+        "\"{label}\":{{\"points\":{},\"run\":{},\"pruned\":{},\
+         \"feasible\":{},\"frontier\":{},\"probe_seed_hits\":{},\
+         \"cert_seed_hits\":{},\"frontier_digest\":{},\"wall_ms\":{:.3}}}",
+        m.points,
+        m.run,
+        m.pruned,
+        m.feasible,
+        m.frontier,
+        m.probe_seed_hits,
+        m.cert_seed_hits,
+        m.frontier_digest,
+        m.wall_ms,
+    );
+}
+
+/// Renders one `bench_explore` BENCH line: a JSON object comparing a
+/// dominance-pruned sweep against the exhaustive sweep of the same
+/// lattice. `frontier_agree` is the differential gate — the
+/// `bench_explore` binary exits nonzero when it is false — and
+/// `warm_start_hit_rate` is warm-start hits per synthesized point of
+/// the pruned sweep. Golden-tested, like [`search_stats_line`].
+pub fn explore_bench_line(
+    design: &str,
+    flow: &str,
+    pruned: &MeasuredSweep,
+    exhaustive: &MeasuredSweep,
+) -> String {
+    let mut out = format!("{{\"bench\":\"explore\",\"design\":\"{design}\",\"flow\":\"{flow}\",");
+    emit_sweep(&mut out, "pruned", pruned);
+    out.push(',');
+    emit_sweep(&mut out, "exhaustive", exhaustive);
+    let agree = pruned.frontier_digest == exhaustive.frontier_digest
+        && pruned.frontier == exhaustive.frontier;
+    let hit_rate =
+        (pruned.probe_seed_hits + pruned.cert_seed_hits) as f64 / pruned.run.max(1) as f64;
+    let speedup = if pruned.wall_ms > 0.0 {
+        exhaustive.wall_ms / pruned.wall_ms
+    } else {
+        0.0
+    };
+    let _ = write!(
+        out,
+        ",\"frontier_agree\":{agree},\"warm_start_hit_rate\":{hit_rate:.3},\
+         \"speedup\":{speedup:.2}}}"
+    );
+    out
+}
+
 /// Renders the `search_stats` BENCH line: one JSON object comparing a
 /// single-worker run against the portfolio on the same design. This is
 /// the exact format the `search_stats` binary prints (golden-tested), so
@@ -729,6 +840,7 @@ mod tests {
             threads: 4,
             nodes,
             cache_hits: 7,
+            seed_hits: 0,
             cache_entries: 3,
             prunes: 5,
             backtracks: 2,
@@ -757,6 +869,60 @@ mod tests {
              \"speedup\":2.00}"
         );
         mcs_obs::export::validate_json(&line).expect("BENCH line is strict JSON");
+    }
+
+    #[test]
+    fn explore_bench_line_matches_golden_output() {
+        let pruned = MeasuredSweep {
+            points: 10,
+            run: 7,
+            pruned: 3,
+            feasible: 5,
+            frontier: 2,
+            probe_seed_hits: 4,
+            cert_seed_hits: 10,
+            frontier_digest: 99,
+            wall_ms: 80.0,
+        };
+        let exhaustive = MeasuredSweep {
+            points: 10,
+            run: 10,
+            pruned: 0,
+            feasible: 5,
+            frontier: 2,
+            probe_seed_hits: 4,
+            cert_seed_hits: 10,
+            frontier_digest: 99,
+            wall_ms: 120.0,
+        };
+        let line = explore_bench_line("elliptic", "connect-first", &pruned, &exhaustive);
+        assert_eq!(
+            line,
+            "{\"bench\":\"explore\",\"design\":\"elliptic\",\"flow\":\"connect-first\",\
+             \"pruned\":{\"points\":10,\"run\":7,\"pruned\":3,\"feasible\":5,\
+             \"frontier\":2,\"probe_seed_hits\":4,\"cert_seed_hits\":10,\
+             \"frontier_digest\":99,\"wall_ms\":80.000},\
+             \"exhaustive\":{\"points\":10,\"run\":10,\"pruned\":0,\"feasible\":5,\
+             \"frontier\":2,\"probe_seed_hits\":4,\"cert_seed_hits\":10,\
+             \"frontier_digest\":99,\"wall_ms\":120.000},\
+             \"frontier_agree\":true,\"warm_start_hit_rate\":2.000,\
+             \"speedup\":1.50}"
+        );
+        mcs_obs::export::validate_json(&line).expect("BENCH line is strict JSON");
+    }
+
+    #[test]
+    fn frontier_digest_separates_different_frontiers() {
+        use mcs_explore::{FrontierPoint, PointCoord};
+        let p = |rate, latency| FrontierPoint {
+            coord: PointCoord { rate, budget_ix: 0 },
+            latency,
+            total_pins: 100,
+            buses: 3,
+        };
+        assert_eq!(frontier_digest(&[p(4, 10)]), frontier_digest(&[p(4, 10)]));
+        assert_ne!(frontier_digest(&[p(4, 10)]), frontier_digest(&[p(5, 10)]));
+        assert_ne!(frontier_digest(&[]), frontier_digest(&[p(4, 10)]));
     }
 
     #[test]

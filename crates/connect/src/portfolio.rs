@@ -28,6 +28,16 @@
 //! (truncated top-`k` candidate lists are prefixes of top-`k'` lists for
 //! `k <= k'`). A portfolio of one disables the cache entirely, so the
 //! default configuration reproduces the sequential search bit for bit.
+//!
+//! Failure proofs survive a run as [`RefutationCert`]s:
+//! [`synthesize_seeded`] returns the proofs learned during the run (in
+//! barrier order, so the list is deterministic) and accepts proofs from
+//! an earlier run to pre-populate the cache. The caller owns the
+//! soundness argument for reuse: a cert transfers only to a search of
+//! the same design, rate and port mode whose pin budgets are no looser
+//! than the proving run's (a connection valid under the tighter budgets
+//! would have been valid under the looser ones, contradicting the
+//! exhaustive failure).
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::RwLock;
@@ -251,15 +261,65 @@ impl Strength {
     }
 }
 
+/// A portable exhaustive-failure proof: a state signature plus the
+/// strength of the plan that proved the subtree empty. Harvested from
+/// [`synthesize_seeded`] and fed back into a later run on a problem
+/// where the proof still holds (see the module docs for the transfer
+/// rule the caller must uphold).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefutationCert {
+    /// State signature: depth plus the exact bus/value structure.
+    pub key: Vec<u8>,
+    /// Operation order of the proving plan.
+    pub order: OpOrder,
+    /// `true` when the proving plan broke equal-gain ties toward newer
+    /// buses ([`CandidateOrder::GainDescBusRev`]).
+    pub tie_high: bool,
+    /// Branching factor of the proving plan.
+    pub branching_factor: usize,
+}
+
+impl RefutationCert {
+    fn from_parts(key: Vec<u8>, strength: Strength) -> Self {
+        RefutationCert {
+            key,
+            order: strength.order,
+            tie_high: strength.family == CandidateFamily::GainTieHigh,
+            branching_factor: strength.branching_factor,
+        }
+    }
+
+    fn strength(&self) -> Strength {
+        Strength {
+            order: self.order,
+            family: if self.tie_high {
+                CandidateFamily::GainTieHigh
+            } else {
+                CandidateFamily::GainTieLow
+            },
+            branching_factor: self.branching_factor,
+        }
+    }
+}
+
 /// Upper bound on cached failure states; beyond it new proofs are
 /// dropped (the cache is an optimization, never a correctness need).
 const CACHE_CAP: usize = 1 << 16;
+
+/// One resident failure proof: its strength plus whether it arrived as
+/// a [`RefutationCert`] seed rather than from this run's own workers
+/// (for seed-hit accounting).
+#[derive(Clone, Copy, Debug)]
+struct CacheEntry {
+    strength: Strength,
+    seeded: bool,
+}
 
 /// Sharded map of exhaustively-failed state signatures. During an epoch
 /// the cache is read-only; staged entries are merged at the barrier in
 /// portfolio-index order, so its contents are deterministic.
 pub(crate) struct SharedCache {
-    shards: Vec<RwLock<HashMap<Vec<u8>, Vec<Strength>>>>,
+    shards: Vec<RwLock<HashMap<Vec<u8>, Vec<CacheEntry>>>>,
     enabled: bool,
     len: std::sync::atomic::AtomicUsize,
 }
@@ -283,37 +343,50 @@ impl SharedCache {
         (h % self.shards.len() as u64) as usize
     }
 
-    fn proven(&self, key: &[u8], reader: &Strength) -> bool {
+    /// `Some(from_seed)` when a dominating proof is resident: the flag
+    /// says whether the (deterministically) first dominating entry was
+    /// seeded from a prior run.
+    fn proven(&self, key: &[u8], reader: &Strength) -> Option<bool> {
         if !self.enabled {
-            return false;
+            return None;
         }
         let shard = self.shards[self.shard_of(key)].read().expect("cache lock");
         shard
-            .get(key)
-            .is_some_and(|entries| entries.iter().any(|e| e.dominates(reader)))
+            .get(key)?
+            .iter()
+            .find(|e| e.strength.dominates(reader))
+            .map(|e| e.seeded)
     }
 
-    /// Barrier-time merge; called from the orchestrator only.
-    fn publish(&self, staged: Vec<(Vec<u8>, Strength)>) {
+    /// Barrier-time merge; called from the orchestrator only. Returns
+    /// the non-seeded entries actually adopted (not dominated by a
+    /// resident proof, within the cap), in input order — the run's
+    /// harvest of newly learned proofs.
+    fn publish(&self, staged: Vec<(Vec<u8>, Strength)>, seeded: bool) -> Vec<(Vec<u8>, Strength)> {
         use std::sync::atomic::Ordering;
+        let mut accepted = Vec::new();
         if !self.enabled {
-            return;
+            return accepted;
         }
         for (key, strength) in staged {
             if self.len.load(Ordering::Relaxed) >= CACHE_CAP {
-                return;
+                return accepted;
             }
             let mut shard = self.shards[self.shard_of(&key)]
                 .write()
                 .expect("cache lock");
-            let entries = shard.entry(key).or_default();
-            if entries.iter().any(|e| e.dominates(&strength)) {
+            let entries = shard.entry(key.clone()).or_default();
+            if entries.iter().any(|e| e.strength.dominates(&strength)) {
                 continue;
             }
-            entries.retain(|e| !strength.dominates(e));
-            entries.push(strength);
+            entries.retain(|e| !strength.dominates(&e.strength));
+            entries.push(CacheEntry { strength, seeded });
             self.len.fetch_add(1, Ordering::Relaxed);
+            if !seeded {
+                accepted.push((key, strength));
+            }
         }
+        accepted
     }
 
     fn entries(&self) -> usize {
@@ -391,6 +464,9 @@ pub struct WorkerReport {
     pub nodes: u64,
     /// Nodes pruned via the shared failure cache.
     pub cache_hits: u64,
+    /// Cache hits answered by proofs seeded from an earlier run via
+    /// [`synthesize_seeded`] (a subset of `cache_hits`).
+    pub seed_hits: u64,
     /// Candidates cut by the dead-end test before expansion.
     pub prunes: u64,
     /// Nodes popped after exhausting their candidates.
@@ -419,6 +495,8 @@ pub struct SearchStats {
     pub nodes: u64,
     /// Total shared-cache prunes.
     pub cache_hits: u64,
+    /// Cache prunes answered by seeded proofs (subset of `cache_hits`).
+    pub seed_hits: u64,
     /// Failure proofs resident in the shared cache at the end.
     pub cache_entries: u64,
     /// Total dead-end prunes.
@@ -486,6 +564,7 @@ struct Worker<'a> {
     status: WorkerStatus,
     nodes: u64,
     cache_hits: u64,
+    seed_hits: u64,
     prunes: u64,
     backtracks: u64,
     published: u64,
@@ -525,6 +604,7 @@ impl<'a> Worker<'a> {
             status: WorkerStatus::Running,
             nodes: 0,
             cache_hits: 0,
+            seed_hits: 0,
             prunes: 0,
             backtracks: 0,
             published: 0,
@@ -585,10 +665,13 @@ impl<'a> Worker<'a> {
             None
         };
         if let Some(k) = &key {
-            if cache.proven(k, &self.strength) {
+            if let Some(from_seed) = cache.proven(k, &self.strength) {
                 // Another plan with at least our candidate sets proved
                 // this exact structure a dead end.
                 self.cache_hits += 1;
+                if from_seed {
+                    self.seed_hits += 1;
+                }
                 self.child_failed();
                 return;
             }
@@ -683,6 +766,7 @@ impl<'a> Worker<'a> {
             outcome,
             nodes: self.nodes,
             cache_hits: self.cache_hits,
+            seed_hits: self.seed_hits,
             prunes: self.prunes,
             backtracks: self.backtracks,
             cache_published: self.published,
@@ -700,12 +784,45 @@ pub fn synthesize_with_stats(
     mode: PortMode,
     cfg: &SearchConfig,
 ) -> (Result<Interconnect, ConnectError>, SearchStats) {
+    let (result, stats, _) = synthesize_seeded(cdfg, mode, cfg, &[]);
+    (result, stats)
+}
+
+/// [`synthesize_with_stats`] with cross-run proof transfer: the cache is
+/// pre-populated from `seed` (which also enables it for a portfolio of
+/// one), and the proofs learned during this run come back as the third
+/// tuple element, in deterministic barrier order.
+///
+/// The caller asserts that every seed's proof holds for *this* problem
+/// instance — same design, rate and port mode, with pin budgets no
+/// looser than the proving run's. Seeds never change feasibility of the
+/// points they legitimately apply to (they only skip provably empty
+/// subtrees), but they may steer which connection is found first, so
+/// reuse trades bit-stability for speed.
+pub fn synthesize_seeded(
+    cdfg: &Cdfg,
+    mode: PortMode,
+    cfg: &SearchConfig,
+    seed: &[RefutationCert],
+) -> (
+    Result<Interconnect, ConnectError>,
+    SearchStats,
+    Vec<RefutationCert>,
+) {
     let t0 = Instant::now();
     if cfg.rate == 0 {
-        return (Err(ConnectError::ZeroRate), SearchStats::default());
+        return (
+            Err(ConnectError::ZeroRate),
+            SearchStats::default(),
+            Vec::new(),
+        );
     }
     let plans = portfolio_plans(cfg);
-    let cache = SharedCache::new(plans.len() > 1);
+    let cache = SharedCache::new(plans.len() > 1 || !seed.is_empty());
+    cache.publish(
+        seed.iter().map(|c| (c.key.clone(), c.strength())).collect(),
+        true,
+    );
     let threads = cfg.workers.clamp(1, plans.len());
     let epoch_nodes = cfg.epoch_nodes.max(1);
     let mut workers: Vec<Worker<'_>> = plans
@@ -720,6 +837,7 @@ pub fn synthesize_with_stats(
     let mut recorded: Vec<(u64, u64, u64, u64)> = vec![(0, 0, 0, 0); workers.len()];
 
     let mut epochs = 0usize;
+    let mut learned: Vec<RefutationCert> = Vec::new();
     loop {
         epochs += 1;
         if threads == 1 {
@@ -739,9 +857,15 @@ pub fn synthesize_with_stats(
             });
         }
         // Barrier: merge staged failure proofs in portfolio order so the
-        // next epoch's snapshot is deterministic.
+        // next epoch's snapshot is deterministic; whatever the cache
+        // adopts is also this run's harvest.
         for w in &mut workers {
-            cache.publish(std::mem::take(&mut w.staged));
+            learned.extend(
+                cache
+                    .publish(std::mem::take(&mut w.staged), false)
+                    .into_iter()
+                    .map(|(key, strength)| RefutationCert::from_parts(key, strength)),
+            );
         }
         if rec_on {
             for (i, w) in workers.iter().enumerate() {
@@ -781,6 +905,7 @@ pub fn synthesize_with_stats(
         threads,
         nodes: workers.iter().map(|w| w.nodes).sum(),
         cache_hits: workers.iter().map(|w| w.cache_hits).sum(),
+        seed_hits: workers.iter().map(|w| w.seed_hits).sum(),
         cache_entries: cache.entries() as u64,
         prunes: workers.iter().map(|w| w.prunes).sum(),
         backtracks: workers.iter().map(|w| w.backtracks).sum(),
@@ -796,7 +921,7 @@ pub fn synthesize_with_stats(
         }
         None => Err(ConnectError::NoConnectionFound),
     };
-    (result, stats)
+    (result, stats, learned)
 }
 
 #[cfg(test)]
@@ -896,6 +1021,43 @@ mod tests {
             let mut ops = ordered_ops(d.cdfg(), order);
             ops.sort();
             assert_eq!(ops, reference, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_certs_prune_a_rerun_without_losing_feasibility() {
+        let d = mcs_cdfg::designs::synthetic::portfolio_adversarial(6);
+        let cfg = SearchConfig::new(2).with_portfolio(4);
+        let (base, base_stats, learned) =
+            synthesize_seeded(d.cdfg(), PortMode::Unidirectional, &cfg, &[]);
+        assert!(base.is_ok());
+        assert_eq!(base_stats.seed_hits, 0, "nothing was seeded");
+        assert!(
+            !learned.is_empty(),
+            "the adversarial design must backtrack and stage proofs"
+        );
+        let (seeded, stats, _) =
+            synthesize_seeded(d.cdfg(), PortMode::Unidirectional, &cfg, &learned);
+        // Seeds only skip provably empty subtrees: feasibility holds.
+        assert!(seeded.is_ok());
+        assert!(stats.seed_hits > 0, "seeded proofs must answer probes");
+        assert!(stats.seed_hits <= stats.cache_hits);
+    }
+
+    #[test]
+    fn refutation_certs_round_trip_their_strength() {
+        for (order, tie_high, bf) in [
+            (OpOrder::WidthDesc, false, 3),
+            (OpOrder::PairGrouped, true, 1),
+        ] {
+            let cert = RefutationCert {
+                key: vec![1, 2, 3],
+                order,
+                tie_high,
+                branching_factor: bf,
+            };
+            let back = RefutationCert::from_parts(cert.key.clone(), cert.strength());
+            assert_eq!(back, cert);
         }
     }
 

@@ -84,6 +84,9 @@ pub fn tdm_advice(
             options,
         });
     }
+    // Deterministic order regardless of how `io_ops` iterates: widest
+    // (biggest saving) first, op id as the tie-break.
+    advice.sort_by_key(|a| (std::cmp::Reverse(a.bits), a.op));
     advice
 }
 
@@ -248,6 +251,66 @@ mod tests {
             .suggestions
             .iter()
             .any(|s| s.contains("cheaper module set"))));
+    }
+
+    /// Loads `examples/designs/tdm_wide.mcs` — the Section 7.3 worked
+    /// example, where a 32-bit product already crosses as two 16-bit
+    /// halves.
+    fn tdm_wide() -> mcs_cdfg::designs::Design {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/designs/tdm_wide.mcs");
+        let text = std::fs::read_to_string(path).expect("tdm_wide.mcs exists");
+        mcs_cdfg::format::parse(&text).expect("tdm_wide.mcs parses")
+    }
+
+    #[test]
+    fn tdm_option_arithmetic_on_the_wide_example() {
+        let d = tdm_wide();
+        let r = connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(2)).unwrap();
+        // The design's chip-to-chip transfers are the two 16-bit halves.
+        let advice = tdm_advice(d.cdfg(), &r, 16, 0);
+        assert_eq!(advice.len(), 2);
+        for a in &advice {
+            assert_eq!(a.bits, 16);
+            // parts = 2, 3, 4 in order; exercises ceil division (16/3).
+            let expect = [(2u32, 8u32, 8u32, 1u32), (3, 6, 10, 2), (4, 4, 12, 3)];
+            assert_eq!(a.options.len(), expect.len());
+            for (o, &(parts, per, saved, cycles)) in a.options.iter().zip(&expect) {
+                assert_eq!(o.parts, parts);
+                assert_eq!(
+                    o.pins_per_endpoint, per,
+                    "{}: ceil({}/{})",
+                    a.name, a.bits, parts
+                );
+                assert_eq!(o.pins_saved, saved);
+                assert_eq!(o.extra_cycles, cycles);
+                assert_eq!(o.pins_per_endpoint + o.pins_saved, a.bits);
+            }
+        }
+    }
+
+    #[test]
+    fn tdm_advice_is_deterministically_sorted() {
+        let d = tdm_wide();
+        let r = connect_first_flow(d.cdfg(), &ConnectFirstOptions::new(2)).unwrap();
+        let advice = tdm_advice(d.cdfg(), &r, 1, 0);
+        // Widest first, then op id — repeated calls agree exactly.
+        let key: Vec<_> = advice
+            .iter()
+            .map(|a| (std::cmp::Reverse(a.bits), a.op))
+            .collect();
+        let mut sorted = key.clone();
+        sorted.sort();
+        assert_eq!(key, sorted);
+        let again: Vec<_> = tdm_advice(d.cdfg(), &r, 1, 0)
+            .iter()
+            .map(|a| (a.op, a.name.clone(), a.recommended))
+            .collect();
+        let first: Vec<_> = advice
+            .iter()
+            .map(|a| (a.op, a.name.clone(), a.recommended))
+            .collect();
+        assert_eq!(first, again);
     }
 
     #[test]

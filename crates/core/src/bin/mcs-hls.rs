@@ -18,6 +18,11 @@
 //! mcs-hls partition <design.mcs> --chips N [--pins P]
 //!                  repartition by KL/FM min-cut; prints the new design
 //! mcs-hls dot      <design.mcs> [--rate N --buses]  Graphviz (CDFG or buses)
+//! mcs-hls explore  <design.mcs> --rates 4..8 --pin-budgets 48,48:32,32
+//!                  [--flow simple|connect|schedule] [--jobs N]
+//!                  [--out sweep.json] [--csv sweep.csv] [--no-prune]
+//!                  [--explain]                   sweep the rate × budget
+//!                  lattice, print the Pareto frontier report
 //! ```
 //!
 //! Designs use the textual format of [`mcs_cdfg::format`]. Benchmarks can
@@ -27,6 +32,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use mcs_cdfg::{format, timing, Cdfg, PortMode};
+use multichip_hls::explore::run_sweep;
+use multichip_hls::explore_engine::{FlowVariant, SweepOptions, SweepSpec};
 use multichip_hls::flows::{
     connect_first_flow_traced, schedule_first_flow_traced, simple_flow_with, ConnectFirstOptions,
     SynthesisConfig, SynthesisResult,
@@ -61,17 +68,26 @@ struct Args {
     probe_differential: bool,
     trace_out: Option<String>,
     trace_format: String,
+    rates: Option<String>,
+    pin_budgets: Option<String>,
+    jobs: usize,
+    out: Option<String>,
+    csv: Option<String>,
+    no_prune: bool,
+    explain: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mcs-hls <check|synth|explain|simulate|rtl|fmt|partition|dot> <design.mcs> \
+        "usage: mcs-hls <check|synth|explain|simulate|rtl|fmt|partition|dot|explore> <design.mcs> \
          [--rate N] [--flow simple|connect|schedule] [--pipe N] \
          [--bidir] [--sharing] [--instances N] [--seed N] \
          [--chips N] [--pins N] [--buses] \
          [--workers N] [--portfolio N] [--branching N] [--budget N] \
          [--pivot-budget N] [--probe-differential] \
-         [--trace-out FILE] [--trace-format chrome|jsonl]"
+         [--trace-out FILE] [--trace-format chrome|jsonl] \
+         [--rates A..B|A,B,C] [--pin-budgets V:V (V = P,P,..)] [--jobs N] \
+         [--out FILE] [--csv FILE] [--no-prune] [--explain]"
     );
     ExitCode::from(2)
 }
@@ -101,6 +117,13 @@ fn parse_args() -> Result<Args, ExitCode> {
         probe_differential: false,
         trace_out: None,
         trace_format: "chrome".into(),
+        rates: None,
+        pin_budgets: None,
+        jobs: 1,
+        out: None,
+        csv: None,
+        no_prune: false,
+        explain: false,
     };
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| {
@@ -180,6 +203,17 @@ fn parse_args() -> Result<Args, ExitCode> {
                 )
             }
             "--probe-differential" => out.probe_differential = true,
+            "--rates" => out.rates = Some(next_value(&mut args, "--rates")?),
+            "--pin-budgets" => out.pin_budgets = Some(next_value(&mut args, "--pin-budgets")?),
+            "--jobs" => {
+                out.jobs = next_value(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|_| usage())?
+            }
+            "--out" => out.out = Some(next_value(&mut args, "--out")?),
+            "--csv" => out.csv = Some(next_value(&mut args, "--csv")?),
+            "--no-prune" => out.no_prune = true,
+            "--explain" => out.explain = true,
             "--trace-out" => out.trace_out = Some(next_value(&mut args, "--trace-out")?),
             "--trace-format" => {
                 out.trace_format = next_value(&mut args, "--trace-format")?;
@@ -195,6 +229,28 @@ fn parse_args() -> Result<Args, ExitCode> {
         }
     }
     Ok(out)
+}
+
+/// `--rates` value: an inclusive range `A..B` or a comma list `A,B,C`.
+fn parse_rates(s: &str) -> Option<Vec<u32>> {
+    if let Some((lo, hi)) = s.split_once("..") {
+        let lo: u32 = lo.trim().parse().ok()?;
+        let hi: u32 = hi.trim().parse().ok()?;
+        if lo == 0 || lo > hi {
+            return None;
+        }
+        Some((lo..=hi).collect())
+    } else {
+        s.split(',').map(|t| t.trim().parse().ok()).collect()
+    }
+}
+
+/// `--pin-budgets` value: colon-separated budget vectors, each a comma
+/// list with one entry per chip — `48,48:32,32` is two 2-chip vectors.
+fn parse_budgets(s: &str) -> Option<Vec<Vec<u32>>> {
+    s.split(':')
+        .map(|v| v.split(',').map(|t| t.trim().parse().ok()).collect())
+        .collect()
 }
 
 fn load(path: &str) -> Result<mcs_cdfg::designs::Design, ExitCode> {
@@ -441,6 +497,112 @@ fn main() -> ExitCode {
                 );
             } else {
                 print!("{}", mcs_cdfg::dot::to_dot(cdfg));
+            }
+            ExitCode::SUCCESS
+        }
+        "explore" => {
+            let (Some(rates_s), Some(budgets_s)) = (&a.rates, &a.pin_budgets) else {
+                eprintln!("explore needs --rates and --pin-budgets");
+                return ExitCode::from(2);
+            };
+            let Some(rates) = parse_rates(rates_s) else {
+                eprintln!("--rates must be `A..B` (inclusive, A >= 1) or `A,B,C`");
+                return ExitCode::from(2);
+            };
+            let Some(budgets) = parse_budgets(budgets_s) else {
+                eprintln!("--pin-budgets must be colon-separated comma lists, e.g. 48,48:32,32");
+                return ExitCode::from(2);
+            };
+            let flow = match a.flow.as_str() {
+                "simple" => FlowVariant::Simple,
+                "connect" => FlowVariant::ConnectFirst,
+                "schedule" => FlowVariant::ScheduleFirst,
+                other => {
+                    eprintln!("unknown flow `{other}` (simple|connect|schedule)");
+                    return ExitCode::from(2);
+                }
+            };
+            let spec = SweepSpec {
+                design: design.name().to_string(),
+                flow,
+                rates,
+                budgets,
+            };
+            let opts = SweepOptions {
+                jobs: a.jobs.max(1),
+                prune: !a.no_prune,
+            };
+            let buf =
+                (a.explain || a.trace_out.is_some()).then(|| Arc::new(BufferingRecorder::new()));
+            let rec = match &buf {
+                Some(b) => RecorderHandle::new(b.clone()),
+                None => RecorderHandle::default(),
+            };
+            let report = match run_sweep(cdfg, &spec, &opts, &rec) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("explore failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let json = report.to_json();
+            if let Err(e) = export::validate_json(&json) {
+                eprintln!("internal error: sweep JSON failed strict validation: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Some(path) = &a.out {
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                println!("{json}");
+            }
+            if let Some(path) = &a.csv {
+                if let Err(e) = std::fs::write(path, report.to_csv()) {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let st = &report.stats;
+            eprintln!(
+                "explore: {} points ({} run, {} pruned): {} feasible, \
+                 {} pin-infeasible, {} search-failed, {} errors; \
+                 frontier {}; warm-start hits {} ({} probe + {} cert)",
+                st.points,
+                st.run,
+                st.pruned,
+                st.feasible,
+                st.pin_infeasible,
+                st.search_failed,
+                st.errors,
+                report.frontier.len(),
+                st.seed_hits(),
+                st.probe_seed_hits,
+                st.cert_seed_hits,
+            );
+            for p in &report.frontier {
+                eprintln!(
+                    "  frontier: rate {} budget {:?} -> latency {} pins {} buses {}",
+                    p.coord.rate,
+                    report.spec.budgets[p.coord.budget_ix],
+                    p.latency,
+                    p.total_pins,
+                    p.buses
+                );
+            }
+            if let (Some(buf), Some(path)) = (&buf, &a.trace_out) {
+                if let Err(code) = write_trace(buf, &a, path) {
+                    return code;
+                }
+            }
+            if a.explain {
+                if let Some(buf) = &buf {
+                    let summary = summarize(&buf.timed_events());
+                    eprintln!();
+                    eprintln!("{}", render_phase_summary(&summary));
+                    eprintln!("{}", render_trace_aggregates(&summary));
+                }
             }
             ExitCode::SUCCESS
         }

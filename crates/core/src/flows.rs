@@ -3,12 +3,13 @@
 
 use std::collections::BTreeMap;
 
-use mcs_cdfg::{Cdfg, OpId, OperatorClass, PartitionId, PortMode};
+use mcs_cdfg::{BusId, Cdfg, OpId, OperatorClass, PartitionId, PortMode};
 use mcs_connect::{
-    share_pass, synthesize_with_stats, ConnectError, Interconnect, SearchConfig, SearchStats,
+    share_pass, synthesize_seeded, ConnectError, Interconnect, RefutationCert, SearchConfig,
+    SearchStats,
 };
 use mcs_obs::{Event, RecorderHandle};
-use mcs_pinalloc::{check_simple, PinAllocError, PinChecker, SimplicityViolation};
+use mcs_pinalloc::{check_simple, PinAllocError, PinChecker, ProbeCacheStats, SimplicityViolation};
 use mcs_postsyn::{connect_after_scheduling, verify_against_schedule, PostsynConfig};
 use mcs_sched::{
     fds_schedule, list_schedule, validate, BusPolicy, FdsConfig, ListConfig, PinPolicy, SchedError,
@@ -214,12 +215,44 @@ pub fn simple_flow_with(
     config: &SynthesisConfig,
     recorder: &RecorderHandle,
 ) -> Result<SynthesisResult, FlowError> {
-    check_simple(cdfg).map_err(FlowError::NotSimple)?;
     let mut checker = match config.pivot_budget {
         Some(b) => PinChecker::with_pivot_budget(cdfg, rate, b)?,
         None => PinChecker::new(cdfg, rate)?,
     };
     checker.set_differential(config.probe_differential);
+    simple_flow_with_checker(cdfg, rate, checker, recorder).map(|(result, _)| result)
+}
+
+/// What the pin checker did during one [`simple_flow_with_checker`] run:
+/// the probe counters plus the epoch-0 verdict export that a later
+/// checker for a dominated budget point may adopt (the design-space
+/// explorer's cross-point warm start).
+#[derive(Clone, Debug)]
+pub struct SimpleFlowProbeReport {
+    /// Final probe-cache counters (memo/surrogate/solver/seed hits).
+    pub stats: ProbeCacheStats,
+    /// Pre-commit probe verdicts this run computed itself
+    /// ([`PinChecker::initial_probe_memo`]).
+    pub initial_memo: Vec<((usize, i64), bool)>,
+}
+
+/// [`simple_flow_with`] taking a caller-prepared [`PinChecker`] —
+/// possibly pre-seeded via [`PinChecker::seed_initial_memo`] — and
+/// additionally returning the checker's probe report for cross-run
+/// reuse. The checker must have been built for `(cdfg, rate)` and must
+/// not have committed anything yet.
+///
+/// # Errors
+///
+/// Identical to [`simple_flow`]; seeding never changes verdicts, only
+/// which probes reach the solver.
+pub fn simple_flow_with_checker(
+    cdfg: &Cdfg,
+    rate: u32,
+    checker: PinChecker,
+    recorder: &RecorderHandle,
+) -> Result<(SynthesisResult, SimpleFlowProbeReport), FlowError> {
+    check_simple(cdfg).map_err(FlowError::NotSimple)?;
     let mut policy = PinPolicy::new(checker);
     policy.set_recorder(recorder.clone());
     let mut lc = ListConfig::new(rate);
@@ -228,9 +261,14 @@ pub fn simple_flow_with(
         let _phase = recorder.phase("schedule");
         list_schedule(cdfg, &lc, &mut policy)?
     };
+    let probe = SimpleFlowProbeReport {
+        stats: policy.checker().probe_stats(),
+        initial_memo: policy.checker().initial_probe_memo(),
+    };
     if recorder.enabled() {
-        let stats = policy.checker().probe_stats();
+        let stats = &probe.stats;
         recorder.counter("probe.memo_hits", stats.memo_hits as i64);
+        recorder.counter("probe.seed_hits", stats.seed_hits as i64);
         recorder.counter("probe.surrogate_rejects", stats.surrogate_rejects as i64);
         recorder.counter("probe.solver", stats.solver_probes as i64);
         recorder.counter("probe.exact_fallbacks", stats.exact_fallbacks as i64);
@@ -280,7 +318,7 @@ pub fn simple_flow_with(
     }
     let result = SynthesisResult::common(cdfg, schedule, ic);
     record_pin_budget(cdfg, &result, recorder);
-    Ok(result)
+    Ok((result, probe))
 }
 
 /// Options for the connection-before-scheduling flow (Chapters 4 and 6).
@@ -371,12 +409,60 @@ pub fn connect_first_flow_traced(
     opts: &ConnectFirstOptions,
     recorder: &RecorderHandle,
 ) -> Result<SynthesisResult, FlowError> {
+    connect_first_flow_seeded(cdfg, opts, &[], recorder).0
+}
+
+/// The connection search's cross-run byproducts, returned by
+/// [`connect_first_flow_seeded`] even when the flow fails — failed
+/// searches produce the most valuable refutation certificates.
+#[derive(Clone, Debug, Default)]
+pub struct ConnectSeedReport {
+    /// Failure proofs learned by this run's portfolio, in deterministic
+    /// barrier order.
+    pub learned: Vec<RefutationCert>,
+    /// The portfolio telemetry (also in the result's `search_stats` on
+    /// success).
+    pub stats: SearchStats,
+}
+
+/// [`connect_first_flow_traced`] with refutation-certificate transfer:
+/// `seed` pre-populates the portfolio's failure cache (see
+/// [`mcs_connect::synthesize_seeded`] for the soundness contract the
+/// caller must uphold) and the report carries what this run learned.
+pub fn connect_first_flow_seeded(
+    cdfg: &Cdfg,
+    opts: &ConnectFirstOptions,
+    seed: &[RefutationCert],
+    recorder: &RecorderHandle,
+) -> (Result<SynthesisResult, FlowError>, ConnectSeedReport) {
     let cfg = opts.search_config().with_recorder(recorder.clone());
-    let (ic, search_stats) = {
+    let (ic, search_stats, learned) = {
         let _phase = recorder.phase("connect");
-        synthesize_with_stats(cdfg, opts.mode, &cfg)
+        synthesize_seeded(cdfg, opts.mode, &cfg, seed)
     };
-    let ic = ic?;
+    let report = ConnectSeedReport {
+        learned,
+        stats: search_stats.clone(),
+    };
+    let ic = match ic {
+        Ok(ic) => ic,
+        Err(e) => return (Err(e.into()), report),
+    };
+    (
+        connect_first_schedule(cdfg, opts, ic, search_stats, recorder),
+        report,
+    )
+}
+
+/// The scheduling half of the connect-first flow: bus-slot list
+/// scheduling with hold-back retries over a fixed interconnect.
+fn connect_first_schedule(
+    cdfg: &Cdfg,
+    opts: &ConnectFirstOptions,
+    ic: Interconnect,
+    search_stats: SearchStats,
+    recorder: &RecorderHandle,
+) -> Result<SynthesisResult, FlowError> {
     // With reassignment enabled, dynamic allocation is an *addition* to
     // static allocation: the flow runs both and keeps the shorter
     // schedule, so enabling reassignment can only help — the relation the
@@ -517,6 +603,11 @@ pub fn schedule_first_flow_traced(
 
 /// Applies the Chapter 6 sharing pass to an existing interconnect and
 /// reports the pin totals before and after (Table 6.4's comparison).
+///
+/// The returned interconnect has its buses in canonical order — sorted
+/// by (chip pair, then position among the pair's buses) — so rows
+/// derived from it (explore CSV, reports) are stable regardless of the
+/// order `share_pass` merged buses in.
 pub fn sharing_improvement(cdfg: &Cdfg, ic: &Interconnect, rate: u32) -> (u32, u32, Interconnect) {
     let total = |ic: &Interconnect| {
         (0..cdfg.partition_count())
@@ -526,6 +617,84 @@ pub fn sharing_improvement(cdfg: &Cdfg, ic: &Interconnect, rate: u32) -> (u32, u
     let before = total(ic);
     let mut shared = ic.clone();
     share_pass(cdfg, &mut shared, rate);
+    sort_buses_canonically(&mut shared);
     let after = total(&shared);
     (before, after, shared)
+}
+
+/// Sorts `ic.buses` by (source partitions, sink partitions, original
+/// index) and remaps every assignment to the new bus indices. The
+/// original index as final tie-break keeps the sort stable, so equal
+/// chip pairs preserve their relative order.
+fn sort_buses_canonically(ic: &mut Interconnect) {
+    let pair = |bus: &mcs_connect::Bus| {
+        let src = bus
+            .out_ports
+            .keys()
+            .chain(bus.bi_ports.keys())
+            .min()
+            .copied();
+        let snk = bus
+            .in_ports
+            .keys()
+            .chain(bus.bi_ports.keys())
+            .min()
+            .copied();
+        (src, snk)
+    };
+    let mut order: Vec<usize> = (0..ic.buses.len()).collect();
+    order.sort_by_key(|&i| (pair(&ic.buses[i]), i));
+    let mut remap = vec![0u32; ic.buses.len()];
+    for (new_ix, &old_ix) in order.iter().enumerate() {
+        remap[old_ix] = new_ix as u32;
+    }
+    ic.buses = order.iter().map(|&i| ic.buses[i].clone()).collect();
+    for a in ic.assignment.values_mut() {
+        a.bus = BusId::new(remap[a.bus.index()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cdfg::designs::elliptic;
+
+    #[test]
+    fn sharing_improvement_returns_canonically_sorted_buses() {
+        let d = elliptic::partitioned();
+        let opts = ConnectFirstOptions::new(6);
+        let r = connect_first_flow(d.cdfg(), &opts).unwrap();
+
+        // Scramble the bus order; the sharing pass must undo it.
+        let mut scrambled = r.interconnect.clone();
+        scrambled.buses.reverse();
+        let n = scrambled.buses.len() as u32;
+        for a in scrambled.assignment.values_mut() {
+            a.bus = BusId::new(n - 1 - a.bus.index() as u32);
+        }
+        assert!(scrambled.verify(d.cdfg()).is_empty());
+
+        let (_, _, sorted) = sharing_improvement(d.cdfg(), &scrambled, 6);
+        let (b1, a1, from_original) = sharing_improvement(d.cdfg(), &r.interconnect, 6);
+        assert!(sorted.verify(d.cdfg()).is_empty());
+        assert!(a1 <= b1);
+
+        let pairs = |ic: &Interconnect| -> Vec<(Option<PartitionId>, Option<PartitionId>)> {
+            ic.buses
+                .iter()
+                .map(|b| {
+                    (
+                        b.out_ports.keys().chain(b.bi_ports.keys()).min().copied(),
+                        b.in_ports.keys().chain(b.bi_ports.keys()).min().copied(),
+                    )
+                })
+                .collect()
+        };
+        let sorted_pairs = pairs(&sorted);
+        let mut expect = sorted_pairs.clone();
+        expect.sort();
+        assert_eq!(sorted_pairs, expect, "buses must sort by chip pair");
+        // Scrambled and original inputs converge to the same bus order.
+        assert_eq!(pairs(&from_original), sorted_pairs);
+    }
 }

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+pub mod explore;
 pub mod flows;
 pub mod netlist;
 pub mod report;
@@ -43,6 +44,7 @@ pub mod rtl;
 pub use mcs_cdfg as cdfg;
 pub use mcs_conditional as conditional;
 pub use mcs_connect as connect;
+pub use mcs_explore as explore_engine;
 pub use mcs_ilp as ilp;
 pub use mcs_matching as matching;
 pub use mcs_obs as obs;

@@ -1,0 +1,151 @@
+//! Sharded cross-point warm-start cache.
+//!
+//! Exports are keyed by their producing [`PointCoord`] and stored in
+//! `Arc`s across a fixed set of `RwLock` shards, so lattice workers can
+//! look donors up concurrently while a wave runs. Determinism comes
+//! from the publication discipline, not from locking: the driver
+//! inserts only at wave barriers, in wave order, and an append-only log
+//! of keys fixes the donor iteration order — so the donor list any
+//! point observes is a pure function of the sweep spec.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use crate::PointCoord;
+
+/// Number of shards; a small power of two keeps the FNV mix cheap.
+const SHARDS: usize = 16;
+
+/// Sharded map from producing point to its warm-start export.
+pub struct WarmStartCache<V> {
+    shards: Vec<RwLock<HashMap<PointCoord, Arc<V>>>>,
+    /// Keys in publication (wave) order — the deterministic donor scan.
+    log: RwLock<Vec<PointCoord>>,
+}
+
+impl<V> Default for WarmStartCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> WarmStartCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        WarmStartCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            log: RwLock::new(Vec::new()),
+        }
+    }
+
+    fn shard_of(&self, key: PointCoord) -> usize {
+        // FNV-1a over the coordinate bytes; only shard choice uses it.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key
+            .rate
+            .to_le_bytes()
+            .into_iter()
+            .chain((key.budget_ix as u64).to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % SHARDS as u64) as usize
+    }
+
+    /// Publishes one export. Driver-only, at wave barriers; re-publishing
+    /// the same coordinate replaces the entry without re-logging it.
+    pub fn insert(&self, key: PointCoord, value: V) {
+        let fresh = self.shards[self.shard_of(key)]
+            .write()
+            .expect("cache lock")
+            .insert(key, Arc::new(value))
+            .is_none();
+        if fresh {
+            self.log.write().expect("cache log lock").push(key);
+        }
+    }
+
+    /// The export published by `key`, if any.
+    pub fn get(&self, key: PointCoord) -> Option<Arc<V>> {
+        self.shards[self.shard_of(key)]
+            .read()
+            .expect("cache lock")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Donors applicable to a point at `rate` with budget vector
+    /// `budget`: exports from the same rate whose budget vectors
+    /// dominate (are componentwise `>=`) the point's, in publication
+    /// order. `budgets` resolves a donor's `budget_ix` to its vector.
+    pub fn donors_for(
+        &self,
+        rate: u32,
+        budget: &[u32],
+        budgets: &[Vec<u32>],
+    ) -> Vec<(PointCoord, Arc<V>)> {
+        let log = self.log.read().expect("cache log lock");
+        log.iter()
+            .filter(|d| d.rate == rate)
+            .filter(|d| {
+                let donor = &budgets[d.budget_ix];
+                donor.len() == budget.len()
+                    && donor.iter().zip(budget).all(|(&have, &need)| have >= need)
+                    && donor != &budget.to_vec()
+            })
+            .filter_map(|&d| self.get(d).map(|v| (d, v)))
+            .collect()
+    }
+
+    /// Exports resident in the cache.
+    pub fn len(&self) -> usize {
+        self.log.read().expect("cache log lock").len()
+    }
+
+    /// `true` when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord(rate: u32, budget_ix: usize) -> PointCoord {
+        PointCoord { rate, budget_ix }
+    }
+
+    #[test]
+    fn donors_filter_by_rate_and_budget_dominance() {
+        let budgets = vec![vec![64, 64], vec![48, 64], vec![32, 32]];
+        let cache: WarmStartCache<&'static str> = WarmStartCache::new();
+        cache.insert(coord(4, 0), "generous");
+        cache.insert(coord(4, 1), "mixed");
+        cache.insert(coord(5, 0), "other-rate");
+
+        // [48, 64] is dominated by [64, 64] but not by itself or by a
+        // donor at another rate.
+        let donors = cache.donors_for(4, &budgets[1], &budgets);
+        let names: Vec<&str> = donors.iter().map(|(_, v)| **v).collect();
+        assert_eq!(names, vec!["generous"]);
+
+        // [32, 32] is dominated by both rate-4 donors, in publish order.
+        let donors = cache.donors_for(4, &budgets[2], &budgets);
+        let names: Vec<&str> = donors.iter().map(|(_, v)| **v).collect();
+        assert_eq!(names, vec!["generous", "mixed"]);
+
+        // [64, 64] has no strict dominator.
+        assert!(cache.donors_for(4, &budgets[0], &budgets).is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_relogging() {
+        let cache: WarmStartCache<u32> = WarmStartCache::new();
+        cache.insert(coord(4, 0), 1);
+        cache.insert(coord(4, 0), 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(*cache.get(coord(4, 0)).unwrap(), 2);
+    }
+}

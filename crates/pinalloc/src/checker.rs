@@ -54,6 +54,9 @@ pub struct ProbeCacheStats {
     pub max_rollback_depth: u64,
     /// Commits, i.e. memo-cache invalidations (the commit epoch).
     pub commits: u64,
+    /// Memo hits answered by entries seeded from another checker via
+    /// [`PinChecker::seed_initial_memo`] (a subset of `memo_hits`).
+    pub seed_hits: u64,
 }
 
 impl ProbeCacheStats {
@@ -146,6 +149,13 @@ pub struct PinChecker {
     /// pure function of solver state, which only commits mutate; cleared
     /// on every commit.
     memo: BTreeMap<(usize, i64), bool>,
+    /// Probe verdicts this checker *computed* (memo entries excluded)
+    /// while no commit had happened yet — a pure function of
+    /// `(design, rate, budgets)`, exportable for cross-run warm starts.
+    epoch0_learned: BTreeMap<(usize, i64), bool>,
+    /// Keys in `memo` that came from [`PinChecker::seed_initial_memo`]
+    /// rather than this checker's own solves (for `seed_hits`).
+    seeded: std::collections::BTreeSet<(usize, i64)>,
     /// Destination-partition index of each transfer (surrogate bound).
     op_dest: BTreeMap<OpId, u32>,
     /// Committed input pin-bits per `[partition * L + group]`.
@@ -399,6 +409,8 @@ impl PinChecker {
             total_cap,
             pivot_budget,
             memo: BTreeMap::new(),
+            epoch0_learned: BTreeMap::new(),
+            seeded: std::collections::BTreeSet::new(),
             op_dest,
             part_in_load: vec![0; cdfg.partitions().len() * l],
             in_cap,
@@ -497,10 +509,16 @@ impl PinChecker {
         let k = step.rem_euclid(self.rate as i64) as usize;
         let (verdict, source, trail_depth) = if let Some(&v) = self.memo.get(&(var, 1)) {
             self.stats.memo_hits += 1;
+            if self.seeded.contains(&(var, 1)) {
+                self.stats.seed_hits += 1;
+            }
             (v, ProbeSource::Memo, 0)
         } else if self.surrogate_rejects(op, k) {
             self.stats.surrogate_rejects += 1;
             self.memo.insert((var, 1), false);
+            if self.stats.commits == 0 {
+                self.epoch0_learned.insert((var, 1), false);
+            }
             (false, ProbeSource::Surrogate, 0)
         } else {
             let (f, pstats) = self
@@ -513,6 +531,9 @@ impl PinChecker {
             self.stats.max_rollback_depth = self.stats.max_rollback_depth.max(pstats.rollback_ops);
             let v = f == Feasibility::Feasible;
             self.memo.insert((var, 1), v);
+            if self.stats.commits == 0 {
+                self.epoch0_learned.insert((var, 1), v);
+            }
             (v, ProbeSource::Solver, pstats.rollback_ops)
         };
         if self.recorder.enabled() {
@@ -573,8 +594,10 @@ impl PinChecker {
             self.part_in_load[pi as usize * self.rate as usize + k] +=
                 self.op_bits.get(&op).copied().unwrap_or(0) as i64;
         }
-        // The solver state changed: every memoized probe verdict is stale.
+        // The solver state changed: every memoized probe verdict is stale,
+        // including anything seeded from another checker's epoch-0 export.
         self.memo.clear();
+        self.seeded.clear();
         self.stats.commits += 1;
         let outcome = match self.resolve() {
             Feasibility::Feasible => Ok(()),
@@ -594,6 +617,37 @@ impl PinChecker {
     /// `true` once every transfer has been committed.
     pub fn all_committed(&self) -> bool {
         self.agg_remaining.iter().all(|&r| r == 0) && self.member_done.iter().all(|&d| d)
+    }
+
+    /// Probe verdicts this checker computed itself before any commit —
+    /// a pure function of `(design, rate, budgets)`, so another checker
+    /// for the same problem may adopt them via
+    /// [`PinChecker::seed_initial_memo`]. Entries that were themselves
+    /// seeded are excluded: re-exporting them would launder their
+    /// provenance. Sorted by key for deterministic consumption.
+    pub fn initial_probe_memo(&self) -> Vec<((usize, i64), bool)> {
+        self.epoch0_learned.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Pre-populates the probe memo from another checker's
+    /// [`PinChecker::initial_probe_memo`] export. Only legal while this
+    /// checker has made no commit (the memo is a pure function of the
+    /// initial tableau until then); afterwards the call is a no-op.
+    /// Entries already resolved locally are kept. Returns how many
+    /// entries were adopted.
+    pub fn seed_initial_memo(&mut self, entries: &[((usize, i64), bool)]) -> usize {
+        if self.stats.commits != 0 {
+            return 0;
+        }
+        let mut adopted = 0;
+        for &(key, verdict) in entries {
+            if let std::collections::btree_map::Entry::Vacant(slot) = self.memo.entry(key) {
+                slot.insert(verdict);
+                self.seeded.insert(key);
+                adopted += 1;
+            }
+        }
+        adopted
     }
 }
 
@@ -700,6 +754,65 @@ mod tests {
         assert!(!c.can_commit(v2, 0));
         assert!(c.probe_stats().solver_probes > before);
         assert_eq!(c.probe_stats().commits, 1);
+    }
+
+    #[test]
+    fn seeded_memo_answers_probes_and_counts_seed_hits() {
+        let d = synthetic::fig_2_5();
+        let mut donor = PinChecker::new(d.cdfg(), 2).unwrap();
+        let v1 = d.op_named("V1");
+        let v2 = d.op_named("V2");
+        assert!(donor.can_commit(v1, 0));
+        assert!(donor.can_commit(v2, 1));
+        let export = donor.initial_probe_memo();
+        assert_eq!(export.len(), 2);
+
+        let mut fresh = PinChecker::new(d.cdfg(), 2).unwrap();
+        assert_eq!(fresh.seed_initial_memo(&export), 2);
+        assert!(fresh.can_commit(v1, 0));
+        assert!(fresh.can_commit(v2, 1));
+        let stats = fresh.probe_stats();
+        assert_eq!(stats.solver_probes, 0, "seeded probes must not re-solve");
+        assert_eq!(stats.memo_hits, 2);
+        assert_eq!(stats.seed_hits, 2);
+        // Seeded entries are adopted, not learned: they must not be
+        // re-exported as this checker's own epoch-0 verdicts.
+        assert!(fresh.initial_probe_memo().is_empty());
+    }
+
+    #[test]
+    fn seeding_after_a_commit_is_rejected() {
+        let d = synthetic::fig_2_5();
+        let mut donor = PinChecker::new(d.cdfg(), 2).unwrap();
+        let v1 = d.op_named("V1");
+        assert!(donor.can_commit(v1, 0));
+        let export = donor.initial_probe_memo();
+
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        c.commit(v1, 0).unwrap();
+        assert_eq!(c.seed_initial_memo(&export), 0);
+        assert_eq!(c.probe_stats().seed_hits, 0);
+    }
+
+    #[test]
+    fn commits_drop_seeded_entries_with_the_memo() {
+        let d = synthetic::fig_2_5();
+        let mut donor = PinChecker::new(d.cdfg(), 2).unwrap();
+        let v1 = d.op_named("V1");
+        let v2 = d.op_named("V2");
+        assert!(donor.can_commit(v1, 0));
+        assert!(donor.can_commit(v2, 1));
+        let export = donor.initial_probe_memo();
+
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        assert_eq!(c.seed_initial_memo(&export), 2);
+        c.commit(v1, 0).unwrap();
+        // The seeded V2 verdict died with the memo; this re-solves and
+        // must not be miscounted as a seed hit.
+        let before = c.probe_stats().solver_probes;
+        assert!(c.can_commit(v2, 1));
+        assert!(c.probe_stats().solver_probes > before);
+        assert_eq!(c.probe_stats().seed_hits, 0);
     }
 
     #[test]

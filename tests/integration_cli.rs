@@ -232,3 +232,70 @@ fn unknown_flow_is_rejected() {
     assert!(!ok);
     assert!(stderr.contains("unknown flow"), "{stderr}");
 }
+
+fn wide_sweep() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/designs/wide_sweep.mcs")
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn explore_writes_strict_json_and_csv() {
+    let json_path = std::env::temp_dir().join("mcs_cli_explore_test.json");
+    let csv_path = std::env::temp_dir().join("mcs_cli_explore_test.csv");
+    let (ok, _, stderr) = run(&[
+        "explore",
+        &wide_sweep(),
+        "--rates",
+        "2..4",
+        "--pin-budgets",
+        "64,64:32,32",
+        "--flow",
+        "simple",
+        "--jobs",
+        "2",
+        "--out",
+        json_path.to_str().unwrap(),
+        "--csv",
+        csv_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("frontier"), "{stderr}");
+    let json = std::fs::read_to_string(&json_path).expect("JSON written");
+    multichip_hls::obs::export::validate_json(&json).expect("strict JSON");
+    assert!(json.contains("\"design\":\"wide-sweep\""), "{json}");
+    let csv = std::fs::read_to_string(&csv_path).expect("CSV written");
+    assert!(csv.starts_with("rate,budget_ix,budget,status"), "{csv}");
+    // 3 rates x 2 budgets = 6 data rows after the header.
+    assert_eq!(csv.lines().count(), 1 + 6, "{csv}");
+    let _ = std::fs::remove_file(json_path);
+    let _ = std::fs::remove_file(csv_path);
+}
+
+#[test]
+fn explore_rejects_malformed_lattices() {
+    let (ok, _, stderr) = run(&["explore", &wide_sweep(), "--rates", "2..4"]);
+    assert!(!ok);
+    assert!(stderr.contains("--pin-budgets"), "{stderr}");
+    let (ok, _, stderr) = run(&[
+        "explore",
+        &wide_sweep(),
+        "--rates",
+        "9..2",
+        "--pin-budgets",
+        "64,64",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--rates"), "{stderr}");
+    let (ok, _, stderr) = run(&[
+        "explore",
+        &wide_sweep(),
+        "--rates",
+        "2..4",
+        "--pin-budgets",
+        "64,64,64",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("2 chips"), "{stderr}");
+}

@@ -148,6 +148,64 @@ fn shape6_checker_spreads_io_across_groups() {
     }
 }
 
+/// Shape 7 (the exploration engine over the wide-sweep design): along
+/// the budget ladder at a fixed rate, feasibility is monotone — once a
+/// budget vector is pin-infeasible, every dominated (tighter) vector is
+/// pin-infeasible or pruned, never feasible. This is the lattice
+/// property the dissertation's trade-off tables rely on, and the one
+/// dominance pruning exploits.
+#[test]
+fn shape7_wide_sweep_feasibility_is_monotone_in_the_budget() {
+    use multichip_hls::explore::run_sweep;
+    use multichip_hls::explore_engine::{FlowVariant, PointStatus, SweepOptions, SweepSpec};
+    use multichip_hls::obs::RecorderHandle;
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/designs/wide_sweep.mcs");
+    let text = std::fs::read_to_string(path).expect("wide_sweep.mcs exists");
+    let d = mcs_cdfg::format::parse(&text).expect("wide_sweep.mcs parses");
+    // Budgets descend; the spec index order is also the dominance order.
+    let spec = SweepSpec {
+        design: "wide-sweep".into(),
+        flow: FlowVariant::Simple,
+        rates: (2..=6).collect(),
+        budgets: vec![vec![64, 64], vec![48, 48], vec![32, 32], vec![16, 16]],
+    };
+    let report = run_sweep(
+        d.cdfg(),
+        &spec,
+        &SweepOptions {
+            jobs: 2,
+            prune: true,
+        },
+        &RecorderHandle::default(),
+    )
+    .expect("sweep runs");
+    for rate in 2..=6u32 {
+        let mut seen_infeasible = false;
+        for budget_ix in 0..spec.budgets.len() {
+            let status = report
+                .outcomes
+                .iter()
+                .find(|o| o.coord.rate == rate && o.coord.budget_ix == budget_ix)
+                .expect("point in report")
+                .status;
+            if seen_infeasible {
+                assert!(
+                    matches!(status, PointStatus::PinInfeasible | PointStatus::Pruned),
+                    "rate {rate}, budget {budget_ix}: {status:?} below the boundary"
+                );
+            }
+            if status == PointStatus::PinInfeasible {
+                seen_infeasible = true;
+            }
+        }
+    }
+    // The design straddles the boundary: both sides are populated.
+    assert!(report.stats.feasible > 0);
+    assert!(report.stats.pin_infeasible > 0);
+}
+
 /// Pipe-length sweep of Table 5.1: resources reported by the Chapter 5
 /// flow never blow up as the pipe lengthens.
 #[test]
