@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("e7_allocation_wheel_safety", |b| {
         b.iter(|| {
-            let mut w = AllocationWheel::new(2, 7, 2);
+            let mut w = AllocationWheel::new(2, 7, 2).expect("positive rate and cycles");
             for s in [0i64, 2, 4, 1, 3] {
                 let _ = w.is_safe(s, 3);
                 let _ = w.place(s);

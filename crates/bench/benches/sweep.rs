@@ -33,7 +33,11 @@ fn bench(c: &mut Criterion) {
         ("pruned-2", 2, true),
         ("exhaustive-1", 1, false),
     ] {
-        let opts = SweepOptions { jobs, prune };
+        let opts = SweepOptions {
+            jobs,
+            prune,
+            ..SweepOptions::default()
+        };
         g.bench_function(BenchmarkId::new("elliptic", label), |b| {
             b.iter(|| {
                 run_sweep(design.cdfg(), &spec, &opts, &RecorderHandle::default())

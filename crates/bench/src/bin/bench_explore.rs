@@ -36,7 +36,11 @@ fn spec() -> SweepSpec {
 
 fn run(prune: bool) -> (MeasuredSweep, mcs_explore::SweepReport) {
     let design = elliptic::partitioned();
-    let opts = SweepOptions { jobs: 2, prune };
+    let opts = SweepOptions {
+        jobs: 2,
+        prune,
+        ..SweepOptions::default()
+    };
     let t0 = Instant::now();
     let report = run_sweep(design.cdfg(), &spec(), &opts, &RecorderHandle::default())
         .expect("elliptic sweep spec is well-formed");

@@ -525,10 +525,10 @@ pub fn e7_conditional() -> String {
 /// E7.3 — Figure 7.10: allocation-wheel fragmentation and the safety
 /// check.
 pub fn e7_wheel() -> String {
-    let mut naive = AllocationWheel::new(1, 6, 2);
+    let mut naive = AllocationWheel::new(1, 6, 2).expect("positive rate and cycles");
     naive.place(0);
     let fragmented = naive.place(3).is_some() && !naive.can_place(2) && !naive.can_place(4);
-    let mut safe = AllocationWheel::new(1, 6, 2);
+    let mut safe = AllocationWheel::new(1, 6, 2).expect("positive rate and cycles");
     safe.place(0);
     let checked = safe.is_safe(3, 1);
     let d = designs::synthetic::multicycle_example();
@@ -845,6 +845,9 @@ mod tests {
             prunes: 5,
             backtracks: 2,
             wall: Duration::from_millis(250),
+            termination: mcs_ctl::Termination::Complete,
+            deepest: 0,
+            deepest_buses: 0,
         };
         let before = MeasuredSearch {
             ok: true,

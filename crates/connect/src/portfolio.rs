@@ -44,6 +44,7 @@ use std::sync::RwLock;
 use std::time::{Duration, Instant};
 
 use mcs_cdfg::{Cdfg, OpId, PartitionId, PortMode};
+use mcs_ctl::Termination;
 
 use crate::model::Interconnect;
 use crate::search::{
@@ -437,6 +438,9 @@ pub enum WorkerOutcome {
     Failed,
     /// Still running when the portfolio stopped at a barrier.
     Cancelled,
+    /// Panicked during an epoch and was quarantined; the rest of the
+    /// portfolio kept racing without it.
+    Panicked,
 }
 
 impl std::fmt::Display for WorkerOutcome {
@@ -446,6 +450,7 @@ impl std::fmt::Display for WorkerOutcome {
             WorkerOutcome::Exhausted => "exhausted",
             WorkerOutcome::Failed => "failed",
             WorkerOutcome::Cancelled => "cancelled",
+            WorkerOutcome::Panicked => "panicked",
         };
         write!(f, "{s}")
     }
@@ -478,6 +483,13 @@ pub struct WorkerReport {
     /// `(buses, total pins)` of the worker's connection, when it found
     /// one.
     pub cost: Option<(u32, u32)>,
+    /// Deepest search depth reached: how many I/O operations the
+    /// worker's best partial connection had assigned. Equal to the
+    /// design's I/O count when the worker succeeded.
+    pub deepest: u64,
+    /// Bus count of that deepest partial structure — the "best so far"
+    /// an interrupted run can report.
+    pub deepest_buses: u32,
 }
 
 /// Telemetry for a whole portfolio run.
@@ -505,6 +517,17 @@ pub struct SearchStats {
     pub backtracks: u64,
     /// Wall time of the whole run.
     pub wall: Duration,
+    /// How the run ended. [`Termination::Complete`] for a natural end
+    /// (success or exhaustion), [`Termination::WorkerPanicked`] when a
+    /// quarantined panic degraded the portfolio, and an interruption
+    /// verdict when the configured budget tripped at a barrier.
+    pub termination: Termination,
+    /// Deepest search depth any worker reached (I/O operations assigned
+    /// on its best partial path) — the anytime progress measure of an
+    /// interrupted run.
+    pub deepest: u64,
+    /// Bus count of that deepest partial connection structure.
+    pub deepest_buses: u32,
 }
 
 impl SearchStats {
@@ -525,6 +548,7 @@ enum WorkerStatus {
     Succeeded,
     Exhausted,
     Failed,
+    Panicked,
 }
 
 /// One suspended node of the iterative backtracking search.
@@ -571,6 +595,11 @@ struct Worker<'a> {
     staged: Vec<(Vec<u8>, Strength)>,
     result: Option<(Interconnect, (u32, u32))>,
     wall: Duration,
+    /// Deepest depth entered and the bus count of the state there — the
+    /// worker's best partial connection, reported when a budget stops
+    /// the run before anyone finishes.
+    deepest: usize,
+    deepest_buses: u32,
 }
 
 impl<'a> Worker<'a> {
@@ -611,6 +640,8 @@ impl<'a> Worker<'a> {
             staged: Vec::new(),
             result: None,
             wall: Duration::ZERO,
+            deepest: 0,
+            deepest_buses: 0,
         }
     }
 
@@ -624,6 +655,10 @@ impl<'a> Worker<'a> {
         if !self.running() {
             return;
         }
+        // Fault-injection site (debug builds only): the test suite arms
+        // a single worker's site to prove a panicking worker degrades to
+        // `WorkerOutcome::Panicked` instead of aborting the run.
+        mcs_ctl::faultpoint!(&format!("portfolio::worker::{}", self.plan.index));
         let t0 = Instant::now();
         let mut expanded = 0usize;
         while expanded < max_nodes && self.running() {
@@ -638,6 +673,10 @@ impl<'a> Worker<'a> {
 
     fn enter_node(&mut self, expanded: &mut usize, cache: &SharedCache) {
         let depth = self.stack.len();
+        if depth > self.deepest {
+            self.deepest = depth;
+            self.deepest_buses = self.state.buses.len() as u32;
+        }
         if depth == self.ops.len() {
             let mut ic = Interconnect {
                 mode: self.mode,
@@ -750,6 +789,16 @@ impl<'a> Worker<'a> {
         }
     }
 
+    /// Quarantines a worker whose epoch panicked: it never runs again,
+    /// and the proofs it staged this epoch are dropped — a panic may
+    /// have interrupted the search mid-node, so nothing staged since the
+    /// last barrier can be trusted as a complete exhaustive failure.
+    fn quarantine(&mut self) {
+        self.status = WorkerStatus::Panicked;
+        self.published -= self.staged.len() as u64;
+        self.staged.clear();
+    }
+
     fn report(&self, cancelled: bool) -> WorkerReport {
         let outcome = match self.status {
             WorkerStatus::Running => {
@@ -759,6 +808,7 @@ impl<'a> Worker<'a> {
             WorkerStatus::Succeeded => WorkerOutcome::Succeeded,
             WorkerStatus::Exhausted => WorkerOutcome::Exhausted,
             WorkerStatus::Failed => WorkerOutcome::Failed,
+            WorkerStatus::Panicked => WorkerOutcome::Panicked,
         };
         WorkerReport {
             index: self.plan.index,
@@ -772,6 +822,8 @@ impl<'a> Worker<'a> {
             cache_published: self.published,
             wall: self.wall,
             cost: self.result.as_ref().map(|(_, c)| *c),
+            deepest: self.deepest as u64,
+            deepest_buses: self.deepest_buses,
         }
     }
 }
@@ -786,6 +838,20 @@ pub fn synthesize_with_stats(
 ) -> (Result<Interconnect, ConnectError>, SearchStats) {
     let (result, stats, _) = synthesize_seeded(cdfg, mode, cfg, &[]);
     (result, stats)
+}
+
+/// Runs one worker's epoch with panic isolation: a panic anywhere in
+/// the expansion (including an injected fault) quarantines the worker
+/// instead of unwinding across the thread scope and aborting the whole
+/// portfolio. The worker's in-progress state is untrusted after a
+/// panic, so quarantine also drops its un-published proofs.
+fn run_epoch_isolated(w: &mut Worker<'_>, epoch_nodes: usize, cache: &SharedCache) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        w.run_epoch(epoch_nodes, cache);
+    }));
+    if outcome.is_err() {
+        w.quarantine();
+    }
 }
 
 /// [`synthesize_with_stats`] with cross-run proof transfer: the cache is
@@ -838,11 +904,17 @@ pub fn synthesize_seeded(
 
     let mut epochs = 0usize;
     let mut learned: Vec<RefutationCert> = Vec::new();
+    // Nodes already charged to the budget, and which workers' panics
+    // have been surfaced (each panic is reported exactly once, at the
+    // barrier of the epoch it happened in).
+    let mut nodes_charged = 0u64;
+    let mut panic_reported = vec![false; workers.len()];
+    let mut interruption: Option<Termination> = None;
     loop {
         epochs += 1;
         if threads == 1 {
             for w in &mut workers {
-                w.run_epoch(epoch_nodes, &cache);
+                run_epoch_isolated(w, epoch_nodes, &cache);
             }
         } else {
             let chunk = workers.len().div_ceil(threads);
@@ -850,7 +922,7 @@ pub fn synthesize_seeded(
                 for group in workers.chunks_mut(chunk) {
                     scope.spawn(|| {
                         for w in group {
-                            w.run_epoch(epoch_nodes, &cache);
+                            run_epoch_isolated(w, epoch_nodes, &cache);
                         }
                     });
                 }
@@ -884,10 +956,35 @@ pub fn synthesize_seeded(
                 }
             }
         }
+        // Surface freshly quarantined panics, in portfolio order.
+        for (i, w) in workers.iter().enumerate() {
+            if w.status == WorkerStatus::Panicked && !panic_reported[i] {
+                panic_reported[i] = true;
+                cfg.recorder.record(mcs_obs::Event::WorkerPanic {
+                    pool: "portfolio",
+                    worker: w.plan.index as u32,
+                    epoch: epochs as u32,
+                });
+            }
+        }
         let any_success = workers.iter().any(|w| w.status == WorkerStatus::Succeeded);
         let all_terminal = workers.iter().all(|w| !w.running());
+        // The budget is charged and polled only here, at the barrier, so
+        // count-ceiling interruption points are a function of the
+        // portfolio alone, never of the thread count. A run that ends
+        // naturally in the same epoch its budget trips reports the
+        // natural verdict: finishing exactly at the ceiling is a finish.
         if any_success || all_terminal {
             break;
+        }
+        if let Some(budget) = &cfg.budget {
+            let total: u64 = workers.iter().map(|w| w.nodes).sum();
+            budget.charge_nodes(total - nodes_charged);
+            nodes_charged = total;
+            if budget.check().is_some() {
+                interruption = Some(budget.termination());
+                break;
+            }
         }
     }
 
@@ -898,6 +995,20 @@ pub fn synthesize_seeded(
         .filter_map(|w| w.result.as_ref().map(|(_, cost)| (*cost, w.plan.index)))
         .min()
         .map(|(_, index)| index);
+    let termination = match interruption {
+        Some(t) => t,
+        None if workers.iter().any(|w| w.status == WorkerStatus::Panicked) => {
+            Termination::WorkerPanicked
+        }
+        None => Termination::Complete,
+    };
+    // Anytime progress: the deepest partial any worker reached; ties
+    // break to the cheaper structure.
+    let (std::cmp::Reverse(deepest), deepest_buses) = workers
+        .iter()
+        .map(|w| (std::cmp::Reverse(w.deepest as u64), w.deepest_buses))
+        .min()
+        .unwrap_or((std::cmp::Reverse(0), 0));
     let stats = SearchStats {
         workers: workers.iter().map(|w| w.report(w.running())).collect(),
         winner,
@@ -910,6 +1021,9 @@ pub fn synthesize_seeded(
         prunes: workers.iter().map(|w| w.prunes).sum(),
         backtracks: workers.iter().map(|w| w.backtracks).sum(),
         wall: t0.elapsed(),
+        termination,
+        deepest,
+        deepest_buses,
     };
     let result = match winner {
         Some(index) => {
@@ -919,7 +1033,10 @@ pub fn synthesize_seeded(
                 .expect("winner present");
             Ok(w.result.expect("winner has result").0)
         }
-        None => Err(ConnectError::NoConnectionFound),
+        None => match interruption {
+            Some(t) => Err(ConnectError::Interrupted(t)),
+            None => Err(ConnectError::NoConnectionFound),
+        },
     };
     (result, stats, learned)
 }
@@ -1042,6 +1159,82 @@ mod tests {
         assert!(seeded.is_ok());
         assert!(stats.seed_hits > 0, "seeded proofs must answer probes");
         assert!(stats.seed_hits <= stats.cache_hits);
+    }
+
+    #[test]
+    fn tripped_budget_interrupts_at_a_barrier_with_partial_progress() {
+        use mcs_ctl::{Budget, BudgetSpec};
+        let d = mcs_cdfg::designs::synthetic::portfolio_adversarial(6);
+        let mut cfg = SearchConfig::new(2)
+            .with_portfolio(4)
+            .with_budget(Budget::new(BudgetSpec::default().max_nodes(1)));
+        // Barriers must arrive before any worker can finish (a success
+        // at the barrier would rightly outrank the ceiling).
+        cfg.epoch_nodes = 16;
+        let (result, stats, _) = synthesize_seeded(d.cdfg(), PortMode::Unidirectional, &cfg, &[]);
+        assert_eq!(
+            result.unwrap_err(),
+            ConnectError::Interrupted(Termination::BudgetExhausted)
+        );
+        assert_eq!(stats.termination, Termination::BudgetExhausted);
+        // The anytime partial: some operations were assigned before the
+        // first barrier, onto at least one bus.
+        assert!(stats.deepest > 0);
+        assert!(stats.deepest <= d.cdfg().io_ops().count() as u64);
+        assert!(stats.deepest_buses > 0);
+    }
+
+    #[test]
+    fn cancellation_is_observed_at_the_next_barrier() {
+        use mcs_ctl::Budget;
+        let d = mcs_cdfg::designs::synthetic::portfolio_adversarial(6);
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let mut cfg = SearchConfig::new(2).with_portfolio(4).with_budget(budget);
+        // No worker can finish 30+ operations in an 8-node epoch, so the
+        // first barrier observes the cancellation.
+        cfg.epoch_nodes = 8;
+        let (result, stats, _) = synthesize_seeded(d.cdfg(), PortMode::Unidirectional, &cfg, &[]);
+        assert_eq!(
+            result.unwrap_err(),
+            ConnectError::Interrupted(Termination::Cancelled)
+        );
+        assert_eq!(stats.epochs, 1, "cancellation lands at the first barrier");
+    }
+
+    #[test]
+    fn budget_interruption_point_is_independent_of_thread_count() {
+        use mcs_ctl::{Budget, BudgetSpec};
+        let d = mcs_cdfg::designs::synthetic::portfolio_adversarial(6);
+        let run = |workers: usize| {
+            let mut cfg = SearchConfig::new(2)
+                .with_portfolio(4)
+                .with_workers(workers)
+                .with_budget(Budget::new(BudgetSpec::default().max_nodes(300)));
+            cfg.epoch_nodes = 32;
+            let (result, stats, learned) =
+                synthesize_seeded(d.cdfg(), PortMode::Unidirectional, &cfg, &[]);
+            (result, stats.epochs, stats.nodes, stats.deepest, learned)
+        };
+        let reference = run(1);
+        for workers in [2usize, 4] {
+            assert_eq!(run(workers), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn natural_finish_in_the_tripping_epoch_still_completes() {
+        use mcs_ctl::{Budget, BudgetSpec};
+        // The whole search finishes inside epoch 1; a node ceiling of 1
+        // would trip at the barrier, but success is checked first, so
+        // the run reports its natural verdict.
+        let d = mcs_cdfg::designs::synthetic::quickstart();
+        let cfg = SearchConfig::new(1)
+            .with_portfolio(2)
+            .with_budget(Budget::new(BudgetSpec::default().max_nodes(1)));
+        let (result, stats, _) = synthesize_seeded(d.cdfg(), PortMode::Unidirectional, &cfg, &[]);
+        assert!(result.is_ok());
+        assert_eq!(stats.termination, Termination::Complete);
     }
 
     #[test]

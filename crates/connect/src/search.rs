@@ -57,6 +57,14 @@ pub struct SearchConfig {
     /// per (worker, epoch) at the barrier, in portfolio-index order, so
     /// the event stream is deterministic across thread counts.
     pub recorder: mcs_obs::RecorderHandle,
+    /// Execution budget polled at every epoch barrier. When it trips,
+    /// the run stops with [`ConnectError::Interrupted`] and the search
+    /// stats carry the deepest partial connection reached (the anytime
+    /// result). Count ceilings are checked only at barriers, so the
+    /// interruption point — like everything else about the search — is
+    /// independent of the thread count; a wall-clock deadline trades
+    /// that determinism for latency control.
+    pub budget: Option<mcs_ctl::Budget>,
 }
 
 impl SearchConfig {
@@ -71,6 +79,7 @@ impl SearchConfig {
             portfolio: None,
             epoch_nodes: 512,
             recorder: mcs_obs::RecorderHandle::default(),
+            budget: None,
         }
     }
 
@@ -100,6 +109,13 @@ impl SearchConfig {
         self.recorder = recorder;
         self
     }
+
+    /// Bounds the run with an execution budget (see
+    /// [`SearchConfig::budget`]).
+    pub fn with_budget(mut self, budget: mcs_ctl::Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
 }
 
 /// Failure modes of connection synthesis.
@@ -110,6 +126,11 @@ pub enum ConnectError {
     /// No connection structure was found within the explored space; a
     /// higher branching factor or node budget may succeed.
     NoConnectionFound,
+    /// The execution budget tripped before any worker found a
+    /// connection. The carried [`mcs_ctl::Termination`] says why
+    /// (deadline, work ceiling, or cancellation); the search stats of
+    /// the run hold the deepest partial structure reached.
+    Interrupted(mcs_ctl::Termination),
 }
 
 impl std::fmt::Display for ConnectError {
@@ -118,6 +139,9 @@ impl std::fmt::Display for ConnectError {
             ConnectError::ZeroRate => write!(f, "initiation rate must be at least 1"),
             ConnectError::NoConnectionFound => {
                 write!(f, "heuristic search found no interchip connection")
+            }
+            ConnectError::Interrupted(t) => {
+                write!(f, "connection search interrupted ({t})")
             }
         }
     }

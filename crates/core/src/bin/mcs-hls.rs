@@ -7,6 +7,9 @@
 //!                  [--flow simple|connect|schedule] [--bidir] [--sharing]
 //!                  [--pipe N]                    (schedule flow's pipe bound)
 //!                  [--pivot-budget N]            (simple flow's probe pivot cap)
+//!                  [--deadline-ms N] [--max-pivots N] [--max-nodes N]
+//!                                                (execution budget: interrupt at
+//!                                                the ceiling, report best-so-far)
 //!                  [--probe-differential]        (cross-check trail vs clone probes)
 //!                  [--trace-out trace.json [--trace-format chrome|jsonl]]
 //! mcs-hls explain  <design.mcs> --rate N         synthesize under a tracing
@@ -35,8 +38,9 @@ use mcs_cdfg::{format, timing, Cdfg, PortMode};
 use multichip_hls::explore::run_sweep;
 use multichip_hls::explore_engine::{FlowVariant, SweepOptions, SweepSpec};
 use multichip_hls::flows::{
-    connect_first_flow_traced, schedule_first_flow_traced, simple_flow_with, ConnectFirstOptions,
-    SynthesisConfig, SynthesisResult,
+    connect_first_anytime, connect_first_flow_traced, schedule_first_flow_traced,
+    simple_flow_anytime, simple_flow_with, AnytimeOutcome, ConnectFirstOptions, SynthesisConfig,
+    SynthesisResult,
 };
 use multichip_hls::netlist;
 use multichip_hls::obs::{export, summary::summarize, BufferingRecorder, RecorderHandle};
@@ -64,6 +68,9 @@ struct Args {
     portfolio: Option<usize>,
     branching: Option<usize>,
     budget: Option<usize>,
+    deadline_ms: Option<u64>,
+    max_pivots: Option<u64>,
+    max_nodes: Option<u64>,
     pivot_budget: Option<usize>,
     probe_differential: bool,
     trace_out: Option<String>,
@@ -84,6 +91,7 @@ fn usage() -> ExitCode {
          [--bidir] [--sharing] [--instances N] [--seed N] \
          [--chips N] [--pins N] [--buses] \
          [--workers N] [--portfolio N] [--branching N] [--budget N] \
+         [--deadline-ms N] [--max-pivots N] [--max-nodes N] \
          [--pivot-budget N] [--probe-differential] \
          [--trace-out FILE] [--trace-format chrome|jsonl] \
          [--rates A..B|A,B,C] [--pin-budgets V:V (V = P,P,..)] [--jobs N] \
@@ -113,6 +121,9 @@ fn parse_args() -> Result<Args, ExitCode> {
         portfolio: None,
         branching: None,
         budget: None,
+        deadline_ms: None,
+        max_pivots: None,
+        max_nodes: None,
         pivot_budget: None,
         probe_differential: false,
         trace_out: None,
@@ -195,6 +206,27 @@ fn parse_args() -> Result<Args, ExitCode> {
                         .map_err(|_| usage())?,
                 )
             }
+            "--deadline-ms" => {
+                out.deadline_ms = Some(
+                    next_value(&mut args, "--deadline-ms")?
+                        .parse()
+                        .map_err(|_| usage())?,
+                )
+            }
+            "--max-pivots" => {
+                out.max_pivots = Some(
+                    next_value(&mut args, "--max-pivots")?
+                        .parse()
+                        .map_err(|_| usage())?,
+                )
+            }
+            "--max-nodes" => {
+                out.max_nodes = Some(
+                    next_value(&mut args, "--max-nodes")?
+                        .parse()
+                        .map_err(|_| usage())?,
+                )
+            }
             "--pivot-budget" => {
                 out.pivot_budget = Some(
                     next_value(&mut args, "--pivot-budget")?
@@ -268,6 +300,101 @@ fn synthesize(cdfg: &Cdfg, a: &Args) -> Result<SynthesisResult, ExitCode> {
     synthesize_traced(cdfg, a, &RecorderHandle::default())
 }
 
+/// The execution budget described by `--deadline-ms`/`--max-pivots`/
+/// `--max-nodes`, or `None` when no ceiling was requested.
+fn ctl_budget(a: &Args) -> Option<mcs_ctl::Budget> {
+    if a.deadline_ms.is_none() && a.max_pivots.is_none() && a.max_nodes.is_none() {
+        return None;
+    }
+    let mut spec = mcs_ctl::BudgetSpec::default();
+    if let Some(ms) = a.deadline_ms {
+        spec = spec.deadline_ms(ms);
+    }
+    if let Some(n) = a.max_pivots {
+        spec = spec.max_pivots(n);
+    }
+    if let Some(n) = a.max_nodes {
+        spec = spec.max_nodes(n);
+    }
+    Some(mcs_ctl::Budget::new(spec))
+}
+
+/// Runs the selected flow under `budget`. `Ok(Some(result))` is a full
+/// synthesis; `Ok(None)` means the budget tripped first — the anytime
+/// summary (verdict, best partial connection) has already been printed
+/// and the process should exit 0: an interruption is a successful
+/// interaction with the tool, not a synthesis failure.
+fn synthesize_anytime(
+    cdfg: &Cdfg,
+    a: &Args,
+    recorder: &RecorderHandle,
+    budget: mcs_ctl::Budget,
+) -> Result<Option<SynthesisResult>, ExitCode> {
+    let out: AnytimeOutcome = match a.flow.as_str() {
+        "simple" => {
+            let config = SynthesisConfig {
+                pivot_budget: a.pivot_budget,
+                probe_differential: a.probe_differential,
+                budget: None,
+            };
+            simple_flow_anytime(cdfg, a.rate, &config, budget, recorder)
+        }
+        "connect" => {
+            let mut opts = ConnectFirstOptions::new(a.rate);
+            opts.mode = if a.bidir {
+                PortMode::Bidirectional
+            } else {
+                PortMode::Unidirectional
+            };
+            opts.sharing = a.sharing;
+            opts.workers = a.workers;
+            opts.portfolio = a.portfolio;
+            opts.branching_factor = a.branching;
+            opts.node_budget = a.budget;
+            connect_first_anytime(cdfg, &opts, budget, recorder)
+        }
+        "schedule" => {
+            eprintln!(
+                "note: the schedule flow has no interruption points; \
+                 --deadline-ms/--max-pivots/--max-nodes are ignored"
+            );
+            return synthesize_traced(cdfg, a, recorder).map(Some);
+        }
+        other => {
+            eprintln!("unknown flow `{other}` (simple|connect|schedule)");
+            return Err(ExitCode::from(2));
+        }
+    };
+    if let Some(e) = out.error {
+        eprintln!("synthesis failed: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    match out.result {
+        Some(r) => {
+            if out.termination != mcs_ctl::Termination::Complete {
+                eprintln!("note: degraded result ({})", out.termination);
+            }
+            Ok(Some(r))
+        }
+        None => {
+            println!("synthesis interrupted ({})", out.termination);
+            println!(
+                "best-so-far: {} of {} transfers placed on {} buses",
+                out.best_depth,
+                cdfg.io_ops().count(),
+                out.best_buses,
+            );
+            if let Some(st) = &out.search_stats {
+                println!(
+                    "search: {} nodes over {} epochs ({} threads) before interruption",
+                    st.nodes, st.epochs, st.threads,
+                );
+            }
+            Ok(None)
+        }
+    }
+}
+
 fn synthesize_traced(
     cdfg: &Cdfg,
     a: &Args,
@@ -283,6 +410,7 @@ fn synthesize_traced(
             let config = SynthesisConfig {
                 pivot_budget: a.pivot_budget,
                 probe_differential: a.probe_differential,
+                budget: None,
             };
             simple_flow_with(cdfg, a.rate, &config, recorder)
         }
@@ -385,9 +513,25 @@ fn main() -> ExitCode {
                 Some(b) => RecorderHandle::new(b.clone()),
                 None => RecorderHandle::default(),
             };
-            let r = match synthesize_traced(cdfg, &a, &rec) {
-                Ok(r) => r,
-                Err(code) => return code,
+            let r = match ctl_budget(&a) {
+                Some(budget) => match synthesize_anytime(cdfg, &a, &rec, budget) {
+                    Ok(Some(r)) => r,
+                    Ok(None) => {
+                        // Interrupted: the anytime summary is printed;
+                        // flush the trace and exit cleanly.
+                        if let (Some(buf), Some(path)) = (&buf, &a.trace_out) {
+                            if let Err(code) = write_trace(buf, &a, path) {
+                                return code;
+                            }
+                        }
+                        return ExitCode::SUCCESS;
+                    }
+                    Err(code) => return code,
+                },
+                None => match synthesize_traced(cdfg, &a, &rec) {
+                    Ok(r) => r,
+                    Err(code) => return code,
+                },
             };
             if let (Some(buf), Some(path)) = (&buf, &a.trace_out) {
                 if let Err(code) = write_trace(buf, &a, path) {
@@ -531,6 +675,8 @@ fn main() -> ExitCode {
             let opts = SweepOptions {
                 jobs: a.jobs.max(1),
                 prune: !a.no_prune,
+                budget: ctl_budget(&a),
+                ..SweepOptions::default()
             };
             let buf =
                 (a.explain || a.trace_out.is_some()).then(|| Arc::new(BufferingRecorder::new()));
@@ -566,12 +712,13 @@ fn main() -> ExitCode {
             }
             let st = &report.stats;
             eprintln!(
-                "explore: {} points ({} run, {} pruned): {} feasible, \
+                "explore: {} points ({} run, {} pruned, {} skipped): {} feasible, \
                  {} pin-infeasible, {} search-failed, {} errors; \
                  frontier {}; warm-start hits {} ({} probe + {} cert)",
                 st.points,
                 st.run,
                 st.pruned,
+                st.skipped,
                 st.feasible,
                 st.pin_infeasible,
                 st.search_failed,
@@ -581,6 +728,12 @@ fn main() -> ExitCode {
                 st.probe_seed_hits,
                 st.cert_seed_hits,
             );
+            if st.termination != mcs_ctl::Termination::Complete {
+                eprintln!(
+                    "explore: interrupted ({}); the frontier covers the waves that ran",
+                    st.termination
+                );
+            }
             for p in &report.frontier {
                 eprintln!(
                     "  frontier: rate {} budget {:?} -> latency {} pins {} buses {}",

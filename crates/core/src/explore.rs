@@ -99,12 +99,27 @@ impl From<SweepError> for ExploreError {
 pub struct DesignRunner<'a> {
     cdfg: &'a Cdfg,
     flow: FlowVariant,
+    budget: Option<mcs_ctl::Budget>,
 }
 
 impl<'a> DesignRunner<'a> {
     /// A runner for `cdfg` executing `flow` at every point.
     pub fn new(cdfg: &'a Cdfg, flow: FlowVariant) -> Self {
-        DesignRunner { cdfg, flow }
+        DesignRunner {
+            cdfg,
+            flow,
+            budget: None,
+        }
+    }
+
+    /// Shares an execution budget with every point's flow: pin probes,
+    /// Gomory pivots, search nodes and scheduling steps all charge this
+    /// ledger, so the sweep driver (given the same handle) observes a
+    /// mid-wave trip at the next wave barrier. An interrupted point
+    /// reports [`PointStatus::Error`] and never prunes.
+    pub fn with_budget(mut self, budget: Option<mcs_ctl::Budget>) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The design with one budget vector applied.
@@ -142,7 +157,11 @@ impl<'a> DesignRunner<'a> {
             FlowError::PinAllocation(PinAllocError::InfeasibleFromTheStart) => {
                 PointStatus::PinInfeasible
             }
-            FlowError::NotSimple(_) | FlowError::PinAllocation(_) => PointStatus::Error,
+            // Interruption is not a verdict about the design; it lands
+            // in the error bucket so it can never prune or export.
+            FlowError::NotSimple(_) | FlowError::PinAllocation(_) | FlowError::Interrupted(_) => {
+                PointStatus::Error
+            }
             _ => PointStatus::SearchFailed,
         });
         out.detail = err.to_string();
@@ -196,6 +215,9 @@ impl PointRunner for DesignRunner<'_> {
         match self.flow {
             FlowVariant::Simple => {
                 checker.seed_initial_memo(&seed_memo);
+                if let Some(b) = &self.budget {
+                    checker.set_budget(b.clone());
+                }
                 match simple_flow_with_checker(&cdfg, coord.rate, checker, &recorder) {
                     Ok((result, probe)) => {
                         Self::measure(&cdfg, &result, &mut out);
@@ -218,6 +240,7 @@ impl PointRunner for DesignRunner<'_> {
                 let mut opts = ConnectFirstOptions::new(coord.rate);
                 opts.workers = 1;
                 opts.portfolio = Some(SWEEP_PORTFOLIO);
+                opts.budget = self.budget.clone();
                 let (res, report) = connect_first_flow_seeded(&cdfg, &opts, &seed_certs, &recorder);
                 out.search_nodes = report.stats.nodes;
                 out.search_cache_hits = report.stats.cache_hits;
@@ -316,7 +339,7 @@ pub fn run_sweep(
             });
         }
     }
-    let runner = DesignRunner::new(cdfg, spec.flow);
+    let runner = DesignRunner::new(cdfg, spec.flow).with_budget(opts.budget.clone());
     let report = {
         let _phase = recorder.phase("explore");
         sweep(spec, &runner, opts)?

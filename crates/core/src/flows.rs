@@ -8,6 +8,7 @@ use mcs_connect::{
     share_pass, synthesize_seeded, ConnectError, Interconnect, RefutationCert, SearchConfig,
     SearchStats,
 };
+use mcs_ctl::{Budget, Termination};
 use mcs_obs::{Event, RecorderHandle};
 use mcs_pinalloc::{check_simple, PinAllocError, PinChecker, ProbeCacheStats, SimplicityViolation};
 use mcs_postsyn::{connect_after_scheduling, verify_against_schedule, PostsynConfig};
@@ -32,6 +33,10 @@ pub enum FlowError {
     InvalidSchedule(Vec<ScheduleViolation>),
     /// The post-scheduling connection conflicts with the schedule.
     InvalidConnection(Vec<String>),
+    /// The flow's execution [`Budget`] tripped (or its cancel token
+    /// fired) before a verdict was reached. Not a property of the
+    /// design: rerunning with a larger budget may succeed.
+    Interrupted(Termination),
 }
 
 impl std::fmt::Display for FlowError {
@@ -47,6 +52,7 @@ impl std::fmt::Display for FlowError {
             FlowError::InvalidConnection(v) => {
                 write!(f, "connection failed validation ({} problems)", v.len())
             }
+            FlowError::Interrupted(t) => write!(f, "synthesis interrupted ({t})"),
         }
     }
 }
@@ -55,19 +61,28 @@ impl std::error::Error for FlowError {}
 
 impl From<PinAllocError> for FlowError {
     fn from(e: PinAllocError) -> Self {
-        FlowError::PinAllocation(e)
+        match e {
+            PinAllocError::Interrupted(t) => FlowError::Interrupted(t),
+            e => FlowError::PinAllocation(e),
+        }
     }
 }
 
 impl From<ConnectError> for FlowError {
     fn from(e: ConnectError) -> Self {
-        FlowError::Connect(e)
+        match e {
+            ConnectError::Interrupted(t) => FlowError::Interrupted(t),
+            e => FlowError::Connect(e),
+        }
     }
 }
 
 impl From<SchedError> for FlowError {
     fn from(e: SchedError) -> Self {
-        FlowError::Schedule(e)
+        match e {
+            SchedError::Interrupted(t) => FlowError::Interrupted(t),
+            e => FlowError::Schedule(e),
+        }
     }
 }
 
@@ -85,6 +100,10 @@ pub struct SynthesisConfig {
     /// path, panicking on divergence (differential testing; roughly
     /// doubles probe cost).
     pub probe_differential: bool,
+    /// Optional execution budget shared by the pin checker (probes and
+    /// Gomory pivots) and the list scheduler (control-step boundaries).
+    /// A tripped budget surfaces as [`FlowError::Interrupted`].
+    pub budget: Option<Budget>,
 }
 
 /// Common result pieces every flow produces.
@@ -220,6 +239,9 @@ pub fn simple_flow_with(
         None => PinChecker::new(cdfg, rate)?,
     };
     checker.set_differential(config.probe_differential);
+    if let Some(b) = &config.budget {
+        checker.set_budget(b.clone());
+    }
     simple_flow_with_checker(cdfg, rate, checker, recorder).map(|(result, _)| result)
 }
 
@@ -257,6 +279,9 @@ pub fn simple_flow_with_checker(
     policy.set_recorder(recorder.clone());
     let mut lc = ListConfig::new(rate);
     lc.recorder = recorder.clone();
+    // Share the checker's budget (if any) with the scheduler so both
+    // layers charge one ledger and trip at the same ceiling.
+    lc.budget = policy.checker().budget().cloned();
     let schedule = {
         let _phase = recorder.phase("schedule");
         list_schedule(cdfg, &lc, &mut policy)?
@@ -343,6 +368,11 @@ pub struct ConnectFirstOptions {
     /// Override of the per-worker node budget (`None` keeps the
     /// default).
     pub node_budget: Option<usize>,
+    /// Optional execution budget shared by the connection search (epoch
+    /// barriers) and the bus-slot scheduler (control-step boundaries).
+    /// A tripped budget surfaces as [`FlowError::Interrupted`]; use
+    /// [`connect_first_anytime`] to also recover partial progress.
+    pub budget: Option<Budget>,
 }
 
 impl ConnectFirstOptions {
@@ -358,6 +388,7 @@ impl ConnectFirstOptions {
             portfolio: None,
             branching_factor: None,
             node_budget: None,
+            budget: None,
         }
     }
 
@@ -375,6 +406,9 @@ impl ConnectFirstOptions {
         }
         if let Some(b) = self.node_budget {
             cfg.node_budget = b;
+        }
+        if let Some(b) = &self.budget {
+            cfg = cfg.with_budget(b.clone());
         }
         cfg
     }
@@ -454,6 +488,109 @@ pub fn connect_first_flow_seeded(
     )
 }
 
+/// The structured outcome of an interruptible flow run: the full result
+/// when the flow finished, or the best partial progress when the
+/// attached [`Budget`] tripped first. Either way the caller gets a
+/// usable report — never a hang, never an abort.
+///
+/// ```
+/// use mcs_cdfg::designs::elliptic;
+/// use multichip_hls::flows::{connect_first_anytime, ConnectFirstOptions};
+/// use mcs_ctl::{Budget, BudgetSpec, Termination};
+/// use mcs_obs::RecorderHandle;
+///
+/// let d = elliptic::partitioned();
+/// // A one-node ceiling trips at the first epoch barrier.
+/// let budget = Budget::new(BudgetSpec::default().max_nodes(1));
+/// let out = connect_first_anytime(
+///     d.cdfg(),
+///     &ConnectFirstOptions::new(6),
+///     budget,
+///     &RecorderHandle::default(),
+/// );
+/// if out.termination == Termination::BudgetExhausted {
+///     assert!(out.result.is_none());
+///     assert!(out.best_depth > 0, "partial progress is still reported");
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnytimeOutcome {
+    /// How the run ended. [`Termination::Complete`] means the flow ran
+    /// to its natural verdict (success *or* a definitive failure).
+    pub termination: Termination,
+    /// The full synthesis result, when the flow produced one.
+    pub result: Option<SynthesisResult>,
+    /// A definitive, non-interruption failure (infeasible design,
+    /// malformed input). `None` when interrupted: interruption is not
+    /// evidence of infeasibility.
+    pub error: Option<FlowError>,
+    /// Deepest partial connection the search reached — transfers placed
+    /// on buses — even when no complete connection was found. The
+    /// "best-so-far" half of the anytime contract.
+    pub best_depth: u64,
+    /// Bus count of that deepest partial connection.
+    pub best_buses: u32,
+    /// Portfolio telemetry, when the flow ran the connection search.
+    pub search_stats: Option<SearchStats>,
+}
+
+/// [`connect_first_flow_traced`] under an execution [`Budget`], never
+/// failing with [`FlowError::Interrupted`]: interruption becomes a
+/// structured [`AnytimeOutcome`] carrying the best partial connection
+/// the portfolio reached before the budget tripped.
+pub fn connect_first_anytime(
+    cdfg: &Cdfg,
+    opts: &ConnectFirstOptions,
+    budget: Budget,
+    recorder: &RecorderHandle,
+) -> AnytimeOutcome {
+    let mut opts = opts.clone();
+    opts.budget = Some(budget);
+    let (res, report) = connect_first_flow_seeded(cdfg, &opts, &[], recorder);
+    let stats = report.stats;
+    let (termination, result, error) = match res {
+        Ok(r) => (stats.termination, Some(r), None),
+        Err(FlowError::Interrupted(t)) => (t, None, None),
+        Err(e) => (stats.termination, None, Some(e)),
+    };
+    AnytimeOutcome {
+        termination,
+        result,
+        error,
+        best_depth: stats.deepest,
+        best_buses: stats.deepest_buses,
+        search_stats: Some(stats),
+    }
+}
+
+/// [`simple_flow_with`] under an execution [`Budget`]: the Chapter 3
+/// flow with interruption reported as a structured [`AnytimeOutcome`]
+/// instead of an error. The simple flow has no connection search, so
+/// `best_depth`/`best_buses` stay 0 on interruption.
+pub fn simple_flow_anytime(
+    cdfg: &Cdfg,
+    rate: u32,
+    config: &SynthesisConfig,
+    budget: Budget,
+    recorder: &RecorderHandle,
+) -> AnytimeOutcome {
+    let mut config = config.clone();
+    config.budget = Some(budget);
+    let (termination, result, error) = match simple_flow_with(cdfg, rate, &config, recorder) {
+        Ok(r) => (Termination::Complete, Some(r), None),
+        Err(FlowError::Interrupted(t)) => (t, None, None),
+        Err(e) => (Termination::Complete, None, Some(e)),
+    };
+    AnytimeOutcome {
+        termination,
+        result,
+        error,
+        best_depth: 0,
+        best_buses: 0,
+        search_stats: None,
+    }
+}
+
 /// The scheduling half of the connect-first flow: bus-slot list
 /// scheduling with hold-back retries over a fixed interconnect.
 fn connect_first_schedule(
@@ -482,6 +619,7 @@ fn connect_first_schedule(
         for hold in [0i64, 2, 4, 6, 8] {
             let mut lc = ListConfig::new(opts.rate);
             lc.recorder = recorder.clone();
+            lc.budget = opts.budget.clone();
             for &op in &holdable {
                 lc.hold_back.insert(op, hold);
             }
@@ -511,7 +649,7 @@ fn connect_first_schedule(
         }
     }
     drop(sched_phase);
-    let (schedule, policy) = best.ok_or(FlowError::Schedule(last_err))?;
+    let (schedule, policy) = best.ok_or_else(|| FlowError::from(last_err))?;
     let violations = validate(cdfg, &schedule);
     if !violations.is_empty() {
         return Err(FlowError::InvalidSchedule(violations));

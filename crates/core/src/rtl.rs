@@ -70,11 +70,15 @@ pub fn estimate(cdfg: &Cdfg, schedule: &Schedule) -> DataPath {
     }
     for ((p, class), mut ops) in by_pc {
         ops.sort_by_key(|&op| (schedule.of(op).step, op));
+        // rate/cycles are clamped to 1 above and by `Library::cycles`,
+        // so construction only fails on a zero-rate schedule — which
+        // the documented validate-first contract already excludes.
         let mut wheel = AllocationWheel::new(
             ops.len() as u32,
-            schedule.rate,
+            schedule.rate.max(1),
             cdfg.library().cycles(&class),
-        );
+        )
+        .expect("positive rate and cycles");
         let entry = dp.partitions.entry(p).or_default();
         let mut max_unit = 0u32;
         let mut per_unit_ops: BTreeMap<u32, u32> = BTreeMap::new();

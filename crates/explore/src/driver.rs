@@ -23,8 +23,10 @@
 //!   sweep present *identical* inputs to every surviving point, which
 //!   is what the differential test leans on.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use mcs_ctl::Termination;
 
 use crate::{
     pareto_frontier, ExploreOutcome, PointCoord, PointOutcome, PointRunner, PointStatus,
@@ -32,7 +34,7 @@ use crate::{
 };
 
 /// Driver knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SweepOptions {
     /// Worker threads claiming points within a wave. The output is
     /// byte-identical for every value.
@@ -40,6 +42,15 @@ pub struct SweepOptions {
     /// Enable dominance pruning. Disabling it runs the exhaustive
     /// sweep (the reference side of the differential test).
     pub prune: bool,
+    /// Execution budget polled at every wave barrier. When it trips,
+    /// the remaining waves are reported as [`PointStatus::Skipped`] and
+    /// the report becomes an anytime result (frontier over the waves
+    /// that ran). Share the handle with the point runner to have work
+    /// charged inside points stop the sweep at the next barrier.
+    pub budget: Option<mcs_ctl::Budget>,
+    /// Sink for [`mcs_obs::Event::WorkerPanic`] events emitted when a
+    /// point runner panics and is quarantined.
+    pub recorder: mcs_obs::RecorderHandle,
 }
 
 impl Default for SweepOptions {
@@ -47,6 +58,8 @@ impl Default for SweepOptions {
         SweepOptions {
             jobs: 1,
             prune: true,
+            budget: None,
+            recorder: mcs_obs::RecorderHandle::default(),
         }
     }
 }
@@ -140,7 +153,23 @@ pub fn sweep<R: PointRunner>(
         ..SweepStats::default()
     };
 
+    let mut waves = 0u32;
+    let mut interruption: Option<Termination> = None;
+    // `waves` counts only waves that actually ran — the barrier can
+    // break before the increment — so enumerate() is not equivalent.
+    #[allow(clippy::explicit_counter_loop)]
     for &b in &wave_order {
+        // Wave barrier: poll the budget. Work is charged inside point
+        // runs (when the caller shares the handle), so a mid-wave trip
+        // is observed here — the previous wave's results stand, the
+        // rest of the lattice is reported as skipped.
+        if let Some(budget) = &opts.budget {
+            if budget.check().is_some() {
+                interruption = Some(budget.termination());
+                break;
+            }
+        }
+        waves += 1;
         // Prune against certificates frozen at the wave start; the
         // decision never depends on this wave's own (parallel) results.
         let mut todo: Vec<(usize, PointCoord)> = Vec::new();
@@ -174,8 +203,12 @@ pub fn sweep<R: PointRunner>(
         }
 
         // Claim-and-run: point i's inputs are independent of who runs it.
+        // Each run is wrapped in `catch_unwind`: a panicking runner is
+        // quarantined to its own slot (reported as an error point) so
+        // one bad point cannot unwind the scope and abort the sweep.
         type Slot<E> = Mutex<Option<(PointOutcome, Option<E>)>>;
         let slots: Vec<Slot<R::Export>> = todo.iter().map(|_| Mutex::new(None)).collect();
+        let panicked: Vec<AtomicBool> = todo.iter().map(|_| AtomicBool::new(false)).collect();
         let next = AtomicUsize::new(0);
         let jobs = opts.jobs.clamp(1, todo.len().max(1));
         std::thread::scope(|s| {
@@ -188,20 +221,49 @@ pub fn sweep<R: PointRunner>(
                     let coord = todo[i].1;
                     let budget = &spec.budgets[coord.budget_ix];
                     let seeds = cache.donors_for(coord.rate, budget, &spec.budgets);
-                    *slots[i].lock().expect("slot lock") = Some(runner.run(coord, budget, &seeds));
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        // Fault-injection site (debug builds only).
+                        mcs_ctl::faultpoint!(&format!(
+                            "explore::point::{}::{}",
+                            coord.rate, coord.budget_ix
+                        ));
+                        runner.run(coord, budget, &seeds)
+                    }));
+                    *slots[i].lock().expect("slot lock") = Some(match run {
+                        Ok(result) => result,
+                        Err(_) => {
+                            panicked[i].store(true, Ordering::Relaxed);
+                            (
+                                PointOutcome {
+                                    status: None,
+                                    detail: "point runner panicked; quarantined".into(),
+                                    ..PointOutcome::default()
+                                },
+                                None,
+                            )
+                        }
+                    });
                 });
             }
         });
 
         // Barrier: record results, certificates and exports in wave
         // order so later waves see a deterministic world.
-        for ((ri, coord), slot) in todo.iter().zip(slots) {
+        for (j, ((ri, coord), slot)) in todo.iter().zip(slots).enumerate() {
             let (outcome, export) = slot
                 .into_inner()
                 .expect("slot lock")
                 .expect("every claimed point completes");
+            if panicked[j].load(Ordering::Relaxed) {
+                stats.panics += 1;
+                opts.recorder.record(mcs_obs::Event::WorkerPanic {
+                    pool: "explore",
+                    worker: j as u32,
+                    epoch: waves,
+                });
+            }
             let status = match outcome.status {
-                Some(PointStatus::Pruned) | None => PointStatus::Error,
+                Some(PointStatus::Pruned | PointStatus::Skipped) | None => PointStatus::Error,
                 Some(s) => s,
             };
             stats.run += 1;
@@ -210,7 +272,9 @@ pub fn sweep<R: PointRunner>(
                 PointStatus::PinInfeasible => stats.pin_infeasible += 1,
                 PointStatus::SearchFailed => stats.search_failed += 1,
                 PointStatus::Error => stats.errors += 1,
-                PointStatus::Pruned => unreachable!("mapped to Error above"),
+                PointStatus::Pruned | PointStatus::Skipped => {
+                    unreachable!("mapped to Error above")
+                }
             }
             stats.probe_seed_hits += outcome.probe_seed_hits;
             stats.cert_seed_hits += outcome.cert_seed_hits;
@@ -231,10 +295,32 @@ pub fn sweep<R: PointRunner>(
     }
 
     stats.cache_entries = cache.len() as u64;
-    let outcomes: Vec<ExploreOutcome> = results
-        .into_iter()
-        .map(|o| o.expect("every lattice slot is filled"))
-        .collect();
+    stats.termination = match interruption {
+        Some(t) => t,
+        None if stats.panics > 0 => Termination::WorkerPanicked,
+        None => Termination::Complete,
+    };
+    // Fill lattice slots never reached (interrupted sweeps) so the
+    // report is always a complete, canonically ordered lattice.
+    let mut outcomes: Vec<ExploreOutcome> = Vec::with_capacity(results.len());
+    for (i, slot) in results.into_iter().enumerate() {
+        outcomes.push(slot.unwrap_or_else(|| {
+            stats.skipped += 1;
+            let coord = PointCoord {
+                rate: spec.rates[i % n_rates],
+                budget_ix: i / n_rates,
+            };
+            ExploreOutcome {
+                coord,
+                status: PointStatus::Skipped,
+                outcome: PointOutcome {
+                    status: Some(PointStatus::Skipped),
+                    detail: format!("sweep interrupted ({})", stats.termination),
+                    ..PointOutcome::default()
+                },
+            }
+        }));
+    }
     let frontier = pareto_frontier(&outcomes);
     Ok(SweepReport {
         spec: spec.clone(),
@@ -374,7 +460,10 @@ mod tests {
             let report = sweep(
                 &spec(),
                 &FakeRunner::new(),
-                &SweepOptions { jobs, prune: true },
+                &SweepOptions {
+                    jobs,
+                    ..SweepOptions::default()
+                },
             )
             .unwrap();
             assert_eq!(report.to_json(), reference, "jobs={jobs}");
@@ -400,6 +489,134 @@ mod tests {
         assert_eq!(o.outcome.probe_seed_hits, 1);
         assert!(report.stats.probe_seed_hits > 0);
         assert!(report.stats.cache_entries > 0);
+    }
+
+    #[test]
+    fn tripped_budget_skips_remaining_waves_as_an_anytime_result() {
+        // Charge one "node" per point run so the budget trips after the
+        // first wave's work is charged; the poll at the next wave
+        // barrier converts the trip into Skipped points.
+        struct ChargingRunner {
+            inner: FakeRunner,
+            budget: mcs_ctl::Budget,
+        }
+        impl PointRunner for ChargingRunner {
+            type Export = u64;
+            fn run(
+                &self,
+                coord: PointCoord,
+                budget: &[u32],
+                seeds: &[(PointCoord, std::sync::Arc<u64>)],
+            ) -> (PointOutcome, Option<u64>) {
+                self.budget.charge_nodes(1);
+                self.inner.run(coord, budget, seeds)
+            }
+        }
+        let budget = mcs_ctl::Budget::new(mcs_ctl::BudgetSpec::default().max_nodes(1));
+        let runner = ChargingRunner {
+            inner: FakeRunner::new(),
+            budget: budget.clone(),
+        };
+        let report = sweep(
+            &spec(),
+            &runner,
+            &SweepOptions {
+                budget: Some(budget),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            report.stats.termination,
+            mcs_ctl::Termination::BudgetExhausted
+        );
+        // First wave ([96,96]) ran; the other two waves are skipped.
+        assert_eq!(report.stats.run, 3);
+        assert_eq!(report.stats.skipped, 6);
+        let skipped = report
+            .outcomes
+            .iter()
+            .filter(|o| o.status == PointStatus::Skipped)
+            .count();
+        assert_eq!(skipped, 6);
+        // The lattice stays complete and canonically ordered, and the
+        // frontier covers the wave that ran.
+        assert_eq!(report.outcomes.len(), 9);
+        assert!(!report.frontier.is_empty());
+        for o in &report.outcomes {
+            if o.status == PointStatus::Skipped {
+                assert!(o.outcome.detail.contains("budget-exhausted"));
+            }
+        }
+    }
+
+    #[test]
+    fn interrupted_sweeps_are_identical_across_job_counts() {
+        let run = |jobs: usize| {
+            let budget = mcs_ctl::Budget::new(mcs_ctl::BudgetSpec::default().max_nodes(1));
+            struct ChargingRunner {
+                inner: FakeRunner,
+                budget: mcs_ctl::Budget,
+            }
+            impl PointRunner for ChargingRunner {
+                type Export = u64;
+                fn run(
+                    &self,
+                    coord: PointCoord,
+                    budget: &[u32],
+                    seeds: &[(PointCoord, std::sync::Arc<u64>)],
+                ) -> (PointOutcome, Option<u64>) {
+                    self.budget.charge_nodes(1);
+                    self.inner.run(coord, budget, seeds)
+                }
+            }
+            let runner = ChargingRunner {
+                inner: FakeRunner::new(),
+                budget: budget.clone(),
+            };
+            sweep(
+                &spec(),
+                &runner,
+                &SweepOptions {
+                    jobs,
+                    budget: Some(budget),
+                    ..SweepOptions::default()
+                },
+            )
+            .unwrap()
+            .to_json()
+        };
+        let reference = run(1);
+        for jobs in [2usize, 8] {
+            assert_eq!(run(jobs), reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn deadline_zero_yields_an_empty_but_valid_report() {
+        let clock = std::sync::Arc::new(mcs_ctl::ManualClock::new());
+        let budget = mcs_ctl::Budget::with_clock(
+            mcs_ctl::BudgetSpec::default().deadline_ms(0),
+            clock.clone(),
+        );
+        clock.advance_ms(1);
+        let report = sweep(
+            &spec(),
+            &FakeRunner::new(),
+            &SweepOptions {
+                budget: Some(budget),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            report.stats.termination,
+            mcs_ctl::Termination::DeadlineExceeded
+        );
+        assert_eq!(report.stats.run, 0);
+        assert_eq!(report.stats.skipped, 9);
+        assert_eq!(report.outcomes.len(), 9);
+        assert!(report.frontier.is_empty());
     }
 
     #[test]

@@ -109,8 +109,15 @@ pub enum PointStatus {
     SearchFailed,
     /// Skipped without synthesis, dominated by a pin-infeasible point.
     Pruned,
-    /// The runner failed for a reason outside the taxonomy above.
+    /// The runner failed for a reason outside the taxonomy above (this
+    /// includes a runner panic, which the driver quarantines to the
+    /// point's own slot instead of aborting the sweep).
     Error,
+    /// Never reached: the sweep's execution budget tripped at a wave
+    /// barrier before this point's wave started. The report is still a
+    /// complete lattice — an *anytime* result whose frontier covers the
+    /// waves that did run.
+    Skipped,
 }
 
 impl PointStatus {
@@ -122,6 +129,7 @@ impl PointStatus {
             PointStatus::SearchFailed => "search-failed",
             PointStatus::Pruned => "pruned",
             PointStatus::Error => "error",
+            PointStatus::Skipped => "skipped",
         }
     }
 }
@@ -225,8 +233,15 @@ pub struct SweepStats {
     pub pin_infeasible: u64,
     /// Search-failed points.
     pub search_failed: u64,
-    /// Runner errors.
+    /// Runner errors (including quarantined runner panics).
     pub errors: u64,
+    /// Points never reached because the execution budget tripped.
+    pub skipped: u64,
+    /// Runner panics quarantined to their own lattice slot.
+    pub panics: u64,
+    /// How the sweep ended: `Complete`, `WorkerPanicked` (degraded by a
+    /// quarantined panic), or the budget verdict that stopped it early.
+    pub termination: mcs_ctl::Termination,
     /// Warm-start probe memo hits summed over points.
     pub probe_seed_hits: u64,
     /// Warm-start certificate hits summed over points.
@@ -393,7 +408,9 @@ impl SweepReport {
         s.push_str(&format!(
             "],\"stats\":{{\"points\":{},\"run\":{},\"pruned\":{},\
              \"feasible\":{},\"pin_infeasible\":{},\"search_failed\":{},\
-             \"errors\":{},\"probe_seed_hits\":{},\"cert_seed_hits\":{},\
+             \"errors\":{},\"skipped\":{},\"panics\":{},\
+             \"termination\":\"{}\",\
+             \"probe_seed_hits\":{},\"cert_seed_hits\":{},\
              \"cache_entries\":{}}}}}",
             st.points,
             st.run,
@@ -402,6 +419,9 @@ impl SweepReport {
             st.pin_infeasible,
             st.search_failed,
             st.errors,
+            st.skipped,
+            st.panics,
+            st.termination.name(),
             st.probe_seed_hits,
             st.cert_seed_hits,
             st.cache_entries,

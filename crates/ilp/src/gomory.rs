@@ -41,6 +41,7 @@
 //! that cross-checks every trail verdict against it.
 
 use crate::model::{Model, SolveError};
+use mcs_ctl::Budget;
 use mcs_obs::{Event, RecorderHandle};
 
 /// Verdict of a feasibility check.
@@ -54,6 +55,11 @@ pub enum Feasibility {
     /// The pivot budget ran out before a verdict (fall back to
     /// [`AllIntegerSolver::solve_exact`]).
     PivotLimit,
+    /// An attached execution [`Budget`] tripped at a pivot boundary
+    /// before a verdict; query the budget for the reason. Unlike
+    /// [`Feasibility::PivotLimit`] this is *not* followed by the exact
+    /// fallback — the flow is being asked to stop.
+    Interrupted,
 }
 
 /// One undoable tableau mutation on the trail.
@@ -138,6 +144,9 @@ pub struct AllIntegerSolver {
     /// Sink for per-pivot `GomoryCut` events (inactive by default).
     /// Clones share the sink, so probe solves report their pivots too.
     recorder: RecorderHandle,
+    /// Optional execution budget polled at pivot boundaries; every
+    /// pivot is charged against it. Clones share the same budget.
+    budget: Option<Budget>,
 }
 
 impl AllIntegerSolver {
@@ -162,12 +171,20 @@ impl AllIntegerSolver {
             pivots_total: 0,
             differential: false,
             recorder: RecorderHandle::default(),
+            budget: None,
         }
     }
 
     /// Routes per-pivot `GomoryCut` events to `recorder`.
     pub fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder = recorder;
+    }
+
+    /// Attaches an execution budget. [`AllIntegerSolver::solve`] polls
+    /// it before every pivot and returns [`Feasibility::Interrupted`]
+    /// once it trips; each pivot performed is charged to the budget.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = Some(budget);
     }
 
     /// When enabled, every [`AllIntegerSolver::probe_at_least`] verdict is
@@ -356,6 +373,15 @@ impl AllIntegerSolver {
             let Some(k) = (0..self.ncols).find(|&j| self.tab[base + 1 + j] < 0) else {
                 return Feasibility::Infeasible;
             };
+            // Poll the budget before the next unit of work — after the
+            // convergence tests, which cost no pivot, so a solve that
+            // converges exactly as it spends its last allowed pivot
+            // still reports its natural verdict, never an interruption.
+            if let Some(budget) = &self.budget {
+                if budget.check().is_some() {
+                    return Feasibility::Interrupted;
+                }
+            }
             // All-integer Gomory cut with divisor lambda = -t_rk, giving a
             // pivot element of exactly -1. The cut row is written into the
             // side arena: kept there when a checkpoint needs it for
@@ -378,6 +404,9 @@ impl AllIntegerSolver {
             }
             self.apply_cut(cut_start, k, 1);
             self.pivots_total += 1;
+            if let Some(budget) = &self.budget {
+                budget.charge_pivots(1);
+            }
             if self.watchers > 0 {
                 self.trail.push(TrailOp::Pivoted {
                     k: k as u32,
@@ -451,7 +480,7 @@ impl AllIntegerSolver {
             verdict = self.solve_exact();
         }
         let rollback_ops = self.rollback(cp);
-        if self.differential {
+        if self.differential && verdict != Feasibility::Interrupted {
             let cloned = self.probe_at_least_via_clone(var, by, max_pivots);
             assert_eq!(
                 verdict, cloned,
@@ -475,6 +504,9 @@ impl AllIntegerSolver {
     pub fn probe_at_least_via_clone(&self, var: usize, by: i64, max_pivots: usize) -> Feasibility {
         let mut clone = self.clone();
         clone.differential = false;
+        // The reference path must not spend or observe the shared budget:
+        // it exists to double-check verdicts, not to race the deadline.
+        clone.budget = None;
         clone.assume_at_least(var, by);
         let verdict = clone.solve(max_pivots);
         if verdict == Feasibility::PivotLimit {
@@ -538,6 +570,44 @@ mod tests {
         s.add_ge(&[(0, 1)], 5);
         s.add_le(&[(0, 1)], 3);
         assert_eq!(s.solve(1000), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn tripped_budget_interrupts_at_pivot_boundary() {
+        use mcs_ctl::{BudgetSpec, Termination};
+        let mut s = AllIntegerSolver::new(2);
+        s.add_ge(&[(0, 1), (1, 1)], 3);
+        s.add_le(&[(0, 1)], 1);
+        let budget = Budget::new(BudgetSpec::default().max_pivots(1));
+        s.set_budget(budget.clone());
+        assert_eq!(s.solve(1000), Feasibility::Interrupted);
+        assert_eq!(budget.verdict(), Some(Termination::BudgetExhausted));
+        assert_eq!(budget.pivots_spent(), 1);
+    }
+
+    #[test]
+    fn exact_ceiling_still_reports_natural_verdict() {
+        use mcs_ctl::BudgetSpec;
+        // Measure how many pivots the solve needs, then allow exactly
+        // that many: check-before-work means the verdict must still be
+        // the natural one, not an interruption.
+        let build = || {
+            let mut s = AllIntegerSolver::new(2);
+            s.add_ge(&[(0, 1), (1, 1)], 3);
+            s.add_le(&[(0, 1)], 1);
+            s
+        };
+        let mut reference = build();
+        assert_eq!(reference.solve(1000), Feasibility::Feasible);
+        let needed = reference.pivots_total();
+        assert!(needed > 0);
+
+        let mut s = build();
+        let budget = Budget::new(BudgetSpec::default().max_pivots(needed));
+        s.set_budget(budget.clone());
+        assert_eq!(s.solve(1000), Feasibility::Feasible);
+        assert_eq!(budget.verdict(), None);
+        assert_eq!(budget.pivots_spent(), needed);
     }
 
     #[test]

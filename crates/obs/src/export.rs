@@ -117,6 +117,15 @@ fn fields(event: &Event) -> Vec<(&'static str, JsonValue)> {
             ("backtracks", UInt(backtracks)),
             ("cache_hits", UInt(cache_hits)),
         ],
+        Event::WorkerPanic {
+            pool,
+            worker,
+            epoch,
+        } => vec![
+            ("pool", Str(pool)),
+            ("worker", UInt(worker as u64)),
+            ("epoch", UInt(epoch as u64)),
+        ],
     }
 }
 
@@ -416,6 +425,11 @@ mod tests {
                 backtracks: 2,
                 cache_hits: 5,
             },
+            Event::WorkerPanic {
+                pool: "portfolio",
+                worker: 2,
+                epoch: 3,
+            },
             Event::Counter {
                 name: "pivots",
                 value: 42,
@@ -449,6 +463,8 @@ mod tests {
             "ProbeResolved",
             "\"source\":\"surrogate\"",
             "SearchNode",
+            "WorkerPanic",
+            "\"pool\":\"portfolio\"",
             "same-cycle-conflict",
         ] {
             assert!(trace.contains(needle), "missing {needle} in {trace}");
@@ -459,7 +475,7 @@ mod tests {
     fn jsonl_lines_each_parse() {
         let text = jsonl(&sample());
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 9);
+        assert_eq!(lines.len(), 10);
         for line in lines {
             validate_json(line).unwrap_or_else(|e| panic!("{e}: {line}"));
         }

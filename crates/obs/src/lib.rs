@@ -39,7 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod export;
 pub mod summary;
@@ -230,6 +230,18 @@ pub enum Event {
         /// Shared-cache prunes this epoch.
         cache_hits: u64,
     },
+    /// A parallel worker panicked and was quarantined; the run continued
+    /// degraded, without that worker's contribution. Recorded at the
+    /// synchronization barrier in worker order, so the stream stays
+    /// deterministic when the panic itself is deterministic.
+    WorkerPanic {
+        /// Which worker pool ("portfolio", "explore", ...).
+        pool: &'static str,
+        /// Index of the panicked worker within the pool.
+        worker: u32,
+        /// Epoch / wave at whose barrier the panic surfaced (1-based).
+        epoch: u32,
+    },
 }
 
 impl Event {
@@ -246,6 +258,7 @@ impl Event {
             Event::BusReassign { .. } => "BusReassign",
             Event::ProbeResolved { .. } => "ProbeResolved",
             Event::SearchNode { .. } => "SearchNode",
+            Event::WorkerPanic { .. } => "WorkerPanic",
         }
     }
 }

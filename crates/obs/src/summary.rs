@@ -51,6 +51,10 @@ pub struct TraceSummary {
     pub probes_by_source: BTreeMap<&'static str, u64>,
     /// Deepest tableau rollback any probe performed.
     pub max_rollback_depth: u64,
+    /// Worker panics quarantined across all pools (from
+    /// [`Event::WorkerPanic`]); nonzero means the run's result is
+    /// degraded — some portion of the search space went unexplored.
+    pub worker_panics: u64,
     /// Final value of each named counter (last sample wins).
     pub counters: BTreeMap<&'static str, i64>,
 }
@@ -134,6 +138,7 @@ pub fn summarize(timed: &[TimedEvent]) -> TraceSummary {
                         *out.probes_by_source.entry(source.name()).or_insert(0) += 1;
                         out.max_rollback_depth = out.max_rollback_depth.max(trail_depth);
                     }
+                    Event::WorkerPanic { .. } => out.worker_panics += 1,
                     Event::Counter { name, value } => {
                         out.counters.insert(name, value);
                     }
@@ -336,6 +341,30 @@ mod tests {
         assert_eq!(s.probes_by_source.get("memo"), Some(&1));
         assert_eq!(s.probes_by_source.get("surrogate"), Some(&1));
         assert_eq!(s.max_rollback_depth, 31);
+    }
+
+    #[test]
+    fn counts_worker_panics() {
+        let stream = vec![
+            at(
+                0,
+                Event::WorkerPanic {
+                    pool: "portfolio",
+                    worker: 1,
+                    epoch: 2,
+                },
+            ),
+            at(
+                1,
+                Event::WorkerPanic {
+                    pool: "explore",
+                    worker: 0,
+                    epoch: 1,
+                },
+            ),
+        ];
+        let s = summarize(&stream);
+        assert_eq!(s.worker_panics, 2);
     }
 
     #[test]

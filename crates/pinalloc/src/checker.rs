@@ -27,6 +27,7 @@
 use std::collections::BTreeMap;
 
 use mcs_cdfg::{Cdfg, OpId, PartitionId, ValueId};
+use mcs_ctl::{Budget, Termination};
 use mcs_ilp::{AllIntegerSolver, Feasibility};
 use mcs_obs::{Event, ProbeSource, RecorderHandle};
 
@@ -75,6 +76,9 @@ pub enum PinAllocError {
     NotAnIoOperation(OpId),
     /// The initial system already admits no pin allocation.
     InfeasibleFromTheStart,
+    /// The attached execution [`Budget`] tripped before the checker
+    /// could reach a verdict; the carried [`Termination`] says why.
+    Interrupted(Termination),
 }
 
 impl std::fmt::Display for PinAllocError {
@@ -86,6 +90,9 @@ impl std::fmt::Display for PinAllocError {
             }
             PinAllocError::InfeasibleFromTheStart => {
                 write!(f, "no pin allocation exists even before scheduling")
+            }
+            PinAllocError::Interrupted(t) => {
+                write!(f, "pin-allocation check interrupted ({t})")
             }
         }
     }
@@ -168,6 +175,9 @@ pub struct PinChecker {
     stats: ProbeCacheStats,
     /// Sink for `PinCheck` (and the solver's `GomoryCut`) events.
     recorder: RecorderHandle,
+    /// Optional execution budget. Every resolved probe is charged to
+    /// it; the embedded solver polls it at pivot boundaries.
+    budget: Option<Budget>,
 }
 
 impl PinChecker {
@@ -416,11 +426,40 @@ impl PinChecker {
             in_cap,
             stats: ProbeCacheStats::default(),
             recorder: RecorderHandle::default(),
+            budget: None,
         };
         match checker.resolve() {
             Feasibility::Feasible => Ok(checker),
+            Feasibility::Interrupted => Err(PinAllocError::Interrupted(checker.interruption())),
             _ => Err(PinAllocError::InfeasibleFromTheStart),
         }
+    }
+
+    /// Attaches an execution budget: probes are charged against it and
+    /// the embedded solver polls it at pivot boundaries, so a long
+    /// feasibility solve can be interrupted mid-flight. Interrupted
+    /// probes conservatively answer "cannot commit" and are never
+    /// memoized.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.solver.set_budget(budget.clone());
+        self.budget = Some(budget);
+    }
+
+    /// The execution budget attached via [`PinChecker::set_budget`], if
+    /// any — callers embedding the checker in a larger flow share it so
+    /// every layer charges the same ledger.
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
+    }
+
+    /// The budget's sticky verdict, defaulting to
+    /// [`Termination::Cancelled`] only when no budget is attached (an
+    /// interruption without a budget cannot happen in practice).
+    fn interruption(&self) -> Termination {
+        self.budget
+            .as_ref()
+            .and_then(|b| b.verdict())
+            .unwrap_or(Termination::Cancelled)
     }
 
     /// The initiation rate the checker was built for.
@@ -530,12 +569,22 @@ impl PinChecker {
             }
             self.stats.max_rollback_depth = self.stats.max_rollback_depth.max(pstats.rollback_ops);
             let v = f == Feasibility::Feasible;
-            self.memo.insert((var, 1), v);
-            if self.stats.commits == 0 {
-                self.epoch0_learned.insert((var, 1), v);
+            // An interrupted probe conservatively answers "cannot
+            // commit" but proves nothing — memoizing it would poison
+            // the cache with a verdict the solver never reached.
+            if f != Feasibility::Interrupted {
+                self.memo.insert((var, 1), v);
+                if self.stats.commits == 0 {
+                    self.epoch0_learned.insert((var, 1), v);
+                }
             }
             (v, ProbeSource::Solver, pstats.rollback_ops)
         };
+        // Charged after resolution so a flow that finishes on exactly
+        // its last allowed probe still completes naturally.
+        if let Some(budget) = &self.budget {
+            budget.charge_probes(1);
+        }
         if self.recorder.enabled() {
             self.recorder.record(Event::PinCheck {
                 group: k as u32,
@@ -601,6 +650,7 @@ impl PinChecker {
         self.stats.commits += 1;
         let outcome = match self.resolve() {
             Feasibility::Feasible => Ok(()),
+            Feasibility::Interrupted => Err(PinAllocError::Interrupted(self.interruption())),
             _ => Err(PinAllocError::InfeasibleFromTheStart),
         };
         if self.recorder.enabled() {

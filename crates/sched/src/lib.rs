@@ -32,4 +32,4 @@ pub use list::{
     PinPolicy, SchedError,
 };
 pub use schedule::{validate, Schedule, ScheduleViolation};
-pub use wheel::AllocationWheel;
+pub use wheel::{AllocationWheel, WheelError};

@@ -18,11 +18,12 @@ use std::collections::BTreeMap;
 
 use mcs_cdfg::timing::{self, StepTime};
 use mcs_cdfg::{Cdfg, OpId, OpKind, OperatorClass, PartitionId};
+use mcs_ctl::{Budget, Termination};
 use mcs_obs::{Event, PlaceVerdict, RecorderHandle};
 use mcs_pinalloc::PinChecker;
 
 use crate::schedule::Schedule;
-use crate::wheel::AllocationWheel;
+use crate::wheel::{AllocationWheel, WheelError};
 
 /// Pin/bus admission control consulted before every I/O placement.
 pub trait IoPolicy {
@@ -114,6 +115,11 @@ pub struct ListConfig {
     /// Sink for per-placement `ScheduleDecision` events (inactive by
     /// default, costing one branch per I/O consultation).
     pub recorder: RecorderHandle,
+    /// Optional execution budget, polled at every control-step boundary
+    /// and before each phase-2 window search. A tripped budget aborts
+    /// with [`SchedError::Interrupted`] rather than running to the step
+    /// bound.
+    pub budget: Option<Budget>,
 }
 
 impl ListConfig {
@@ -125,6 +131,7 @@ impl ListConfig {
             priority_bias: 0,
             hold_back: BTreeMap::new(),
             recorder: RecorderHandle::default(),
+            budget: None,
         }
     }
 }
@@ -159,6 +166,25 @@ pub enum SchedError {
     },
     /// The graph is cyclic over degree-0 edges.
     Cyclic,
+    /// The operator library declares a zero-cycle class — malformed
+    /// input that used to trip an assert inside the allocation wheel.
+    ZeroCycles {
+        /// The offending operator class.
+        class: OperatorClass,
+    },
+    /// A phase-2 feedback transfer depends on another deferred transfer
+    /// (chained feedback), which this scheduler does not support — a
+    /// malformed-graph shape that used to panic.
+    UnscheduledDependence {
+        /// The transfer whose window could not be computed.
+        op: OpId,
+    },
+    /// An internal bookkeeping invariant failed (a bug guard; never
+    /// expected on any input).
+    Inconsistent(&'static str),
+    /// The attached execution [`Budget`] tripped; the carried
+    /// [`Termination`] says why.
+    Interrupted(Termination),
 }
 
 impl std::fmt::Display for SchedError {
@@ -177,6 +203,19 @@ impl std::fmt::Display for SchedError {
                 "{partition} cannot execute its {class} operations at this rate (Eq. 7.5)"
             ),
             SchedError::Cyclic => write!(f, "dependence cycle over degree-0 edges"),
+            SchedError::ZeroCycles { class } => {
+                write!(f, "operator class {class} declares zero cycles")
+            }
+            SchedError::UnscheduledDependence { op } => {
+                write!(
+                    f,
+                    "feedback transfer {op} depends on another deferred transfer"
+                )
+            }
+            SchedError::Inconsistent(what) => {
+                write!(f, "internal scheduler invariant failed: {what}")
+            }
+            SchedError::Interrupted(t) => write!(f, "scheduling interrupted ({t})"),
         }
     }
 }
@@ -339,7 +378,13 @@ pub fn list_schedule<P: IoPolicy>(
                 })
             }
         }
-        wheels.insert(key.clone(), AllocationWheel::new(units, cfg.rate, cycles));
+        let wheel = AllocationWheel::new(units, cfg.rate, cycles).map_err(|e| match e {
+            WheelError::ZeroRate => SchedError::ZeroRate,
+            WheelError::ZeroCycles => SchedError::ZeroCycles {
+                class: key.1.clone(),
+            },
+        })?;
+        wheels.insert(key.clone(), wheel);
     }
 
     let mut start: Vec<Option<StepTime>> = vec![None; n];
@@ -347,6 +392,13 @@ pub fn list_schedule<P: IoPolicy>(
 
     let mut step = 0i64;
     while pending_phase1 > 0 {
+        // A control-step boundary is a safe interruption point: nothing
+        // is half-placed here.
+        if let Some(budget) = &cfg.budget {
+            if let Some(t) = budget.check() {
+                return Err(SchedError::Interrupted(t));
+            }
+        }
         if step > cfg.max_steps {
             return Err(SchedError::StepLimit);
         }
@@ -419,7 +471,9 @@ pub fn list_schedule<P: IoPolicy>(
                 match &cdfg.op(op).kind {
                     OpKind::Func(class) => {
                         let key = (cdfg.op(op).partition, class.clone());
-                        let wheel = wheels.get_mut(&key).expect("wheel exists");
+                        let wheel = wheels
+                            .get_mut(&key)
+                            .ok_or(SchedError::Inconsistent("no wheel for a counted class"))?;
                         let remaining = unscheduled_of[&key] - 1;
                         let multicycle = cdfg.library().cycles(class) > 1;
                         let admissible = if multicycle {
@@ -430,8 +484,14 @@ pub fn list_schedule<P: IoPolicy>(
                             wheel.can_place(cand.step)
                         };
                         if admissible {
-                            wheel.place(cand.step).expect("admissible placement");
-                            *unscheduled_of.get_mut(&key).expect("key") -= 1;
+                            wheel.place(cand.step).ok_or(SchedError::Inconsistent(
+                                "admissible placement had no free unit",
+                            ))?;
+                            *unscheduled_of
+                                .get_mut(&key)
+                                .ok_or(SchedError::Inconsistent(
+                                    "no count for a counted class",
+                                ))? -= 1;
                             start[op.index()] = Some(cand);
                             pending_phase1 -= 1;
                             placed_any = true;
@@ -470,12 +530,19 @@ pub fn list_schedule<P: IoPolicy>(
         if !deferred[op.index()] {
             continue;
         }
+        if let Some(budget) = &cfg.budget {
+            if let Some(t) = budget.check() {
+                return Err(SchedError::Interrupted(t));
+            }
+        }
         // Window lower bound from the recursive producer edges:
         // t_op >= t_prod - d*L + cycles(prod).
         let mut lo = i64::MIN / 4;
         for &e in cdfg.preds(op) {
             let e = cdfg.edge(e);
-            let t = start[e.from.index()].expect("producer scheduled in phase 1");
+            // A deferred transfer chained behind another deferred
+            // transfer has no phase-1 start to anchor its window.
+            let t = start[e.from.index()].ok_or(SchedError::UnscheduledDependence { op })?;
             if e.degree > 0 {
                 lo = lo.max(
                     t.step + cdfg.op_cycles(e.from) as i64 - e.degree as i64 * cfg.rate as i64,
@@ -495,7 +562,7 @@ pub fn list_schedule<P: IoPolicy>(
             if e.degree > 0 {
                 continue;
             }
-            let t = start[e.to.index()].expect("consumer scheduled in phase 1");
+            let t = start[e.to.index()].ok_or(SchedError::UnscheduledDependence { op })?;
             let io_fin = cdfg.library().io_delay_ns() as i64;
             // Latest boundary start such that finish <= consumer start.
             hi = hi.min((t.ns(cdfg.library().stage_ns()) - io_fin).div_euclid(stage));
@@ -529,9 +596,13 @@ pub fn list_schedule<P: IoPolicy>(
         }
     }
 
+    let start = start
+        .into_iter()
+        .map(|t| t.ok_or(SchedError::Inconsistent("an operation was never placed")))
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(Schedule {
         rate: cfg.rate,
-        start: start.into_iter().map(|t| t.expect("all placed")).collect(),
+        start,
     })
 }
 
@@ -687,6 +758,42 @@ mod tests {
             list_schedule_restarts(d.cdfg(), &ListConfig::new(2), 4, || NullPolicy).unwrap();
         assert!(best.pipe_length(d.cdfg()) <= base.pipe_length(d.cdfg()));
         assert_eq!(validate(d.cdfg(), &best), vec![]);
+    }
+
+    #[test]
+    fn chained_feedback_is_a_typed_error() {
+        // Regression: a feedback transfer whose producer is itself a
+        // deferred transfer used to panic ("producer scheduled in
+        // phase 1"). The shape is constructible from the public
+        // builder, so it must surface as a typed error.
+        use mcs_cdfg::{CdfgBuilder, Library, OperatorClass};
+        let mut b = CdfgBuilder::new(Library::new(100));
+        let p1 = b.partition("P1", 64);
+        let p2 = b.partition("P2", 64);
+        // Created first so it is processed first in phase 2, before its
+        // (also deferred) producer has a start step.
+        let (y, _) = b.io_pending("Y", 8, p2, p1);
+        let (_, a) = b.input("a", 8, p1);
+        let (_, v) = b.func("f", OperatorClass::Add, p1, &[(a, 0)], 8);
+        let (_, v2) = b.io_with_degree("X", v, p2, 1);
+        b.bind_io_source(y, v2, 1);
+        let g = b.finish().unwrap();
+        assert!(matches!(
+            list_schedule(&g, &ListConfig::new(2), &mut NullPolicy),
+            Err(SchedError::UnscheduledDependence { .. })
+        ));
+    }
+
+    #[test]
+    fn tripped_budget_interrupts_scheduling() {
+        use mcs_ctl::{Budget, BudgetSpec, Termination};
+        let d = ar_filter::simple();
+        let mut cfg = ListConfig::new(2);
+        cfg.budget = Some(Budget::new(BudgetSpec::default().deadline_ms(0)));
+        assert_eq!(
+            list_schedule(d.cdfg(), &cfg, &mut NullPolicy),
+            Err(SchedError::Interrupted(Termination::DeadlineExceeded))
+        );
     }
 
     #[test]

@@ -206,7 +206,15 @@ pub fn validate(cdfg: &Cdfg, schedule: &Schedule) -> Vec<ScheduleViolation> {
             .unwrap_or(u32::MAX)
             .min(ops.len() as u32);
         let cycles = cdfg.library().cycles(&class);
-        let mut wheel = AllocationWheel::new(units, schedule.rate, cycles);
+        // A wheel that cannot even be built (zero rate) can never bind
+        // the operations: report it as a resource violation.
+        let Ok(mut wheel) = AllocationWheel::new(units, schedule.rate, cycles) else {
+            violations.push(ScheduleViolation::Resources {
+                partition: p,
+                class,
+            });
+            continue;
+        };
         let mut ok = true;
         let mut sorted = ops.clone();
         sorted.sort_by_key(|&op| (schedule.of(op).step, op));

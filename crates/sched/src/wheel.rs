@@ -8,6 +8,28 @@
 //! and strands later operations even when Equation 7.5 says enough units
 //! exist.
 
+/// Why an [`AllocationWheel`] could not be constructed. Both conditions
+/// arise from malformed inputs (a zero initiation rate, or an operator
+/// library declaring a zero-cycle class) that used to trip an assert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WheelError {
+    /// The initiation rate must be at least 1.
+    ZeroRate,
+    /// The operator class must take at least one cycle.
+    ZeroCycles,
+}
+
+impl std::fmt::Display for WheelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WheelError::ZeroRate => write!(f, "initiation rate must be at least 1"),
+            WheelError::ZeroCycles => write!(f, "operator class must take at least one cycle"),
+        }
+    }
+}
+
+impl std::error::Error for WheelError {}
+
 /// Occupancy wheels for the units of one `(partition, operator-class)`
 /// pair.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,16 +44,24 @@ impl AllocationWheel {
     /// A wheel set for `units` units of a `cycles`-cycle class at
     /// initiation rate `rate`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `rate` or `cycles` is zero.
-    pub fn new(units: u32, rate: u32, cycles: u32) -> Self {
-        assert!(rate > 0 && cycles > 0);
-        AllocationWheel {
+    /// [`WheelError::ZeroRate`] / [`WheelError::ZeroCycles`] when the
+    /// corresponding parameter is zero — reachable from a malformed
+    /// design (e.g. an operator library with a zero-cycle class), so it
+    /// is an error, not a panic.
+    pub fn new(units: u32, rate: u32, cycles: u32) -> Result<Self, WheelError> {
+        if rate == 0 {
+            return Err(WheelError::ZeroRate);
+        }
+        if cycles == 0 {
+            return Err(WheelError::ZeroCycles);
+        }
+        Ok(AllocationWheel {
             rate,
             cycles,
             cells: vec![vec![false; rate as usize]; units as usize],
-        }
+        })
     }
 
     /// The minimum operator count of Equation 7.5:
@@ -130,6 +160,24 @@ mod tests {
     use super::*;
 
     #[test]
+    fn zero_rate_is_a_typed_error() {
+        // Regression: used to be `assert!(rate > 0 && cycles > 0)`,
+        // panicking on malformed designs reaching the public API.
+        assert_eq!(
+            AllocationWheel::new(1, 0, 1).unwrap_err(),
+            WheelError::ZeroRate
+        );
+    }
+
+    #[test]
+    fn zero_cycles_is_a_typed_error() {
+        assert_eq!(
+            AllocationWheel::new(1, 6, 0).unwrap_err(),
+            WheelError::ZeroCycles
+        );
+    }
+
+    #[test]
     fn eq_7_5_lower_bound() {
         // 3 two-cycle ops at rate 6: one unit suffices.
         assert_eq!(AllocationWheel::lower_bound(3, 6, 2), Some(1));
@@ -141,7 +189,7 @@ mod tests {
 
     #[test]
     fn wrap_around_occupancy() {
-        let mut w = AllocationWheel::new(1, 6, 2);
+        let mut w = AllocationWheel::new(1, 6, 2).unwrap();
         // Start in the last cell: occupies cells 5 and 0.
         assert_eq!(w.place(5), Some(0));
         assert!(!w.can_place(0)); // cell 0 busy
@@ -153,7 +201,7 @@ mod tests {
     fn figure_7_10_fragmentation() {
         // Rate 6, 2-cycle ops, one unit. Placing at steps 0 and 3 leaves
         // cells 2 and 5 free but not contiguous: op3 is stranded.
-        let mut w = AllocationWheel::new(1, 6, 2);
+        let mut w = AllocationWheel::new(1, 6, 2).unwrap();
         w.place(0).unwrap();
         assert!(w.is_safe(2, 1), "0,2 then 4 still fits");
         assert!(!w.is_safe(3, 1), "0,3 strands the third op");
@@ -164,7 +212,7 @@ mod tests {
 
     #[test]
     fn negative_steps_wrap_correctly() {
-        let mut w = AllocationWheel::new(1, 4, 2);
+        let mut w = AllocationWheel::new(1, 4, 2).unwrap();
         assert_eq!(w.place(-1), Some(0)); // cells 3 and 0
         assert!(!w.can_place(3));
         assert!(w.can_place(1));
@@ -172,7 +220,7 @@ mod tests {
 
     #[test]
     fn remove_restores_capacity() {
-        let mut w = AllocationWheel::new(1, 6, 2);
+        let mut w = AllocationWheel::new(1, 6, 2).unwrap();
         let u = w.place(0).unwrap();
         assert_eq!(w.remaining_capacity(), 2);
         w.remove(u, 0);
@@ -181,7 +229,7 @@ mod tests {
 
     #[test]
     fn multiple_units_bind_independently() {
-        let mut w = AllocationWheel::new(2, 4, 2);
+        let mut w = AllocationWheel::new(2, 4, 2).unwrap();
         assert_eq!(w.place(0), Some(0));
         assert_eq!(w.place(0), Some(1));
         assert!(!w.can_place(1)); // both units busy in cell 1
@@ -190,7 +238,7 @@ mod tests {
 
     #[test]
     fn single_cycle_class_behaves_like_slot_counting() {
-        let mut w = AllocationWheel::new(2, 3, 1);
+        let mut w = AllocationWheel::new(2, 3, 1).unwrap();
         assert!(w.place(0).is_some());
         assert!(w.place(0).is_some());
         assert!(!w.can_place(3)); // same group as step 0

@@ -177,6 +177,7 @@ fn shape7_wide_sweep_feasibility_is_monotone_in_the_budget() {
         &SweepOptions {
             jobs: 2,
             prune: true,
+            ..SweepOptions::default()
         },
         &RecorderHandle::default(),
     )

@@ -42,7 +42,11 @@ fn elliptic_spec() -> SweepSpec {
 }
 
 fn sweep(design: &Design, spec: &SweepSpec, jobs: usize, prune: bool) -> SweepReport {
-    let opts = SweepOptions { jobs, prune };
+    let opts = SweepOptions {
+        jobs,
+        prune,
+        ..SweepOptions::default()
+    };
     run_sweep(design.cdfg(), spec, &opts, &RecorderHandle::default()).expect("well-formed spec")
 }
 
