@@ -1,0 +1,87 @@
+//! Emits the `BENCH_fuzz` json line: a seeded fuzzing sweep of the
+//! synthesis pipeline — random CDFGs through the three-way flow
+//! differential, a subset additionally through the engine-vs-reference
+//! simulation oracle, plus one shrink-on-failure demonstration against
+//! the corpus's known finding. Every divergence is a bug; the process
+//! exits nonzero when any appears, which is what CI runs. The rendering
+//! lives in [`mcs_bench::fuzz_bench_line`], where it is golden-tested.
+
+use std::time::Instant;
+
+use mcs_bench::{fuzz_bench_line, MeasuredFuzz};
+use mcs_cdfg::fuzz::{build_design, design_from_seed, genome_from_seed, genomes, FuzzConfig};
+use mcs_cdfg::timing;
+use multichip_hls::differential::{flow_differential, sim_differential};
+use multichip_hls::flows::{simple_flow, FlowError};
+
+const FLOW_SEEDS: u64 = 200;
+const SIM_CHECKS: u64 = 50;
+
+fn main() -> std::process::ExitCode {
+    let config = FuzzConfig::default();
+    let t0 = Instant::now();
+
+    let mut m = MeasuredFuzz {
+        seeds: FLOW_SEEDS,
+        agreed: 0,
+        disagreed: 0,
+        any_feasible: 0,
+        sim_checked: 0,
+        sim_mismatched: 0,
+        shrink_steps: 0,
+        shrink_from_ops: 0,
+        shrink_to_ops: 0,
+        wall_ms: 0.0,
+    };
+    let mut first_failures = Vec::new();
+    for seed in 0..FLOW_SEEDS {
+        let design = design_from_seed(&config, seed);
+        let d = flow_differential(design.cdfg());
+        if d.agreed() {
+            m.agreed += 1;
+        } else {
+            m.disagreed += 1;
+            first_failures.push(format!("seed {seed}: {:?}", d.disagreements));
+        }
+        if d.any_feasible() {
+            m.any_feasible += 1;
+        }
+        if m.sim_checked < SIM_CHECKS {
+            if let Some(sd) = sim_differential(design.cdfg(), 3, seed ^ 0x5eed) {
+                m.sim_checked += 1;
+                if !sd.mismatches.is_empty() {
+                    m.sim_mismatched += 1;
+                    first_failures.push(format!("seed {seed} sim: {:?}", sd.mismatches));
+                }
+            }
+        }
+    }
+
+    // Shrink demonstration: the corpus's finding 2 (postsyn gives up on a
+    // budget the pin checker admitted) minimizes from seed 170.
+    let gives_up = |g: &mcs_cdfg::fuzz::Genome| {
+        let design = build_design(g, &config);
+        let rate = timing::min_initiation_rate(design.cdfg()).max(1);
+        matches!(simple_flow(design.cdfg(), rate), Err(FlowError::Connect(_)))
+    };
+    let genome = genome_from_seed(&config, 170);
+    m.shrink_from_ops = genome.ops.len() as u64;
+    if gives_up(&genome) {
+        let (min, steps) = proptest::minimize(&genomes(&config), genome, gives_up);
+        m.shrink_steps = steps as u64;
+        m.shrink_to_ops = min.ops.len() as u64;
+    } else {
+        first_failures.push("seed 170 no longer reproduces the shrink demonstration".into());
+    }
+
+    m.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("{}", fuzz_bench_line("default", &m));
+    for f in &first_failures {
+        eprintln!("bench_fuzz: {f}");
+    }
+    if first_failures.is_empty() {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

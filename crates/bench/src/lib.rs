@@ -802,6 +802,64 @@ pub fn explore_bench_line(
     out
 }
 
+/// One measured fuzzing sweep — seeded random designs through the
+/// three-way flow differential and the engine-vs-reference simulation
+/// oracle, plus one shrink-on-failure demonstration — as consumed by
+/// [`fuzz_bench_line`].
+#[derive(Clone, Debug)]
+pub struct MeasuredFuzz {
+    /// Seeded designs generated and run through the flow differential.
+    pub seeds: u64,
+    /// Designs on which the three flows agreed (proof strength).
+    pub agreed: u64,
+    /// Designs with at least one divergence — always a bug.
+    pub disagreed: u64,
+    /// Designs where at least one flow produced a verified result.
+    pub any_feasible: u64,
+    /// Designs additionally driven through the simulation oracle.
+    pub sim_checked: u64,
+    /// Simulation-oracle divergences — always a bug.
+    pub sim_mismatched: u64,
+    /// Shrink steps taken minimizing the demonstration failure.
+    pub shrink_steps: u64,
+    /// Op-gene count of the demonstration genome before shrinking.
+    pub shrink_from_ops: u64,
+    /// Op-gene count after shrinking.
+    pub shrink_to_ops: u64,
+    /// Wall time of the whole sweep, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Renders the `bench_fuzz` BENCH line: one JSON object summarizing a
+/// seeded fuzzing sweep. `agree` is the differential gate — the
+/// `bench_fuzz` binary exits nonzero when it is false. Golden-tested,
+/// like [`search_stats_line`], so machine-diffing stays stable.
+pub fn fuzz_bench_line(config: &str, m: &MeasuredFuzz) -> String {
+    let per_sec = if m.wall_ms > 0.0 {
+        m.seeds as f64 / (m.wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    let agree = m.disagreed == 0 && m.sim_mismatched == 0;
+    format!(
+        "{{\"bench\":\"fuzz\",\"config\":\"{config}\",\"seeds\":{},\
+         \"agreed\":{},\"disagreed\":{},\"any_feasible\":{},\
+         \"sim_checked\":{},\"sim_mismatched\":{},\
+         \"shrink\":{{\"steps\":{},\"from_ops\":{},\"to_ops\":{}}},\
+         \"wall_ms\":{:.3},\"designs_per_sec\":{per_sec:.1},\"agree\":{agree}}}",
+        m.seeds,
+        m.agreed,
+        m.disagreed,
+        m.any_feasible,
+        m.sim_checked,
+        m.sim_mismatched,
+        m.shrink_steps,
+        m.shrink_from_ops,
+        m.shrink_to_ops,
+        m.wall_ms,
+    )
+}
+
 /// Renders the `search_stats` BENCH line: one JSON object comparing a
 /// single-worker run against the portfolio on the same design. This is
 /// the exact format the `search_stats` binary prints (golden-tested), so
@@ -971,6 +1029,51 @@ mod tests {
         };
         let line = probe_bench_line("fig_2_5", 2, &m(1), &m(2));
         assert!(line.contains("\"agree\":false"), "{line}");
+    }
+
+    #[test]
+    fn fuzz_bench_line_matches_golden_output() {
+        let m = MeasuredFuzz {
+            seeds: 200,
+            agreed: 200,
+            disagreed: 0,
+            any_feasible: 30,
+            sim_checked: 50,
+            sim_mismatched: 0,
+            shrink_steps: 104,
+            shrink_from_ops: 8,
+            shrink_to_ops: 4,
+            wall_ms: 4000.0,
+        };
+        let line = fuzz_bench_line("default", &m);
+        assert_eq!(
+            line,
+            "{\"bench\":\"fuzz\",\"config\":\"default\",\"seeds\":200,\
+             \"agreed\":200,\"disagreed\":0,\"any_feasible\":30,\
+             \"sim_checked\":50,\"sim_mismatched\":0,\
+             \"shrink\":{\"steps\":104,\"from_ops\":8,\"to_ops\":4},\
+             \"wall_ms\":4000.000,\"designs_per_sec\":50.0,\"agree\":true}"
+        );
+        mcs_obs::export::validate_json(&line).expect("BENCH line is strict JSON");
+    }
+
+    #[test]
+    fn fuzz_bench_line_flags_any_divergence() {
+        let m = |disagreed: u64, sim_mismatched: u64| MeasuredFuzz {
+            seeds: 10,
+            agreed: 10 - disagreed,
+            disagreed,
+            any_feasible: 2,
+            sim_checked: 5,
+            sim_mismatched,
+            shrink_steps: 0,
+            shrink_from_ops: 0,
+            shrink_to_ops: 0,
+            wall_ms: 1.0,
+        };
+        assert!(fuzz_bench_line("default", &m(1, 0)).contains("\"agree\":false"));
+        assert!(fuzz_bench_line("default", &m(0, 1)).contains("\"agree\":false"));
+        assert!(fuzz_bench_line("default", &m(0, 0)).contains("\"agree\":true"));
     }
 
     #[test]

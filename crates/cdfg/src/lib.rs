@@ -35,6 +35,7 @@ mod library;
 pub mod designs;
 pub mod dot;
 pub mod format;
+pub mod fuzz;
 pub mod timing;
 
 pub use graph::{

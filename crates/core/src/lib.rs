@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+pub mod differential;
 pub mod explore;
 pub mod flows;
 pub mod netlist;

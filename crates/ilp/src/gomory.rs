@@ -395,6 +395,34 @@ impl AllIntegerSolver {
                     .push(self.tab[base + 1 + j].div_euclid(lambda));
             }
             debug_assert_eq!(self.cut_arena[cut_start + 1 + k], -1);
+            // Coefficient-explosion guard (found by differential
+            // fuzzing): stacked cuts can grow tableau entries until the
+            // i128 multiply-adds in `apply_cut` overflow. Applying this
+            // cut bounds every new entry by `tab_max * (1 + cut_max)`;
+            // when that bound leaves the safe range, abandon the
+            // heuristic loop *before* mutating anything — the tableau
+            // and trail stay consistent, and the caller's exact
+            // branch-and-bound fallback delivers the verdict. The same
+            // bound covers rollback, whose products mirror the forward
+            // pass exactly.
+            let cut_max = self.cut_arena[cut_start..]
+                .iter()
+                .map(|c| c.unsigned_abs())
+                .max()
+                .unwrap_or(0);
+            let tab_max = self.tab[..self.nrows * stride]
+                .iter()
+                .map(|c| c.unsigned_abs())
+                .max()
+                .unwrap_or(0);
+            let safe = cut_max
+                .checked_add(1)
+                .and_then(|m| tab_max.checked_mul(m))
+                .is_some_and(|bound| bound <= i128::MAX as u128 / 2);
+            if !safe {
+                self.cut_arena.truncate(cut_start);
+                return Feasibility::PivotLimit;
+            }
             if self.recorder.enabled() {
                 self.recorder.record(Event::GomoryCut {
                     round: round as u32,
@@ -495,6 +523,27 @@ impl AllIntegerSolver {
                 exact_fallback,
             },
         )
+    }
+
+    /// Differential oracle hook: answers the same `x_var >= +by` probe
+    /// through both engines — the trail-based checkpoint/rollback path
+    /// and the legacy clone-per-probe path — and returns the verdict
+    /// pair `(trail, clone)`. The fuzz harness asserts the two agree
+    /// under arbitrary pivot budgets; the built-in differential mode is
+    /// suspended for the trail half so a divergence is *returned* for
+    /// triage instead of panicking mid-sweep.
+    pub fn probe_agreement(
+        &mut self,
+        var: usize,
+        by: i64,
+        max_pivots: usize,
+    ) -> (Feasibility, Feasibility) {
+        let saved = self.differential;
+        self.differential = false;
+        let trail = self.probe_at_least(var, by, max_pivots);
+        self.differential = saved;
+        let clone = self.probe_at_least_via_clone(var, by, max_pivots);
+        (trail, clone)
     }
 
     /// The legacy clone-per-probe path: deep-copies the solver, commits

@@ -619,6 +619,27 @@ impl PinChecker {
         verdict == Feasibility::Feasible
     }
 
+    /// Differential oracle hook: probes every known transfer at every
+    /// control-step group through both probe engines and returns the
+    /// disagreeing `(op, step, trail, clone)` tuples. An empty sweep
+    /// means the trail-based engine is verdict-identical to the clone
+    /// oracle on the checker's full probe surface at the current pivot
+    /// budget.
+    pub fn probe_sweep(&mut self) -> Vec<(OpId, i64, bool, bool)> {
+        let ops: Vec<OpId> = self.op_vars.keys().copied().collect();
+        let mut diffs = Vec::new();
+        for op in ops {
+            for step in 0..self.rate as i64 {
+                let trail = self.probe_uncached(op, step, false);
+                let clone = self.probe_uncached(op, step, true);
+                if trail != clone {
+                    diffs.push((op, step, trail, clone));
+                }
+            }
+        }
+        diffs
+    }
+
     /// Commits the placement of `op` in `step`'s group (the incremental
     /// tableau update of Section 3.3).
     ///

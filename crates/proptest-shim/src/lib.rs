@@ -6,9 +6,11 @@
 //! the [`proptest!`] macro, range/`any`/tuple/`prop::collection::vec`
 //! strategies, `prop_assert*` macros, [`ProptestConfig`] and
 //! [`TestCaseError`]. Sampling is deterministic (seeded per test name and
-//! case index by a SplitMix64 generator); there is no shrinking — a
-//! failing case panics with the sampled arguments so it can be replayed
-//! by hand.
+//! case index by a SplitMix64 generator). Failing cases are *shrunk*:
+//! every strategy exposes [`Strategy::shrink`] candidates (binary-search
+//! reduction for ranges and `vec`), [`minimize`] drives them to a local
+//! minimum, and the [`proptest!`] macro panics with both the original and
+//! the minimized arguments so the smallest reproducer can be replayed.
 
 #![forbid(unsafe_code)]
 
@@ -46,12 +48,38 @@ pub fn seed_for(module: &str, name: &str, case: u32) -> u64 {
     h
 }
 
-/// How a strategy produces one sampled value.
+/// How a strategy produces one sampled value, and how a failing value is
+/// simplified.
 pub trait Strategy {
     /// The type of the sampled values.
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    /// Candidate simplifications of `value`, most aggressive first. Every
+    /// candidate must be strictly "smaller" than `value` under some
+    /// well-founded order, so [`minimize`] terminates. The default is no
+    /// candidates (the value is already minimal).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Binary-search reduction of `value` toward `origin`: the origin itself,
+/// then successive midpoints, then the immediate predecessor.
+fn shrink_toward(origin: i128, value: i128) -> Vec<i128> {
+    if value == origin {
+        return Vec::new();
+    }
+    let mut out = vec![origin];
+    let mid = origin + (value - origin) / 2;
+    if mid != origin && mid != value {
+        out.push(mid);
+    }
+    let step = if value > origin { value - 1 } else { value + 1 };
+    if step != origin && step != mid {
+        out.push(step);
+    }
+    out
 }
 
 macro_rules! int_range_strategy {
@@ -63,6 +91,12 @@ macro_rules! int_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
@@ -72,6 +106,13 @@ int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 pub trait Arbitrary {
     /// Draws an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Candidate simplifications (see [`Strategy::shrink`]).
+    fn shrink_arbitrary(&self) -> Vec<Self>
+    where
+        Self: Sized,
+    {
+        Vec::new()
+    }
 }
 
 macro_rules! int_arbitrary {
@@ -80,14 +121,48 @@ macro_rules! int_arbitrary {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
             }
+            fn shrink_arbitrary(&self) -> Vec<$t> {
+                shrink_toward(0, *self as i128).into_iter().map(|v| v as $t).collect()
+            }
         }
     )*};
 }
-int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+int_arbitrary!(u8, u16, u32, i8, i16, i32, i64, isize);
+
+// 64-bit unsigned types do not fit i128's positive half after an `as`
+// round-trip of large samples, so shrink through the unsigned domain.
+macro_rules! wide_uint_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn shrink_arbitrary(&self) -> Vec<$t> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2];
+                out.push(v - 1);
+                out.dedup();
+                out.retain(|&c| c != v);
+                out
+            }
+        }
+    )*};
+}
+wide_uint_arbitrary!(u64, usize);
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink_arbitrary(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -104,6 +179,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_arbitrary()
+    }
 }
 
 /// A strategy producing a fixed value.
@@ -117,12 +195,33 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// The zero-argument strategy, used by [`proptest!`] for property
+/// functions without sampled inputs.
+impl Strategy for () {
+    type Value = ();
+    fn sample(&self, _rng: &mut TestRng) {}
+}
+
 macro_rules! tuple_strategy {
     ($($s:ident/$i:tt),+) => {
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$i.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&value.$i) {
+                        let mut next = value.clone();
+                        next.$i = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
@@ -133,6 +232,8 @@ tuple_strategy!(A / 0, B / 1, C / 2);
 tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
 tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
 tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
 
 /// Collection strategies (`prop::collection`).
 pub mod collection {
@@ -146,18 +247,93 @@ pub mod collection {
     }
 
     /// See [`vec()`].
+    #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.size.clone().sample(rng);
             (0..n).map(|_| self.element.sample(rng)).collect()
         }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min_len = self.size.start;
+            let len = value.len();
+            // Binary-search the length first: the minimum, the midpoint,
+            // then one-shorter — dropping elements is the biggest win.
+            if len > min_len {
+                let mut lens = vec![min_len, min_len + (len - min_len) / 2, len - 1];
+                lens.dedup();
+                for l in lens {
+                    if l < len {
+                        out.push(value[..l].to_vec());
+                    }
+                }
+                // Single-element removals reach lists truncation cannot.
+                for i in 0..len {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // Then simplify elements in place, one candidate at a time.
+            for i in 0..len {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
+        }
     }
+}
+
+/// Pins a property body's argument type to `S::Value` so closure
+/// parameter inference succeeds inside [`proptest!`]. Implementation
+/// detail of the macro.
+#[doc(hidden)]
+pub fn __bind_body<S, F>(_strategy: &S, f: F) -> F
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    f
+}
+
+/// Greedily minimizes a failing input: repeatedly replaces `value` with
+/// the first [`Strategy::shrink`] candidate for which `fails` still holds,
+/// until no candidate fails (a local minimum) or a step cap is reached.
+/// Returns the minimized value and the number of accepted shrink steps.
+pub fn minimize<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut fails: impl FnMut(&S::Value) -> bool,
+) -> (S::Value, usize) {
+    const MAX_STEPS: usize = 10_000;
+    let mut steps = 0;
+    while steps < MAX_STEPS {
+        let mut advanced = false;
+        for cand in strategy.shrink(&value) {
+            if fails(&cand) {
+                value = cand;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    (value, steps)
 }
 
 /// Per-invocation configuration (`#![proptest_config(...)]`).
@@ -215,8 +391,8 @@ impl std::error::Error for TestCaseError {}
 /// Everything a proptest-based test file usually imports.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
-        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+        any, minimize, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 
     /// The `prop::` namespace (`prop::collection::vec(...)`).
@@ -226,8 +402,9 @@ pub mod prelude {
 }
 
 /// Defines property tests: each `fn` runs `ProptestConfig::cases` times
-/// with freshly sampled arguments; `prop_assert*` failures panic with the
-/// offending inputs.
+/// with freshly sampled arguments; `prop_assert*` failures are minimized
+/// via [`minimize`] and panic with both the original and the shrunk
+/// inputs.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -246,24 +423,39 @@ macro_rules! __proptest_items {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($(($strat),)*);
+                #[allow(unused_mut)]
+                let mut run = $crate::__bind_body(&strategy, |__tuple| {
+                    let ($($arg,)*) = __tuple;
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    outcome
+                });
                 for case in 0..config.cases {
                     let mut rng = $crate::TestRng::from_seed($crate::seed_for(
                         module_path!(),
                         stringify!($name),
                         case,
                     ));
-                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
-                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                    match outcome {
+                    let sampled = $crate::Strategy::sample(&strategy, &mut rng);
+                    match run(::std::clone::Clone::clone(&sampled)) {
                         ::std::result::Result::Ok(()) => {}
                         ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
                         ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            let original = format!("{sampled:?}");
+                            let (minimized, steps) = $crate::minimize(&strategy, sampled, |v| {
+                                ::std::matches!(
+                                    run(::std::clone::Clone::clone(v)),
+                                    ::std::result::Result::Err($crate::TestCaseError::Fail(_))
+                                )
+                            });
+                            let ($($arg,)*) = minimized;
                             panic!(
-                                "property `{}` failed at case {case}: {msg}\n  inputs: {}",
+                                "property `{}` failed at case {case}: {msg}\n  inputs: {}\n  minimized ({steps} shrink steps): {}",
                                 stringify!($name),
+                                original,
                                 [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
                             );
                         }
@@ -336,6 +528,7 @@ macro_rules! prop_assume {
 
 #[cfg(test)]
 mod tests {
+    use crate::collection;
     use crate::prelude::*;
     use crate::seed_for;
 
@@ -371,5 +564,92 @@ mod tests {
             prop_assert!(xs.iter().all(|&x| x < 10));
             prop_assert!(pair.0 >= 1 && pair.1 < 4, "pair {:?}", pair);
         }
+    }
+
+    #[test]
+    fn range_shrink_binary_searches_toward_start() {
+        let s = 3u32..100;
+        let cands = s.shrink(&64);
+        assert_eq!(cands[0], 3, "most aggressive candidate is the minimum");
+        assert!(cands.contains(&33), "midpoint between 3 and 64");
+        assert!(cands.contains(&63), "immediate predecessor");
+        assert!(s.shrink(&3).is_empty(), "the minimum is already minimal");
+        // Signed ranges shrink toward their start, not toward zero.
+        assert_eq!((-5i64..5).shrink(&4)[0], -5);
+    }
+
+    #[test]
+    fn shrink_candidates_are_always_strictly_smaller() {
+        // Termination of `minimize` rests on this: no candidate equals the
+        // value it was derived from.
+        let s = 0u64..1000;
+        for v in [1u64, 2, 17, 999] {
+            for c in s.shrink(&v) {
+                assert!(c < v, "candidate {c} not smaller than {v}");
+            }
+        }
+        let vs = collection::vec(0u32..10, 0..8);
+        let val = vec![9, 0, 3];
+        for c in vs.shrink(&val) {
+            let smaller_len = c.len() < val.len();
+            let smaller_elem = c.len() == val.len() && c.iter().sum::<u32>() < val.iter().sum();
+            assert!(smaller_len || smaller_elem, "{c:?} does not shrink {val:?}");
+        }
+    }
+
+    #[test]
+    fn minimize_finds_the_smallest_failing_int() {
+        // Predicate fails for every value >= 40: the local minimum is 40.
+        let (min, steps) = crate::minimize(&(0u32..1000), 857, |&v| v >= 40);
+        assert_eq!(min, 40);
+        assert!(
+            steps > 0 && steps < 40,
+            "binary search, not linear: {steps}"
+        );
+    }
+
+    #[test]
+    fn minimize_shrinks_vecs_to_the_failing_core() {
+        // Failure depends only on containing some element >= 5.
+        let strat = collection::vec(0u32..100, 0..12);
+        let value = vec![1, 7, 3, 99, 0, 4, 62];
+        let (min, _) = crate::minimize(&strat, value, |v| v.iter().any(|&x| x >= 5));
+        assert_eq!(min, vec![5], "one minimal witness element remains");
+    }
+
+    #[test]
+    fn minimize_respects_the_vec_length_floor() {
+        let strat = collection::vec(0u32..100, 2..12);
+        let (min, _) = crate::minimize(&strat, vec![9, 9, 9, 9], |_| true);
+        assert_eq!(min, vec![0, 0], "floor 2 elements, each at the range start");
+    }
+
+    #[test]
+    fn tuple_shrink_simplifies_one_component_at_a_time() {
+        let strat = (0u32..10, 0u32..10);
+        for (a, b) in strat.shrink(&(4, 7)) {
+            assert!(
+                (a < 4 && b == 7) || (a == 4 && b < 7),
+                "({a}, {b}) changes both components"
+            );
+        }
+        let (min, _) = crate::minimize(&strat, (4, 7), |&(a, b)| a + b >= 6);
+        assert_eq!(min.0 + min.1, 6, "local minimum sits on the boundary");
+    }
+
+    #[test]
+    fn failing_property_panics_with_minimized_inputs() {
+        // Run one failing property through the macro machinery and check
+        // the panic message carries the shrunk witness.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn fails_above_ten(x in 0u32..1000) {
+                prop_assert!(x < 10, "x too big");
+            }
+        }
+        let err = std::panic::catch_unwind(fails_above_ten).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("minimized"), "no shrink report in: {msg}");
+        assert!(msg.contains("x = 10"), "witness not minimal in: {msg}");
     }
 }
