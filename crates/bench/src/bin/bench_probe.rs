@@ -101,13 +101,16 @@ fn run(name: &str, design: &Design, rate: u32, rounds: usize) -> bool {
 }
 
 fn main() -> std::process::ExitCode {
+    // 40 rounds puts each measured sweep in the tens-of-milliseconds
+    // range: long enough that the speedup ratio is stable run to run,
+    // which the bench_compare regression gate depends on.
     let mut ok = true;
-    ok &= run("ch3_simple", &ar_filter::simple(), 2, 5);
+    ok &= run("ch3_simple", &ar_filter::simple(), 2, 40);
     ok &= run(
         "portfolio_adversarial",
         &synthetic::portfolio_adversarial(6),
         2,
-        5,
+        40,
     );
     if ok {
         std::process::ExitCode::SUCCESS

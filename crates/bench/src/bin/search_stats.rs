@@ -1,15 +1,19 @@
 //! Emits a BENCH json line comparing the classic single-worker
 //! connection search with the 8-plan portfolio on the adversarial fan-in
 //! design: wall time, nodes expanded, nodes/second and the measured
-//! speedup. The output is one JSON object on stdout, suitable for
-//! machine-diffing runs before and after search changes. The rendering
-//! lives in [`mcs_bench::search_stats_line`], where it is golden-tested.
+//! speedup, plus the exact-fallback count of a probe sweep over the same
+//! design (how often the incremental Gomory tableau overflowed and fell
+//! back to the exact solver). The output is one JSON object on stdout,
+//! suitable for machine-diffing runs before and after search changes.
+//! The rendering lives in [`mcs_bench::search_stats_line`], where it is
+//! golden-tested.
 
 use std::time::Instant;
 
 use mcs_bench::{search_stats_line, MeasuredSearch};
 use mcs_cdfg::{designs::synthetic, PortMode};
 use mcs_connect::{synthesize_with_stats, SearchConfig};
+use mcs_pinalloc::PinChecker;
 
 fn run(workers: usize) -> MeasuredSearch {
     let d = synthetic::portfolio_adversarial(6);
@@ -23,11 +27,34 @@ fn run(workers: usize) -> MeasuredSearch {
     }
 }
 
+/// Probes every transfer of the same design into every control-step
+/// group once and reports how many probes overflowed the incremental
+/// tableau and fell back to the exact solver.
+fn probe_exact_fallbacks() -> u64 {
+    let d = synthetic::portfolio_adversarial(6);
+    let Ok(mut checker) = PinChecker::new(d.cdfg(), 2) else {
+        return 0;
+    };
+    let ops: Vec<_> = d.cdfg().io_ops().collect();
+    for &op in &ops {
+        for k in 0..2 {
+            let _ = checker.probe_uncached(op, k, false);
+        }
+    }
+    checker.probe_stats().exact_fallbacks
+}
+
 fn main() {
     let before = run(1);
     let after = run(8);
     println!(
         "{}",
-        search_stats_line("portfolio_adversarial", 6, &before, &after)
+        search_stats_line(
+            "portfolio_adversarial",
+            6,
+            probe_exact_fallbacks(),
+            &before,
+            &after
+        )
     );
 }

@@ -1,0 +1,657 @@
+//! BENCH baseline regression comparison: diff a fresh `BENCH_probe.json`
+//! or `BENCH_fuzz.json` against a committed baseline, field by field.
+//!
+//! Two classes of field:
+//!
+//! * **Hard** — deterministic results (probe counts, verdict digests,
+//!   differential agreement, fuzz outcome counts, shrink results). Any
+//!   change is a regression: these do not depend on the machine, only on
+//!   the code, so a diff means behavior changed without the baseline
+//!   being re-recorded.
+//! * **Threshold** — performance ratios measured *within* one run
+//!   (trail-vs-clone speedup, trail allocation counts). Absolute wall
+//!   times are machine-dependent and never compared; internal ratios
+//!   are, with a tolerance ([`SPEEDUP_RATIO_FLOOR`], [`ALLOC_SLACK`]) so
+//!   scheduler noise does not flake the gate.
+//!
+//! The parser below is a dependency-free strict JSON reader that keeps
+//! numbers as raw text: `verdict_digest` values exceed `i64::MAX` and
+//! must be compared exactly, not as lossy `f64`.
+
+use std::fmt::Write as _;
+
+/// Fresh speedup must be at least this fraction of the baseline speedup.
+pub const SPEEDUP_RATIO_FLOOR: f64 = 0.6;
+
+/// Allowed absolute growth in trail-engine heap allocations per sweep.
+pub const ALLOC_SLACK: u64 = 16;
+
+/// A parsed JSON value. Numbers keep their raw source text so exact
+/// integer comparison survives values beyond `f64`'s integer range.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw source text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`; `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// A canonical text rendering of a scalar, for diff messages and
+    /// exact comparison. Arrays/objects render as a placeholder.
+    pub fn scalar_text(&self) -> String {
+        match self {
+            Json::Null => "null".into(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(raw) => raw.clone(),
+            Json::Str(s) => s.clone(),
+            Json::Arr(_) => "<array>".into(),
+            Json::Obj(_) => "<object>".into(),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "byte {}: expected `{}`, found `{}`",
+                self.pos,
+                b as char,
+                self.peek().map(|c| c as char).unwrap_or('?')
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "byte {}: unexpected `{}`",
+                self.pos,
+                other.map(|c| c as char).unwrap_or('?')
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("byte {}: expected `{word}`", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("byte {start}: non-utf8 number"))?;
+        raw.parse::<f64>()
+            .map_err(|_| format!("byte {start}: malformed number `{raw}`"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| format!("byte {}: dangling escape", self.pos))?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => {
+                            return Err(format!(
+                                "byte {}: unsupported escape `\\{}`",
+                                self.pos, other as char
+                            ))
+                        }
+                    });
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| format!("byte {start}: non-utf8 string"))?,
+                    );
+                }
+                None => return Err(format!("byte {}: unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("byte {}: expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("byte {}: expected `,` or `}}`", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parses one strict-JSON document.
+///
+/// # Errors
+///
+/// A byte-offset message on malformed input or trailing garbage.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("byte {}: trailing garbage", p.pos));
+    }
+    Ok(v)
+}
+
+/// How a diverging field fails the gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Deterministic field changed: always a gate failure.
+    Hard,
+    /// Performance field regressed past its tolerance.
+    Threshold,
+}
+
+/// One baseline-vs-fresh divergence.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which BENCH line (by its `design`/`config` key).
+    pub line: String,
+    /// Dotted path of the diverging field.
+    pub field: String,
+    /// Hard or threshold failure.
+    pub severity: Severity,
+    /// Human-readable explanation with both values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Hard => "HARD",
+            Severity::Threshold => "THRESHOLD",
+        };
+        write!(f, "[{sev}] {} {}: {}", self.line, self.field, self.detail)
+    }
+}
+
+fn lookup<'a>(root: &'a Json, path: &str) -> Option<&'a Json> {
+    let mut node = root;
+    for part in path.split('.') {
+        node = node.get(part)?;
+    }
+    Some(node)
+}
+
+fn hard_compare(line: &str, base: &Json, fresh: &Json, path: &str, out: &mut Vec<Finding>) {
+    let b = lookup(base, path);
+    let f = lookup(fresh, path);
+    let (b, f) = match (b, f) {
+        (Some(b), Some(f)) => (b, f),
+        _ => {
+            out.push(Finding {
+                line: line.into(),
+                field: path.into(),
+                severity: Severity::Hard,
+                detail: format!(
+                    "field present in baseline: {}, in fresh: {}",
+                    b.is_some(),
+                    f.is_some()
+                ),
+            });
+            return;
+        }
+    };
+    if b != f {
+        out.push(Finding {
+            line: line.into(),
+            field: path.into(),
+            severity: Severity::Hard,
+            detail: format!("baseline {} != fresh {}", b.scalar_text(), f.scalar_text()),
+        });
+    }
+}
+
+fn ratio_floor(
+    line: &str,
+    base: &Json,
+    fresh: &Json,
+    path: &str,
+    floor: f64,
+    out: &mut Vec<Finding>,
+) {
+    let (Some(b), Some(f)) = (
+        lookup(base, path).and_then(Json::as_f64),
+        lookup(fresh, path).and_then(Json::as_f64),
+    ) else {
+        out.push(Finding {
+            line: line.into(),
+            field: path.into(),
+            severity: Severity::Hard,
+            detail: "field missing or non-numeric".into(),
+        });
+        return;
+    };
+    // A tiny baseline means the measurement is all noise; skip.
+    if b <= 0.01 {
+        return;
+    }
+    if f < b * floor {
+        out.push(Finding {
+            line: line.into(),
+            field: path.into(),
+            severity: Severity::Threshold,
+            detail: format!(
+                "fresh {f:.2} is below {:.2} ({}x baseline {b:.2})",
+                b * floor,
+                floor
+            ),
+        });
+    }
+}
+
+fn alloc_ceiling(line: &str, base: &Json, fresh: &Json, path: &str, out: &mut Vec<Finding>) {
+    let (Some(b), Some(f)) = (
+        lookup(base, path).and_then(Json::as_f64),
+        lookup(fresh, path).and_then(Json::as_f64),
+    ) else {
+        out.push(Finding {
+            line: line.into(),
+            field: path.into(),
+            severity: Severity::Hard,
+            detail: "field missing or non-numeric".into(),
+        });
+        return;
+    };
+    if f > b + ALLOC_SLACK as f64 {
+        out.push(Finding {
+            line: line.into(),
+            field: path.into(),
+            severity: Severity::Threshold,
+            detail: format!(
+                "fresh {f:.0} allocations exceed baseline {b:.0} + slack {ALLOC_SLACK}"
+            ),
+        });
+    }
+}
+
+/// Parses a BENCH file (one JSON object per line) into `(key, object)`
+/// pairs, keyed by the given member (`design` or `config`).
+fn parse_lines(text: &str, key: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let k = v
+            .get(key)
+            .map(Json::scalar_text)
+            .ok_or_else(|| format!("line {}: no `{key}` member", i + 1))?;
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+/// A baseline line paired with its fresh counterpart, keyed by design or
+/// config name.
+type MatchedPair = (String, Json, Json);
+
+fn matched_lines(
+    baseline: &str,
+    fresh: &str,
+    key: &str,
+) -> Result<(Vec<MatchedPair>, Vec<Finding>), String> {
+    let base = parse_lines(baseline, key)?;
+    let fresh = parse_lines(fresh, key)?;
+    let mut findings = Vec::new();
+    let mut pairs = Vec::new();
+    for (k, b) in &base {
+        match fresh.iter().find(|(fk, _)| fk == k) {
+            Some((_, f)) => pairs.push((k.clone(), b.clone(), f.clone())),
+            None => findings.push(Finding {
+                line: k.clone(),
+                field: key.into(),
+                severity: Severity::Hard,
+                detail: "baseline line missing from fresh run".into(),
+            }),
+        }
+    }
+    for (k, _) in &fresh {
+        if !base.iter().any(|(bk, _)| bk == k) {
+            findings.push(Finding {
+                line: k.clone(),
+                field: key.into(),
+                severity: Severity::Hard,
+                detail: "fresh line not present in baseline (re-record the baseline)".into(),
+            });
+        }
+    }
+    Ok((pairs, findings))
+}
+
+/// Diffs a fresh `BENCH_probe.json` against the committed baseline.
+///
+/// Hard fields: probe/feasible counts, verdict digests and the
+/// trail-vs-clone `agree` verdict per engine. Threshold fields: the
+/// within-run `speedup` (floor [`SPEEDUP_RATIO_FLOOR`] of baseline) and
+/// the trail engine's allocation count (([`ALLOC_SLACK`]) of slack).
+/// Absolute wall times are never compared.
+///
+/// # Errors
+///
+/// A parse error on malformed input in either file.
+pub fn compare_probe(baseline: &str, fresh: &str) -> Result<Vec<Finding>, String> {
+    let (pairs, mut findings) = matched_lines(baseline, fresh, "design")?;
+    for (k, b, f) in &pairs {
+        for path in [
+            "rate",
+            "trail.probes",
+            "trail.feasible",
+            "trail.verdict_digest",
+            "clone.probes",
+            "clone.feasible",
+            "clone.verdict_digest",
+            "agree",
+        ] {
+            hard_compare(k, b, f, path, &mut findings);
+        }
+        ratio_floor(k, b, f, "speedup", SPEEDUP_RATIO_FLOOR, &mut findings);
+        alloc_ceiling(k, b, f, "trail.allocations", &mut findings);
+    }
+    Ok(findings)
+}
+
+/// Diffs a fresh `BENCH_fuzz.json` against the committed baseline.
+///
+/// Every compared field is hard: the sweep is fully seeded, so outcome
+/// counts, oracle agreement and the shrink demonstration are functions
+/// of the code alone. Wall time and throughput are never compared.
+///
+/// # Errors
+///
+/// A parse error on malformed input in either file.
+pub fn compare_fuzz(baseline: &str, fresh: &str) -> Result<Vec<Finding>, String> {
+    let (pairs, mut findings) = matched_lines(baseline, fresh, "config")?;
+    for (k, b, f) in &pairs {
+        for path in [
+            "seeds",
+            "agreed",
+            "disagreed",
+            "any_feasible",
+            "sim_checked",
+            "sim_mismatched",
+            "shrink.steps",
+            "shrink.from_ops",
+            "shrink.to_ops",
+            "agree",
+        ] {
+            hard_compare(k, b, f, path, &mut findings);
+        }
+    }
+    Ok(findings)
+}
+
+/// Renders findings as the `bench_compare` report; empty input renders
+/// the all-clear line.
+pub fn render_findings(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return "bench_compare: OK, fresh run matches the baseline".into();
+    }
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "bench_compare: {f}");
+    }
+    let _ = write!(
+        out,
+        "bench_compare: {} regression(s) against the baseline",
+        findings.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROBE_BASE: &str = "{\"bench\":\"probe\",\"design\":\"d\",\"rate\":2,\
+        \"trail\":{\"probes\":64,\"feasible\":48,\"allocations\":0,\
+        \"alloc_bytes\":0,\"wall_ms\":5.000,\"verdict_digest\":12501005524302218597},\
+        \"clone\":{\"probes\":64,\"feasible\":48,\"allocations\":600,\
+        \"alloc_bytes\":819200,\"wall_ms\":40.000,\"verdict_digest\":12501005524302218597},\
+        \"agree\":true,\"alloc_ratio\":600.00,\"speedup\":8.00}";
+
+    #[test]
+    fn identical_probe_lines_produce_no_findings() {
+        let findings = compare_probe(PROBE_BASE, PROBE_BASE).unwrap();
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(render_findings(&findings).contains("OK"));
+    }
+
+    #[test]
+    fn digest_beyond_i64_compares_exactly() {
+        // 12501005524302218597 and 12501005524302218598 collide as f64;
+        // the raw-text comparison must still separate them.
+        let fresh = PROBE_BASE.replace("12501005524302218597", "12501005524302218598");
+        let findings = compare_probe(PROBE_BASE, &fresh).unwrap();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.field.ends_with("verdict_digest") && f.severity == Severity::Hard),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn halved_speedup_trips_the_threshold() {
+        // A 2x wall-time slowdown of the trail engine halves the
+        // within-run speedup: 8.00 -> 4.00, below the 0.6 floor.
+        let fresh = PROBE_BASE.replace("\"speedup\":8.00", "\"speedup\":4.00");
+        let findings = compare_probe(PROBE_BASE, &fresh).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].severity, Severity::Threshold);
+        assert_eq!(findings[0].field, "speedup");
+    }
+
+    #[test]
+    fn small_speedup_noise_passes() {
+        let fresh = PROBE_BASE.replace("\"speedup\":8.00", "\"speedup\":6.50");
+        assert!(compare_probe(PROBE_BASE, &fresh).unwrap().is_empty());
+    }
+
+    #[test]
+    fn allocation_growth_trips_the_threshold() {
+        let fresh = PROBE_BASE.replace(
+            "\"allocations\":0,\"alloc_bytes\":0",
+            "\"allocations\":500,\"alloc_bytes\":64000",
+        );
+        let findings = compare_probe(PROBE_BASE, &fresh).unwrap();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.field == "trail.allocations" && f.severity == Severity::Threshold),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn missing_design_line_is_hard() {
+        let findings = compare_probe(PROBE_BASE, "").unwrap();
+        assert!(findings.iter().any(|f| f.severity == Severity::Hard));
+    }
+
+    const FUZZ_BASE: &str = "{\"bench\":\"fuzz\",\"config\":\"default\",\"seeds\":200,\
+        \"agreed\":200,\"disagreed\":0,\"any_feasible\":30,\
+        \"sim_checked\":50,\"sim_mismatched\":0,\
+        \"shrink\":{\"steps\":104,\"from_ops\":8,\"to_ops\":4},\
+        \"wall_ms\":4000.000,\"designs_per_sec\":50.0,\"agree\":true}";
+
+    #[test]
+    fn fuzz_agreement_change_is_hard() {
+        let fresh = FUZZ_BASE
+            .replace("\"disagreed\":0", "\"disagreed\":1")
+            .replace("\"agreed\":200", "\"agreed\":199")
+            .replace("\"agree\":true", "\"agree\":false");
+        let findings = compare_fuzz(FUZZ_BASE, &fresh).unwrap();
+        assert!(findings.iter().all(|f| f.severity == Severity::Hard));
+        assert_eq!(findings.len(), 3, "{findings:?}");
+    }
+
+    #[test]
+    fn fuzz_wall_time_is_ignored() {
+        let fresh = FUZZ_BASE
+            .replace("\"wall_ms\":4000.000", "\"wall_ms\":9999.000")
+            .replace("\"designs_per_sec\":50.0", "\"designs_per_sec\":2.0");
+        assert!(compare_fuzz(FUZZ_BASE, &fresh).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parser_round_trips_the_committed_baseline_shape() {
+        let v = parse_json(PROBE_BASE).unwrap();
+        assert_eq!(
+            v.get("trail").unwrap().get("verdict_digest"),
+            Some(&Json::Num("12501005524302218597".into()))
+        );
+        assert_eq!(v.get("agree"), Some(&Json::Bool(true)));
+        assert_eq!(
+            v.get("design").map(Json::scalar_text),
+            Some("d".to_string())
+        );
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage_and_bad_numbers() {
+        assert!(parse_json("{\"a\":1} x").is_err());
+        assert!(parse_json("{\"a\":1.2.3}").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,2").is_err());
+    }
+}

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
+
 use std::fmt::Write as _;
 
 use mcs_cdfg::{designs, timing, PartitionId, PortMode};
@@ -861,12 +863,16 @@ pub fn fuzz_bench_line(config: &str, m: &MeasuredFuzz) -> String {
 }
 
 /// Renders the `search_stats` BENCH line: one JSON object comparing a
-/// single-worker run against the portfolio on the same design. This is
-/// the exact format the `search_stats` binary prints (golden-tested), so
-/// downstream machine-diffing of runs keeps working across refactors.
+/// single-worker run against the portfolio on the same design, plus the
+/// exact-fallback count of a probe sweep over the same design (the
+/// Gomory overflow counter — fallbacks to the exact solver when the
+/// all-integer tableau overflows). This is the exact format the
+/// `search_stats` binary prints (golden-tested), so downstream
+/// machine-diffing of runs keeps working across refactors.
 pub fn search_stats_line(
     bench: &str,
     senders: u32,
+    exact_fallbacks: u64,
     before: &MeasuredSearch,
     after: &MeasuredSearch,
 ) -> String {
@@ -879,7 +885,10 @@ pub fn search_stats_line(
     } else {
         0.0
     };
-    let _ = write!(out, ",\"speedup\":{speedup:.2}}}");
+    let _ = write!(
+        out,
+        ",\"probe_exact_fallbacks\":{exact_fallbacks},\"speedup\":{speedup:.2}}}"
+    );
     out
 }
 
@@ -917,7 +926,7 @@ mod tests {
             stats: stats(4000, None),
             wall_ms: 125.0,
         };
-        let line = search_stats_line("portfolio_adversarial", 6, &before, &after);
+        let line = search_stats_line("portfolio_adversarial", 6, 3, &before, &after);
         assert_eq!(
             line,
             "{\"bench\":\"portfolio_adversarial\",\"senders\":6,\
@@ -927,7 +936,7 @@ mod tests {
              \"after\":{\"ok\":true,\"nodes\":4000,\"nodes_per_sec\":16000,\
              \"epochs\":12,\"threads\":4,\"cache_hits\":7,\"prunes\":5,\
              \"backtracks\":2,\"wall_ms\":125.000,\"winner\":null},\
-             \"speedup\":2.00}"
+             \"probe_exact_fallbacks\":3,\"speedup\":2.00}"
         );
         mcs_obs::export::validate_json(&line).expect("BENCH line is strict JSON");
     }

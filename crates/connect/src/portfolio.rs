@@ -45,6 +45,7 @@ use std::time::{Duration, Instant};
 
 use mcs_cdfg::{Cdfg, OpId, PartitionId, PortMode};
 use mcs_ctl::Termination;
+use mcs_metrics::{Histogram, MetricsHandle};
 
 use crate::model::Interconnect;
 use crate::search::{
@@ -600,6 +601,12 @@ struct Worker<'a> {
     /// the run before anyone finishes.
     deepest: usize,
     deepest_buses: u32,
+    /// Metrics clock for epoch timing (reads 0 when disconnected, so a
+    /// manual-clock registry keeps the histogram deterministic).
+    metrics: MetricsHandle,
+    /// `connect.epoch_us`: one observation per live epoch this worker
+    /// expanded, on the registry clock.
+    m_epoch_us: Histogram,
 }
 
 impl<'a> Worker<'a> {
@@ -642,6 +649,8 @@ impl<'a> Worker<'a> {
             wall: Duration::ZERO,
             deepest: 0,
             deepest_buses: 0,
+            metrics: cfg.metrics.clone(),
+            m_epoch_us: cfg.metrics.histogram("connect.epoch_us"),
         }
     }
 
@@ -660,6 +669,7 @@ impl<'a> Worker<'a> {
         // `WorkerOutcome::Panicked` instead of aborting the run.
         mcs_ctl::faultpoint!(&format!("portfolio::worker::{}", self.plan.index));
         let t0 = Instant::now();
+        let m_t0 = self.metrics.now_us();
         let mut expanded = 0usize;
         while expanded < max_nodes && self.running() {
             if self.entering {
@@ -669,6 +679,8 @@ impl<'a> Worker<'a> {
             }
         }
         self.wall += t0.elapsed();
+        self.m_epoch_us
+            .observe(self.metrics.now_us().saturating_sub(m_t0));
     }
 
     fn enter_node(&mut self, expanded: &mut usize, cache: &SharedCache) {
@@ -1025,6 +1037,16 @@ pub fn synthesize_seeded(
         deepest,
         deepest_buses,
     };
+    if cfg.metrics.enabled() {
+        cfg.metrics.add("connect.nodes", stats.nodes);
+        cfg.metrics.add("connect.cache_hits", stats.cache_hits);
+        cfg.metrics.add("connect.seed_hits", stats.seed_hits);
+        // Peak, not last-write: under a parallel sweep the last point to
+        // finish is scheduling-dependent, and exports must stay
+        // byte-identical across `--jobs`.
+        cfg.metrics
+            .gauge_max("connect.cache_entries", stats.cache_entries as i64);
+    }
     let result = match winner {
         Some(index) => {
             let w = workers
@@ -1235,6 +1257,33 @@ mod tests {
         let (result, stats, _) = synthesize_seeded(d.cdfg(), PortMode::Unidirectional, &cfg, &[]);
         assert!(result.is_ok());
         assert_eq!(stats.termination, Termination::Complete);
+    }
+
+    #[test]
+    fn metrics_record_epochs_and_seed_hits() {
+        use mcs_metrics::Registry;
+        use std::sync::Arc;
+        let d = mcs_cdfg::designs::synthetic::portfolio_adversarial(6);
+        let cfg = SearchConfig::new(2).with_portfolio(4);
+        let (_, _, learned) = synthesize_seeded(d.cdfg(), PortMode::Unidirectional, &cfg, &[]);
+        let reg = Arc::new(Registry::new());
+        let cfg = cfg.with_metrics(MetricsHandle::new(reg.clone()));
+        let (result, stats, _) =
+            synthesize_seeded(d.cdfg(), PortMode::Unidirectional, &cfg, &learned);
+        assert!(result.is_ok());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["connect.nodes"], stats.nodes);
+        assert_eq!(snap.counters["connect.seed_hits"], stats.seed_hits);
+        assert!(stats.seed_hits > 0, "seeded proofs must answer probes");
+        // One epoch-timing observation per live (worker, epoch) pair:
+        // at least one per epoch, at most workers-per-epoch.
+        let h = &snap.histograms["connect.epoch_us"];
+        assert!(h.count >= stats.epochs as u64);
+        assert!(h.count <= (stats.epochs * stats.workers.len()) as u64);
+        assert_eq!(
+            snap.gauges["connect.cache_entries"],
+            stats.cache_entries as i64
+        );
     }
 
     #[test]

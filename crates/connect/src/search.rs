@@ -57,6 +57,12 @@ pub struct SearchConfig {
     /// per (worker, epoch) at the barrier, in portfolio-index order, so
     /// the event stream is deterministic across thread counts.
     pub recorder: mcs_obs::RecorderHandle,
+    /// Metrics sink: a `connect.epoch_us` histogram (one observation per
+    /// live worker per epoch, timed on the registry clock) plus
+    /// `connect.seed_hits` / `connect.cache_hits` / `connect.nodes`
+    /// counters added once at the end of the run. Disconnected by
+    /// default.
+    pub metrics: mcs_metrics::MetricsHandle,
     /// Execution budget polled at every epoch barrier. When it trips,
     /// the run stops with [`ConnectError::Interrupted`] and the search
     /// stats carry the deepest partial connection reached (the anytime
@@ -79,6 +85,7 @@ impl SearchConfig {
             portfolio: None,
             epoch_nodes: 512,
             recorder: mcs_obs::RecorderHandle::default(),
+            metrics: mcs_metrics::MetricsHandle::default(),
             budget: None,
         }
     }
@@ -107,6 +114,12 @@ impl SearchConfig {
     /// Routes per-epoch `SearchNode` events to `recorder`.
     pub fn with_recorder(mut self, recorder: mcs_obs::RecorderHandle) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Connects the `connect.*` metrics to `metrics`.
+    pub fn with_metrics(mut self, metrics: mcs_metrics::MetricsHandle) -> Self {
+        self.metrics = metrics;
         self
     }
 

@@ -12,8 +12,10 @@
 //!                                                the ceiling, report best-so-far)
 //!                  [--probe-differential]        (cross-check trail vs clone probes)
 //!                  [--trace-out trace.json [--trace-format chrome|jsonl]]
+//!                  [--metrics-out m.json [--metrics-format json|prom]]
 //! mcs-hls explain  <design.mcs> --rate N         synthesize under a tracing
-//!                  recorder, print the per-phase decision summary
+//!                  recorder, print the per-phase decision summary and the
+//!                  metrics table (counters, histograms, span profile)
 //! mcs-hls simulate <design.mcs> --rate N [--instances N] [--seed N]
 //!                  synthesize, execute, cross-check outputs
 //! mcs-hls rtl      <design.mcs> --rate N         emit structural Verilog
@@ -42,11 +44,12 @@ use multichip_hls::flows::{
     simple_flow_anytime, simple_flow_with, AnytimeOutcome, ConnectFirstOptions, SynthesisConfig,
     SynthesisResult,
 };
+use multichip_hls::metrics::{export as metrics_export, MetricsHandle, Registry};
 use multichip_hls::netlist;
 use multichip_hls::obs::{export, summary::summarize, BufferingRecorder, RecorderHandle};
 use multichip_hls::report::{
-    render_interconnect, render_phase_summary, render_schedule, render_search_stats,
-    render_trace_aggregates,
+    render_interconnect, render_metrics, render_phase_summary, render_schedule,
+    render_search_stats, render_trace_aggregates,
 };
 use multichip_hls::sched::Schedule;
 use multichip_hls::sim::{verify, Semantics, Stimulus};
@@ -75,6 +78,8 @@ struct Args {
     probe_differential: bool,
     trace_out: Option<String>,
     trace_format: String,
+    metrics_out: Option<String>,
+    metrics_format: String,
     rates: Option<String>,
     pin_budgets: Option<String>,
     jobs: usize,
@@ -94,6 +99,7 @@ fn usage() -> ExitCode {
          [--deadline-ms N] [--max-pivots N] [--max-nodes N] \
          [--pivot-budget N] [--probe-differential] \
          [--trace-out FILE] [--trace-format chrome|jsonl] \
+         [--metrics-out FILE] [--metrics-format json|prom] \
          [--rates A..B|A,B,C] [--pin-budgets V:V (V = P,P,..)] [--jobs N] \
          [--out FILE] [--csv FILE] [--no-prune] [--explain]"
     );
@@ -128,6 +134,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         probe_differential: false,
         trace_out: None,
         trace_format: "chrome".into(),
+        metrics_out: None,
+        metrics_format: "json".into(),
         rates: None,
         pin_budgets: None,
         jobs: 1,
@@ -254,6 +262,14 @@ fn parse_args() -> Result<Args, ExitCode> {
                     return Err(usage());
                 }
             }
+            "--metrics-out" => out.metrics_out = Some(next_value(&mut args, "--metrics-out")?),
+            "--metrics-format" => {
+                out.metrics_format = next_value(&mut args, "--metrics-format")?;
+                if !matches!(out.metrics_format.as_str(), "json" | "prom") {
+                    eprintln!("--metrics-format must be `json` or `prom`");
+                    return Err(usage());
+                }
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 return Err(usage());
@@ -297,7 +313,40 @@ fn load(path: &str) -> Result<mcs_cdfg::designs::Design, ExitCode> {
 }
 
 fn synthesize(cdfg: &Cdfg, a: &Args) -> Result<SynthesisResult, ExitCode> {
-    synthesize_traced(cdfg, a, &RecorderHandle::default())
+    synthesize_traced(
+        cdfg,
+        a,
+        &RecorderHandle::default(),
+        &MetricsHandle::default(),
+    )
+}
+
+/// The metrics registry backing `--metrics-out` (and the `explain`
+/// metrics table): a real monotonic clock, so span wall times and
+/// latency histograms are meaningful.
+fn metrics_registry(a: &Args) -> Option<std::sync::Arc<Registry>> {
+    a.metrics_out.as_ref().map(|_| Arc::new(Registry::new()))
+}
+
+/// Writes the metrics snapshot to `path` in the requested format.
+fn write_metrics(reg: &Registry, a: &Args, path: &str) -> Result<(), ExitCode> {
+    let snap = reg.snapshot();
+    let text = match a.metrics_format.as_str() {
+        "prom" => metrics_export::to_prometheus(&snap),
+        _ => metrics_export::to_json(&snap),
+    };
+    std::fs::write(path, text).map_err(|e| {
+        eprintln!("{path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    eprintln!(
+        "metrics: {} counters, {} histograms, {} spans ({}) -> {path}",
+        snap.counters.len(),
+        snap.histograms.len(),
+        snap.profile.len(),
+        a.metrics_format
+    );
+    Ok(())
 }
 
 /// The execution budget described by `--deadline-ms`/`--max-pivots`/
@@ -328,6 +377,7 @@ fn synthesize_anytime(
     cdfg: &Cdfg,
     a: &Args,
     recorder: &RecorderHandle,
+    metrics: &MetricsHandle,
     budget: mcs_ctl::Budget,
 ) -> Result<Option<SynthesisResult>, ExitCode> {
     let out: AnytimeOutcome = match a.flow.as_str() {
@@ -336,6 +386,7 @@ fn synthesize_anytime(
                 pivot_budget: a.pivot_budget,
                 probe_differential: a.probe_differential,
                 budget: None,
+                metrics: metrics.clone(),
             };
             simple_flow_anytime(cdfg, a.rate, &config, budget, recorder)
         }
@@ -351,6 +402,7 @@ fn synthesize_anytime(
             opts.portfolio = a.portfolio;
             opts.branching_factor = a.branching;
             opts.node_budget = a.budget;
+            opts.metrics = metrics.clone();
             connect_first_anytime(cdfg, &opts, budget, recorder)
         }
         "schedule" => {
@@ -358,7 +410,7 @@ fn synthesize_anytime(
                 "note: the schedule flow has no interruption points; \
                  --deadline-ms/--max-pivots/--max-nodes are ignored"
             );
-            return synthesize_traced(cdfg, a, recorder).map(Some);
+            return synthesize_traced(cdfg, a, recorder, metrics).map(Some);
         }
         other => {
             eprintln!("unknown flow `{other}` (simple|connect|schedule)");
@@ -399,6 +451,7 @@ fn synthesize_traced(
     cdfg: &Cdfg,
     a: &Args,
     recorder: &RecorderHandle,
+    metrics: &MetricsHandle,
 ) -> Result<SynthesisResult, ExitCode> {
     let mode = if a.bidir {
         PortMode::Bidirectional
@@ -411,6 +464,7 @@ fn synthesize_traced(
                 pivot_budget: a.pivot_budget,
                 probe_differential: a.probe_differential,
                 budget: None,
+                metrics: metrics.clone(),
             };
             simple_flow_with(cdfg, a.rate, &config, recorder)
         }
@@ -422,6 +476,7 @@ fn synthesize_traced(
             opts.portfolio = a.portfolio;
             opts.branching_factor = a.branching;
             opts.node_budget = a.budget;
+            opts.metrics = metrics.clone();
             connect_first_flow_traced(cdfg, &opts, recorder)
         }
         "schedule" => {
@@ -513,14 +568,24 @@ fn main() -> ExitCode {
                 Some(b) => RecorderHandle::new(b.clone()),
                 None => RecorderHandle::default(),
             };
+            let reg = metrics_registry(&a);
+            let metrics = match &reg {
+                Some(r) => MetricsHandle::new(r.clone()),
+                None => MetricsHandle::default(),
+            };
             let r = match ctl_budget(&a) {
-                Some(budget) => match synthesize_anytime(cdfg, &a, &rec, budget) {
+                Some(budget) => match synthesize_anytime(cdfg, &a, &rec, &metrics, budget) {
                     Ok(Some(r)) => r,
                     Ok(None) => {
                         // Interrupted: the anytime summary is printed;
-                        // flush the trace and exit cleanly.
+                        // flush the trace and metrics, exit cleanly.
                         if let (Some(buf), Some(path)) = (&buf, &a.trace_out) {
                             if let Err(code) = write_trace(buf, &a, path) {
+                                return code;
+                            }
+                        }
+                        if let (Some(reg), Some(path)) = (&reg, &a.metrics_out) {
+                            if let Err(code) = write_metrics(reg, &a, path) {
                                 return code;
                             }
                         }
@@ -528,13 +593,18 @@ fn main() -> ExitCode {
                     }
                     Err(code) => return code,
                 },
-                None => match synthesize_traced(cdfg, &a, &rec) {
+                None => match synthesize_traced(cdfg, &a, &rec, &metrics) {
                     Ok(r) => r,
                     Err(code) => return code,
                 },
             };
             if let (Some(buf), Some(path)) = (&buf, &a.trace_out) {
                 if let Err(code) = write_trace(buf, &a, path) {
+                    return code;
+                }
+            }
+            if let (Some(reg), Some(path)) = (&reg, &a.metrics_out) {
+                if let Err(code) = write_metrics(reg, &a, path) {
                     return code;
                 }
             }
@@ -566,12 +636,21 @@ fn main() -> ExitCode {
         "explain" => {
             let buf = Arc::new(BufferingRecorder::new());
             let rec = RecorderHandle::new(buf.clone());
-            let r = match synthesize_traced(cdfg, &a, &rec) {
+            // Explain always runs metered: the metrics table below is
+            // part of the report, with or without --metrics-out.
+            let reg = Arc::new(Registry::new());
+            let metrics = MetricsHandle::new(reg.clone());
+            let r = match synthesize_traced(cdfg, &a, &rec, &metrics) {
                 Ok(r) => r,
                 Err(code) => return code,
             };
             if let Some(path) = &a.trace_out {
                 if let Err(code) = write_trace(&buf, &a, path) {
+                    return code;
+                }
+            }
+            if let Some(path) = &a.metrics_out {
+                if let Err(code) = write_metrics(&reg, &a, path) {
                     return code;
                 }
             }
@@ -587,6 +666,7 @@ fn main() -> ExitCode {
             println!();
             println!("{}", render_phase_summary(&summary));
             println!("{}", render_trace_aggregates(&summary));
+            println!("{}", render_metrics(&reg.snapshot()));
             ExitCode::SUCCESS
         }
         "simulate" => {
@@ -672,10 +752,15 @@ fn main() -> ExitCode {
                 rates,
                 budgets,
             };
+            let reg = metrics_registry(&a);
             let opts = SweepOptions {
                 jobs: a.jobs.max(1),
                 prune: !a.no_prune,
                 budget: ctl_budget(&a),
+                metrics: match &reg {
+                    Some(r) => MetricsHandle::new(r.clone()),
+                    None => MetricsHandle::default(),
+                },
                 ..SweepOptions::default()
             };
             let buf =
@@ -746,6 +831,11 @@ fn main() -> ExitCode {
             }
             if let (Some(buf), Some(path)) = (&buf, &a.trace_out) {
                 if let Err(code) = write_trace(buf, &a, path) {
+                    return code;
+                }
+            }
+            if let (Some(reg), Some(path)) = (&reg, &a.metrics_out) {
+                if let Err(code) = write_metrics(reg, &a, path) {
                     return code;
                 }
             }

@@ -100,6 +100,7 @@ pub struct DesignRunner<'a> {
     cdfg: &'a Cdfg,
     flow: FlowVariant,
     budget: Option<mcs_ctl::Budget>,
+    metrics: mcs_metrics::MetricsHandle,
 }
 
 impl<'a> DesignRunner<'a> {
@@ -109,6 +110,7 @@ impl<'a> DesignRunner<'a> {
             cdfg,
             flow,
             budget: None,
+            metrics: mcs_metrics::MetricsHandle::default(),
         }
     }
 
@@ -119,6 +121,14 @@ impl<'a> DesignRunner<'a> {
     /// reports [`PointStatus::Error`] and never prunes.
     pub fn with_budget(mut self, budget: Option<mcs_ctl::Budget>) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Metrics sink threaded into every point's flow. Per-point probe
+    /// latencies, solver pivots and search epochs all aggregate into the
+    /// same registry; the sweep driver layers `explore.*` on top.
+    pub fn with_metrics(mut self, metrics: mcs_metrics::MetricsHandle) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -218,7 +228,8 @@ impl PointRunner for DesignRunner<'_> {
                 if let Some(b) = &self.budget {
                     checker.set_budget(b.clone());
                 }
-                match simple_flow_with_checker(&cdfg, coord.rate, checker, &recorder) {
+                match simple_flow_with_checker(&cdfg, coord.rate, checker, &recorder, &self.metrics)
+                {
                     Ok((result, probe)) => {
                         Self::measure(&cdfg, &result, &mut out);
                         out.solver_probes = probe.stats.solver_probes;
@@ -241,6 +252,7 @@ impl PointRunner for DesignRunner<'_> {
                 opts.workers = 1;
                 opts.portfolio = Some(SWEEP_PORTFOLIO);
                 opts.budget = self.budget.clone();
+                opts.metrics = self.metrics.clone();
                 let (res, report) = connect_first_flow_seeded(&cdfg, &opts, &seed_certs, &recorder);
                 out.search_nodes = report.stats.nodes;
                 out.search_cache_hits = report.stats.cache_hits;
@@ -339,7 +351,9 @@ pub fn run_sweep(
             });
         }
     }
-    let runner = DesignRunner::new(cdfg, spec.flow).with_budget(opts.budget.clone());
+    let runner = DesignRunner::new(cdfg, spec.flow)
+        .with_budget(opts.budget.clone())
+        .with_metrics(opts.metrics.clone());
     let report = {
         let _phase = recorder.phase("explore");
         sweep(spec, &runner, opts)?

@@ -9,6 +9,7 @@ use mcs_connect::{
     SearchStats,
 };
 use mcs_ctl::{Budget, Termination};
+use mcs_metrics::MetricsHandle;
 use mcs_obs::{Event, RecorderHandle};
 use mcs_pinalloc::{check_simple, PinAllocError, PinChecker, ProbeCacheStats, SimplicityViolation};
 use mcs_postsyn::{
@@ -106,6 +107,12 @@ pub struct SynthesisConfig {
     /// Gomory pivots) and the list scheduler (control-step boundaries).
     /// A tripped budget surfaces as [`FlowError::Interrupted`].
     pub budget: Option<Budget>,
+    /// Metrics sink threaded through every layer the flow touches: the
+    /// pin checker's probe histograms, the embedded ILP solver's
+    /// counters, the list scheduler's placement attempts, and the
+    /// flow's own `flow/...` phase span tree. Disconnected by default
+    /// (one branch per instrumentation point).
+    pub metrics: MetricsHandle,
 }
 
 /// Common result pieces every flow produces.
@@ -174,7 +181,13 @@ impl SynthesisResult {
 /// `pin-check` phase span: one [`Event::PinCheck`] per partition, with
 /// `group` carrying the partition id and `cap` its declared pin budget.
 /// No-op when the recorder is disabled.
-fn record_pin_budget(cdfg: &Cdfg, result: &SynthesisResult, recorder: &RecorderHandle) {
+fn record_pin_budget(
+    cdfg: &Cdfg,
+    result: &SynthesisResult,
+    recorder: &RecorderHandle,
+    metrics: &MetricsHandle,
+) {
+    let _span = metrics.span("pin-check");
     if !recorder.enabled() {
         return;
     }
@@ -244,7 +257,8 @@ pub fn simple_flow_with(
     if let Some(b) = &config.budget {
         checker.set_budget(b.clone());
     }
-    simple_flow_with_checker(cdfg, rate, checker, recorder).map(|(result, _)| result)
+    simple_flow_with_checker(cdfg, rate, checker, recorder, &config.metrics)
+        .map(|(result, _)| result)
 }
 
 /// What the pin checker did during one [`simple_flow_with_checker`] run:
@@ -273,19 +287,24 @@ pub struct SimpleFlowProbeReport {
 pub fn simple_flow_with_checker(
     cdfg: &Cdfg,
     rate: u32,
-    checker: PinChecker,
+    mut checker: PinChecker,
     recorder: &RecorderHandle,
+    metrics: &MetricsHandle,
 ) -> Result<(SynthesisResult, SimpleFlowProbeReport), FlowError> {
+    let _flow_span = metrics.span("flow");
     check_simple(cdfg).map_err(FlowError::NotSimple)?;
+    checker.set_metrics(metrics);
     let mut policy = PinPolicy::new(checker);
     policy.set_recorder(recorder.clone());
     let mut lc = ListConfig::new(rate);
     lc.recorder = recorder.clone();
+    lc.metrics = metrics.clone();
     // Share the checker's budget (if any) with the scheduler so both
     // layers charge one ledger and trip at the same ceiling.
     lc.budget = policy.checker().budget().cloned();
     let schedule = {
         let _phase = recorder.phase("schedule");
+        let _span = metrics.span("schedule");
         list_schedule(cdfg, &lc, &mut policy)?
     };
     let probe = SimpleFlowProbeReport {
@@ -301,6 +320,14 @@ pub fn simple_flow_with_checker(
         recorder.counter("probe.exact_fallbacks", stats.exact_fallbacks as i64);
         recorder.counter("probe.max_rollback_depth", stats.max_rollback_depth as i64);
     }
+    if metrics.enabled() {
+        let stats = &probe.stats;
+        metrics.add("probe.memo_hits", stats.memo_hits);
+        metrics.add("probe.seed_hits", stats.seed_hits);
+        metrics.add("probe.surrogate_rejects", stats.surrogate_rejects);
+        metrics.add("probe.solver", stats.solver_probes);
+        metrics.add("probe.exact_fallbacks", stats.exact_fallbacks);
+    }
     let violations = validate(cdfg, &schedule);
     if !violations.is_empty() {
         return Err(FlowError::InvalidSchedule(violations));
@@ -310,6 +337,7 @@ pub fn simple_flow_with_checker(
     // escalating the weighting factor of any partition whose budget the
     // heuristic overruns (Section 5.2's wf_i knob) until everything fits.
     let postsyn_phase = recorder.phase("postsyn");
+    let postsyn_span = metrics.span("postsyn");
     let mut weights: BTreeMap<PartitionId, i64> = BTreeMap::new();
     let mut ic = None;
     for _round in 0..8 {
@@ -348,6 +376,7 @@ pub fn simple_flow_with_checker(
             ic = Some(candidate);
         }
     }
+    drop(postsyn_span);
     drop(postsyn_phase);
     let Some(ic) = ic else {
         // Not a verifier-grade contradiction: the checker's per-group load
@@ -361,7 +390,7 @@ pub fn simple_flow_with_checker(
         return Err(FlowError::InvalidConnection(problems));
     }
     let result = SynthesisResult::common(cdfg, schedule, ic);
-    record_pin_budget(cdfg, &result, recorder);
+    record_pin_budget(cdfg, &result, recorder, metrics);
     Ok((result, probe))
 }
 
@@ -392,6 +421,10 @@ pub struct ConnectFirstOptions {
     /// A tripped budget surfaces as [`FlowError::Interrupted`]; use
     /// [`connect_first_anytime`] to also recover partial progress.
     pub budget: Option<Budget>,
+    /// Metrics sink threaded through the connection search, the bus
+    /// allocator and the flow's own `flow/...` phase span tree.
+    /// Disconnected by default.
+    pub metrics: MetricsHandle,
 }
 
 impl ConnectFirstOptions {
@@ -408,6 +441,7 @@ impl ConnectFirstOptions {
             branching_factor: None,
             node_budget: None,
             budget: None,
+            metrics: MetricsHandle::default(),
         }
     }
 
@@ -429,7 +463,7 @@ impl ConnectFirstOptions {
         if let Some(b) = &self.budget {
             cfg = cfg.with_budget(b.clone());
         }
-        cfg
+        cfg.with_metrics(self.metrics.clone())
     }
 }
 
@@ -488,9 +522,11 @@ pub fn connect_first_flow_seeded(
     seed: &[RefutationCert],
     recorder: &RecorderHandle,
 ) -> (Result<SynthesisResult, FlowError>, ConnectSeedReport) {
+    let _flow_span = opts.metrics.span("flow");
     let cfg = opts.search_config().with_recorder(recorder.clone());
     let (ic, search_stats, learned) = {
         let _phase = recorder.phase("connect");
+        let _span = opts.metrics.span("connect");
         synthesize_seeded(cdfg, opts.mode, &cfg, seed)
     };
     let report = ConnectSeedReport {
@@ -634,16 +670,19 @@ fn connect_first_schedule(
     let mut best: Option<(Schedule, BusPolicy)> = None;
     let mut last_err = SchedError::StepLimit;
     let sched_phase = recorder.phase("schedule");
+    let sched_span = opts.metrics.span("schedule");
     for &reassign in &attempts {
         for hold in [0i64, 2, 4, 6, 8] {
             let mut lc = ListConfig::new(opts.rate);
             lc.recorder = recorder.clone();
+            lc.metrics = opts.metrics.clone();
             lc.budget = opts.budget.clone();
             for &op in &holdable {
                 lc.hold_back.insert(op, hold);
             }
             let mut policy = BusPolicy::new(ic.clone(), opts.rate, reassign);
             policy.set_recorder(recorder.clone());
+            policy.set_metrics(&opts.metrics);
             match list_schedule(cdfg, &lc, &mut policy) {
                 Ok(s) => {
                     let better = best
@@ -667,6 +706,7 @@ fn connect_first_schedule(
             }
         }
     }
+    drop(sched_span);
     drop(sched_phase);
     let (schedule, policy) = best.ok_or_else(|| FlowError::from(last_err))?;
     let violations = validate(cdfg, &schedule);
@@ -691,7 +731,15 @@ fn connect_first_schedule(
         recorder.counter("rematch.seeded", rm.seeded as i64);
         recorder.counter("rematch.augmentations", rm.augmentations as i64);
     }
-    record_pin_budget(cdfg, &result, recorder);
+    if opts.metrics.enabled() {
+        opts.metrics
+            .add("flow.reassigned", result.reassigned as u64);
+        let rm = policy.rematch_stats();
+        opts.metrics.add("rematch.rounds", rm.rounds);
+        opts.metrics.add("rematch.seeded", rm.seeded);
+        opts.metrics.add("rematch.augmentations", rm.augmentations);
+    }
+    record_pin_budget(cdfg, &result, recorder, &opts.metrics);
     Ok(result)
 }
 
@@ -754,7 +802,9 @@ pub fn schedule_first_flow_traced(
         return Err(FlowError::InvalidConnection(problems));
     }
     let result = SynthesisResult::common(cdfg, schedule, ic);
-    record_pin_budget(cdfg, &result, recorder);
+    // The schedule-first flow has no tunables struct to carry a metrics
+    // handle; its pin-budget audit runs unmetered.
+    record_pin_budget(cdfg, &result, recorder, &MetricsHandle::default());
     Ok(result)
 }
 

@@ -48,6 +48,7 @@ pub use mcs_connect as connect;
 pub use mcs_explore as explore_engine;
 pub use mcs_ilp as ilp;
 pub use mcs_matching as matching;
+pub use mcs_metrics as metrics;
 pub use mcs_obs as obs;
 pub use mcs_partition as partition;
 pub use mcs_pinalloc as pinalloc;

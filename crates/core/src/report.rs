@@ -270,6 +270,40 @@ pub fn render_trace_aggregates(summary: &mcs_obs::summary::TraceSummary) -> Tabl
     t
 }
 
+/// Renders a metrics snapshot — counters, gauges, histogram percentiles
+/// and the hierarchical span profile — as the `metrics` table printed by
+/// `mcs-hls explain`. Histogram quantiles come from log-linear buckets:
+/// exact below 16, within the ~25% bucket width above; `max` is exact.
+pub fn render_metrics(snap: &mcs_metrics::Snapshot) -> Table {
+    let mut t = Table::new(["metric", "kind", "value", "p50", "p90", "p99", "max"]);
+    for (name, v) in &snap.counters {
+        t.row([name.clone(), "counter".into(), v.to_string()]);
+    }
+    for (name, v) in &snap.gauges {
+        t.row([name.clone(), "gauge".into(), v.to_string()]);
+    }
+    for (name, h) in &snap.histograms {
+        t.row([
+            name.clone(),
+            "histogram".into(),
+            format!("n={}", h.count),
+            h.quantile(0.50).to_string(),
+            h.quantile(0.90).to_string(),
+            h.quantile(0.99).to_string(),
+            h.max.to_string(),
+        ]);
+    }
+    for p in &snap.profile {
+        let depth = p.path.matches('/').count();
+        t.row([
+            format!("{}{}", "  ".repeat(depth), p.path),
+            "span".into(),
+            format!("{} us x{}", p.wall_us, p.calls),
+        ]);
+    }
+    t
+}
+
 /// Renders the portfolio connection search's per-worker telemetry: which
 /// configurations raced, how far each got, and who won.
 pub fn render_search_stats(stats: &SearchStats) -> Table {
@@ -454,6 +488,31 @@ mod tests {
         let aggregates = render_trace_aggregates(&summary).to_string();
         assert!(aggregates.contains("probes resolved by"), "{aggregates}");
         assert!(aggregates.contains("probe.memo_hits"), "{aggregates}");
+    }
+
+    #[test]
+    fn metrics_table_renders_all_four_kinds() {
+        use std::sync::Arc;
+        let clock = Arc::new(mcs_ctl::ManualClock::new());
+        let reg = Arc::new(mcs_metrics::Registry::with_clock(clock.clone()));
+        let m = mcs_metrics::MetricsHandle::new(reg.clone());
+        m.add("ilp.pivots", 7);
+        m.gauge_set("explore.frontier", 3);
+        m.observe("probe.latency_us.solver", 42);
+        {
+            let _outer = m.span("flow");
+            clock.advance_ms(1);
+            let _inner = m.span("schedule");
+            clock.advance_ms(2);
+        }
+        let t = render_metrics(&reg.snapshot()).to_string();
+        assert!(t.contains("ilp.pivots"), "{t}");
+        assert!(t.contains("counter"), "{t}");
+        assert!(t.contains("gauge"), "{t}");
+        assert!(t.contains("n=1"), "{t}");
+        assert!(t.contains("flow/schedule"), "{t}");
+        // The nested span is indented under its parent.
+        assert!(t.contains("  flow/schedule"), "{t}");
     }
 
     #[test]

@@ -111,6 +111,14 @@ pub trait Clock: Send + Sync {
     /// Milliseconds elapsed since an arbitrary fixed origin. Must be
     /// monotonically non-decreasing.
     fn now_ms(&self) -> u64;
+
+    /// Microseconds elapsed since the same origin. The default derives
+    /// it from [`Clock::now_ms`] (millisecond granularity); clocks with
+    /// a finer source override it. Used by `mcs-metrics` latency
+    /// histograms and span timings.
+    fn now_us(&self) -> u64 {
+        self.now_ms().saturating_mul(1000)
+    }
 }
 
 /// [`Clock`] over [`std::time::Instant`]; the origin is the moment the
@@ -139,6 +147,10 @@ impl Clock for MonotonicClock {
     fn now_ms(&self) -> u64 {
         self.origin.elapsed().as_millis() as u64
     }
+
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
 }
 
 /// Hand-cranked [`Clock`] for deterministic deadline tests.
@@ -155,7 +167,7 @@ impl Clock for MonotonicClock {
 /// ```
 #[derive(Debug, Default)]
 pub struct ManualClock {
-    ms: AtomicU64,
+    us: AtomicU64,
 }
 
 impl ManualClock {
@@ -166,13 +178,22 @@ impl ManualClock {
 
     /// Advance the clock by `ms` milliseconds.
     pub fn advance_ms(&self, ms: u64) {
-        self.ms.fetch_add(ms, Ordering::SeqCst);
+        self.us.fetch_add(ms.saturating_mul(1000), Ordering::SeqCst);
+    }
+
+    /// Advance the clock by `us` microseconds.
+    pub fn advance_us(&self, us: u64) {
+        self.us.fetch_add(us, Ordering::SeqCst);
     }
 }
 
 impl Clock for ManualClock {
     fn now_ms(&self) -> u64 {
-        self.ms.load(Ordering::SeqCst)
+        self.us.load(Ordering::SeqCst) / 1000
+    }
+
+    fn now_us(&self) -> u64 {
+        self.us.load(Ordering::SeqCst)
     }
 }
 
@@ -515,6 +536,28 @@ mod tests {
         b2.charge_nodes(2);
         assert_eq!(b.nodes_spent(), 4);
         assert_eq!(b.check(), Some(Termination::BudgetExhausted));
+    }
+
+    #[test]
+    fn manual_clock_counts_microseconds() {
+        let c = ManualClock::new();
+        c.advance_us(1500);
+        assert_eq!(c.now_us(), 1500);
+        assert_eq!(c.now_ms(), 1);
+        c.advance_ms(2);
+        assert_eq!(c.now_us(), 3500);
+        assert_eq!(c.now_ms(), 3);
+    }
+
+    #[test]
+    fn default_now_us_derives_from_now_ms() {
+        struct MsOnly;
+        impl Clock for MsOnly {
+            fn now_ms(&self) -> u64 {
+                7
+            }
+        }
+        assert_eq!(MsOnly.now_us(), 7000);
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub struct SweepOptions {
     /// Sink for [`mcs_obs::Event::WorkerPanic`] events emitted when a
     /// point runner panics and is quarantined.
     pub recorder: mcs_obs::RecorderHandle,
+    /// Metrics sink: an `explore.point_us` histogram (per-point wall
+    /// time on the registry clock) plus `explore.*` counters and gauges
+    /// added once at the end of the sweep. Disconnected by default;
+    /// never feeds into the [`SweepReport`], which stays timing-free.
+    pub metrics: mcs_metrics::MetricsHandle,
 }
 
 impl Default for SweepOptions {
@@ -60,6 +65,7 @@ impl Default for SweepOptions {
             prune: true,
             budget: None,
             recorder: mcs_obs::RecorderHandle::default(),
+            metrics: mcs_metrics::MetricsHandle::default(),
         }
     }
 }
@@ -146,6 +152,7 @@ pub fn sweep<R: PointRunner>(
         ix
     };
 
+    let m_point_us = opts.metrics.histogram("explore.point_us");
     let cache: WarmStartCache<R::Export> = WarmStartCache::new();
     let mut certs: Vec<PointCoord> = Vec::new();
     let mut stats = SweepStats {
@@ -221,6 +228,7 @@ pub fn sweep<R: PointRunner>(
                     let coord = todo[i].1;
                     let budget = &spec.budgets[coord.budget_ix];
                     let seeds = cache.donors_for(coord.rate, budget, &spec.budgets);
+                    let point_t0 = opts.metrics.now_us();
                     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         // Fault-injection site (debug builds only).
                         mcs_ctl::faultpoint!(&format!(
@@ -229,6 +237,7 @@ pub fn sweep<R: PointRunner>(
                         ));
                         runner.run(coord, budget, &seeds)
                     }));
+                    m_point_us.observe(opts.metrics.now_us().saturating_sub(point_t0));
                     *slots[i].lock().expect("slot lock") = Some(match run {
                         Ok(result) => result,
                         Err(_) => {
@@ -322,6 +331,16 @@ pub fn sweep<R: PointRunner>(
         }));
     }
     let frontier = pareto_frontier(&outcomes);
+    if opts.metrics.enabled() {
+        opts.metrics.add("explore.points", stats.points);
+        opts.metrics.add("explore.run", stats.run);
+        opts.metrics.add("explore.pruned", stats.pruned);
+        opts.metrics.add("explore.skipped", stats.skipped);
+        opts.metrics
+            .gauge_set("explore.cache_entries", stats.cache_entries as i64);
+        opts.metrics
+            .gauge_set("explore.frontier", frontier.len() as i64);
+    }
     Ok(SweepReport {
         spec: spec.clone(),
         outcomes,
@@ -467,6 +486,34 @@ mod tests {
             )
             .unwrap();
             assert_eq!(report.to_json(), reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn metrics_mirror_sweep_stats_independently_of_jobs() {
+        use std::sync::Arc;
+        let run = |jobs: usize| {
+            // A manual-clock registry: every duration reads 0, so the
+            // whole snapshot is a pure function of the sweep.
+            let clock = Arc::new(mcs_ctl::ManualClock::new());
+            let reg = Arc::new(mcs_metrics::Registry::with_clock(clock));
+            let report = sweep(
+                &spec(),
+                &FakeRunner::new(),
+                &SweepOptions {
+                    jobs,
+                    metrics: mcs_metrics::MetricsHandle::new(reg.clone()),
+                    ..SweepOptions::default()
+                },
+            )
+            .unwrap();
+            (mcs_metrics::export::to_prometheus(&reg.snapshot()), report)
+        };
+        let (reference, report) = run(1);
+        assert!(reference.contains("explore_point_us_count"));
+        assert!(reference.contains(&format!("explore_pruned {}", report.stats.pruned)));
+        for jobs in [2usize, 8] {
+            assert_eq!(run(jobs).0, reference, "jobs={jobs}");
         }
     }
 

@@ -42,6 +42,7 @@
 
 use crate::model::{Model, SolveError};
 use mcs_ctl::Budget;
+use mcs_metrics::{Counter, Histogram, MetricsHandle};
 use mcs_obs::{Event, RecorderHandle};
 
 /// Verdict of a feasibility check.
@@ -147,6 +148,11 @@ pub struct AllIntegerSolver {
     /// Optional execution budget polled at pivot boundaries; every
     /// pivot is charged against it. Clones share the same budget.
     budget: Option<Budget>,
+    /// Resolved metric cells (disconnected by default; clones share the
+    /// cells, so probe solves aggregate into the same totals).
+    m_pivots: Counter,
+    m_overflow_fallbacks: Counter,
+    m_rollback_depth: Histogram,
 }
 
 impl AllIntegerSolver {
@@ -172,12 +178,25 @@ impl AllIntegerSolver {
             differential: false,
             recorder: RecorderHandle::default(),
             budget: None,
+            m_pivots: Counter::default(),
+            m_overflow_fallbacks: Counter::default(),
+            m_rollback_depth: Histogram::default(),
         }
     }
 
     /// Routes per-pivot `GomoryCut` events to `recorder`.
     pub fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder = recorder;
+    }
+
+    /// Connects the solver's aggregate telemetry — `ilp.pivots`,
+    /// `ilp.cut_overflow_fallbacks`, the `ilp.rollback_depth` histogram —
+    /// to a metrics registry. Cells are resolved once here, so the
+    /// per-pivot cost with metrics on is one relaxed atomic add.
+    pub fn set_metrics(&mut self, metrics: &MetricsHandle) {
+        self.m_pivots = metrics.counter("ilp.pivots");
+        self.m_overflow_fallbacks = metrics.counter("ilp.cut_overflow_fallbacks");
+        self.m_rollback_depth = metrics.histogram("ilp.rollback_depth");
     }
 
     /// Attaches an execution budget. [`AllIntegerSolver::solve`] polls
@@ -351,6 +370,7 @@ impl AllIntegerSolver {
         debug_assert_eq!(self.cut_arena.len(), cp.cuts_len);
         debug_assert_eq!(self.original.len(), cp.original_len);
         self.watchers -= 1;
+        self.m_rollback_depth.observe(undone);
         undone
     }
 
@@ -421,6 +441,7 @@ impl AllIntegerSolver {
                 .is_some_and(|bound| bound <= i128::MAX as u128 / 2);
             if !safe {
                 self.cut_arena.truncate(cut_start);
+                self.m_overflow_fallbacks.inc();
                 return Feasibility::PivotLimit;
             }
             if self.recorder.enabled() {
@@ -432,6 +453,7 @@ impl AllIntegerSolver {
             }
             self.apply_cut(cut_start, k, 1);
             self.pivots_total += 1;
+            self.m_pivots.inc();
             if let Some(budget) = &self.budget {
                 budget.charge_pivots(1);
             }
@@ -845,6 +867,25 @@ mod tests {
         let before = buf.events().len();
         let _ = s.probe_at_least(1, 1, 1000);
         assert!(buf.events().len() >= before);
+    }
+
+    #[test]
+    fn metrics_count_pivots_and_rollbacks() {
+        use mcs_metrics::Registry;
+        use std::sync::Arc;
+        let reg = Arc::new(Registry::new());
+        let mut s = AllIntegerSolver::new(2);
+        s.set_metrics(&MetricsHandle::new(reg.clone()));
+        s.add_ge(&[(0, 1), (1, 1)], 3);
+        s.add_le(&[(0, 1)], 1);
+        assert_eq!(s.solve(1000), Feasibility::Feasible);
+        let _ = s.probe_at_least(1, 1, 1000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["ilp.pivots"], s.pivots_total());
+        assert!(snap.counters["ilp.pivots"] > 0);
+        // One probe = one rollback observed.
+        assert_eq!(snap.histograms["ilp.rollback_depth"].count, 1);
+        assert!(snap.histograms["ilp.rollback_depth"].max >= 1);
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Snapshot exporters: strict-valid JSON and a Prometheus-style text
+//! exposition format. Both iterate ordered maps, so equal snapshots
+//! render byte-identically — the property the `--jobs 1/2/8`
+//! determinism tests and the golden tests lock.
+
+use crate::Snapshot;
+
+/// Escapes a string for a JSON string literal or a Prometheus label
+/// value (the escape sets coincide for the characters we allow).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sanitizes a metric name for Prometheus: `[a-zA-Z0-9_]` pass through,
+/// everything else (the workspace uses `.` and `-`) becomes `_`.
+pub fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders a snapshot as one JSON object:
+///
+/// ```json
+/// {"counters":{...},"gauges":{...},
+///  "histograms":{"name":{"count":N,"sum":N,"min":N,"max":N,
+///                        "p50":N,"p90":N,"p99":N}},
+///  "profile":[{"path":"flow/connect","calls":N,"wall_us":N}]}
+/// ```
+///
+/// Keys are sorted; the output always passes
+/// `mcs_obs::export::validate_json`.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", escape(name)));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", escape(name)));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            escape(name),
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+        ));
+    }
+    out.push_str("},\"profile\":[");
+    for (i, node) in snap.profile.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":\"{}\",\"calls\":{},\"wall_us\":{}}}",
+            escape(&node.path),
+            node.calls,
+            node.wall_us
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format:
+/// counters and gauges as single samples, histograms as summaries
+/// (`{quantile="0.5|0.9|0.99"}` plus `_count`/`_sum`/`_max`), and the
+/// span profile as two labelled families (`profile_calls`,
+/// `profile_wall_us`). Families are sorted by name, so equal snapshots
+/// render byte-identically.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            out.push_str(&format!("{n}{{quantile=\"{label}\"}} {}\n", h.quantile(q)));
+        }
+        out.push_str(&format!("{n}_count {}\n", h.count));
+        out.push_str(&format!("{n}_sum {}\n", h.sum));
+        out.push_str(&format!("{n}_max {}\n", h.max));
+    }
+    if !snap.profile.is_empty() {
+        out.push_str("# TYPE profile_calls counter\n");
+        for node in &snap.profile {
+            out.push_str(&format!(
+                "profile_calls{{path=\"{}\"}} {}\n",
+                escape(&node.path),
+                node.calls
+            ));
+        }
+        out.push_str("# TYPE profile_wall_us counter\n");
+        for node in &snap.profile {
+            out.push_str(&format!(
+                "profile_wall_us{{path=\"{}\"}} {}\n",
+                escape(&node.path),
+                node.wall_us
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsHandle, Registry};
+    use mcs_ctl::ManualClock;
+    use std::sync::Arc;
+
+    /// A small registry with one of everything, on a hand-cranked clock
+    /// so every duration is exact.
+    fn sample() -> Snapshot {
+        let clock = Arc::new(ManualClock::new());
+        let reg = Arc::new(Registry::with_clock(clock.clone()));
+        let m = MetricsHandle::new(reg.clone());
+        m.counter("ilp.pivots").add(42);
+        m.gauge("explore.frontier").set(3);
+        let h = m.histogram("probe.latency_us.solver");
+        for v in [2u64, 3, 3, 90] {
+            h.observe(v);
+        }
+        {
+            let _flow = m.span("flow");
+            clock.advance_us(7);
+            let _c = m.span("connect");
+            clock.advance_us(5);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_is_strict_valid_and_golden() {
+        let line = to_json(&sample());
+        mcs_obs::export::validate_json(&line).expect("metrics JSON parses");
+        assert_eq!(
+            line,
+            "{\"counters\":{\"ilp.pivots\":42},\
+             \"gauges\":{\"explore.frontier\":3},\
+             \"histograms\":{\"probe.latency_us.solver\":{\"count\":4,\"sum\":98,\"min\":2,\"max\":90,\"p50\":3,\"p90\":90,\"p99\":90}},\
+             \"profile\":[{\"path\":\"flow\",\"calls\":1,\"wall_us\":12},{\"path\":\"flow/connect\",\"calls\":1,\"wall_us\":5}]}"
+        );
+    }
+
+    #[test]
+    fn prometheus_text_is_golden() {
+        assert_eq!(
+            to_prometheus(&sample()),
+            "# TYPE ilp_pivots counter\n\
+             ilp_pivots 42\n\
+             # TYPE explore_frontier gauge\n\
+             explore_frontier 3\n\
+             # TYPE probe_latency_us_solver summary\n\
+             probe_latency_us_solver{quantile=\"0.5\"} 3\n\
+             probe_latency_us_solver{quantile=\"0.9\"} 90\n\
+             probe_latency_us_solver{quantile=\"0.99\"} 90\n\
+             probe_latency_us_solver_count 4\n\
+             probe_latency_us_solver_sum 98\n\
+             probe_latency_us_solver_max 90\n\
+             # TYPE profile_calls counter\n\
+             profile_calls{path=\"flow\"} 1\n\
+             profile_calls{path=\"flow/connect\"} 1\n\
+             # TYPE profile_wall_us counter\n\
+             profile_wall_us{path=\"flow\"} 12\n\
+             profile_wall_us{path=\"flow/connect\"} 5\n"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_cleanly() {
+        let snap = Snapshot::default();
+        let json = to_json(&snap);
+        mcs_obs::export::validate_json(&json).expect("empty JSON parses");
+        assert_eq!(
+            json,
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"profile\":[]}"
+        );
+        assert_eq!(to_prometheus(&snap), "");
+    }
+
+    #[test]
+    fn sanitize_maps_workspace_names() {
+        assert_eq!(sanitize("probe.latency_us.memo"), "probe_latency_us_memo");
+        assert_eq!(sanitize("pin-check"), "pin_check");
+    }
+}

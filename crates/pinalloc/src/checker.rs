@@ -29,6 +29,7 @@ use std::collections::BTreeMap;
 use mcs_cdfg::{Cdfg, OpId, PartitionId, ValueId};
 use mcs_ctl::{Budget, Termination};
 use mcs_ilp::{AllIntegerSolver, Feasibility};
+use mcs_metrics::{Histogram, MetricsHandle};
 use mcs_obs::{Event, ProbeSource, RecorderHandle};
 
 /// Default pivot budget per feasibility probe before falling back to
@@ -178,6 +179,12 @@ pub struct PinChecker {
     /// Optional execution budget. Every resolved probe is charged to
     /// it; the embedded solver polls it at pivot boundaries.
     budget: Option<Budget>,
+    /// Metrics handle (for the registry clock) and the resolved
+    /// per-source probe latency histograms.
+    metrics: MetricsHandle,
+    m_lat_memo: Histogram,
+    m_lat_surrogate: Histogram,
+    m_lat_solver: Histogram,
 }
 
 impl PinChecker {
@@ -427,6 +434,10 @@ impl PinChecker {
             stats: ProbeCacheStats::default(),
             recorder: RecorderHandle::default(),
             budget: None,
+            metrics: MetricsHandle::default(),
+            m_lat_memo: Histogram::default(),
+            m_lat_surrogate: Histogram::default(),
+            m_lat_solver: Histogram::default(),
         };
         match checker.resolve() {
             Feasibility::Feasible => Ok(checker),
@@ -499,6 +510,20 @@ impl PinChecker {
         self.recorder = recorder;
     }
 
+    /// Connects the checker's aggregate telemetry — a probe latency
+    /// histogram per resolution layer (`probe.latency_us.memo` /
+    /// `.surrogate` / `.solver`) plus the embedded solver's `ilp.*`
+    /// metrics — to a metrics registry. Latencies are measured on the
+    /// registry's injected clock, so a `ManualClock` registry records
+    /// deterministic (zero) durations with exact counts.
+    pub fn set_metrics(&mut self, metrics: &MetricsHandle) {
+        self.solver.set_metrics(metrics);
+        self.m_lat_memo = metrics.histogram("probe.latency_us.memo");
+        self.m_lat_surrogate = metrics.histogram("probe.latency_us.surrogate");
+        self.m_lat_solver = metrics.histogram("probe.latency_us.solver");
+        self.metrics = metrics.clone();
+    }
+
     /// Committed pin-bits in control-step group `step mod L`.
     pub fn group_load(&self, step: i64) -> u32 {
         self.group_load[step.rem_euclid(self.rate as i64) as usize]
@@ -546,6 +571,7 @@ impl PinChecker {
     pub fn can_commit(&mut self, op: OpId, step: i64) -> bool {
         let var = self.var_of(op, step);
         let k = step.rem_euclid(self.rate as i64) as usize;
+        let probe_start = self.metrics.now_us();
         let (verdict, source, trail_depth) = if let Some(&v) = self.memo.get(&(var, 1)) {
             self.stats.memo_hits += 1;
             if self.seeded.contains(&(var, 1)) {
@@ -580,6 +606,14 @@ impl PinChecker {
             }
             (v, ProbeSource::Solver, pstats.rollback_ops)
         };
+        if self.metrics.enabled() {
+            let elapsed = self.metrics.now_us().saturating_sub(probe_start);
+            match source {
+                ProbeSource::Memo => self.m_lat_memo.observe(elapsed),
+                ProbeSource::Surrogate => self.m_lat_surrogate.observe(elapsed),
+                ProbeSource::Solver => self.m_lat_solver.observe(elapsed),
+            }
+        }
         // Charged after resolution so a flow that finishes on exactly
         // its last allowed probe still completes naturally.
         if let Some(budget) = &self.budget {
@@ -974,6 +1008,29 @@ mod tests {
             .all(|&(g, used, _, ok)| g == 0 && used > 0 && ok));
         assert_eq!(c.group_load(0), checks[1].1);
         assert_eq!(c.group_load(1), 0);
+    }
+
+    #[test]
+    fn metrics_histogram_per_probe_source() {
+        use mcs_metrics::Registry;
+        use std::sync::Arc;
+        let d = synthetic::fig_2_5();
+        let reg = Arc::new(Registry::new());
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        c.set_metrics(&MetricsHandle::new(reg.clone()));
+        let v3 = d.op_named("V3");
+        let v4 = d.op_named("V4");
+        assert!(c.can_commit(v3, 0)); // solver
+        assert!(c.can_commit(v3, 0)); // memo
+        c.commit(v3, 0).unwrap();
+        assert!(!c.can_commit(v4, 0)); // surrogate
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["probe.latency_us.solver"].count, 1);
+        assert_eq!(snap.histograms["probe.latency_us.memo"].count, 1);
+        assert_eq!(snap.histograms["probe.latency_us.surrogate"].count, 1);
+        // The embedded solver's metrics ride along: the warm-started
+        // probe may pivot zero times, but the counter must be registered.
+        assert!(snap.counters.contains_key("ilp.pivots"));
     }
 
     #[test]

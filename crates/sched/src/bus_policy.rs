@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use mcs_cdfg::{BusId, Cdfg, OpId, ValueId};
 use mcs_connect::{BusAssignment, Interconnect, SubRange};
 use mcs_matching::max_bipartite_matching_seeded;
+use mcs_metrics::{Histogram, MetricsHandle};
 use mcs_obs::{Event, PlaceVerdict, RecorderHandle};
 
 use crate::list::IoPolicy;
@@ -83,6 +84,14 @@ pub struct BusPolicy {
     /// used by the preemption chain share the sink but never record —
     /// events are emitted only for committed placements.
     recorder: RecorderHandle,
+    /// `sched.rematch_size` histogram: how many pending values each
+    /// committed Figure 4.5 matching had to route. Like the recorder,
+    /// trial clones share the cell but observations happen only at
+    /// commit points, so discarded trials never pollute the counts.
+    m_rematch_size: Histogram,
+    /// Pending-value count of the most recent matching run — the value
+    /// observed when a placement built on that matching commits.
+    last_pending: u64,
 }
 
 impl BusPolicy {
@@ -103,6 +112,8 @@ impl BusPolicy {
             last_match: BTreeMap::new(),
             rematch: RematchStats::default(),
             recorder: RecorderHandle::default(),
+            m_rematch_size: Histogram::default(),
+            last_pending: 0,
         }
     }
 
@@ -117,6 +128,11 @@ impl BusPolicy {
     /// Routes `BusReassign` events to `recorder`.
     pub fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder = recorder;
+    }
+
+    /// Connects the `sched.rematch_size` histogram to `metrics`.
+    pub fn set_metrics(&mut self, metrics: &MetricsHandle) {
+        self.m_rematch_size = metrics.histogram("sched.rematch_size");
     }
 
     /// Final `(bus, step, range)` per scheduled transfer — the bus
@@ -253,6 +269,7 @@ impl BusPolicy {
         }
         // Values with a placed sibling free-ride that slot.
         pending.retain(|v, _| !placed_values.contains(v));
+        self.last_pending = pending.len() as u64;
         if pending.is_empty() {
             return true;
         }
@@ -509,10 +526,14 @@ impl BusPolicy {
             if !sharing {
                 saw_free_slot = true;
             }
+            let ran_matching = !sharing && self.allow_reassign;
             let admissible = sharing
                 || !self.allow_reassign
                 || self.pending_feasible(cdfg, op, Some((cand.bus, g, cand.range, value)));
             if admissible {
+                if ran_matching {
+                    self.m_rematch_size.observe(self.last_pending);
+                }
                 self.used
                     .entry((cand.bus.0, g))
                     .or_default()
@@ -569,6 +590,7 @@ impl BusPolicy {
                 );
                 if trial.pending_feasible(cdfg, op, None) {
                     *self = trial;
+                    self.m_rematch_size.observe(self.last_pending);
                     // Scheduled transfers moved by the eviction chain.
                     let chain = (self.reassigned - before) as u32;
                     let moved = original.map(|a| a.bus) != Some(cand.bus);
@@ -832,6 +854,32 @@ mod tests {
             stats.augmentations < stats.seeded + stats.augmentations,
             "warm start saved no searches: {stats:?}"
         );
+    }
+
+    #[test]
+    fn metrics_observe_committed_rematch_sizes() {
+        use mcs_metrics::{MetricsHandle, Registry};
+        use std::sync::Arc;
+        let d = ar_filter::general(3, PortMode::Unidirectional);
+        let ic = synthesize(d.cdfg(), PortMode::Unidirectional, &SearchConfig::new(3)).unwrap();
+        let reg = Arc::new(Registry::new());
+        let mut policy = BusPolicy::new(ic, 3, true);
+        policy.set_metrics(&MetricsHandle::new(reg.clone()));
+        let s = list_schedule(d.cdfg(), &ListConfig::new(3), &mut policy).unwrap();
+        assert_eq!(validate(d.cdfg(), &s), vec![]);
+        let snap = reg.snapshot();
+        let h = &snap.histograms["sched.rematch_size"];
+        // Only committed matchings observe, so at most one observation
+        // per matching round, and the largest matching cannot exceed
+        // the number of transferred values.
+        assert!(h.count > 0, "dynamic allocation must run matchings");
+        assert!(h.count <= policy.rematch_stats().rounds);
+        let values: std::collections::BTreeSet<_> = d
+            .cdfg()
+            .io_ops()
+            .filter_map(|op| d.cdfg().op(op).io_endpoints().map(|(v, _, _)| v))
+            .collect();
+        assert!(h.max <= values.len() as u64);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use mcs_cdfg::timing::{self, StepTime};
 use mcs_cdfg::{Cdfg, OpId, OpKind, OperatorClass, PartitionId};
 use mcs_ctl::{Budget, Termination};
+use mcs_metrics::MetricsHandle;
 use mcs_obs::{Event, PlaceVerdict, RecorderHandle};
 use mcs_pinalloc::PinChecker;
 
@@ -115,6 +116,10 @@ pub struct ListConfig {
     /// Sink for per-placement `ScheduleDecision` events (inactive by
     /// default, costing one branch per I/O consultation).
     pub recorder: RecorderHandle,
+    /// Metrics sink (`sched.place_attempts`): every I/O policy
+    /// consultation counts one attempt, placed or not. Disconnected by
+    /// default, costing one branch per consultation.
+    pub metrics: MetricsHandle,
     /// Optional execution budget, polled at every control-step boundary
     /// and before each phase-2 window search. A tripped budget aborts
     /// with [`SchedError::Interrupted`] rather than running to the step
@@ -131,6 +136,7 @@ impl ListConfig {
             priority_bias: 0,
             hold_back: BTreeMap::new(),
             recorder: RecorderHandle::default(),
+            metrics: MetricsHandle::default(),
             budget: None,
         }
     }
@@ -238,6 +244,7 @@ pub fn list_schedule<P: IoPolicy>(
     if cfg.rate == 0 {
         return Err(SchedError::ZeroRate);
     }
+    let m_place_attempts = cfg.metrics.counter("sched.place_attempts");
     let stage = cdfg.library().stage_ns() as i64;
     let n = cdfg.ops().len();
     let order = cdfg.topo_order().map_err(|_| SchedError::Cyclic)?;
@@ -498,6 +505,7 @@ pub fn list_schedule<P: IoPolicy>(
                         }
                     }
                     OpKind::Io { .. } => {
+                        m_place_attempts.inc();
                         let verdict = policy.try_place_explained(cdfg, op, cand.step);
                         cfg.recorder.record(Event::ScheduleDecision {
                             op: op.0,
@@ -573,6 +581,7 @@ pub fn list_schedule<P: IoPolicy>(
         let mut placed = false;
         let mut s = hi;
         while s >= lo {
+            m_place_attempts.inc();
             let verdict = policy.try_place_explained(cdfg, op, s);
             cfg.recorder.record(Event::ScheduleDecision {
                 op: op.0,
@@ -793,6 +802,23 @@ mod tests {
         assert_eq!(
             list_schedule(d.cdfg(), &cfg, &mut NullPolicy),
             Err(SchedError::Interrupted(Termination::DeadlineExceeded))
+        );
+    }
+
+    #[test]
+    fn metrics_count_every_policy_consultation() {
+        use mcs_metrics::Registry;
+        use std::sync::Arc;
+        let d = ar_filter::simple();
+        let reg = Arc::new(Registry::new());
+        let mut cfg = ListConfig::new(2);
+        cfg.metrics = MetricsHandle::new(reg.clone());
+        list_schedule(d.cdfg(), &cfg, &mut NullPolicy).unwrap();
+        // NullPolicy admits everything, so each I/O operation is
+        // consulted exactly once (phase 1 or its phase-2 window).
+        assert_eq!(
+            reg.snapshot().counters["sched.place_attempts"],
+            d.cdfg().io_ops().count() as u64
         );
     }
 

@@ -25,16 +25,28 @@ fn corpus_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
 }
 
-/// Oracle (a): 500 seeded designs through all three flows. Proof-strength
-/// agreement must hold on every one, and the verdict-combination
-/// histogram is locked exactly so a heuristic change that silently drains
-/// the feasible (or infeasible) population shows up as a diff, not as a
-/// quietly weaker fuzzer.
+/// Sweep width of the flow-differential test: `MCS_FUZZ_SEEDS` overrides
+/// the default 500, which is how the nightly CI job runs the same oracle
+/// over 5000 seeds without a separate test.
+fn fuzz_seeds() -> u64 {
+    std::env::var("MCS_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500)
+}
+
+/// Oracle (a): seeded designs through all three flows (500 by default;
+/// see [`fuzz_seeds`]). Proof-strength agreement must hold on every one,
+/// and at the default width the verdict-combination histogram is locked
+/// exactly so a heuristic change that silently drains the feasible (or
+/// infeasible) population shows up as a diff, not as a quietly weaker
+/// fuzzer.
 #[test]
 fn flow_differential_sweep_agrees_on_500_seeds() {
     let config = FuzzConfig::default();
+    let seeds = fuzz_seeds();
     let mut combos: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
-    for seed in 0..500u64 {
+    for seed in 0..seeds {
         let design = design_from_seed(&config, seed);
         let d = flow_differential(design.cdfg());
         assert!(
@@ -50,18 +62,22 @@ fn flow_differential_sweep_agrees_on_500_seeds() {
         );
         *combos.entry(combo).or_default() += 1;
     }
-    let locked: Vec<(&str, usize)> = combos.iter().map(|(k, &v)| (k.as_str(), v)).collect();
-    assert_eq!(
-        locked,
-        vec![
-            ("feasible/feasible/feasible", 68),
-            ("infeasible/unknown/feasible", 408),
-            ("skipped/feasible/feasible", 6),
-            ("unknown/feasible/feasible", 2),
-            ("unknown/unknown/feasible", 16),
-        ],
-        "verdict distribution drifted"
-    );
+    // The histogram lock only applies at the default width; a widened
+    // nightly sweep proves agreement but has its own distribution.
+    if seeds == 500 {
+        let locked: Vec<(&str, usize)> = combos.iter().map(|(k, &v)| (k.as_str(), v)).collect();
+        assert_eq!(
+            locked,
+            vec![
+                ("feasible/feasible/feasible", 68),
+                ("infeasible/unknown/feasible", 408),
+                ("skipped/feasible/feasible", 6),
+                ("unknown/feasible/feasible", 2),
+                ("unknown/unknown/feasible", 16),
+            ],
+            "verdict distribution drifted"
+        );
+    }
 }
 
 /// Oracle (b): the cycle-accurate engine against the untimed reference
