@@ -49,9 +49,12 @@ fn self_test() -> ExitCode {
     let baseline = "{\"bench\":\"probe\",\"design\":\"selftest\",\"rate\":2,\
         \"trail\":{\"probes\":64,\"feasible\":48,\"allocations\":0,\
         \"alloc_bytes\":0,\"wall_ms\":5.000,\"verdict_digest\":42},\
+        \"wide\":{\"probes\":64,\"feasible\":48,\"allocations\":0,\
+        \"alloc_bytes\":0,\"wall_ms\":9.000,\"verdict_digest\":42},\
         \"clone\":{\"probes\":64,\"feasible\":48,\"allocations\":600,\
         \"alloc_bytes\":819200,\"wall_ms\":40.000,\"verdict_digest\":42},\
-        \"agree\":true,\"alloc_ratio\":600.00,\"speedup\":8.00}";
+        \"agree\":true,\"alloc_ratio\":600.00,\"speedup\":8.00,\
+        \"wide_ratio\":1.80}";
     // The injected regression: trail wall time 5ms -> 10ms, so the
     // within-run speedup drops from 8.00 to 4.00.
     let slowed = baseline

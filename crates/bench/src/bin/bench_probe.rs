@@ -1,10 +1,11 @@
-//! Emits BENCH json lines (one per design) comparing the trail-based
-//! probe engine against the legacy clone-per-probe path on the same
-//! pin-allocation tableau: wall time, heap allocations and a verdict
-//! digest. The two engines must agree on every verdict — the process
-//! exits nonzero when they do not, which is the differential gate CI
-//! runs. The rendering lives in [`mcs_bench::probe_bench_line`], where
-//! it is golden-tested.
+//! Emits BENCH json lines (one per design) comparing three probe
+//! engines on the same pin-allocation tableau: the adaptive-i64 trail
+//! engine, the trail engine forced onto the i128 representation from
+//! the first pivot, and the legacy clone-per-probe path — wall time,
+//! heap allocations and a verdict digest each. All three engines must
+//! agree on every verdict — the process exits nonzero when they do
+//! not, which is the differential gate CI runs. The rendering lives in
+//! [`mcs_bench::probe_bench_line`], where it is golden-tested.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,10 +93,23 @@ fn run(name: &str, design: &Design, rate: u32, rounds: usize) -> bool {
     let ops: Vec<OpId> = cdfg.io_ops().collect();
     let trail = sweep(&mut checker, &ops, rate, rounds, false);
     let clone = sweep(&mut checker, &ops, rate, rounds, true);
-    let agree = trail.verdict_digest == clone.verdict_digest;
-    println!("{}", probe_bench_line(name, rate, &trail, &clone));
+    // Third engine: the same trail machinery pinned to the i128
+    // representation from the first pivot. Its digest certifies that
+    // the adaptive-i64 fast path changes nothing but speed.
+    let mut wide_checker = match PinChecker::new(cdfg, rate) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{name}: wide pin checker infeasible at rate {rate}: {e}");
+            return false;
+        }
+    };
+    wide_checker.force_wide_words();
+    let wide = sweep(&mut wide_checker, &ops, rate, rounds, false);
+    let agree =
+        trail.verdict_digest == wide.verdict_digest && trail.verdict_digest == clone.verdict_digest;
+    println!("{}", probe_bench_line(name, rate, &trail, &wide, &clone));
     if !agree {
-        eprintln!("{name}: trail and clone probe engines disagree");
+        eprintln!("{name}: trail, wide and clone probe engines disagree");
     }
     agree
 }
@@ -112,6 +126,10 @@ fn main() -> std::process::ExitCode {
         2,
         40,
     );
+    // The 8-chip mesh is the scale row: 64+ ops over 6+ chips with a
+    // pin-tight ring that makes roughly half the naive placements
+    // infeasible, so the solver does real cutting-plane work per probe.
+    ok &= run("large_mesh", &synthetic::large_mesh(8), 2, 10);
     if ok {
         std::process::ExitCode::SUCCESS
     } else {

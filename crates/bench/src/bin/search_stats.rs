@@ -3,7 +3,8 @@
 //! design: wall time, nodes expanded, nodes/second and the measured
 //! speedup, plus the exact-fallback count of a probe sweep over the same
 //! design (how often the incremental Gomory tableau overflowed and fell
-//! back to the exact solver). The output is one JSON object on stdout,
+//! back to the exact solver, and the batched-probing counters of the
+//! same sweep). The output is one JSON object on stdout,
 //! suitable for machine-diffing runs before and after search changes.
 //! The rendering lives in [`mcs_bench::search_stats_line`], where it is
 //! golden-tested.
@@ -28,20 +29,21 @@ fn run(workers: usize) -> MeasuredSearch {
 }
 
 /// Probes every transfer of the same design into every control-step
-/// group once and reports how many probes overflowed the incremental
-/// tableau and fell back to the exact solver.
-fn probe_exact_fallbacks() -> u64 {
+/// group through one batched call and reports the sweep's cache stats:
+/// how many probes overflowed the incremental tableau and fell back to
+/// the exact solver, plus the batched-path counters.
+fn probe_sweep_stats() -> mcs_pinalloc::ProbeCacheStats {
     let d = synthetic::portfolio_adversarial(6);
     let Ok(mut checker) = PinChecker::new(d.cdfg(), 2) else {
-        return 0;
+        return mcs_pinalloc::ProbeCacheStats::default();
     };
-    let ops: Vec<_> = d.cdfg().io_ops().collect();
-    for &op in &ops {
-        for k in 0..2 {
-            let _ = checker.probe_uncached(op, k, false);
-        }
-    }
-    checker.probe_stats().exact_fallbacks
+    let slate: Vec<_> = d
+        .cdfg()
+        .io_ops()
+        .flat_map(|op| (0..2i64).map(move |k| (op, k)))
+        .collect();
+    let _ = checker.probe_candidates(&slate);
+    checker.probe_stats()
 }
 
 fn main() {
@@ -52,7 +54,7 @@ fn main() {
         search_stats_line(
             "portfolio_adversarial",
             6,
-            probe_exact_fallbacks(),
+            &probe_sweep_stats(),
             &before,
             &after
         )

@@ -460,8 +460,9 @@ fn matched_lines(
 
 /// Diffs a fresh `BENCH_probe.json` against the committed baseline.
 ///
-/// Hard fields: probe/feasible counts, verdict digests and the
-/// trail-vs-clone `agree` verdict per engine. Threshold fields: the
+/// Hard fields: probe/feasible counts and verdict digests of all three
+/// engines (adaptive-i64 trail, forced-i128 wide, clone) and the
+/// three-way `agree` verdict. Threshold fields: the
 /// within-run `speedup` (floor [`SPEEDUP_RATIO_FLOOR`] of baseline) and
 /// the trail engine's allocation count (([`ALLOC_SLACK`]) of slack).
 /// Absolute wall times are never compared.
@@ -477,6 +478,9 @@ pub fn compare_probe(baseline: &str, fresh: &str) -> Result<Vec<Finding>, String
             "trail.probes",
             "trail.feasible",
             "trail.verdict_digest",
+            "wide.probes",
+            "wide.feasible",
+            "wide.verdict_digest",
             "clone.probes",
             "clone.feasible",
             "clone.verdict_digest",
@@ -545,9 +549,11 @@ mod tests {
     const PROBE_BASE: &str = "{\"bench\":\"probe\",\"design\":\"d\",\"rate\":2,\
         \"trail\":{\"probes\":64,\"feasible\":48,\"allocations\":0,\
         \"alloc_bytes\":0,\"wall_ms\":5.000,\"verdict_digest\":12501005524302218597},\
+        \"wide\":{\"probes\":64,\"feasible\":48,\"allocations\":0,\
+        \"alloc_bytes\":0,\"wall_ms\":9.000,\"verdict_digest\":12501005524302218597},\
         \"clone\":{\"probes\":64,\"feasible\":48,\"allocations\":600,\
         \"alloc_bytes\":819200,\"wall_ms\":40.000,\"verdict_digest\":12501005524302218597},\
-        \"agree\":true,\"alloc_ratio\":600.00,\"speedup\":8.00}";
+        \"agree\":true,\"alloc_ratio\":600.00,\"speedup\":8.00,\"wide_ratio\":1.80}";
 
     #[test]
     fn identical_probe_lines_produce_no_findings() {

@@ -664,31 +664,46 @@ fn emit_probe(out: &mut String, label: &str, m: &MeasuredProbe) {
     );
 }
 
-/// Renders one `bench_probe` BENCH line: a JSON object comparing the
-/// trail-based probe engine against the legacy clone-per-probe path on
-/// one design. `agree` is the differential gate — the `bench_probe`
-/// binary exits nonzero when it is false. Golden-tested, like
-/// [`search_stats_line`], so machine-diffing stays stable.
+/// Renders one `bench_probe` BENCH line: a JSON object comparing three
+/// probe engines on one design — the adaptive-i64 trail engine, the same
+/// trail machinery forced onto the i128 representation from the first
+/// pivot, and the legacy clone-per-probe path. `agree` is the
+/// differential gate — all three verdict digests and probe counts must
+/// match, and the `bench_probe` binary exits nonzero when they do not.
+/// Golden-tested, like [`search_stats_line`], so machine-diffing stays
+/// stable.
 pub fn probe_bench_line(
     design: &str,
     rate: u32,
     trail: &MeasuredProbe,
+    wide: &MeasuredProbe,
     clone: &MeasuredProbe,
 ) -> String {
     let mut out = format!("{{\"bench\":\"probe\",\"design\":\"{design}\",\"rate\":{rate},");
     emit_probe(&mut out, "trail", trail);
     out.push(',');
+    emit_probe(&mut out, "wide", wide);
+    out.push(',');
     emit_probe(&mut out, "clone", clone);
-    let agree = trail.verdict_digest == clone.verdict_digest && trail.probes == clone.probes;
+    let agree = trail.verdict_digest == wide.verdict_digest
+        && trail.verdict_digest == clone.verdict_digest
+        && trail.probes == wide.probes
+        && trail.probes == clone.probes;
     let alloc_ratio = clone.allocations as f64 / (trail.allocations.max(1)) as f64;
     let speedup = if trail.wall_ms > 0.0 {
         clone.wall_ms / trail.wall_ms
     } else {
         0.0
     };
+    let wide_ratio = if trail.wall_ms > 0.0 {
+        wide.wall_ms / trail.wall_ms
+    } else {
+        0.0
+    };
     let _ = write!(
         out,
-        ",\"agree\":{agree},\"alloc_ratio\":{alloc_ratio:.2},\"speedup\":{speedup:.2}}}"
+        ",\"agree\":{agree},\"alloc_ratio\":{alloc_ratio:.2},\
+         \"speedup\":{speedup:.2},\"wide_ratio\":{wide_ratio:.2}}}"
     );
     out
 }
@@ -863,16 +878,18 @@ pub fn fuzz_bench_line(config: &str, m: &MeasuredFuzz) -> String {
 }
 
 /// Renders the `search_stats` BENCH line: one JSON object comparing a
-/// single-worker run against the portfolio on the same design, plus the
-/// exact-fallback count of a probe sweep over the same design (the
-/// Gomory overflow counter — fallbacks to the exact solver when the
-/// all-integer tableau overflows). This is the exact format the
-/// `search_stats` binary prints (golden-tested), so downstream
-/// machine-diffing of runs keeps working across refactors.
+/// single-worker run against the portfolio on the same design, plus a
+/// `probe` sub-object from a probe sweep over the same design: the
+/// exact-fallback count (the Gomory overflow counter — fallbacks to the
+/// exact solver when the all-integer tableau overflows), how many solver
+/// probes went through the batched path, and how many shared checkpoints
+/// those batches opened. This is the exact format the `search_stats`
+/// binary prints (golden-tested), so downstream machine-diffing of runs
+/// keeps working across refactors.
 pub fn search_stats_line(
     bench: &str,
     senders: u32,
-    exact_fallbacks: u64,
+    probe: &mcs_pinalloc::ProbeCacheStats,
     before: &MeasuredSearch,
     after: &MeasuredSearch,
 ) -> String {
@@ -887,7 +904,9 @@ pub fn search_stats_line(
     };
     let _ = write!(
         out,
-        ",\"probe_exact_fallbacks\":{exact_fallbacks},\"speedup\":{speedup:.2}}}"
+        ",\"probe\":{{\"exact_fallbacks\":{},\"batched\":{},\
+         \"batch_checkpoints\":{}}},\"speedup\":{speedup:.2}}}",
+        probe.exact_fallbacks, probe.batched_probes, probe.batch_shared_checkpoints,
     );
     out
 }
@@ -926,7 +945,13 @@ mod tests {
             stats: stats(4000, None),
             wall_ms: 125.0,
         };
-        let line = search_stats_line("portfolio_adversarial", 6, 3, &before, &after);
+        let probe = mcs_pinalloc::ProbeCacheStats {
+            exact_fallbacks: 3,
+            batched_probes: 40,
+            batch_shared_checkpoints: 2,
+            ..Default::default()
+        };
+        let line = search_stats_line("portfolio_adversarial", 6, &probe, &before, &after);
         assert_eq!(
             line,
             "{\"bench\":\"portfolio_adversarial\",\"senders\":6,\
@@ -936,7 +961,8 @@ mod tests {
              \"after\":{\"ok\":true,\"nodes\":4000,\"nodes_per_sec\":16000,\
              \"epochs\":12,\"threads\":4,\"cache_hits\":7,\"prunes\":5,\
              \"backtracks\":2,\"wall_ms\":125.000,\"winner\":null},\
-             \"probe_exact_fallbacks\":3,\"speedup\":2.00}"
+             \"probe\":{\"exact_fallbacks\":3,\"batched\":40,\
+             \"batch_checkpoints\":2},\"speedup\":2.00}"
         );
         mcs_obs::export::validate_json(&line).expect("BENCH line is strict JSON");
     }
@@ -1005,6 +1031,14 @@ mod tests {
             wall_ms: 5.0,
             verdict_digest: 42,
         };
+        let wide = MeasuredProbe {
+            probes: 64,
+            feasible: 48,
+            allocations: 10,
+            alloc_bytes: 2048,
+            wall_ms: 10.0,
+            verdict_digest: 42,
+        };
         let clone = MeasuredProbe {
             probes: 64,
             feasible: 48,
@@ -1013,15 +1047,18 @@ mod tests {
             wall_ms: 40.0,
             verdict_digest: 42,
         };
-        let line = probe_bench_line("ch3_simple", 2, &trail, &clone);
+        let line = probe_bench_line("ch3_simple", 2, &trail, &wide, &clone);
         assert_eq!(
             line,
             "{\"bench\":\"probe\",\"design\":\"ch3_simple\",\"rate\":2,\
              \"trail\":{\"probes\":64,\"feasible\":48,\"allocations\":10,\
              \"alloc_bytes\":2048,\"wall_ms\":5.000,\"verdict_digest\":42},\
+             \"wide\":{\"probes\":64,\"feasible\":48,\"allocations\":10,\
+             \"alloc_bytes\":2048,\"wall_ms\":10.000,\"verdict_digest\":42},\
              \"clone\":{\"probes\":64,\"feasible\":48,\"allocations\":600,\
              \"alloc_bytes\":819200,\"wall_ms\":40.000,\"verdict_digest\":42},\
-             \"agree\":true,\"alloc_ratio\":60.00,\"speedup\":8.00}"
+             \"agree\":true,\"alloc_ratio\":60.00,\"speedup\":8.00,\
+             \"wide_ratio\":2.00}"
         );
         mcs_obs::export::validate_json(&line).expect("BENCH line is strict JSON");
     }
@@ -1036,7 +1073,10 @@ mod tests {
             wall_ms: 1.0,
             verdict_digest: digest,
         };
-        let line = probe_bench_line("fig_2_5", 2, &m(1), &m(2));
+        // Any one engine diverging from the other two must flip the gate.
+        let line = probe_bench_line("fig_2_5", 2, &m(1), &m(1), &m(2));
+        assert!(line.contains("\"agree\":false"), "{line}");
+        let line = probe_bench_line("fig_2_5", 2, &m(1), &m(2), &m(1));
         assert!(line.contains("\"agree\":false"), "{line}");
     }
 

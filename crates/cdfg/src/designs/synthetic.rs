@@ -312,6 +312,65 @@ pub fn portfolio_adversarial(senders: usize) -> Design {
     )
 }
 
+/// A ring-mesh stress design for the probe benchmarks: `chips` chips
+/// (floored at 6), each computing four 8-bit values from two primary
+/// inputs and shipping two of them to its clockwise neighbor and two to
+/// the chip after that. Every chip therefore sees four transfers out and
+/// four in — 32 bits each way — against pin budgets fixed at 16 output
+/// and 16 input pins, so at initiation rate 2 both step groups of every
+/// chip must carry exactly two bundles per direction. Half of all naive
+/// placements are pin-infeasible, which keeps the feasibility checker —
+/// not the scheduler bookkeeping — on the critical path: the design
+/// exists so the probe bench has a row where probes dominate wall time.
+pub fn large_mesh(chips: usize) -> Design {
+    let chips = chips.max(6);
+    let bits = 8u32;
+    let mut b = CdfgBuilder::new(Library::new(100));
+    // Per chip at rate 2: 48 in-bits (4 arriving transfers + 2 system
+    // inputs) and 40 out-bits (4 departing transfers + 1 system output)
+    // must spread over 2 step groups. A (28, 24) split admits balanced
+    // placements only: a group holding 4 of a chip's 6 in-items (or 4
+    // of its 5 out-items) overflows, so probes do real solver work.
+    let parts: Vec<_> = (0..chips)
+        .map(|i| b.partition(&format!("C{i}"), 52))
+        .collect();
+    for &p in &parts {
+        b.fix_pin_split(p, 28, 24);
+        b.resource(p, Add, 8);
+    }
+
+    let vals: Vec<Vec<_>> = (0..chips)
+        .map(|i| {
+            let (_, x) = b.input(&format!("x{i}"), bits, parts[i]);
+            let (_, y) = b.input(&format!("y{i}"), bits, parts[i]);
+            (0..4)
+                .map(|k| {
+                    b.func(&format!("v{i}_{k}"), Add, parts[i], &[(x, 0), (y, 0)], bits)
+                        .1
+                })
+                .collect()
+        })
+        .collect();
+    // Transfers in interleaved waves (all first values, then all second
+    // values), so creation order maximizes contention per step group.
+    let mut arrivals: Vec<Vec<crate::ValueId>> = vec![Vec::new(); chips];
+    for wave in 0..2usize {
+        for (hop, sel) in [(1usize, 0usize), (2, 2)] {
+            for (i, vi) in vals.iter().enumerate() {
+                let to = (i + hop) % chips;
+                let (_, dv) = b.io(&format!("m{i}h{hop}w{wave}"), vi[sel + wave], parts[to]);
+                arrivals[to].push(dv);
+            }
+        }
+    }
+    for (i, vs) in arrivals.iter().enumerate() {
+        let inputs: Vec<_> = vs.iter().map(|&v| (v, 0)).collect();
+        let (_, s) = b.func(&format!("s{i}"), Add, parts[i], &inputs, bits);
+        b.output(&format!("o{i}"), s);
+    }
+    Design::new("large-mesh", b.finish().expect("large mesh graph is valid"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +439,25 @@ mod tests {
         assert_eq!(cycles, 2);
         let slow_ops = ["op1", "op2", "op3"].len() as u32;
         assert!(slow_ops <= 6 / cycles);
+    }
+
+    #[test]
+    fn large_mesh_meets_the_bench_floor() {
+        let d = large_mesh(8);
+        let g = d.cdfg();
+        assert!(g.ops().len() >= 64, "ops = {}", g.ops().len());
+        assert!(g.partitions().len() >= 6);
+        // 4 transfers out of every chip, 8 bits each: both step groups
+        // are needed at rate 2, and the (28, 24) pin split rejects any
+        // group packing 4 same-direction items of one chip.
+        let transfers = g
+            .io_ops()
+            .filter(|&op| {
+                let (_, from, to) = g.op(op).io_endpoints().unwrap();
+                !from.is_environment() && !to.is_environment()
+            })
+            .count();
+        assert_eq!(transfers, 4 * 8);
     }
 
     #[test]

@@ -46,6 +46,7 @@ use std::time::{Duration, Instant};
 use mcs_cdfg::{Cdfg, OpId, PartitionId, PortMode};
 use mcs_ctl::Termination;
 use mcs_metrics::{Histogram, MetricsHandle};
+use mcs_pinalloc::PinChecker;
 
 use crate::model::Interconnect;
 use crate::search::{
@@ -69,6 +70,14 @@ pub enum OpOrder {
     /// Grouped by communicated value, widest value first: same-value
     /// transfers meet immediately and share a slot.
     ValueGrouped,
+    /// Ranked by pin-feasibility pressure: one batched probe pass of the
+    /// Chapter 3 checker over every (operation, step group) pair, most
+    /// constrained operation (fewest feasible groups) first, width and
+    /// scarcity breaking ties. Deterministic for a fixed design and
+    /// rate; falls back to [`OpOrder::WidthDesc`] keys when the design
+    /// has no admissible pin budget at all. Only offered when
+    /// [`SearchConfig::probe_seed_plans`] opts in.
+    ProbeSeeded,
 }
 
 impl OpOrder {
@@ -78,6 +87,7 @@ impl OpOrder {
             OpOrder::WidthAsc => "width-asc",
             OpOrder::PairGrouped => "pair-grouped",
             OpOrder::ValueGrouped => "value-grouped",
+            OpOrder::ProbeSeeded => "probe-seeded",
         }
     }
 }
@@ -152,7 +162,12 @@ pub fn portfolio_plans(cfg: &SearchConfig) -> Vec<WorkerPlan> {
     ];
     (0..p)
         .map(|i| {
-            let (b, order, candidates) = menu[i % menu.len()];
+            let (b, mut order, candidates) = menu[i % menu.len()];
+            // Probe seeding swaps the first diversified slot for the
+            // checker-ranked order; plan 0 stays the classic search.
+            if cfg.probe_seed_plans && i % menu.len() == 1 {
+                order = OpOrder::ProbeSeeded;
+            }
             WorkerPlan {
                 index: i,
                 // Past one menu cycle, widen the branching factor so
@@ -168,8 +183,9 @@ pub fn portfolio_plans(cfg: &SearchConfig) -> Vec<WorkerPlan> {
 
 /// Sorts the I/O operations of `cdfg` according to `order`. Every key
 /// ends in the operation id, so each order is a total order and identical
-/// across runs.
-pub(crate) fn ordered_ops(cdfg: &Cdfg, order: OpOrder) -> Vec<OpId> {
+/// across runs. `rate` matters only to [`OpOrder::ProbeSeeded`], whose
+/// pressure ranking probes one candidate per step group.
+pub(crate) fn ordered_ops(cdfg: &Cdfg, order: OpOrder, rate: u32) -> Vec<OpId> {
     let mut ops: Vec<OpId> = cdfg.io_ops().collect();
     let scarcity = |op: OpId| {
         let (_, from, to) = cdfg.op(op).io_endpoints().expect("io op");
@@ -180,6 +196,32 @@ pub(crate) fn ordered_ops(cdfg: &Cdfg, order: OpOrder) -> Vec<OpId> {
     match order {
         OpOrder::WidthDesc => {
             ops.sort_by_key(|&op| (std::cmp::Reverse(cdfg.io_bits(op)), scarcity(op), op));
+        }
+        OpOrder::ProbeSeeded => {
+            // One shared-checkpoint batch over every (op, group) pair
+            // against the empty commitment state. An operation with few
+            // feasible groups is the scarcest resource: assign it first,
+            // while the structure is still unconstrained.
+            let mut feasible_groups: BTreeMap<OpId, u32> = BTreeMap::new();
+            if let Ok(mut checker) = PinChecker::new(cdfg, rate) {
+                let slate: Vec<(OpId, i64)> = ops
+                    .iter()
+                    .flat_map(|&op| (0..rate as i64).map(move |g| (op, g)))
+                    .collect();
+                for (&(op, _), ok) in slate.iter().zip(checker.probe_candidates(&slate)) {
+                    *feasible_groups.entry(op).or_insert(0) += u32::from(ok);
+                }
+            }
+            // No admissible budget (or rate 0): every count is absent and
+            // the order degrades to the classic width-descending keys.
+            ops.sort_by_key(|&op| {
+                (
+                    feasible_groups.get(&op).copied().unwrap_or(0),
+                    std::cmp::Reverse(cdfg.io_bits(op)),
+                    scarcity(op),
+                    op,
+                )
+            });
         }
         OpOrder::WidthAsc => {
             ops.sort_by_key(|&op| (cdfg.io_bits(op), scarcity(op), op));
@@ -617,7 +659,7 @@ impl<'a> Worker<'a> {
         plan: WorkerPlan,
         cache_enabled: bool,
     ) -> Self {
-        let ops = ordered_ops(cdfg, plan.order);
+        let ops = ordered_ops(cdfg, plan.order, cfg.rate);
         let state = initial_state(cdfg, cfg.rate, &ops);
         Worker {
             cdfg,
@@ -1156,11 +1198,64 @@ mod tests {
             OpOrder::WidthAsc,
             OpOrder::PairGrouped,
             OpOrder::ValueGrouped,
+            OpOrder::ProbeSeeded,
         ] {
-            let mut ops = ordered_ops(d.cdfg(), order);
+            let mut ops = ordered_ops(d.cdfg(), order, 6);
             ops.sort();
             assert_eq!(ops, reference, "{order:?}");
         }
+    }
+
+    #[test]
+    fn probe_seeding_is_opt_in_and_preserves_feasibility() {
+        let d = mcs_cdfg::designs::synthetic::portfolio_adversarial(6);
+        // Off by default: no plan carries the probe-seeded order.
+        let base = SearchConfig::new(2).with_portfolio(4);
+        assert!(portfolio_plans(&base)
+            .iter()
+            .all(|p| p.order != OpOrder::ProbeSeeded));
+        let (reference, _) = synthesize_with_stats(d.cdfg(), PortMode::Unidirectional, &base);
+        // Opted in: exactly one diversified slot per menu cycle swaps to
+        // the checker-ranked order, plan 0 stays classic, and the search
+        // still connects.
+        let cfg = base.clone().with_probe_seeding();
+        let plans = portfolio_plans(&cfg);
+        assert_eq!(plans[0].order, OpOrder::WidthDesc);
+        assert_eq!(plans[1].order, OpOrder::ProbeSeeded);
+        let (got, stats) = synthesize_with_stats(d.cdfg(), PortMode::Unidirectional, &cfg);
+        let ic = got.unwrap();
+        assert!(ic.verify(d.cdfg()).is_empty());
+        assert!(stats
+            .workers
+            .iter()
+            .any(|w| w.config.contains("probe-seeded")));
+        // The classic plan still ran, so feasibility can never regress.
+        assert_eq!(
+            reference.unwrap().buses.len(),
+            ic.buses.len(),
+            "probe seeding may steer the winner but not the bus count here"
+        );
+    }
+
+    #[test]
+    fn probe_seeded_order_puts_pressured_ops_first() {
+        let d = mcs_cdfg::designs::ar_filter::simple();
+        let ops = ordered_ops(d.cdfg(), OpOrder::ProbeSeeded, 2);
+        let mut checker = PinChecker::new(d.cdfg(), 2).unwrap();
+        let slate: Vec<(OpId, i64)> = ops
+            .iter()
+            .flat_map(|&op| (0..2i64).map(move |g| (op, g)))
+            .collect();
+        let verdicts = checker.probe_candidates(&slate);
+        let pressure: Vec<u32> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (0..2).map(|g| u32::from(verdicts[i * 2 + g])).sum())
+            .collect();
+        assert!(
+            pressure.windows(2).all(|w| w[0] <= w[1]),
+            "feasible-group counts must be non-decreasing: {pressure:?}"
+        );
     }
 
     #[test]

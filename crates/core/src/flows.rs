@@ -319,6 +319,11 @@ pub fn simple_flow_with_checker(
         recorder.counter("probe.solver", stats.solver_probes as i64);
         recorder.counter("probe.exact_fallbacks", stats.exact_fallbacks as i64);
         recorder.counter("probe.max_rollback_depth", stats.max_rollback_depth as i64);
+        recorder.counter("probe.batched", stats.batched_probes as i64);
+        recorder.counter(
+            "probe.batch_checkpoints",
+            stats.batch_shared_checkpoints as i64,
+        );
     }
     if metrics.enabled() {
         let stats = &probe.stats;
@@ -327,6 +332,8 @@ pub fn simple_flow_with_checker(
         metrics.add("probe.surrogate_rejects", stats.surrogate_rejects);
         metrics.add("probe.solver", stats.solver_probes);
         metrics.add("probe.exact_fallbacks", stats.exact_fallbacks);
+        metrics.add("probe.batched", stats.batched_probes);
+        metrics.add("probe.batch_checkpoints", stats.batch_shared_checkpoints);
     }
     let violations = validate(cdfg, &schedule);
     if !violations.is_empty() {

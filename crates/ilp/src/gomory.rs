@@ -24,7 +24,7 @@
 //!
 //! # The copy-free probe engine
 //!
-//! The tableau lives in one contiguous row-major `i128` arena (stride
+//! The tableau lives in one contiguous row-major arena (stride
 //! `ncols + 1`: the constant column followed by the coefficients), and
 //! every mutation — row append, lower-bound shift, cut pivot — can be
 //! recorded on an **undo trail**. A probe is therefore
@@ -39,6 +39,30 @@
 //! [`AllIntegerSolver::probe_at_least_via_clone`] and backs a
 //! differential-testing mode ([`AllIntegerSolver::set_differential`])
 //! that cross-checks every trail verdict against it.
+//!
+//! # Adaptive word size
+//!
+//! Pin-allocation tableaus hold small coefficients (bit widths, pin
+//! budgets), so the arena starts as `Vec<i64>` — half the memory traffic
+//! and twice the SIMD lanes of the old `i128` representation. Every
+//! pivot's coefficient-explosion guard bounds the next tableau by
+//! `tab_max * (1 + cut_max)`; when that bound leaves the i64 safe range
+//! the solver **promotes**: both arenas (tableau and parked cut rows) are
+//! widened to `i128` element for element and the in-flight pivot is
+//! replayed on the wide representation. Promotion is sticky for the
+//! solver's lifetime and preserves element indices, so the undo trail —
+//! which stores no tableau values, only row counts, shift amounts and
+//! cut-row offsets — survives unchanged; a probe that promoted mid-solve
+//! still rolls back to a byte-faithful (widened) pre-probe state, and
+//! [`AllIntegerSolver::tableau_digest`] hashes every cell as `i128`
+//! regardless of representation, so digests are representation-independent
+//! by construction. The wide path keeps the pre-existing guard: when even
+//! `i128` would overflow, the heuristic loop abandons the solve *before*
+//! mutating anything and the exact fallback decides (the corpus crasher
+//! from the differential fuzzer exercises exactly this).
+//! [`AllIntegerSolver::force_wide`] pins the wide representation up
+//! front — the differential anchor the bench harness compares the
+//! adaptive path against.
 
 use crate::model::{Model, SolveError};
 use mcs_ctl::Budget;
@@ -64,6 +88,10 @@ pub enum Feasibility {
 }
 
 /// One undoable tableau mutation on the trail.
+///
+/// Variants store no tableau *values* — only counts, shift amounts and
+/// cut-arena offsets — which is what lets the trail survive an i64→i128
+/// promotion unchanged.
 #[derive(Clone, Copy, Debug)]
 enum TrailOp {
     /// A constraint row was appended (with its `original` entry).
@@ -98,6 +126,133 @@ pub struct ProbeStats {
     pub exact_fallback: bool,
 }
 
+/// The word types the tableau arena can hold. Private: callers only see
+/// i64-valued solutions and i128-free APIs; the representation is an
+/// internal performance detail.
+trait Cell:
+    Copy
+    + Ord
+    + std::ops::Add<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Neg<Output = Self>
+{
+    const ZERO: Self;
+    const NEG_ONE: Self;
+    fn div_euclid_by(self, rhs: Self) -> Self;
+    fn abs_u128(self) -> u128;
+}
+
+impl Cell for i64 {
+    const ZERO: Self = 0;
+    const NEG_ONE: Self = -1;
+    #[inline]
+    fn div_euclid_by(self, rhs: Self) -> Self {
+        self.div_euclid(rhs)
+    }
+    #[inline]
+    fn abs_u128(self) -> u128 {
+        self.unsigned_abs() as u128
+    }
+}
+
+impl Cell for i128 {
+    const ZERO: Self = 0;
+    const NEG_ONE: Self = -1;
+    #[inline]
+    fn div_euclid_by(self, rhs: Self) -> Self {
+        self.div_euclid(rhs)
+    }
+    #[inline]
+    fn abs_u128(self) -> u128 {
+        self.unsigned_abs()
+    }
+}
+
+/// What the next cutting-plane iteration should do.
+enum PivotChoice {
+    Feasible,
+    Infeasible,
+    Pivot { r: usize, k: usize },
+}
+
+/// Most negative constant column (ties to the lowest row index), then the
+/// first column that can raise it. Monomorphized per word type so the
+/// scan runs on the native width.
+fn select_pivot<W: Cell>(tab: &[W], nrows: usize, stride: usize) -> PivotChoice {
+    let Some(r) = (0..nrows)
+        .filter(|&i| tab[i * stride] < W::ZERO)
+        .min_by_key(|&i| (tab[i * stride], i))
+    else {
+        return PivotChoice::Feasible;
+    };
+    let base = r * stride;
+    match tab[base + 1..base + stride]
+        .iter()
+        .position(|&c| c < W::ZERO)
+    {
+        Some(k) => PivotChoice::Pivot { r, k },
+        None => PivotChoice::Infeasible,
+    }
+}
+
+/// Builds the all-integer Gomory cut for row `base / stride` pivoting on
+/// column `k` into `cut` (divisor `lambda = -t_rk`, pivot element exactly
+/// `-1`) and returns the cut's magnitude `cut_max` for the
+/// coefficient-explosion guard. The tableau-side magnitude comes from the
+/// solver's cached [`AllIntegerSolver::max_bound`], so the hot pivot path
+/// never rescans the arena.
+fn build_cut<W: Cell>(tab: &[W], cut: &mut Vec<W>, base: usize, ncols: usize, k: usize) -> u128 {
+    let lambda = -tab[base + 1 + k];
+    let cut_start = cut.len();
+    cut.reserve(ncols + 1);
+    cut.push(tab[base].div_euclid_by(lambda));
+    for j in 0..ncols {
+        cut.push(tab[base + 1 + j].div_euclid_by(lambda));
+    }
+    debug_assert!(cut[cut_start + 1 + k] == W::NEG_ONE);
+    cut[cut_start..]
+        .iter()
+        .map(|c| c.abs_u128())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Pivot (`negate = false`): the cut's slack `s` enters the nonbasic set
+/// in place of column `k`; `u_k = -t0 + sum_{j != k} t_j u_j + s` is
+/// substituted into every tracked row. All arithmetic stays integral
+/// because the pivot element is `-1`. The stored coefficient at column
+/// `k` is unchanged by the substitution, which makes the transformation
+/// an involution up to sign: `negate = true` replays the identical loop
+/// subtracting instead of adding and restores the pre-pivot tableau
+/// exactly — the rollback path.
+///
+/// The `j != k` exclusion is expressed by splitting each row (and the cut)
+/// around the pivot column instead of testing per element, so both inner
+/// loops run branch-free over contiguous slices — the shape the
+/// autovectorizer wants. `tab` must be the live `nrows * stride` prefix
+/// and `cut` exactly one `stride`-sized row.
+fn apply_cut_arena<W: Cell>(tab: &mut [W], cut: &[W], k: usize, negate: bool) {
+    let stride = cut.len();
+    let c0 = cut[0];
+    let (cut_lo, rest) = cut[1..].split_at(k);
+    let cut_hi = &rest[1..];
+    for row in tab.chunks_exact_mut(stride) {
+        let f = if negate { -row[1 + k] } else { row[1 + k] };
+        if f == W::ZERO {
+            continue;
+        }
+        row[0] = row[0] + f * c0;
+        let (row_lo, rest) = row[1..].split_at_mut(k);
+        let row_hi = &mut rest[1..];
+        for (cell, &c) in row_lo.iter_mut().zip(cut_lo) {
+            *cell = *cell + f * c;
+        }
+        for (cell, &c) in row_hi.iter_mut().zip(cut_hi) {
+            *cell = *cell + f * c;
+        }
+    }
+}
+
 /// Incremental all-integer feasibility solver for `A x <= b`, `x >= 0`
 /// integer.
 ///
@@ -123,8 +278,13 @@ pub struct AllIntegerSolver {
     ncols: usize,
     /// Row-major tableau arena, stride `ncols + 1`: `t_i0` then `t_ij`.
     /// Rows 0..num_vars track the structural variables; later rows track
-    /// original slacks (one per constraint).
-    tab: Vec<i128>,
+    /// original slacks (one per constraint). The narrow (i64)
+    /// representation; empty once `wide` is set.
+    tab: Vec<i64>,
+    /// The wide (i128) tableau arena; empty until promotion.
+    tab_wide: Vec<i128>,
+    /// Whether the solver has promoted to the i128 representation.
+    wide: bool,
     nrows: usize,
     /// Accumulated lower-bound shifts applied via `assume_at_least`.
     shifts: Vec<i64>,
@@ -132,14 +292,27 @@ pub struct AllIntegerSolver {
     original: Vec<(Vec<(usize, i64)>, i64)>,
     /// Cut rows parked for rollback (stride `ncols + 1` each). Outside a
     /// checkpoint the slot is reused per pivot, so steady-state solves
-    /// allocate nothing.
-    cut_arena: Vec<i128>,
+    /// allocate nothing. Narrow representation; empty once `wide`.
+    cut_arena: Vec<i64>,
+    /// The wide cut arena; empty until promotion.
+    cut_wide: Vec<i128>,
     /// Undo trail; recorded only while a checkpoint is outstanding.
     trail: Vec<TrailOp>,
     /// Outstanding checkpoints.
     watchers: usize,
+    /// Upper bound on the magnitude of every live arena cell. Maintained
+    /// exactly on row appends and shifts, and multiplicatively on pivots
+    /// (`bound *= 1 + cut_max`); rollback never lowers it, so it can be
+    /// loose — the overflow guard rescans the arena for the true maximum
+    /// only when this cheap bound trips, which tightens it again. The
+    /// promote/fallback *decision* therefore sees the exact maximum, the
+    /// common case just never pays the full scan.
+    max_bound: u128,
     /// Total pivots performed over the solver's lifetime.
     pivots_total: u64,
+    /// Times the narrow representation promoted to wide (overflow-driven
+    /// only; `force_wide` does not count).
+    promotions: u64,
     /// Cross-check every trail probe against the clone-based path.
     differential: bool,
     /// Sink for per-pivot `GomoryCut` events (inactive by default).
@@ -152,6 +325,7 @@ pub struct AllIntegerSolver {
     /// cells, so probe solves aggregate into the same totals).
     m_pivots: Counter,
     m_overflow_fallbacks: Counter,
+    m_promotions: Counter,
     m_rollback_depth: Histogram,
 }
 
@@ -159,7 +333,7 @@ impl AllIntegerSolver {
     /// Creates a solver over `num_vars` nonnegative integer variables.
     pub fn new(num_vars: usize) -> Self {
         let stride = num_vars + 1;
-        let mut tab = vec![0i128; num_vars * stride];
+        let mut tab = vec![0i64; num_vars * stride];
         for v in 0..num_vars {
             // x_v = 0 + (-1) * (-u_v)  =  u_v.
             tab[v * stride + 1 + v] = -1;
@@ -168,18 +342,24 @@ impl AllIntegerSolver {
             num_vars,
             ncols: num_vars,
             tab,
+            tab_wide: Vec::new(),
+            wide: false,
             nrows: num_vars,
             shifts: vec![0; num_vars],
             original: Vec::new(),
             cut_arena: Vec::new(),
+            cut_wide: Vec::new(),
             trail: Vec::new(),
             watchers: 0,
+            max_bound: 1,
             pivots_total: 0,
+            promotions: 0,
             differential: false,
             recorder: RecorderHandle::default(),
             budget: None,
             m_pivots: Counter::default(),
             m_overflow_fallbacks: Counter::default(),
+            m_promotions: Counter::default(),
             m_rollback_depth: Histogram::default(),
         }
     }
@@ -190,12 +370,14 @@ impl AllIntegerSolver {
     }
 
     /// Connects the solver's aggregate telemetry — `ilp.pivots`,
-    /// `ilp.cut_overflow_fallbacks`, the `ilp.rollback_depth` histogram —
-    /// to a metrics registry. Cells are resolved once here, so the
-    /// per-pivot cost with metrics on is one relaxed atomic add.
+    /// `ilp.cut_overflow_fallbacks`, `ilp.promotions`, the
+    /// `ilp.rollback_depth` histogram — to a metrics registry. Cells are
+    /// resolved once here, so the per-pivot cost with metrics on is one
+    /// relaxed atomic add.
     pub fn set_metrics(&mut self, metrics: &MetricsHandle) {
         self.m_pivots = metrics.counter("ilp.pivots");
         self.m_overflow_fallbacks = metrics.counter("ilp.cut_overflow_fallbacks");
+        self.m_promotions = metrics.counter("ilp.promotions");
         self.m_rollback_depth = metrics.histogram("ilp.rollback_depth");
     }
 
@@ -230,15 +412,105 @@ impl AllIntegerSolver {
         self.trail.len()
     }
 
+    /// Times the adaptive narrow (i64) representation promoted to the
+    /// wide (i128) one because a pivot, shift or row append would have
+    /// overflowed. [`AllIntegerSolver::force_wide`] is not counted.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Whether the solver currently runs on the wide (i128)
+    /// representation — after an overflow-driven promotion or
+    /// [`AllIntegerSolver::force_wide`].
+    pub fn is_wide(&self) -> bool {
+        self.wide
+    }
+
+    /// Pins the wide (i128) representation immediately, bypassing the
+    /// adaptive narrow path. Verdicts and
+    /// [`AllIntegerSolver::tableau_digest`] values are identical either
+    /// way; this is the differential anchor the bench harness compares
+    /// the adaptive path against. Not counted in
+    /// [`AllIntegerSolver::promotions`]. Idempotent.
+    pub fn force_wide(&mut self) {
+        if !self.wide {
+            self.widen();
+        }
+    }
+
+    /// Switches to the i128 representation: widens both arenas element
+    /// for element (indices — and therefore the trail and every parked
+    /// `cut_start` — are preserved) and retires the narrow ones.
+    fn widen(&mut self) {
+        debug_assert!(!self.wide);
+        self.tab_wide = self.tab.iter().map(|&c| c as i128).collect();
+        self.cut_wide = self.cut_arena.iter().map(|&c| c as i128).collect();
+        self.tab = Vec::new();
+        self.cut_arena = Vec::new();
+        self.wide = true;
+    }
+
+    /// An overflow-driven [`AllIntegerSolver::widen`]: counted in
+    /// [`AllIntegerSolver::promotions`] and the `ilp.promotions` metric.
+    fn promote(&mut self) {
+        self.widen();
+        self.promotions += 1;
+        self.m_promotions.inc();
+    }
+
     #[inline]
     fn stride(&self) -> usize {
         self.ncols + 1
     }
 
+    /// Reads one arena cell, widened — the representation-independent
+    /// view the cold paths (digest, solution, row construction) use.
+    #[inline]
+    fn cell(&self, idx: usize) -> i128 {
+        if self.wide {
+            self.tab_wide[idx]
+        } else {
+            self.tab[idx] as i128
+        }
+    }
+
+    /// Exact magnitude of the largest live arena cell — the slow path
+    /// behind [`AllIntegerSolver::max_bound`], run only when the cached
+    /// bound trips the overflow guard.
+    fn live_max(&self) -> u128 {
+        let live = self.nrows * self.stride();
+        if self.wide {
+            self.tab_wide[..live]
+                .iter()
+                .map(|c| c.unsigned_abs())
+                .max()
+                .unwrap_or(0)
+        } else {
+            self.tab[..live]
+                .iter()
+                .map(|c| c.unsigned_abs() as u128)
+                .max()
+                .unwrap_or(0)
+        }
+    }
+
+    /// Live element count of the active cut arena (element indices are
+    /// representation-independent).
+    #[inline]
+    fn cut_len(&self) -> usize {
+        if self.wide {
+            self.cut_wide.len()
+        } else {
+            self.cut_arena.len()
+        }
+    }
+
     /// FNV-1a digest over the entire solver state (tableau arena, shifts,
     /// original constraints). Two solvers with equal digests have
     /// byte-identical tableaus — the hook the rollback property tests
-    /// assert restoration with.
+    /// assert restoration with. Cells are hashed as `i128` regardless of
+    /// the active representation, so an adaptive (i64) solver and a
+    /// forced-wide one digest identically at every step.
     pub fn tableau_digest(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         let mut eat = |bytes: &[u8]| {
@@ -249,8 +521,15 @@ impl AllIntegerSolver {
         };
         eat(&(self.nrows as u64).to_le_bytes());
         eat(&(self.ncols as u64).to_le_bytes());
-        for &cell in &self.tab[..self.nrows * self.stride()] {
-            eat(&cell.to_le_bytes());
+        let live = self.nrows * self.stride();
+        if self.wide {
+            for &cell in &self.tab_wide[..live] {
+                eat(&cell.to_le_bytes());
+            }
+        } else {
+            for &cell in &self.tab[..live] {
+                eat(&(cell as i128).to_le_bytes());
+            }
         }
         for &s in &self.shifts {
             eat(&s.to_le_bytes());
@@ -278,6 +557,8 @@ impl AllIntegerSolver {
         self.original.push((terms.to_vec(), rhs));
         // Slack s = rhs - sum a_v x_v, expressed over current nonbasics via
         // the structural rows (which are maintained for every variable).
+        // Built in i128 (this is a cold path) and narrowed only when every
+        // cell fits; a too-wide row promotes the solver first.
         let stride = self.stride();
         let mut row = vec![0i128; stride];
         row[0] = rhs as i128;
@@ -285,12 +566,21 @@ impl AllIntegerSolver {
             let a = a as i128;
             let base = v * stride;
             // The tracked row holds the shifted variable x' = x - shift.
-            row[0] -= a * (self.tab[base] + self.shifts[v] as i128);
-            for (c, &rv) in row[1..].iter_mut().zip(&self.tab[base + 1..base + stride]) {
-                *c -= a * rv;
+            row[0] -= a * (self.cell(base) + self.shifts[v] as i128);
+            for (j, c) in row[1..].iter_mut().enumerate() {
+                *c -= a * self.cell(base + 1 + j);
             }
         }
-        self.tab.extend_from_slice(&row);
+        if !self.wide && row.iter().any(|&c| i64::try_from(c).is_err()) {
+            self.promote();
+        }
+        let row_max = row.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
+        self.max_bound = self.max_bound.max(row_max);
+        if self.wide {
+            self.tab_wide.extend_from_slice(&row);
+        } else {
+            self.tab.extend(row.iter().map(|&c| c as i64));
+        }
         self.nrows += 1;
         if self.watchers > 0 {
             self.trail.push(TrailOp::RowAppended);
@@ -310,8 +600,23 @@ impl AllIntegerSolver {
     /// update — no row copy.
     pub fn assume_at_least(&mut self, var: usize, by: i64) {
         assert!(var < self.num_vars, "variable index out of range");
-        let stride = self.stride();
-        self.tab[var * stride] -= by as i128;
+        let base = var * self.stride();
+        if self.wide {
+            self.tab_wide[base] -= by as i128;
+            self.max_bound = self.max_bound.max(self.tab_wide[base].unsigned_abs());
+        } else {
+            match self.tab[base].checked_sub(by) {
+                Some(v) => {
+                    self.tab[base] = v;
+                    self.max_bound = self.max_bound.max(v.unsigned_abs() as u128);
+                }
+                None => {
+                    self.promote();
+                    self.tab_wide[base] -= by as i128;
+                    self.max_bound = self.max_bound.max(self.tab_wide[base].unsigned_abs());
+                }
+            }
+        }
         self.shifts[var] += by;
         if self.watchers > 0 {
             self.trail.push(TrailOp::Shifted {
@@ -329,14 +634,60 @@ impl AllIntegerSolver {
         Checkpoint {
             trail_len: self.trail.len(),
             nrows: self.nrows,
-            cuts_len: self.cut_arena.len(),
+            cuts_len: self.cut_len(),
             original_len: self.original.len(),
         }
+    }
+
+    /// Pops and undoes trail entries until the trail is `target` long.
+    /// The shared engine under [`AllIntegerSolver::rollback`] and the
+    /// per-candidate unwind of [`AllIntegerSolver::probe_batch_with_stats`].
+    fn unwind_to(&mut self, target: usize) -> u64 {
+        let mut undone = 0u64;
+        while self.trail.len() > target {
+            let op = self.trail.pop().expect("trail entry");
+            undone += 1;
+            match op {
+                TrailOp::RowAppended => {
+                    self.nrows -= 1;
+                    let live = self.nrows * self.stride();
+                    if self.wide {
+                        self.tab_wide.truncate(live);
+                    } else {
+                        self.tab.truncate(live);
+                    }
+                    self.original.pop();
+                }
+                TrailOp::Shifted { var, by } => {
+                    let base = var as usize * self.stride();
+                    if self.wide {
+                        self.tab_wide[base] += by as i128;
+                    } else {
+                        // The forward shift either fit i64 or promoted;
+                        // undoing a fitted shift cannot overflow.
+                        self.tab[base] += by;
+                    }
+                    self.shifts[var as usize] -= by;
+                }
+                TrailOp::Pivoted { k, cut_start } => {
+                    self.apply_cut(cut_start, k as usize, true);
+                    if self.wide {
+                        self.cut_wide.truncate(cut_start);
+                    } else {
+                        self.cut_arena.truncate(cut_start);
+                    }
+                }
+            }
+        }
+        undone
     }
 
     /// Undoes every mutation since `cp`, restoring the tableau byte for
     /// byte, and closes the checkpoint. Returns the number of trail
     /// entries undone (the probe's rollback depth).
+    ///
+    /// A probe that promoted mid-solve still restores every *value*
+    /// exactly — on the wide representation; promotion is sticky.
     ///
     /// # Panics
     ///
@@ -345,29 +696,9 @@ impl AllIntegerSolver {
     pub fn rollback(&mut self, cp: Checkpoint) -> u64 {
         assert!(self.watchers > 0, "rollback without a checkpoint");
         assert!(cp.trail_len <= self.trail.len(), "out-of-order rollback");
-        let mut undone = 0u64;
-        while self.trail.len() > cp.trail_len {
-            let op = self.trail.pop().expect("trail entry");
-            undone += 1;
-            match op {
-                TrailOp::RowAppended => {
-                    self.nrows -= 1;
-                    self.tab.truncate(self.nrows * self.stride());
-                    self.original.pop();
-                }
-                TrailOp::Shifted { var, by } => {
-                    let base = var as usize * self.stride();
-                    self.tab[base] += by as i128;
-                    self.shifts[var as usize] -= by;
-                }
-                TrailOp::Pivoted { k, cut_start } => {
-                    self.apply_cut(cut_start, k as usize, -1);
-                    self.cut_arena.truncate(cut_start);
-                }
-            }
-        }
+        let undone = self.unwind_to(cp.trail_len);
         debug_assert_eq!(self.nrows, cp.nrows);
-        debug_assert_eq!(self.cut_arena.len(), cp.cuts_len);
+        debug_assert_eq!(self.cut_len(), cp.cuts_len);
         debug_assert_eq!(self.original.len(), cp.original_len);
         self.watchers -= 1;
         self.m_rollback_depth.observe(undone);
@@ -381,17 +712,16 @@ impl AllIntegerSolver {
     pub fn solve(&mut self, max_pivots: usize) -> Feasibility {
         let stride = self.stride();
         for round in 0..max_pivots {
-            // Most negative constant column; ties to the lowest row index.
-            let Some(r) = (0..self.nrows)
-                .filter(|&i| self.tab[i * stride] < 0)
-                .min_by_key(|&i| (self.tab[i * stride], i))
-            else {
-                return Feasibility::Feasible;
+            let live = self.nrows * stride;
+            let choice = if self.wide {
+                select_pivot(&self.tab_wide[..live], self.nrows, stride)
+            } else {
+                select_pivot(&self.tab[..live], self.nrows, stride)
             };
-            let base = r * stride;
-            // Columns that can raise row r: t_rj < 0.
-            let Some(k) = (0..self.ncols).find(|&j| self.tab[base + 1 + j] < 0) else {
-                return Feasibility::Infeasible;
+            let (r, k) = match choice {
+                PivotChoice::Feasible => return Feasibility::Feasible,
+                PivotChoice::Infeasible => return Feasibility::Infeasible,
+                PivotChoice::Pivot { r, k } => (r, k),
             };
             // Poll the budget before the next unit of work — after the
             // convergence tests, which cost no pivot, so a solve that
@@ -406,52 +736,72 @@ impl AllIntegerSolver {
             // pivot element of exactly -1. The cut row is written into the
             // side arena: kept there when a checkpoint needs it for
             // rollback, reclaimed immediately otherwise.
-            let lambda = -self.tab[base + 1 + k];
-            let cut_start = self.cut_arena.len();
-            self.cut_arena.reserve(stride);
-            self.cut_arena.push(self.tab[base].div_euclid(lambda));
-            for j in 0..self.ncols {
-                self.cut_arena
-                    .push(self.tab[base + 1 + j].div_euclid(lambda));
-            }
-            debug_assert_eq!(self.cut_arena[cut_start + 1 + k], -1);
+            let base = r * stride;
+            let cut_start = self.cut_len();
             // Coefficient-explosion guard (found by differential
             // fuzzing): stacked cuts can grow tableau entries until the
-            // i128 multiply-adds in `apply_cut` overflow. Applying this
-            // cut bounds every new entry by `tab_max * (1 + cut_max)`;
-            // when that bound leaves the safe range, abandon the
-            // heuristic loop *before* mutating anything — the tableau
-            // and trail stay consistent, and the caller's exact
-            // branch-and-bound fallback delivers the verdict. The same
-            // bound covers rollback, whose products mirror the forward
-            // pass exactly.
-            let cut_max = self.cut_arena[cut_start..]
-                .iter()
-                .map(|c| c.unsigned_abs())
-                .max()
-                .unwrap_or(0);
-            let tab_max = self.tab[..self.nrows * stride]
-                .iter()
-                .map(|c| c.unsigned_abs())
-                .max()
-                .unwrap_or(0);
-            let safe = cut_max
-                .checked_add(1)
-                .and_then(|m| tab_max.checked_mul(m))
-                .is_some_and(|bound| bound <= i128::MAX as u128 / 2);
-            if !safe {
-                self.cut_arena.truncate(cut_start);
-                self.m_overflow_fallbacks.inc();
-                return Feasibility::PivotLimit;
+            // multiply-adds in `apply_cut` overflow. Applying this cut
+            // bounds every new entry by `tab_max * (1 + cut_max)`. On the
+            // narrow path a bound outside the i64 safe range promotes the
+            // solver and replays this pivot on the wide representation;
+            // on the wide path it abandons the heuristic loop *before*
+            // mutating anything — the tableau and trail stay consistent,
+            // and the caller's exact branch-and-bound fallback delivers
+            // the verdict. The same bound covers rollback, whose products
+            // mirror the forward pass exactly.
+            let cut_max = if self.wide {
+                build_cut(
+                    &self.tab_wide[..live],
+                    &mut self.cut_wide,
+                    base,
+                    self.ncols,
+                    k,
+                )
+            } else {
+                build_cut(&self.tab[..live], &mut self.cut_arena, base, self.ncols, k)
+            };
+            // The cheap cached bound decides first; only when it trips is
+            // the arena rescanned for the true maximum, so the decision to
+            // promote or fall back is always made on exact magnitudes.
+            let factor = cut_max + 1;
+            if !self.wide {
+                let safe = |bound: u128| {
+                    bound
+                        .checked_mul(factor)
+                        .is_some_and(|b| b <= i64::MAX as u128 / 2)
+                };
+                if !safe(self.max_bound) {
+                    self.max_bound = self.live_max();
+                    if !safe(self.max_bound) {
+                        self.promote();
+                    }
+                }
             }
+            if self.wide {
+                let safe = |bound: u128| {
+                    bound
+                        .checked_mul(factor)
+                        .is_some_and(|b| b <= i128::MAX as u128 / 2)
+                };
+                if !safe(self.max_bound) {
+                    self.max_bound = self.live_max();
+                    if !safe(self.max_bound) {
+                        self.cut_wide.truncate(cut_start);
+                        self.m_overflow_fallbacks.inc();
+                        return Feasibility::PivotLimit;
+                    }
+                }
+            }
+            // Checked safe above on whichever representation is active.
+            self.max_bound *= factor;
             if self.recorder.enabled() {
                 self.recorder.record(Event::GomoryCut {
                     round: round as u32,
                     pivot: k as u32,
-                    objective: self.tab[base].clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+                    objective: self.cell(base).clamp(i64::MIN as i128, i64::MAX as i128) as i64,
                 });
             }
-            self.apply_cut(cut_start, k, 1);
+            self.apply_cut(cut_start, k, false);
             self.pivots_total += 1;
             self.m_pivots.inc();
             if let Some(budget) = &self.budget {
@@ -462,6 +812,8 @@ impl AllIntegerSolver {
                     k: k as u32,
                     cut_start,
                 });
+            } else if self.wide {
+                self.cut_wide.truncate(cut_start);
             } else {
                 self.cut_arena.truncate(cut_start);
             }
@@ -469,28 +821,28 @@ impl AllIntegerSolver {
         Feasibility::PivotLimit
     }
 
-    /// Pivot (`sign = 1`): the cut's slack `s` enters the nonbasic set in
-    /// place of column `k`; `u_k = -t0 + sum_{j != k} t_j u_j + s` is
-    /// substituted into every tracked row. All arithmetic stays integral
-    /// because the pivot element is `-1`. The stored coefficient at
-    /// column `k` is unchanged by the substitution, which makes the
-    /// transformation an involution up to sign: `sign = -1` replays the
-    /// identical loop subtracting instead of adding and restores the
-    /// pre-pivot tableau exactly — the rollback path.
-    fn apply_cut(&mut self, cut_start: usize, k: usize, sign: i128) {
+    /// Applies (or with `negate` un-applies) the parked cut row starting
+    /// at `cut_start` on pivot column `k`, on whichever representation is
+    /// active. See [`apply_cut_arena`] for the algebra.
+    fn apply_cut(&mut self, cut_start: usize, k: usize, negate: bool) {
         let stride = self.ncols + 1;
-        let (tab, cuts) = (&mut self.tab, &self.cut_arena);
-        let cut = &cuts[cut_start..cut_start + stride];
-        for row in tab[..self.nrows * stride].chunks_exact_mut(stride) {
-            let f = sign * row[1 + k];
-            if f != 0 {
-                row[0] += f * cut[0];
-                for (j, cell) in row[1..].iter_mut().enumerate() {
-                    if j != k {
-                        *cell += f * cut[1 + j];
-                    }
-                }
-            }
+        let live = self.nrows * stride;
+        if self.wide {
+            let (tab, cuts) = (&mut self.tab_wide, &self.cut_wide);
+            apply_cut_arena(
+                &mut tab[..live],
+                &cuts[cut_start..cut_start + stride],
+                k,
+                negate,
+            );
+        } else {
+            let (tab, cuts) = (&mut self.tab, &self.cut_arena);
+            apply_cut_arena(
+                &mut tab[..live],
+                &cuts[cut_start..cut_start + stride],
+                k,
+                negate,
+            );
         }
     }
 
@@ -500,7 +852,7 @@ impl AllIntegerSolver {
     pub fn solution(&self) -> Vec<i64> {
         let stride = self.stride();
         (0..self.num_vars)
-            .map(|v| (self.tab[v * stride] + self.shifts[v] as i128) as i64)
+            .map(|v| (self.cell(v * stride) + self.shifts[v] as i128) as i64)
             .collect()
     }
 
@@ -545,6 +897,63 @@ impl AllIntegerSolver {
                 exact_fallback,
             },
         )
+    }
+
+    /// Probes every `(var, by)` request under **one** checkpoint: the
+    /// trail is unwound to the batch's start mark between candidates and
+    /// the checkpoint is opened and closed once, so a control step's worth
+    /// of candidates shares the setup/teardown the per-probe path pays
+    /// each time. Verdict-identical to calling
+    /// [`AllIntegerSolver::probe_at_least_with_stats`] per request —
+    /// every candidate still sees the exact pre-batch tableau.
+    pub fn probe_batch_with_stats(
+        &mut self,
+        reqs: &[(usize, i64)],
+        max_pivots: usize,
+    ) -> Vec<(Feasibility, ProbeStats)> {
+        let mut out = Vec::with_capacity(reqs.len());
+        let cp = self.checkpoint();
+        let mark = self.trail.len();
+        for &(var, by) in reqs {
+            let pivots_before = self.pivots_total;
+            self.assume_at_least(var, by);
+            let mut verdict = self.solve(max_pivots);
+            let exact_fallback = verdict == Feasibility::PivotLimit;
+            if exact_fallback {
+                verdict = self.solve_exact();
+            }
+            let rollback_ops = self.unwind_to(mark);
+            self.m_rollback_depth.observe(rollback_ops);
+            out.push((
+                verdict,
+                ProbeStats {
+                    pivots: self.pivots_total - pivots_before,
+                    rollback_ops,
+                    exact_fallback,
+                },
+            ));
+        }
+        // Nothing left to undo; close the checkpoint without skewing the
+        // rollback-depth histogram with a zero-depth entry.
+        assert!(self.watchers > 0, "batch checkpoint vanished");
+        let undone = self.unwind_to(cp.trail_len);
+        debug_assert_eq!(undone, 0);
+        debug_assert_eq!(self.nrows, cp.nrows);
+        debug_assert_eq!(self.cut_len(), cp.cuts_len);
+        self.watchers -= 1;
+        if self.differential {
+            for (&(var, by), &(verdict, _)) in reqs.iter().zip(&out) {
+                if verdict == Feasibility::Interrupted {
+                    continue;
+                }
+                let cloned = self.probe_at_least_via_clone(var, by, max_pivots);
+                assert_eq!(
+                    verdict, cloned,
+                    "batched probe of x{var} >= +{by} disagrees with the clone path"
+                );
+            }
+        }
+        out
     }
 
     /// Differential oracle hook: answers the same `x_var >= +by` probe
@@ -902,5 +1311,135 @@ mod tests {
             assert_eq!(v, exact);
         }
         assert_eq!(exact, Feasibility::Feasible);
+    }
+
+    #[test]
+    fn solver_starts_narrow_and_stays_narrow_on_small_systems() {
+        let mut s = AllIntegerSolver::new(3);
+        s.add_ge(&[(0, 1), (1, 1), (2, 1)], 2);
+        s.add_le(&[(0, 3), (1, 2), (2, 1)], 4);
+        assert!(!s.is_wide());
+        assert_eq!(s.solve(10_000), Feasibility::Feasible);
+        let _ = s.probe_at_least(0, 1, 10_000);
+        assert!(!s.is_wide(), "small coefficients must not promote");
+        assert_eq!(s.promotions(), 0);
+    }
+
+    #[test]
+    fn forced_wide_matches_adaptive_digest_and_verdicts() {
+        let build = |wide: bool| {
+            let mut s = AllIntegerSolver::new(3);
+            if wide {
+                s.force_wide();
+            }
+            s.add_ge(&[(0, 1), (1, 1), (2, 1)], 2);
+            s.add_le(&[(0, 3), (1, 2), (2, 1)], 4);
+            s
+        };
+        let mut narrow = build(false);
+        let mut wide = build(true);
+        assert_eq!(narrow.tableau_digest(), wide.tableau_digest());
+        assert_eq!(narrow.solve(10_000), wide.solve(10_000));
+        assert_eq!(narrow.tableau_digest(), wide.tableau_digest());
+        for v in 0..3 {
+            assert_eq!(
+                narrow.probe_at_least(v, 1, 10_000),
+                wide.probe_at_least(v, 1, 10_000),
+            );
+        }
+        assert_eq!(narrow.tableau_digest(), wide.tableau_digest());
+        assert_eq!(wide.promotions(), 0, "force_wide is not a promotion");
+    }
+
+    #[test]
+    fn overflowing_pivot_promotes_and_keeps_the_clone_verdict() {
+        // Coefficients near i64::MAX make the very first cut's explosion
+        // bound exceed the i64 safe range, forcing a promotion; the
+        // verdict must match both the forced-wide path and the exact
+        // fallback.
+        let big = i64::MAX / 4;
+        let build = || {
+            let mut s = AllIntegerSolver::new(2);
+            s.add_ge(&[(0, 1), (1, 1)], 3);
+            s.add_le(&[(0, big), (1, big)], big);
+            s
+        };
+        let mut adaptive = build();
+        let mut forced = build();
+        forced.force_wide();
+        let va = adaptive.solve(10_000);
+        let vf = forced.solve(10_000);
+        assert_eq!(va, vf);
+        assert!(adaptive.is_wide(), "the huge system must promote");
+        assert!(adaptive.promotions() >= 1);
+        assert_eq!(adaptive.tableau_digest(), forced.tableau_digest());
+        let exact = build().solve_exact();
+        let settled = match va {
+            Feasibility::PivotLimit => adaptive.solve_exact(),
+            v => v,
+        };
+        assert_eq!(settled, exact);
+    }
+
+    #[test]
+    fn promotion_during_probe_still_rolls_back_exactly() {
+        let big = i64::MAX / 2;
+        let mut s = AllIntegerSolver::new(2);
+        s.add_le(&[(0, big), (1, big)], big);
+        assert_eq!(s.solve(10_000), Feasibility::Feasible);
+        assert!(!s.is_wide());
+        let digest = s.tableau_digest();
+        // The probe forces a pivot on the huge row and promotes mid-solve;
+        // rollback must restore every value (digest is representation-
+        // independent, so it must match even though the solver is now wide).
+        let verdict = s.probe_at_least(0, 1, 10_000);
+        assert!(s.is_wide(), "the probe must have promoted");
+        assert_eq!(s.tableau_digest(), digest, "promotion must not leak state");
+        assert_eq!(verdict, s.probe_at_least_via_clone(0, 1, 10_000));
+    }
+
+    #[test]
+    fn promotions_metric_counts_overflow_promotions() {
+        use mcs_metrics::Registry;
+        use std::sync::Arc;
+        let reg = Arc::new(Registry::new());
+        let big = i64::MAX / 4;
+        let mut s = AllIntegerSolver::new(2);
+        s.set_metrics(&MetricsHandle::new(reg.clone()));
+        s.add_ge(&[(0, 1), (1, 1)], 3);
+        s.add_le(&[(0, big), (1, big)], big);
+        let _ = s.solve(10_000);
+        assert!(s.is_wide());
+        assert_eq!(reg.snapshot().counters["ilp.promotions"], s.promotions());
+        assert!(s.promotions() >= 1);
+    }
+
+    #[test]
+    fn batch_probe_matches_individual_probes() {
+        let mut s = AllIntegerSolver::new(3);
+        s.add_ge(&[(0, 1), (1, 1), (2, 1)], 2);
+        s.add_le(&[(0, 3), (1, 2), (2, 1)], 4);
+        assert_eq!(s.solve(10_000), Feasibility::Feasible);
+        let digest = s.tableau_digest();
+        let reqs: Vec<(usize, i64)> = vec![(0, 1), (1, 1), (2, 1), (0, 2), (1, 3)];
+        let batch = s.probe_batch_with_stats(&reqs, 10_000);
+        assert_eq!(s.tableau_digest(), digest, "batch must leave no trace");
+        assert_eq!(s.trail_len(), 0);
+        for (&(var, by), (verdict, _)) in reqs.iter().zip(&batch) {
+            assert_eq!(*verdict, s.probe_at_least(var, by, 10_000));
+        }
+    }
+
+    #[test]
+    fn batch_probe_under_differential_mode_cross_checks() {
+        let mut s = AllIntegerSolver::new(2);
+        s.set_differential(true);
+        s.add_le(&[(0, 1), (1, 1)], 1);
+        // Panics internally on divergence; passing is the assertion.
+        let out = s.probe_batch_with_stats(&[(0, 1), (1, 1), (0, 2)], 1000);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0, Feasibility::Feasible);
+        assert_eq!(out[1].0, Feasibility::Feasible);
+        assert_eq!(out[2].0, Feasibility::Infeasible);
     }
 }

@@ -59,6 +59,13 @@ pub struct ProbeCacheStats {
     /// Memo hits answered by entries seeded from another checker via
     /// [`PinChecker::seed_initial_memo`] (a subset of `memo_hits`).
     pub seed_hits: u64,
+    /// Solver probes resolved through the batched path
+    /// ([`PinChecker::probe_candidates`]) — a subset of `solver_probes`.
+    pub batched_probes: u64,
+    /// Shared checkpoints opened by batched probing: one per
+    /// [`PinChecker::probe_candidates`] call that reached the solver,
+    /// however many candidates it carried.
+    pub batch_shared_checkpoints: u64,
 }
 
 impl ProbeCacheStats {
@@ -166,6 +173,11 @@ pub struct PinChecker {
     seeded: std::collections::BTreeSet<(usize, i64)>,
     /// Destination-partition index of each transfer (surrogate bound).
     op_dest: BTreeMap<OpId, u32>,
+    /// Every `(op, group)` probe the checker can answer, in the canonical
+    /// sweep order (ops ascending, groups ascending) — derived once at
+    /// construction so [`PinChecker::probe_sweep`] does not rebuild it
+    /// per call.
+    sweep_order: Vec<(OpId, i64)>,
     /// Committed input pin-bits per `[partition * L + group]`.
     part_in_load: Vec<i64>,
     /// Input-side pin capacity per partition: the fixed input split, or
@@ -413,6 +425,10 @@ impl PinChecker {
                 None => part.total_pins as i64,
             })
             .collect();
+        let sweep_order: Vec<(OpId, i64)> = op_vars
+            .keys()
+            .flat_map(|&op| (0..l as i64).map(move |k| (op, k)))
+            .collect();
         let mut checker = PinChecker {
             solver,
             rate,
@@ -429,6 +445,7 @@ impl PinChecker {
             epoch0_learned: BTreeMap::new(),
             seeded: std::collections::BTreeSet::new(),
             op_dest,
+            sweep_order,
             part_in_load: vec![0; cdfg.partitions().len() * l],
             in_cap,
             stats: ProbeCacheStats::default(),
@@ -496,6 +513,30 @@ impl PinChecker {
     /// testing; off by default.
     pub fn set_differential(&mut self, on: bool) {
         self.solver.set_differential(on);
+    }
+
+    /// Pins the embedded solver to its wide (i128) tableau
+    /// representation, bypassing the adaptive i64 fast path. Verdicts are
+    /// identical either way; this is the differential anchor the bench
+    /// harness compares the adaptive path against.
+    pub fn force_wide_words(&mut self) {
+        self.solver.force_wide();
+    }
+
+    /// Times the embedded solver's adaptive i64 representation promoted
+    /// to i128 because an operation would have overflowed (the
+    /// `ilp.promotions` metric).
+    pub fn solver_promotions(&self) -> u64 {
+        self.solver.promotions()
+    }
+
+    /// Representation-independent digest of the embedded solver's live
+    /// tableau (cells hashed as i128 regardless of the current word
+    /// size). Equal digests mean equal tableaus: an adaptive checker and
+    /// a [`PinChecker::force_wide_words`] checker that ran the same
+    /// probe/commit sequence must report the same value.
+    pub fn solver_tableau_digest(&self) -> u64 {
+        self.solver.tableau_digest()
     }
 
     /// Cumulative probe-layer resolution counters.
@@ -637,6 +678,110 @@ impl PinChecker {
         verdict
     }
 
+    /// Answers [`PinChecker::can_commit`] for a whole slate of
+    /// `(op, step)` candidates — typically every placement a control step
+    /// is considering — sharing the probe machinery across them: the memo
+    /// cache and surrogate quick-reject resolve what they can, and the
+    /// remainder is solved under **one** solver checkpoint
+    /// ([`mcs_ilp::AllIntegerSolver::probe_batch_with_stats`]) instead of
+    /// a checkpoint/rollback pair per candidate. Verdicts are identical
+    /// to calling `can_commit` per candidate, and every solver verdict is
+    /// memoized, so a follow-up `can_commit` on the chosen candidate is a
+    /// memo hit — the scheduler's batch-prime-then-place pattern.
+    ///
+    /// Returns one verdict per candidate, in order. Counted under
+    /// `batched_probes` / `batch_shared_checkpoints` in
+    /// [`PinChecker::probe_stats`].
+    pub fn probe_candidates(&mut self, candidates: &[(OpId, i64)]) -> Vec<bool> {
+        let mut verdicts = vec![false; candidates.len()];
+        let mut sources = vec![ProbeSource::Solver; candidates.len()];
+        // (candidate index, solver var) for everything the cheap layers
+        // could not answer.
+        let mut unresolved: Vec<(usize, usize)> = Vec::new();
+        for (ci, &(op, step)) in candidates.iter().enumerate() {
+            let var = self.var_of(op, step);
+            let k = step.rem_euclid(self.rate as i64) as usize;
+            let probe_start = self.metrics.now_us();
+            if let Some(&v) = self.memo.get(&(var, 1)) {
+                self.stats.memo_hits += 1;
+                if self.seeded.contains(&(var, 1)) {
+                    self.stats.seed_hits += 1;
+                }
+                verdicts[ci] = v;
+                sources[ci] = ProbeSource::Memo;
+                if self.metrics.enabled() {
+                    self.m_lat_memo
+                        .observe(self.metrics.now_us().saturating_sub(probe_start));
+                }
+            } else if self.surrogate_rejects(op, k) {
+                self.stats.surrogate_rejects += 1;
+                self.memo.insert((var, 1), false);
+                if self.stats.commits == 0 {
+                    self.epoch0_learned.insert((var, 1), false);
+                }
+                sources[ci] = ProbeSource::Surrogate;
+                if self.metrics.enabled() {
+                    self.m_lat_surrogate
+                        .observe(self.metrics.now_us().saturating_sub(probe_start));
+                }
+            } else {
+                unresolved.push((ci, var));
+            }
+        }
+        if !unresolved.is_empty() {
+            let reqs: Vec<(usize, i64)> = unresolved.iter().map(|&(_, var)| (var, 1)).collect();
+            let batch_start = self.metrics.now_us();
+            let results = self.solver.probe_batch_with_stats(&reqs, self.pivot_budget);
+            // One latency observation for the whole shared-checkpoint
+            // solve; per-candidate counters stay exact.
+            if self.metrics.enabled() {
+                self.m_lat_solver
+                    .observe(self.metrics.now_us().saturating_sub(batch_start));
+            }
+            self.stats.batch_shared_checkpoints += 1;
+            for (&(ci, var), (f, pstats)) in unresolved.iter().zip(&results) {
+                self.stats.solver_probes += 1;
+                self.stats.batched_probes += 1;
+                if pstats.exact_fallback {
+                    self.stats.exact_fallbacks += 1;
+                }
+                self.stats.max_rollback_depth =
+                    self.stats.max_rollback_depth.max(pstats.rollback_ops);
+                let v = *f == Feasibility::Feasible;
+                if *f != Feasibility::Interrupted {
+                    self.memo.insert((var, 1), v);
+                    if self.stats.commits == 0 {
+                        self.epoch0_learned.insert((var, 1), v);
+                    }
+                }
+                verdicts[ci] = v;
+            }
+        }
+        if let Some(budget) = &self.budget {
+            budget.charge_probes(candidates.len() as u64);
+        }
+        if self.recorder.enabled() {
+            for (ci, &(op, step)) in candidates.iter().enumerate() {
+                let var = self.var_of(op, step);
+                let k = step.rem_euclid(self.rate as i64) as usize;
+                self.recorder.record(Event::PinCheck {
+                    group: k as u32,
+                    pins_used: self.group_load[k] + self.op_bits.get(&op).copied().unwrap_or(0),
+                    cap: self.total_cap,
+                    verdict: verdicts[ci],
+                });
+                self.recorder.record(Event::ProbeResolved {
+                    var: var as u32,
+                    by: 1,
+                    verdict: verdicts[ci],
+                    source: sources[ci],
+                    trail_depth: 0,
+                });
+            }
+        }
+        verdicts
+    }
+
     /// Probes `op` at `step` through a chosen engine — the trail-based
     /// checkpoint/rollback path or the legacy clone-per-probe path —
     /// bypassing the memo cache and the surrogate bound. Benchmark and
@@ -659,18 +804,28 @@ impl PinChecker {
     /// means the trail-based engine is verdict-identical to the clone
     /// oracle on the checker's full probe surface at the current pivot
     /// budget.
+    ///
+    /// The candidate order is derived once at construction
+    /// (`sweep_order`), and the trail half runs through the same
+    /// shared-checkpoint batch the scheduler's
+    /// [`PinChecker::probe_candidates`] uses, so the fuzz differential
+    /// exercises the production probe path, not a bespoke loop.
     pub fn probe_sweep(&mut self) -> Vec<(OpId, i64, bool, bool)> {
-        let ops: Vec<OpId> = self.op_vars.keys().copied().collect();
+        let candidates = std::mem::take(&mut self.sweep_order);
+        let reqs: Vec<(usize, i64)> = candidates
+            .iter()
+            .map(|&(op, step)| (self.var_of(op, step), 1))
+            .collect();
+        let batch = self.solver.probe_batch_with_stats(&reqs, self.pivot_budget);
         let mut diffs = Vec::new();
-        for op in ops {
-            for step in 0..self.rate as i64 {
-                let trail = self.probe_uncached(op, step, false);
-                let clone = self.probe_uncached(op, step, true);
-                if trail != clone {
-                    diffs.push((op, step, trail, clone));
-                }
+        for (&(op, step), (f, _)) in candidates.iter().zip(&batch) {
+            let trail = *f == Feasibility::Feasible;
+            let clone = self.probe_uncached(op, step, true);
+            if trail != clone {
+                diffs.push((op, step, trail, clone));
             }
         }
+        self.sweep_order = candidates;
         diffs
     }
 
@@ -698,10 +853,15 @@ impl PinChecker {
             self.part_in_load[pi as usize * self.rate as usize + k] +=
                 self.op_bits.get(&op).copied().unwrap_or(0) as i64;
         }
-        // The solver state changed: every memoized probe verdict is stale,
-        // including anything seeded from another checker's epoch-0 export.
-        self.memo.clear();
-        self.seeded.clear();
+        // The solver state changed: every memoized *feasible* verdict is
+        // stale (the feasible set only shrinks as commits accumulate).
+        // Infeasible verdicts survive: adding constraints can never make
+        // an infeasible increment feasible again, so a `false` entry —
+        // including a seeded one — stays sound for the rest of the run.
+        // This is what lets a batch-primed candidate slate keep its
+        // rejections across the commits the scheduler interleaves.
+        self.memo.retain(|_, v| !*v);
+        self.seeded.retain(|key| self.memo.contains_key(key));
         self.stats.commits += 1;
         let outcome = match self.resolve() {
             Feasibility::Feasible => Ok(()),
@@ -1031,6 +1191,83 @@ mod tests {
         // The embedded solver's metrics ride along: the warm-started
         // probe may pivot zero times, but the counter must be registered.
         assert!(snap.counters.contains_key("ilp.pivots"));
+    }
+
+    #[test]
+    fn batched_probe_candidates_match_can_commit_and_prime_the_memo() {
+        let d = synthetic::fig_2_5();
+        let mut batched = PinChecker::new(d.cdfg(), 2).unwrap();
+        let mut single = PinChecker::new(d.cdfg(), 2).unwrap();
+        let cands: Vec<(OpId, i64)> = ["V1", "V2", "V3", "V4"]
+            .iter()
+            .flat_map(|n| {
+                let op = d.op_named(n);
+                (0..2i64).map(move |k| (op, k))
+            })
+            .collect();
+        let verdicts = batched.probe_candidates(&cands);
+        for (&(op, step), &v) in cands.iter().zip(&verdicts) {
+            assert_eq!(v, single.can_commit(op, step), "{op} at {step}");
+        }
+        let stats = batched.probe_stats();
+        assert!(stats.batched_probes > 0);
+        assert_eq!(stats.batched_probes, stats.solver_probes);
+        assert_eq!(stats.batch_shared_checkpoints, 1);
+        // The batch primed the memo: placing any probed candidate later
+        // costs no further solver work.
+        let before = batched.probe_stats().solver_probes;
+        assert_eq!(batched.can_commit(d.op_named("V1"), 0), verdicts[0]);
+        assert_eq!(batched.probe_stats().solver_probes, before);
+        assert!(batched.probe_stats().memo_hits > 0);
+        // A repeated batch is all memo hits: no new shared checkpoint.
+        let again = batched.probe_candidates(&cands);
+        assert_eq!(again, verdicts);
+        assert_eq!(batched.probe_stats().batch_shared_checkpoints, 1);
+    }
+
+    #[test]
+    fn batched_probe_candidates_respect_commits() {
+        let d = synthetic::fig_2_5();
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        let v1 = d.op_named("V1");
+        let v2 = d.op_named("V2");
+        c.commit(v1, 0).unwrap();
+        let verdicts = c.probe_candidates(&[(v2, 0), (v2, 1)]);
+        assert_eq!(verdicts, vec![false, true], "fig. 2.5 dead end");
+    }
+
+    #[test]
+    fn probe_sweep_agrees_and_leaves_no_trace() {
+        let d = synthetic::fig_2_5();
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        let stats_before = c.probe_stats();
+        let diffs = c.probe_sweep();
+        assert!(diffs.is_empty(), "engines diverged: {diffs:?}");
+        // The sweep is an uncached differential hook: it must not touch
+        // the probe-layer counters or the memo.
+        assert_eq!(c.probe_stats(), stats_before);
+        let v1 = d.op_named("V1");
+        assert!(c.can_commit(v1, 0));
+        assert_eq!(c.probe_stats().memo_hits, 0, "sweep must not prime memo");
+    }
+
+    #[test]
+    fn forced_wide_checker_matches_adaptive_verdicts() {
+        let d = synthetic::fig_2_5();
+        let mut adaptive = PinChecker::new(d.cdfg(), 2).unwrap();
+        let mut wide = PinChecker::new(d.cdfg(), 2).unwrap();
+        wide.force_wide_words();
+        for (name, step) in [("V1", 0), ("V2", 1), ("V3", 1), ("V4", 0)] {
+            let op = d.op_named(name);
+            assert_eq!(
+                adaptive.can_commit(op, step),
+                wide.can_commit(op, step),
+                "{name} at {step}"
+            );
+            adaptive.commit(op, step).unwrap();
+            wide.commit(op, step).unwrap();
+        }
+        assert_eq!(adaptive.solver_promotions(), 0);
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub trait IoPolicy {
             PlaceVerdict::Rejected
         }
     }
+
+    /// Batch hint: the scheduler is about to consult the policy once per
+    /// `(op, step)` entry of `candidates`, all within one control step.
+    /// Policies that can answer a whole slate against a single snapshot
+    /// warm their caches here — the pin checker opens one solver
+    /// checkpoint for the lot instead of one per candidate. Must be
+    /// verdict-neutral: priming may never change what a subsequent
+    /// `try_place` would decide. The default does nothing.
+    fn prime_candidates(&mut self, _cdfg: &Cdfg, _candidates: &[(OpId, i64)]) {}
 }
 
 /// A policy that admits everything (pure resource-constrained list
@@ -92,6 +101,14 @@ impl IoPolicy for PinPolicy {
         } else {
             PlaceVerdict::PinInfeasible
         }
+    }
+
+    fn prime_candidates(&mut self, _cdfg: &Cdfg, candidates: &[(OpId, i64)]) {
+        // One shared checkpoint for the step's whole I/O slate. Every
+        // verdict lands in the memo, so the placement loop's `can_commit`
+        // calls are memo hits until the first commit — and rejections
+        // survive even that (infeasibility is monotone under commits).
+        self.checker.probe_candidates(candidates);
     }
 }
 
@@ -470,6 +487,18 @@ pub fn list_schedule<P: IoPolicy>(
                 }
             }
             candidates.sort();
+            // Hand the step's I/O slate to the policy in one batch before
+            // placing anything: the pin checker probes them all under a
+            // single checkpoint, so the per-candidate consultations below
+            // resolve from the memo.
+            let io_slate: Vec<(OpId, i64)> = candidates
+                .iter()
+                .filter(|c| matches!(cdfg.op(c.2).kind, OpKind::Io { .. }))
+                .map(|c| (c.2, c.3.step))
+                .collect();
+            if io_slate.len() > 1 {
+                policy.prime_candidates(cdfg, &io_slate);
+            }
             let mut placed_any = false;
             for (_, _, op, cand) in candidates {
                 if start[op.index()].is_some() {
@@ -820,6 +849,31 @@ mod tests {
             reg.snapshot().counters["sched.place_attempts"],
             d.cdfg().io_ops().count() as u64
         );
+    }
+
+    #[test]
+    fn batch_priming_keeps_the_schedule_and_feeds_the_memo() {
+        // A pin policy that never primes — the pre-batching behavior.
+        struct UnprimedPin(PinChecker);
+        impl IoPolicy for UnprimedPin {
+            fn try_place(&mut self, _cdfg: &Cdfg, op: OpId, step: i64) -> bool {
+                self.0.can_commit(op, step) && self.0.commit(op, step).is_ok()
+            }
+        }
+        for d in [ar_filter::simple(), synthetic::fig_2_5()] {
+            let mut batched = PinPolicy::new(PinChecker::new(d.cdfg(), 2).unwrap());
+            let s = list_schedule(d.cdfg(), &ListConfig::new(2), &mut batched).unwrap();
+            let mut unprimed = UnprimedPin(PinChecker::new(d.cdfg(), 2).unwrap());
+            let s0 = list_schedule(d.cdfg(), &ListConfig::new(2), &mut unprimed).unwrap();
+            // Priming is verdict-neutral: the schedules are identical.
+            assert_eq!(s.start, s0.start);
+            assert_eq!(validate(d.cdfg(), &s), vec![]);
+            let stats = batched.checker().probe_stats();
+            assert!(stats.batched_probes > 0, "slate probing never engaged");
+            assert!(stats.batch_shared_checkpoints > 0);
+            // The placement loop's own consultations ride the memo.
+            assert!(stats.memo_hits > 0);
+        }
     }
 
     #[test]

@@ -245,6 +245,47 @@ fn corpus_finding1_still_reaches_the_exact_fallback() {
     assert!(fallbacks > 0, "reproducer no longer stresses the solver");
 }
 
+/// The finding-1 reproducer, replayed through the adaptive-word-size
+/// solver directly: the greedy probe-and-commit sweep that overflows the
+/// i128 tableau (the exact-fallback path above) must first promote the
+/// adaptive i64 representation — and an identical checker pinned wide
+/// from the start must report the same verdict for every single probe.
+#[test]
+fn corpus_finding1_triggers_an_adaptive_promotion() {
+    let text = std::fs::read_to_string(corpus_dir().join("finding1_gomory_overflow.mcs"))
+        .expect("finding1 reproducer present");
+    let design = format::parse(&text).expect("parses");
+    let cdfg = design.cdfg();
+    let rate = timing::min_initiation_rate(cdfg).max(1);
+    let mut adaptive = mcs_pinalloc::PinChecker::new(cdfg, rate).expect("statically feasible");
+    let mut wide = mcs_pinalloc::PinChecker::new(cdfg, rate).expect("statically feasible");
+    wide.force_wide_words();
+    for op in cdfg.io_ops().collect::<Vec<_>>() {
+        let mut placed_at = None;
+        for k in 0..rate as i64 {
+            let a = adaptive.probe_uncached(op, k, false);
+            let w = wide.probe_uncached(op, k, false);
+            assert_eq!(a, w, "adaptive and wide diverge on {op:?} in group {k}");
+            if a && placed_at.is_none() {
+                placed_at = Some(k);
+            }
+        }
+        if let Some(k) = placed_at {
+            adaptive.commit(op, k).expect("probed feasible");
+            wide.commit(op, k).expect("probed feasible");
+        }
+    }
+    assert!(
+        adaptive.solver_promotions() > 0,
+        "reproducer no longer crosses the i64 promotion bound"
+    );
+    assert_eq!(
+        adaptive.solver_tableau_digest(),
+        wide.solver_tableau_digest(),
+        "the two representations drifted apart"
+    );
+}
+
 /// Shrinking demonstrably works end to end: the known finding-2 failure
 /// (postsyn gives up on a budget the checker admitted) minimizes from its
 /// 8-op seed design to at most 5 ops, and the minimized genome still

@@ -426,6 +426,54 @@ proptest! {
         }
     }
 
+    /// The adaptive-i64 tableau and the forced-i128 representation are
+    /// observationally identical on random designs: same verdict for
+    /// every probe, and the same representation-independent tableau
+    /// digest after the same probe-and-commit sequence — promotions
+    /// change the word size, never the arithmetic.
+    #[test]
+    fn adaptive_and_wide_tableau_digests_agree(
+        chips in 2usize..4,
+        ops in 1usize..4,
+        crossings in 1usize..5,
+        rate in 1u32..4,
+        pins in 24u32..120,
+        seed in any::<u64>(),
+    ) {
+        let cdfg = random_design_with_pins(chips, ops, crossings, 8, seed | 1, pins);
+        if let (Ok(mut narrow), Ok(mut wide)) =
+            (PinChecker::new(&cdfg, rate), PinChecker::new(&cdfg, rate))
+        {
+            wide.force_wide_words();
+            for op in cdfg.io_ops().collect::<Vec<_>>() {
+                let mut placed_at = None;
+                for k in 0..rate as i64 {
+                    let n = narrow.probe_uncached(op, k, false);
+                    let w = wide.probe_uncached(op, k, false);
+                    prop_assert_eq!(
+                        n, w,
+                        "representations diverge on {:?} in group {}", op, k
+                    );
+                    if n && placed_at.is_none() {
+                        placed_at = Some(k);
+                    }
+                }
+                // Commit every op that fits somewhere, so the digest
+                // comparison covers grown tableaus, not just the
+                // initial system both checkers share trivially.
+                if let Some(k) = placed_at {
+                    narrow.commit(op, k).expect("probed feasible");
+                    wide.commit(op, k).expect("probed feasible");
+                }
+                prop_assert_eq!(
+                    narrow.solver_tableau_digest(),
+                    wide.solver_tableau_digest(),
+                    "tableau digests diverge after {:?}", op
+                );
+            }
+        }
+    }
+
     /// Repartitioning never changes the computed function: flatten,
     /// refine onto two chips, rebuild, and compare reference outputs.
     #[test]
