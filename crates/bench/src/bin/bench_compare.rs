@@ -4,6 +4,7 @@
 //! ```text
 //! bench_compare probe <baseline.json> <fresh.json>
 //! bench_compare fuzz  <baseline.json> <fresh.json>
+//! bench_compare serve <baseline.json> <fresh.json>
 //! bench_compare --self-test
 //! ```
 //!
@@ -19,10 +20,10 @@
 
 use std::process::ExitCode;
 
-use mcs_bench::compare::{compare_fuzz, compare_probe, render_findings, Finding};
+use mcs_bench::compare::{compare_fuzz, compare_probe, compare_serve, render_findings, Finding};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_compare <probe|fuzz> <baseline.json> <fresh.json> | --self-test");
+    eprintln!("usage: bench_compare <probe|fuzz|serve> <baseline.json> <fresh.json> | --self-test");
     ExitCode::from(2)
 }
 
@@ -86,7 +87,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--self-test") => self_test(),
-        Some(mode @ ("probe" | "fuzz")) => {
+        Some(mode @ ("probe" | "fuzz" | "serve")) => {
             let (Some(baseline), Some(fresh)) = (args.get(1), args.get(2)) else {
                 return usage();
             };
@@ -94,10 +95,10 @@ fn main() -> ExitCode {
                 (Ok(b), Ok(f)) => (b, f),
                 (Err(c), _) | (_, Err(c)) => return c,
             };
-            let result = if mode == "probe" {
-                compare_probe(&baseline, &fresh)
-            } else {
-                compare_fuzz(&baseline, &fresh)
+            let result = match mode {
+                "probe" => compare_probe(&baseline, &fresh),
+                "fuzz" => compare_fuzz(&baseline, &fresh),
+                _ => compare_serve(&baseline, &fresh),
             };
             match result {
                 Ok(findings) => gate(findings),

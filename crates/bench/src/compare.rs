@@ -1,5 +1,6 @@
-//! BENCH baseline regression comparison: diff a fresh `BENCH_probe.json`
-//! or `BENCH_fuzz.json` against a committed baseline, field by field.
+//! BENCH baseline regression comparison: diff a fresh `BENCH_probe.json`,
+//! `BENCH_fuzz.json` or `BENCH_serve.json` against a committed baseline,
+//! field by field.
 //!
 //! Two classes of field:
 //!
@@ -524,6 +525,42 @@ pub fn compare_fuzz(baseline: &str, fresh: &str) -> Result<Vec<Finding>, String>
     Ok(findings)
 }
 
+/// Diffs a fresh `BENCH_serve.json` against the committed baseline.
+///
+/// Hard fields: the scenario shape (client/worker/design/request
+/// counts), the sequential-replay `response_digest` (byte-identity of
+/// the canonical transcript — the daemon's deterministic surface), the
+/// `workers_identical` and `hits_nonzero` bits and the overall `pass`
+/// verdict. The storm's hit/warm/cold tallies are *not* compared:
+/// scheduling decides which racing near-repeat publishes first, so
+/// they drift run to run by design. Threshold field: the within-run
+/// `hit_speedup` (floor [`SPEEDUP_RATIO_FLOOR`] of baseline); absolute
+/// latencies and throughput are never compared.
+///
+/// # Errors
+///
+/// A parse error on malformed input in either file.
+pub fn compare_serve(baseline: &str, fresh: &str) -> Result<Vec<Finding>, String> {
+    let (pairs, mut findings) = matched_lines(baseline, fresh, "config")?;
+    for (k, b, f) in &pairs {
+        for path in [
+            "clients",
+            "workers",
+            "designs",
+            "cold_requests",
+            "storm_requests",
+            "response_digest",
+            "workers_identical",
+            "hits_nonzero",
+            "pass",
+        ] {
+            hard_compare(k, b, f, path, &mut findings);
+        }
+        ratio_floor(k, b, f, "hit_speedup", SPEEDUP_RATIO_FLOOR, &mut findings);
+    }
+    Ok(findings)
+}
+
 /// Renders findings as the `bench_compare` report; empty input renders
 /// the all-clear line.
 pub fn render_findings(findings: &[Finding]) -> String {
@@ -637,6 +674,61 @@ mod tests {
             .replace("\"wall_ms\":4000.000", "\"wall_ms\":9999.000")
             .replace("\"designs_per_sec\":50.0", "\"designs_per_sec\":2.0");
         assert!(compare_fuzz(FUZZ_BASE, &fresh).unwrap().is_empty());
+    }
+
+    const SERVE_BASE: &str = "{\"bench\":\"serve\",\"config\":\"clients_8\",\"clients\":8,\
+        \"workers\":4,\"designs\":5,\"cold_requests\":5,\"storm_requests\":64,\
+        \"hits\":50,\"warm\":14,\"storm_cold\":0,\
+        \"response_digest\":12501005524302218597,\"workers_identical\":true,\
+        \"hits_nonzero\":true,\"cold_p50_us\":650000.0,\"cold_p99_us\":1300000.0,\
+        \"hit_p50_us\":400.0,\"hit_p99_us\":47000.0,\"wall_ms\":11139.507,\
+        \"requests_per_sec\":5.7,\"hit_speedup\":16.16,\"pass\":true}";
+
+    #[test]
+    fn identical_serve_lines_produce_no_findings() {
+        assert!(compare_serve(SERVE_BASE, SERVE_BASE).unwrap().is_empty());
+    }
+
+    #[test]
+    fn serve_transcript_digest_change_is_hard() {
+        let fresh = SERVE_BASE.replace("12501005524302218597", "12501005524302218598");
+        let findings = compare_serve(SERVE_BASE, &fresh).unwrap();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.field == "response_digest" && f.severity == Severity::Hard),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn serve_storm_tallies_and_latencies_are_ignored() {
+        // Scheduling-dependent tallies and machine-dependent latencies
+        // drift freely; only the deterministic surface gates.
+        let fresh = SERVE_BASE
+            .replace("\"hits\":50,\"warm\":14", "\"hits\":60,\"warm\":4")
+            .replace("\"hit_p50_us\":400.0", "\"hit_p50_us\":900.0")
+            .replace("\"wall_ms\":11139.507", "\"wall_ms\":99999.000");
+        assert!(compare_serve(SERVE_BASE, &fresh).unwrap().is_empty());
+    }
+
+    #[test]
+    fn serve_collapsed_hit_speedup_trips_the_threshold() {
+        let fresh = SERVE_BASE.replace("\"hit_speedup\":16.16", "\"hit_speedup\":6.00");
+        let findings = compare_serve(SERVE_BASE, &fresh).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].severity, Severity::Threshold);
+        assert_eq!(findings[0].field, "hit_speedup");
+    }
+
+    #[test]
+    fn serve_lost_worker_identity_is_hard() {
+        let fresh = SERVE_BASE
+            .replace("\"workers_identical\":true", "\"workers_identical\":false")
+            .replace("\"pass\":true", "\"pass\":false");
+        let findings = compare_serve(SERVE_BASE, &fresh).unwrap();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.severity == Severity::Hard));
     }
 
     #[test]

@@ -911,6 +911,108 @@ pub fn search_stats_line(
     out
 }
 
+/// Repeat-design (warm-tier) p50 latency must be at least this many
+/// times below cold-path p50 — the `bench_serve` acceptance gate.
+pub const SERVE_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// One `bench_serve` load scenario, rendered by [`serve_bench_line`].
+#[derive(Clone, Debug)]
+pub struct MeasuredServe {
+    /// Concurrent clients in the storm phase.
+    pub clients: u64,
+    /// Daemon worker-pool threads.
+    pub workers: u64,
+    /// Distinct designs in the mix.
+    pub designs: u64,
+    /// Sequential cold-populate requests (phase one).
+    pub cold_requests: u64,
+    /// Concurrent storm requests (phase two).
+    pub storm_requests: u64,
+    /// Storm responses answered by exact cache replay (`"cache":"hit"`).
+    pub hits: u64,
+    /// Storm responses seeded by a dominating donor (`"cache":"warm"`).
+    pub warm: u64,
+    /// Storm responses that ran fully cold.
+    pub storm_cold: u64,
+    /// FNV-1a digest over every response core (the body with the
+    /// volatile `cache` member stripped) in deterministic client/request
+    /// order — byte-stable across runs, machines and worker counts.
+    pub response_digest: u64,
+    /// Whether a sequential replay of the same scenario produced
+    /// byte-identical response streams under 1, 2 and 8 daemon workers.
+    pub workers_identical: bool,
+    /// Cold-path p50 latency, microseconds (client-observed).
+    pub cold_p50_us: f64,
+    /// Cold-path p99 latency, microseconds.
+    pub cold_p99_us: f64,
+    /// Exact-hit p50 latency, microseconds.
+    pub hit_p50_us: f64,
+    /// Exact-hit p99 latency, microseconds.
+    pub hit_p99_us: f64,
+    /// Storm-phase wall time, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// FNV-1a digest of newline-joined response lines — the deterministic
+/// fingerprint [`MeasuredServe::response_digest`] carries.
+pub fn response_digest(lines: &[String]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for line in lines {
+        for &b in line.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Renders one `bench_serve` BENCH line. `pass` is the load gate — the
+/// binary exits nonzero when any scenario fails it: nonzero exact-hit
+/// rate, byte-identical responses across worker counts, and warm-tier
+/// p50 at least [`SERVE_SPEEDUP_FLOOR`]x below cold p50. Hit/warm/cold
+/// storm counts are scheduling-dependent under concurrency and are
+/// reported for observability, not compared by the regression gate;
+/// `response_digest` is the deterministic field. Golden-tested like
+/// [`fuzz_bench_line`].
+pub fn serve_bench_line(config: &str, m: &MeasuredServe) -> String {
+    let per_sec = if m.wall_ms > 0.0 {
+        m.storm_requests as f64 / (m.wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    let hit_speedup = m.cold_p50_us / m.hit_p50_us.max(1.0);
+    let hits_nonzero = m.hits > 0;
+    let pass = hits_nonzero && m.workers_identical && hit_speedup >= SERVE_SPEEDUP_FLOOR;
+    format!(
+        "{{\"bench\":\"serve\",\"config\":\"{config}\",\"clients\":{},\
+         \"workers\":{},\"designs\":{},\"cold_requests\":{},\
+         \"storm_requests\":{},\"hits\":{},\"warm\":{},\"storm_cold\":{},\
+         \"response_digest\":{},\"workers_identical\":{},\
+         \"hits_nonzero\":{hits_nonzero},\
+         \"cold_p50_us\":{:.1},\"cold_p99_us\":{:.1},\
+         \"hit_p50_us\":{:.1},\"hit_p99_us\":{:.1},\
+         \"wall_ms\":{:.3},\"requests_per_sec\":{per_sec:.1},\
+         \"hit_speedup\":{hit_speedup:.2},\"pass\":{pass}}}",
+        m.clients,
+        m.workers,
+        m.designs,
+        m.cold_requests,
+        m.storm_requests,
+        m.hits,
+        m.warm,
+        m.storm_cold,
+        m.response_digest,
+        m.workers_identical,
+        m.cold_p50_us,
+        m.cold_p99_us,
+        m.hit_p50_us,
+        m.hit_p99_us,
+        m.wall_ms,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1123,6 +1225,68 @@ mod tests {
         assert!(fuzz_bench_line("default", &m(1, 0)).contains("\"agree\":false"));
         assert!(fuzz_bench_line("default", &m(0, 1)).contains("\"agree\":false"));
         assert!(fuzz_bench_line("default", &m(0, 0)).contains("\"agree\":true"));
+    }
+
+    fn measured_serve() -> MeasuredServe {
+        MeasuredServe {
+            clients: 8,
+            workers: 2,
+            designs: 6,
+            cold_requests: 6,
+            storm_requests: 64,
+            hits: 40,
+            warm: 18,
+            storm_cold: 6,
+            response_digest: 1234567890123456789,
+            workers_identical: true,
+            cold_p50_us: 5000.0,
+            cold_p99_us: 9000.0,
+            hit_p50_us: 80.0,
+            hit_p99_us: 400.0,
+            wall_ms: 250.0,
+        }
+    }
+
+    #[test]
+    fn serve_bench_line_matches_golden_output() {
+        let line = serve_bench_line("clients_8", &measured_serve());
+        assert_eq!(
+            line,
+            "{\"bench\":\"serve\",\"config\":\"clients_8\",\"clients\":8,\
+             \"workers\":2,\"designs\":6,\"cold_requests\":6,\
+             \"storm_requests\":64,\"hits\":40,\"warm\":18,\"storm_cold\":6,\
+             \"response_digest\":1234567890123456789,\"workers_identical\":true,\
+             \"hits_nonzero\":true,\
+             \"cold_p50_us\":5000.0,\"cold_p99_us\":9000.0,\
+             \"hit_p50_us\":80.0,\"hit_p99_us\":400.0,\
+             \"wall_ms\":250.000,\"requests_per_sec\":256.0,\
+             \"hit_speedup\":62.50,\"pass\":true}"
+        );
+        mcs_obs::export::validate_json(&line).expect("BENCH line is strict JSON");
+    }
+
+    #[test]
+    fn serve_bench_line_gates_on_hits_identity_and_speedup() {
+        let mut no_hits = measured_serve();
+        no_hits.hits = 0;
+        assert!(serve_bench_line("c", &no_hits).contains("\"pass\":false"));
+        let mut diverged = measured_serve();
+        diverged.workers_identical = false;
+        assert!(serve_bench_line("c", &diverged).contains("\"pass\":false"));
+        let mut slow = measured_serve();
+        slow.hit_p50_us = 4000.0;
+        assert!(serve_bench_line("c", &slow).contains("\"pass\":false"));
+        assert!(serve_bench_line("c", &measured_serve()).contains("\"pass\":true"));
+    }
+
+    #[test]
+    fn response_digest_is_order_sensitive_and_stable() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["y".to_string(), "x".to_string()];
+        assert_eq!(response_digest(&a), response_digest(&a));
+        assert_ne!(response_digest(&a), response_digest(&b));
+        // Joining must not be ambiguous: ["xy"] != ["x","y"].
+        assert_ne!(response_digest(&["xy".to_string()]), response_digest(&a));
     }
 
     #[test]

@@ -34,7 +34,7 @@ use proptest::collection::{self, VecStrategy};
 use proptest::{Strategy, TestRng};
 
 use crate::designs::Design;
-use crate::graph::{Cdfg, CdfgBuilder, Edge, OpKind};
+use crate::graph::{Cdfg, CdfgBuilder, Edge, OpKind, PortMode};
 use crate::ids::{CondId, PartitionId, ValueId};
 use crate::library::{Library, Module, OperatorClass};
 
@@ -59,6 +59,18 @@ pub struct FuzzConfig {
     pub recursion: bool,
     /// Allow TDM split/merge round-trips (Section 7.3).
     pub tdm: bool,
+    /// Relative weight of the TDM selector in the op-kind wheel. Weight 1
+    /// (the default) keeps the historical uniform `kind % 8` mapping
+    /// bit-identical; weight `w` widens the wheel to `7 + w` slots of
+    /// which `w` are TDM, so the nightly profile can hammer the
+    /// split/merge corners without perturbing the locked default
+    /// population.
+    pub tdm_weight: u32,
+    /// Out of every `bidir_weight + 1` sweep seeds, `bidir_weight` run
+    /// the schedule-first flow with [`PortMode::Bidirectional`] (see
+    /// [`FuzzConfig::port_mode`]). Weight 0 (the default) keeps every
+    /// sweep unidirectional.
+    pub bidir_weight: u32,
 }
 
 impl Default for FuzzConfig {
@@ -72,6 +84,35 @@ impl Default for FuzzConfig {
             conditionals: true,
             recursion: true,
             tdm: true,
+            tdm_weight: 1,
+            bidir_weight: 0,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// The deep-sweep profile of the nightly CI job: the same design
+    /// family as the default, with the TDM selector weighted 4-of-11 in
+    /// the op-kind wheel and three of every four sweep seeds running the
+    /// schedule-first flow bidirectionally — the Chapter 7.3 / Chapter 4
+    /// corners ROADMAP calls out as under-fuzzed at the uniform weights.
+    pub fn nightly() -> Self {
+        FuzzConfig {
+            tdm_weight: 4,
+            bidir_weight: 3,
+            ..FuzzConfig::default()
+        }
+    }
+
+    /// Deterministic per-seed port-mode schedule for differential
+    /// sweeps: `bidir_weight` out of every `bidir_weight + 1` seeds get
+    /// [`PortMode::Bidirectional`].
+    pub fn port_mode(&self, seed: u64) -> PortMode {
+        let w = u64::from(self.bidir_weight);
+        if w > 0 && seed % (w + 1) < w {
+            PortMode::Bidirectional
+        } else {
+            PortMode::Unidirectional
         }
     }
 }
@@ -359,7 +400,13 @@ pub fn build_design(genome: &Genome, config: &FuzzConfig) -> Design {
             gene.guard % (1 + 2 * n_conds as u8)
         };
         let bits = 1 + u32::from(gene.bits) % config.max_bits.max(1);
-        match gene.kind % 8 {
+        // The weighted op-kind wheel: slots 0..8 keep their historical
+        // meaning (so weight 1 reproduces `kind % 8` exactly); the
+        // `tdm_weight - 1` extra slots all alias the TDM selector.
+        let wheel = 7 + config.tdm_weight.max(1);
+        let sel = u32::from(gene.kind) % wheel;
+        let sel = if sel >= 8 { 5 } else { sel as u8 };
+        match sel {
             // A fresh primary input.
             4 => {
                 fresh_input(&mut b, &mut scope, n, chip, bits);

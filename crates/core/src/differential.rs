@@ -138,6 +138,16 @@ fn classify_budgeted(
 /// one rate), so a Chapter 5 failure on a design another flow scheduled
 /// counts as a divergence.
 pub fn flow_differential(cdfg: &Cdfg) -> FlowDifferential {
+    flow_differential_with_ports(cdfg, PortMode::Unidirectional)
+}
+
+/// [`flow_differential`] with an explicit port regime for the
+/// schedule-first flow. The nightly fuzz profile sweeps a weighted mix
+/// of unidirectional and bidirectional seeds (Chapter 4's port-sharing
+/// machinery) through the same three-way agreement check; port mode
+/// never weakens the oracle because schedule-first reports pin demand
+/// instead of proving anything about it.
+pub fn flow_differential_with_ports(cdfg: &Cdfg, ports: PortMode) -> FlowDifferential {
     let rate = timing::min_initiation_rate(cdfg).max(1);
     let total_cycles: i64 = cdfg.op_ids().map(|op| i64::from(cdfg.op_cycles(op))).sum();
     let pipe_length = total_cycles + i64::from(rate);
@@ -150,23 +160,22 @@ pub fn flow_differential(cdfg: &Cdfg) -> FlowDifferential {
     );
     // Chapter 5 reports pins instead of constraining them, so its result
     // is verified without budgets and it never proves pin infeasibility.
-    let schedule_first =
-        match schedule_first_flow(cdfg, rate, pipe_length, PortMode::Unidirectional) {
-            Ok(r) => {
-                let problems = verify_against_schedule(cdfg, &r.schedule, &r.final_interconnect());
-                if problems.is_empty() {
-                    Verdict::Feasible
-                } else {
-                    Verdict::Broken(format!(
-                        "schedule-first result rejected by the verifier: {}",
-                        problems.join("; ")
-                    ))
-                }
+    let schedule_first = match schedule_first_flow(cdfg, rate, pipe_length, ports) {
+        Ok(r) => {
+            let problems = verify_against_schedule(cdfg, &r.schedule, &r.final_interconnect());
+            if problems.is_empty() {
+                Verdict::Feasible
+            } else {
+                Verdict::Broken(format!(
+                    "schedule-first result rejected by the verifier: {}",
+                    problems.join("; ")
+                ))
             }
-            Err(FlowError::Interrupted(t)) => Verdict::Unknown(format!("interrupted ({t})")),
-            Err(e @ FlowError::Schedule(_)) => Verdict::Unknown(e.to_string()),
-            Err(e) => Verdict::Broken(e.to_string()),
-        };
+        }
+        Err(FlowError::Interrupted(t)) => Verdict::Unknown(format!("interrupted ({t})")),
+        Err(e @ FlowError::Schedule(_)) => Verdict::Unknown(e.to_string()),
+        Err(e) => Verdict::Broken(e.to_string()),
+    };
 
     let mut disagreements = Vec::new();
     let named = [

@@ -264,6 +264,25 @@ impl BudgetSpec {
     pub fn is_unlimited(&self) -> bool {
         *self == BudgetSpec::default()
     }
+
+    /// The componentwise-tightest combination of two specs: each ceiling
+    /// is the minimum of the ceilings present on either side. This is
+    /// how a server clamps a per-request spec under its own caps — the
+    /// request can only tighten the server's limits, never loosen them.
+    pub fn intersect(&self, other: &BudgetSpec) -> BudgetSpec {
+        fn tightest(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        }
+        BudgetSpec {
+            deadline_ms: tightest(self.deadline_ms, other.deadline_ms),
+            max_pivots: tightest(self.max_pivots, other.max_pivots),
+            max_nodes: tightest(self.max_nodes, other.max_nodes),
+            max_probes: tightest(self.max_probes, other.max_probes),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -567,5 +586,23 @@ mod tests {
         assert_eq!(Termination::BudgetExhausted.name(), "budget-exhausted");
         assert_eq!(Termination::Cancelled.name(), "cancelled");
         assert_eq!(Termination::WorkerPanicked.name(), "worker-panicked");
+    }
+
+    #[test]
+    fn intersect_takes_the_tightest_ceiling_per_axis() {
+        let server = BudgetSpec::default().deadline_ms(500).max_nodes(1000);
+        let request = BudgetSpec::default().deadline_ms(2000).max_probes(64);
+        let clamped = server.intersect(&request);
+        // The request's looser deadline is clamped; limits only ever
+        // tighten regardless of which side carries them.
+        assert_eq!(clamped.deadline_ms, Some(500));
+        assert_eq!(clamped.max_nodes, Some(1000));
+        assert_eq!(clamped.max_probes, Some(64));
+        assert_eq!(clamped.max_pivots, None);
+        assert_eq!(server.intersect(&request), request.intersect(&server));
+        assert_eq!(
+            BudgetSpec::default().intersect(&BudgetSpec::default()),
+            BudgetSpec::default()
+        );
     }
 }

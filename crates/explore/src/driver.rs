@@ -153,7 +153,7 @@ pub fn sweep<R: PointRunner>(
     };
 
     let m_point_us = opts.metrics.histogram("explore.point_us");
-    let cache: WarmStartCache<R::Export> = WarmStartCache::new();
+    let cache: WarmStartCache<PointCoord, R::Export> = WarmStartCache::new();
     let mut certs: Vec<PointCoord> = Vec::new();
     let mut stats = SweepStats {
         points: (n_rates * spec.budgets.len()) as u64,

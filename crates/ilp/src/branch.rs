@@ -33,6 +33,12 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolveError> {
                 Err(SolveError::LimitReached)
             };
         }
+        if let Some(budget) = &model.budget {
+            if budget.check().is_some() {
+                return Err(SolveError::Interrupted);
+            }
+            budget.charge_pivots(1);
+        }
         let (values, objective) = match solve_relaxation(model, &bounds) {
             LpResult::Infeasible => continue,
             LpResult::Unbounded => {

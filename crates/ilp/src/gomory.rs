@@ -998,8 +998,16 @@ impl AllIntegerSolver {
 
     /// Exact fallback: rebuilds the system (original constraints plus all
     /// committed assumptions) and solves it with branch-and-bound.
+    ///
+    /// With an execution budget attached ([`AllIntegerSolver::set_budget`])
+    /// the branch-and-bound polls it once per node and charges each node
+    /// as one pivot — so deadlines and count-based ceilings interrupt a
+    /// fallback that would otherwise burn its full 200 000-node
+    /// allowance on an adversarial system. Without a budget the behavior
+    /// is the classic single full-allowance attempt.
     pub fn solve_exact(&self) -> Feasibility {
         let mut m = Model::new();
+        m.budget = self.budget.clone();
         let vars: Vec<_> = (0..self.num_vars)
             .map(|v| m.integer(&format!("x{v}"), None))
             .collect();
@@ -1015,6 +1023,7 @@ impl AllIntegerSolver {
         match m.feasible() {
             Ok(_) => Feasibility::Feasible,
             Err(SolveError::Infeasible) => Feasibility::Infeasible,
+            Err(SolveError::Interrupted) => Feasibility::Interrupted,
             Err(_) => Feasibility::PivotLimit,
         }
     }
@@ -1063,6 +1072,38 @@ mod tests {
         assert_eq!(s.solve(1000), Feasibility::Interrupted);
         assert_eq!(budget.verdict(), Some(Termination::BudgetExhausted));
         assert_eq!(budget.pivots_spent(), 1);
+    }
+
+    #[test]
+    fn tripped_budget_interrupts_the_exact_fallback() {
+        use mcs_ctl::{BudgetSpec, Termination};
+        // A subset-sum whose branch-and-bound needs several nodes; a
+        // ceiling smaller than that trips inside solve_exact, which
+        // polls per node and charges each node as one pivot.
+        let weights = [31i64, 41, 59, 26, 53, 58, 97, 93, 23, 84, 62, 64];
+        let mut s = AllIntegerSolver::new(weights.len());
+        let terms: Vec<(usize, i64)> = weights.iter().copied().enumerate().collect();
+        s.add_ge(&terms, 101);
+        s.add_le(&terms, 101);
+        for v in 0..weights.len() {
+            s.add_le(&[(v, 1)], 1);
+        }
+        let budget = Budget::new(BudgetSpec::default().max_pivots(2));
+        s.set_budget(budget.clone());
+        assert_eq!(s.solve_exact(), Feasibility::Interrupted);
+        assert_eq!(budget.verdict(), Some(Termination::BudgetExhausted));
+        // Without a budget the same system still gets its full
+        // allowance and a natural verdict.
+        let mut unbudgeted = AllIntegerSolver::new(weights.len());
+        unbudgeted.add_ge(&terms, 101);
+        unbudgeted.add_le(&terms, 101);
+        for v in 0..weights.len() {
+            unbudgeted.add_le(&[(v, 1)], 1);
+        }
+        assert!(matches!(
+            unbudgeted.solve_exact(),
+            Feasibility::Feasible | Feasibility::Infeasible
+        ));
     }
 
     #[test]

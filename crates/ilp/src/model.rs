@@ -69,6 +69,10 @@ pub enum SolveError {
     Unbounded,
     /// The node or pivot budget was exhausted before an answer was proven.
     LimitReached,
+    /// The attached execution [`mcs_ctl::Budget`] tripped mid-search;
+    /// query the budget for the reason. Unlike [`SolveError::LimitReached`]
+    /// this is an external interruption, not an exhausted allowance.
+    Interrupted,
     /// A term references a variable that does not exist.
     UnknownVariable(VarId),
 }
@@ -80,6 +84,9 @@ impl fmt::Display for SolveError {
             SolveError::Unbounded => write!(f, "objective is unbounded"),
             SolveError::LimitReached => {
                 write!(f, "search budget exhausted before proving a result")
+            }
+            SolveError::Interrupted => {
+                write!(f, "execution budget tripped before proving a result")
             }
             SolveError::UnknownVariable(v) => write!(f, "unknown variable id {v:?}"),
         }
@@ -143,6 +150,13 @@ pub struct Model {
     pub(crate) sense: Sense,
     /// Branch-and-bound node budget (default 200 000).
     pub node_limit: usize,
+    /// Optional execution budget, polled once per branch-and-bound node
+    /// (each node runs a full rational simplex, so the poll granularity
+    /// is one relaxation). Every node is also charged to the budget as
+    /// one pivot — a deterministic unit of work, so count-based ceilings
+    /// bound the exact search as reliably as deadlines do. A trip
+    /// surfaces as [`SolveError::Interrupted`].
+    pub budget: Option<mcs_ctl::Budget>,
 }
 
 impl Model {

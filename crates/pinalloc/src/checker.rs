@@ -212,6 +212,21 @@ impl PinChecker {
         Self::with_pivot_budget(cdfg, rate, DEFAULT_PIVOT_BUDGET)
     }
 
+    /// [`PinChecker::new`] with an execution [`Budget`] attached *before*
+    /// the construction-time feasibility solve, so even the initial
+    /// exact resolve is interruptible. [`PinChecker::new`] runs that
+    /// solve unbudgeted, which on adversarial designs can take
+    /// arbitrarily long; long-running callers (the serve daemon, any
+    /// deadline-bound driver) should construct through here.
+    ///
+    /// # Errors
+    ///
+    /// As [`PinChecker::new`], plus [`PinAllocError::Interrupted`] when
+    /// the budget trips mid-construction.
+    pub fn new_budgeted(cdfg: &Cdfg, rate: u32, budget: Budget) -> Result<Self, PinAllocError> {
+        Self::construct(cdfg, rate, DEFAULT_PIVOT_BUDGET, Some(budget))
+    }
+
     /// [`PinChecker::new`] with an explicit pivot budget per feasibility
     /// solve. A budget of 0 sends every solve straight to the exact
     /// branch-and-bound fallback — slow but still sound.
@@ -219,6 +234,15 @@ impl PinChecker {
         cdfg: &Cdfg,
         rate: u32,
         pivot_budget: usize,
+    ) -> Result<Self, PinAllocError> {
+        Self::construct(cdfg, rate, pivot_budget, None)
+    }
+
+    fn construct(
+        cdfg: &Cdfg,
+        rate: u32,
+        pivot_budget: usize,
+        budget: Option<Budget>,
     ) -> Result<Self, PinAllocError> {
         if rate == 0 {
             return Err(PinAllocError::ZeroRate);
@@ -456,6 +480,9 @@ impl PinChecker {
             m_lat_surrogate: Histogram::default(),
             m_lat_solver: Histogram::default(),
         };
+        if let Some(b) = budget {
+            checker.set_budget(b);
+        }
         match checker.resolve() {
             Feasibility::Feasible => Ok(checker),
             Feasibility::Interrupted => Err(PinAllocError::Interrupted(checker.interruption())),

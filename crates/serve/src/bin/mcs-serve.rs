@@ -1,0 +1,101 @@
+//! The `mcs-serve` daemon binary.
+//!
+//! ```text
+//! mcs-serve [--listen ADDR] [--workers N] [--queue N] [--cache-entries N]
+//!           [--max-deadline-ms N] [--max-nodes N] [--stdio]
+//! ```
+//!
+//! TCP mode binds `--listen` (default `127.0.0.1:7411`) and serves
+//! until a `shutdown` request. `--stdio` serves stdin→stdout instead —
+//! the sandboxed mode CI and the integration tests use. See
+//! `docs/SERVE.md` for the protocol.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use mcs_serve::{ServeConfig, Server};
+
+fn usage() -> &'static str {
+    "usage: mcs-serve [--listen ADDR] [--workers N] [--queue N] \
+     [--cache-entries N] [--max-deadline-ms N] [--max-nodes N] [--stdio]"
+}
+
+fn num_value(args: &mut impl Iterator<Item = String>, name: &str) -> Result<u64, String> {
+    args.next()
+        .ok_or_else(|| format!("{name} needs a value"))?
+        .parse()
+        .map_err(|e| format!("{name}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let mut listen = "127.0.0.1:7411".to_string();
+    let mut stdio = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parsed = match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(a) => {
+                    listen = a;
+                    Ok(())
+                }
+                None => Err("--listen needs a value".to_string()),
+            },
+            "--workers" => num_value(&mut args, "--workers").map(|v| cfg.workers = v as usize),
+            "--queue" => num_value(&mut args, "--queue").map(|v| cfg.queue_cap = v as usize),
+            "--cache-entries" => {
+                num_value(&mut args, "--cache-entries").map(|v| cfg.cache_entries = v as usize)
+            }
+            "--max-deadline-ms" => {
+                num_value(&mut args, "--max-deadline-ms").map(|v| cfg.caps.deadline_ms = Some(v))
+            }
+            "--max-nodes" => {
+                num_value(&mut args, "--max-nodes").map(|v| cfg.caps.max_nodes = Some(v))
+            }
+            "--stdio" => {
+                stdio = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    }
+
+    let server = Arc::new(Server::new(cfg));
+    if stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(e) = server.serve_stdio(stdin.lock(), stdout.lock()) {
+            eprintln!("mcs-serve: stdio loop failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("mcs-serve: cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        // Printed to stdout so scripts can scrape the bound port when
+        // asked for :0.
+        Ok(addr) => println!("mcs-serve listening on {addr}"),
+        Err(_) => println!("mcs-serve listening on {listen}"),
+    }
+    if let Err(e) = server.serve_tcp(listener) {
+        eprintln!("mcs-serve: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

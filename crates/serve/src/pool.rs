@@ -1,0 +1,315 @@
+//! Fixed worker pool with admission control and two-lane fairness.
+//!
+//! Jobs queue in one of two lanes — **cheap** (`synth`) and
+//! **expensive** (`explore`) — and workers alternate lanes whenever
+//! both hold work, so a burst of sweeps cannot starve one-shot
+//! synthesis requests (and vice versa). Admission control bounds the
+//! *total* queued depth: a full queue rejects instead of buffering
+//! without limit, which keeps tail latency bounded and makes overload
+//! visible to clients as a structured `overloaded` error.
+//!
+//! A panicking job is quarantined with the same `catch_unwind`
+//! discipline the sweep driver and portfolio search use: the worker
+//! answers that one request with a `worker-panicked` error and keeps
+//! serving. The daemon never dies to a job.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mcs_metrics::MetricsHandle;
+
+use crate::proto::{error_response, ErrorKind};
+
+/// A queued unit of work: produces the response line for one request.
+pub type Job = Box<dyn FnOnce() -> String + Send + 'static>;
+
+/// Which queue a job lands in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lane {
+    /// One-shot synthesis: short, latency-sensitive.
+    Cheap,
+    /// Design-space sweeps: long, throughput work.
+    Expensive,
+}
+
+struct Pending {
+    job: Job,
+    reply: Sender<String>,
+}
+
+struct QueueState {
+    cheap: VecDeque<Pending>,
+    expensive: VecDeque<Pending>,
+    /// Alternation bit: which lane the next contended pop prefers.
+    prefer_expensive: bool,
+    open: bool,
+}
+
+impl QueueState {
+    fn depth(&self) -> usize {
+        self.cheap.len() + self.expensive.len()
+    }
+
+    /// Pops fairly: alternate lanes when both have work, otherwise
+    /// whichever is non-empty.
+    fn pop(&mut self) -> Option<Pending> {
+        let (first, second): (&mut VecDeque<_>, &mut VecDeque<_>) = if self.prefer_expensive {
+            (&mut self.expensive, &mut self.cheap)
+        } else {
+            (&mut self.cheap, &mut self.expensive)
+        };
+        if !first.is_empty() && !second.is_empty() {
+            self.prefer_expensive = !self.prefer_expensive;
+        }
+        match first.pop_front() {
+            Some(p) => Some(p),
+            None => second.pop_front(),
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+/// The pool: `workers` threads draining the two-lane queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    queue_cap: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (floor 1) over a queue bounded to
+    /// `queue_cap` pending jobs. `metrics` receives a `serve.panics`
+    /// counter increment for every quarantined job.
+    pub fn new(workers: usize, queue_cap: usize, metrics: &MetricsHandle) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                cheap: VecDeque::new(),
+                expensive: VecDeque::new(),
+                prefer_expensive: false,
+                open: true,
+            }),
+            ready: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                let panics = metrics.counter("serve.panics");
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &panics))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            queue_cap: queue_cap.max(1),
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues `job` on `lane` and returns the channel its response
+    /// arrives on.
+    ///
+    /// # Errors
+    ///
+    /// The response line to send instead, when admission control
+    /// rejects (queue full) or the pool is shutting down.
+    pub fn submit(&self, lane: Lane, job: Job) -> Result<Receiver<String>, String> {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        if !state.open {
+            return Err(error_response(
+                ErrorKind::ShuttingDown,
+                "daemon is shutting down",
+            ));
+        }
+        if state.depth() >= self.queue_cap {
+            return Err(error_response(
+                ErrorKind::Overloaded,
+                &format!("queue full ({} pending jobs)", state.depth()),
+            ));
+        }
+        let (reply, rx) = channel();
+        let pending = Pending { job, reply };
+        match lane {
+            Lane::Cheap => state.cheap.push_back(pending),
+            Lane::Expensive => state.expensive.push_back(pending),
+        }
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(rx)
+    }
+
+    /// Jobs currently queued (not counting in-flight ones).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").depth()
+    }
+
+    /// Stops accepting work, drains the queues, and joins the workers.
+    pub fn shutdown(&self) {
+        self.shared.state.lock().expect("pool lock").open = false;
+        self.shared.ready.notify_all();
+        let handles: Vec<_> = self.workers.lock().expect("pool lock").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, panics: &mcs_metrics::Counter) {
+    loop {
+        let pending = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(p) = state.pop() {
+                    break p;
+                }
+                if !state.open {
+                    return;
+                }
+                state = shared.ready.wait(state).expect("pool lock");
+            }
+        };
+        let response = match catch_unwind(AssertUnwindSafe(pending.job)) {
+            Ok(line) => line,
+            Err(payload) => {
+                panics.inc();
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                error_response(
+                    ErrorKind::WorkerPanicked,
+                    &format!("job quarantined: {what}"),
+                )
+            }
+        };
+        // The client may have disconnected while the job ran; that is
+        // its prerogative, not an error.
+        let _ = pending.reply.send(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(workers: usize, cap: usize) -> WorkerPool {
+        WorkerPool::new(workers, cap, &MetricsHandle::default())
+    }
+
+    #[test]
+    fn jobs_run_and_answer_on_their_channel() {
+        let p = pool(2, 8);
+        let rx = p
+            .submit(Lane::Cheap, Box::new(|| "pong".to_string()))
+            .expect("admitted");
+        assert_eq!(rx.recv().unwrap(), "pong");
+        p.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_job_is_quarantined_and_the_pool_survives() {
+        let reg = Arc::new(mcs_metrics::Registry::new());
+        let metrics = MetricsHandle::new(reg.clone());
+        let p = WorkerPool::new(1, 8, &metrics);
+        let rx = p
+            .submit(Lane::Cheap, Box::new(|| panic!("injected fault")))
+            .expect("admitted");
+        let line = rx.recv().unwrap();
+        assert!(line.contains("\"kind\":\"worker-panicked\""), "{line}");
+        assert!(line.contains("injected fault"), "{line}");
+        // The same (sole) worker still serves the next job.
+        let rx = p
+            .submit(Lane::Expensive, Box::new(|| "alive".to_string()))
+            .expect("admitted");
+        assert_eq!(rx.recv().unwrap(), "alive");
+        assert_eq!(metrics.counter("serve.panics").get(), 1);
+        p.shutdown();
+    }
+
+    #[test]
+    fn admission_control_bounds_the_queue() {
+        // One worker wedged on a gate keeps the queue from draining.
+        let p = pool(1, 2);
+        let (gate_tx, gate_rx) = channel::<()>();
+        let wedge = p
+            .submit(
+                Lane::Cheap,
+                Box::new(move || {
+                    gate_rx.recv().expect("gate");
+                    "done".to_string()
+                }),
+            )
+            .expect("admitted");
+        // Fill the queue behind the wedged job.
+        let mut queued = Vec::new();
+        loop {
+            match p.submit(Lane::Cheap, Box::new(|| "q".to_string())) {
+                Ok(rx) => queued.push(rx),
+                Err(line) => {
+                    assert!(line.contains("\"kind\":\"overloaded\""), "{line}");
+                    break;
+                }
+            }
+            assert!(queued.len() <= 3, "queue never filled");
+        }
+        gate_tx.send(()).expect("unwedge");
+        assert_eq!(wedge.recv().unwrap(), "done");
+        for rx in queued {
+            assert_eq!(rx.recv().unwrap(), "q");
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn contended_pops_alternate_lanes() {
+        // Single-threaded probe of the fairness rule itself.
+        let mut state = QueueState {
+            cheap: VecDeque::new(),
+            expensive: VecDeque::new(),
+            prefer_expensive: false,
+            open: true,
+        };
+        let (tx, _rx) = channel();
+        for tag in ["c1", "c2", "c3"] {
+            state.cheap.push_back(Pending {
+                job: Box::new(move || tag.to_string()),
+                reply: tx.clone(),
+            });
+        }
+        for tag in ["e1", "e2", "e3"] {
+            state.expensive.push_back(Pending {
+                job: Box::new(move || tag.to_string()),
+                reply: tx.clone(),
+            });
+        }
+        let order: Vec<String> = (0..6).map(|_| (state.pop().unwrap().job)()).collect();
+        assert_eq!(order, vec!["c1", "e1", "c2", "e2", "c3", "e3"]);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_before_joining() {
+        let p = pool(1, 16);
+        let receivers: Vec<_> = (0..8)
+            .map(|i| {
+                p.submit(Lane::Expensive, Box::new(move || format!("job{i}")))
+                    .expect("admitted")
+            })
+            .collect();
+        p.shutdown();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            assert_eq!(rx.recv().unwrap(), format!("job{i}"));
+        }
+        assert!(p
+            .submit(Lane::Cheap, Box::new(|| "late".to_string()))
+            .is_err());
+    }
+}

@@ -14,10 +14,11 @@ use mcs_cdfg::fuzz::{
     build_design, design_digest, design_from_seed, design_stats, genome_from_seed, genomes,
     DesignStats, FuzzConfig,
 };
-use mcs_cdfg::{format, timing};
+use mcs_cdfg::{format, timing, PortMode};
 use mcs_obs::{BufferingRecorder, Event, RecorderHandle};
 use multichip_hls::differential::{
-    anytime_differential, flow_differential, probe_differential, sim_differential,
+    anytime_differential, flow_differential, flow_differential_with_ports, probe_differential,
+    sim_differential,
 };
 use multichip_hls::flows::{simple_flow, simple_flow_traced, FlowError};
 
@@ -141,6 +142,120 @@ fn probe_and_anytime_contracts_hold() {
         (324, 317),
         "probe/anytime coverage drifted"
     );
+}
+
+/// The nightly deep-sweep profile re-runs the flow oracle with the TDM
+/// selector weighted 4-of-11 and three of every four seeds scheduling
+/// bidirectionally — the Chapter 7.3/Chapter 4 corners the uniform
+/// default weights under-exercise. Agreement must hold on every seed,
+/// and at the default width the verdict histogram and port-mode tally
+/// are locked just like the uniform sweep's.
+#[test]
+fn nightly_flow_differential_sweep_agrees_with_weighted_ports() {
+    let nightly = FuzzConfig::nightly();
+    // 150 seeds by default; the nightly job widens both sweeps through
+    // the same MCS_FUZZ_SEEDS knob (500 -> 150, 5000 -> 1500).
+    let seeds = fuzz_seeds() * 3 / 10;
+    let mut combos: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    let mut bidir = 0usize;
+    for seed in 0..seeds {
+        let design = design_from_seed(&nightly, seed);
+        let ports = nightly.port_mode(seed);
+        if ports == PortMode::Bidirectional {
+            bidir += 1;
+        }
+        let d = flow_differential_with_ports(design.cdfg(), ports);
+        assert!(
+            d.disagreements.is_empty(),
+            "nightly seed {seed} ({ports:?}): flows disagree: {:?}",
+            d.disagreements
+        );
+        let combo = format!(
+            "{}/{}/{}",
+            d.simple.tag(),
+            d.connect.tag(),
+            d.schedule_first.tag()
+        );
+        *combos.entry(combo).or_default() += 1;
+    }
+    if seeds == 150 {
+        assert_eq!(bidir, 113, "port-mode schedule drifted");
+        let locked: Vec<(&str, usize)> = combos.iter().map(|(k, &v)| (k.as_str(), v)).collect();
+        assert_eq!(
+            locked,
+            vec![
+                ("feasible/feasible/feasible", 13),
+                ("infeasible/unknown/feasible", 128),
+                ("unknown/feasible/feasible", 2),
+                ("unknown/unknown/feasible", 7),
+            ],
+            "nightly verdict distribution drifted"
+        );
+    }
+}
+
+/// Population drift-lock for the nightly profile, mirroring
+/// [`generated_distribution_is_locked`]: the weighted wheel must
+/// actually shift mass into TDM round-trips (the default profile
+/// produces 105 splits over the same 200 seeds) without disturbing any
+/// other generation axis' order of magnitude.
+#[test]
+fn nightly_distribution_is_locked_and_tdm_heavy() {
+    let nightly = FuzzConfig::nightly();
+    let mut agg = DesignStats::default();
+    for seed in 0..200u64 {
+        agg.absorb(&design_stats(design_from_seed(&nightly, seed).cdfg()));
+    }
+    assert!(agg.splits > 105, "nightly profile is not TDM-heavier");
+    assert_eq!(agg.splits, agg.merges, "unbalanced TDM round-trips");
+    assert_eq!(agg.ops, 3104);
+    assert_eq!(agg.func_ops, 678);
+    assert_eq!(agg.io_ops, 1768);
+    assert_eq!(agg.splits, 329);
+    // Chip counts are decided by the genome alone, so the weighted wheel
+    // must leave them exactly at the default profile's 387.
+    assert_eq!(agg.chips, 387);
+    assert_eq!(agg.guarded_ops, 598);
+    assert_eq!(agg.recursive_edges, 198);
+    let mix: Vec<(&str, usize)> = agg
+        .class_mix
+        .iter()
+        .map(|(k, &v)| (k.as_str(), v))
+        .collect();
+    assert_eq!(
+        mix,
+        vec![("*", 129), ("+", 310), ("-", 106), ("alu", 133)],
+        "nightly op-kind mix drifted"
+    );
+}
+
+/// The weight knobs change interpretation, never sampling: the nightly
+/// profile draws byte-identical genomes from the same seeds, so a
+/// nightly crasher's seed reproduces under either profile's genome and
+/// shrinks with the same strategy.
+#[test]
+fn nightly_profile_shares_the_default_genome_stream() {
+    let (default, nightly) = (FuzzConfig::default(), FuzzConfig::nightly());
+    for seed in 0..50u64 {
+        assert_eq!(
+            genome_from_seed(&default, seed),
+            genome_from_seed(&nightly, seed),
+            "seed {seed}"
+        );
+    }
+    // Weight 0 keeps every seed unidirectional; weight 3 runs three of
+    // every four seeds bidirectionally.
+    assert!((0..20).all(|s| default.port_mode(s) == PortMode::Unidirectional));
+    let modes: Vec<_> = (0..8).map(|s| nightly.port_mode(s)).collect();
+    assert_eq!(
+        modes
+            .iter()
+            .filter(|m| **m == PortMode::Bidirectional)
+            .count(),
+        6
+    );
+    assert_eq!(modes[3], PortMode::Unidirectional);
+    assert_eq!(modes[7], PortMode::Unidirectional);
 }
 
 /// The generator is a pure function of `(config, seed)`: regenerating a
