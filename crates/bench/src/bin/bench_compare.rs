@@ -5,6 +5,7 @@
 //! bench_compare probe <baseline.json> <fresh.json>
 //! bench_compare fuzz  <baseline.json> <fresh.json>
 //! bench_compare serve <baseline.json> <fresh.json>
+//! bench_compare resynth <baseline.json> <fresh.json>
 //! bench_compare --self-test
 //! ```
 //!
@@ -20,10 +21,14 @@
 
 use std::process::ExitCode;
 
-use mcs_bench::compare::{compare_fuzz, compare_probe, compare_serve, render_findings, Finding};
+use mcs_bench::compare::{
+    compare_fuzz, compare_probe, compare_resynth, compare_serve, render_findings, Finding,
+};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_compare <probe|fuzz|serve> <baseline.json> <fresh.json> | --self-test");
+    eprintln!(
+        "usage: bench_compare <probe|fuzz|serve|resynth> <baseline.json> <fresh.json> | --self-test"
+    );
     ExitCode::from(2)
 }
 
@@ -87,7 +92,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--self-test") => self_test(),
-        Some(mode @ ("probe" | "fuzz" | "serve")) => {
+        Some(mode @ ("probe" | "fuzz" | "serve" | "resynth")) => {
             let (Some(baseline), Some(fresh)) = (args.get(1), args.get(2)) else {
                 return usage();
             };
@@ -98,6 +103,7 @@ fn main() -> ExitCode {
             let result = match mode {
                 "probe" => compare_probe(&baseline, &fresh),
                 "fuzz" => compare_fuzz(&baseline, &fresh),
+                "resynth" => compare_resynth(&baseline, &fresh),
                 _ => compare_serve(&baseline, &fresh),
             };
             match result {

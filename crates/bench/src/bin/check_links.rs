@@ -1,0 +1,124 @@
+//! Relative-link checker for the in-tree documentation, run by the CI
+//! docs job. Scans `README.md`, `DESIGN.md`, `ROADMAP.md` and every
+//! `docs/*.md` for markdown links, and fails when a relative target
+//! (optionally with a `#fragment`) does not exist on disk. External
+//! `http(s):`/`mailto:` links and bare anchors are out of scope — this
+//! gate is about the cross-file index staying truthful as files move,
+//! offline and with zero dependencies.
+//!
+//! ```text
+//! check_links [repo-root]    # default: current directory
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Extracts `](target)` markdown link targets from one line. Good
+/// enough for this tree's docs: no reference-style links, no titles
+/// inside the parentheses, no nested parentheses in paths.
+fn link_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(close) = line[i + 2..].find(')') {
+                out.push(line[i + 2..i + 2 + close].to_string());
+                i += 2 + close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `true` when the target is out of scope for a filesystem check.
+fn external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+        || target.is_empty()
+}
+
+fn check_file(root: &Path, file: &Path, problems: &mut Vec<String>) {
+    let Ok(text) = std::fs::read_to_string(file) else {
+        problems.push(format!("{}: unreadable", file.display()));
+        return;
+    };
+    let dir = file.parent().unwrap_or(root);
+    let mut in_fence = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+        }
+        if in_fence {
+            continue;
+        }
+        for target in link_targets(line) {
+            if external(&target) {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            let resolved = dir.join(path_part);
+            if !resolved.exists() {
+                problems.push(format!(
+                    "{}:{}: broken link `{target}` (no `{}`)",
+                    file.display(),
+                    lineno + 1,
+                    resolved.display()
+                ));
+            }
+        }
+    }
+}
+
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = ["README.md", "DESIGN.md", "ROADMAP.md", "CHANGES.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.exists())
+        .collect();
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        let mut docs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "md"))
+            .collect();
+        docs.sort();
+        files.extend(docs);
+    }
+    files
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let files = doc_files(&root);
+    if files.is_empty() {
+        eprintln!("check_links: no markdown files under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+    let mut problems = Vec::new();
+    for file in &files {
+        check_file(&root, file, &mut problems);
+    }
+    for p in &problems {
+        eprintln!("check_links: {p}");
+    }
+    println!(
+        "check_links: {} files scanned, {} broken links",
+        files.len(),
+        problems.len()
+    );
+    if problems.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -561,6 +561,43 @@ pub fn compare_serve(baseline: &str, fresh: &str) -> Result<Vec<Finding>, String
     Ok(findings)
 }
 
+/// Diffs a fresh `BENCH_resynth.json` against the committed baseline.
+///
+/// Hard fields: the scenario shape (design, edit), the ladder path
+/// taken, the dirty-region and reuse tallies, both pipe lengths, the
+/// differential-oracle verdict, the warm bit and the overall `pass`
+/// verdict — all deterministic functions of the code. Threshold field:
+/// the within-run incremental-over-cold `speedup` (floor
+/// [`SPEEDUP_RATIO_FLOOR`] of baseline); absolute wall times are never
+/// compared.
+///
+/// # Errors
+///
+/// A parse error on malformed input in either file.
+pub fn compare_resynth(baseline: &str, fresh: &str) -> Result<Vec<Finding>, String> {
+    let (pairs, mut findings) = matched_lines(baseline, fresh, "config")?;
+    for (k, b, f) in &pairs {
+        for path in [
+            "design",
+            "edit",
+            "path",
+            "dirty_ops",
+            "dirty_transfers",
+            "reused",
+            "fresh",
+            "incr_latency",
+            "cold_latency",
+            "verifier_ok",
+            "warm",
+            "pass",
+        ] {
+            hard_compare(k, b, f, path, &mut findings);
+        }
+        ratio_floor(k, b, f, "speedup", SPEEDUP_RATIO_FLOOR, &mut findings);
+    }
+    Ok(findings)
+}
+
 /// Renders findings as the `bench_compare` report; empty input renders
 /// the all-clear line.
 pub fn render_findings(findings: &[Finding]) -> String {
@@ -729,6 +766,53 @@ mod tests {
         let findings = compare_serve(SERVE_BASE, &fresh).unwrap();
         assert_eq!(findings.len(), 2, "{findings:?}");
         assert!(findings.iter().all(|f| f.severity == Severity::Hard));
+    }
+
+    const RESYNTH_BASE: &str = "{\"bench\":\"resynth\",\"config\":\"elliptic_local_width\",\
+        \"design\":\"elliptic\",\"edit\":\"width:a1=8\",\"path\":\"identical\",\
+        \"dirty_ops\":1,\"dirty_transfers\":0,\"reused\":0,\"fresh\":0,\
+        \"incr_latency\":30,\"cold_latency\":30,\"verifier_ok\":true,\
+        \"incr_wall_ms\":2.000,\"cold_wall_ms\":40.000,\"speedup\":20.00,\
+        \"warm\":true,\"pass\":true}";
+
+    #[test]
+    fn identical_resynth_lines_produce_no_findings() {
+        assert!(compare_resynth(RESYNTH_BASE, RESYNTH_BASE)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn resynth_path_or_latency_change_is_hard() {
+        let fresh = RESYNTH_BASE.replace("\"path\":\"identical\"", "\"path\":\"patched\"");
+        let findings = compare_resynth(RESYNTH_BASE, &fresh).unwrap();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.field == "path" && f.severity == Severity::Hard),
+            "{findings:?}"
+        );
+        let fresh = RESYNTH_BASE.replace("\"incr_latency\":30", "\"incr_latency\":32");
+        let findings = compare_resynth(RESYNTH_BASE, &fresh).unwrap();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.field == "incr_latency" && f.severity == Severity::Hard),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn resynth_wall_time_is_ignored_but_speedup_collapse_trips() {
+        let fresh = RESYNTH_BASE
+            .replace("\"incr_wall_ms\":2.000", "\"incr_wall_ms\":9.000")
+            .replace("\"cold_wall_ms\":40.000", "\"cold_wall_ms\":180.000");
+        assert!(compare_resynth(RESYNTH_BASE, &fresh).unwrap().is_empty());
+        let slowed = RESYNTH_BASE.replace("\"speedup\":20.00", "\"speedup\":6.00");
+        let findings = compare_resynth(RESYNTH_BASE, &slowed).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].severity, Severity::Threshold);
+        assert_eq!(findings[0].field, "speedup");
     }
 
     #[test]

@@ -1013,6 +1013,88 @@ pub fn serve_bench_line(config: &str, m: &MeasuredServe) -> String {
     )
 }
 
+/// Incremental resynthesis must beat cold resynthesis by at least this
+/// factor on untouched-majority edits — the `bench_resynth` acceptance
+/// gate.
+pub const RESYNTH_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// One measured incremental-vs-cold resynthesis scenario, rendered by
+/// [`resynth_bench_line`].
+#[derive(Clone, Debug)]
+pub struct MeasuredResynth {
+    /// Design name.
+    pub design: String,
+    /// The design-delta spec applied.
+    pub edit: String,
+    /// Ladder path the incremental run took (`identical`/`patched`/`cold`).
+    pub path: String,
+    /// Dirty operations the classifier reported.
+    pub dirty_ops: u64,
+    /// Dirty interchip transfers.
+    pub dirty_transfers: u64,
+    /// Bus assignments carried over from the previous connection.
+    pub reused: u64,
+    /// Bus assignments re-derived.
+    pub fresh: u64,
+    /// Pipe length of the incremental result.
+    pub incr_latency: i64,
+    /// Pipe length of the cold run on the same edited design.
+    pub cold_latency: i64,
+    /// The differential oracle's verdict: the incremental result is
+    /// verifier-clean and no worse than cold.
+    pub verifier_ok: bool,
+    /// Best incremental wall time over the reps, milliseconds.
+    pub incr_wall_ms: f64,
+    /// Best cold wall time over the reps, milliseconds.
+    pub cold_wall_ms: f64,
+}
+
+/// Renders one `bench_resynth` BENCH line. `warm` is whether the
+/// incremental run avoided the cold rung; `pass` is the gate — the
+/// `bench_resynth` binary exits nonzero when any scenario fails it:
+/// verifier agreement, a warm path, and a cold-over-incremental speedup
+/// of at least [`RESYNTH_SPEEDUP_FLOOR`]. Golden-tested, like
+/// [`search_stats_line`], so machine-diffing stays stable.
+pub fn resynth_bench_line(config: &str, m: &MeasuredResynth) -> String {
+    resynth_bench_line_with_floor(config, m, RESYNTH_SPEEDUP_FLOOR)
+}
+
+/// [`resynth_bench_line`] with an explicit speedup floor for the `pass`
+/// verdict. The headline [`RESYNTH_SPEEDUP_FLOOR`] is calibrated for
+/// untouched-majority *local* edits, where incremental revalidation
+/// skips synthesis entirely; edits that dirty transfers still re-run
+/// bus-slot list scheduling, so their honest win over cold is smaller
+/// and they gate at a scenario-chosen floor instead.
+pub fn resynth_bench_line_with_floor(config: &str, m: &MeasuredResynth, floor: f64) -> String {
+    let speedup = if m.incr_wall_ms > 0.0 {
+        m.cold_wall_ms / m.incr_wall_ms
+    } else {
+        0.0
+    };
+    let warm = m.path != "cold";
+    let pass = m.verifier_ok && warm && speedup >= floor;
+    format!(
+        "{{\"bench\":\"resynth\",\"config\":\"{config}\",\"design\":\"{}\",\
+         \"edit\":\"{}\",\"path\":\"{}\",\"dirty_ops\":{},\
+         \"dirty_transfers\":{},\"reused\":{},\"fresh\":{},\
+         \"incr_latency\":{},\"cold_latency\":{},\"verifier_ok\":{},\
+         \"incr_wall_ms\":{:.3},\"cold_wall_ms\":{:.3},\
+         \"speedup\":{speedup:.2},\"warm\":{warm},\"pass\":{pass}}}",
+        m.design,
+        m.edit,
+        m.path,
+        m.dirty_ops,
+        m.dirty_transfers,
+        m.reused,
+        m.fresh,
+        m.incr_latency,
+        m.cold_latency,
+        m.verifier_ok,
+        m.incr_wall_ms,
+        m.cold_wall_ms,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1300,6 +1382,55 @@ mod tests {
             verdict_digest(&[false, true])
         );
         assert_ne!(verdict_digest(&[]), verdict_digest(&[false]));
+    }
+
+    fn measured_resynth() -> MeasuredResynth {
+        MeasuredResynth {
+            design: "elliptic".into(),
+            edit: "width:a1=8".into(),
+            path: "identical".into(),
+            dirty_ops: 1,
+            dirty_transfers: 0,
+            reused: 0,
+            fresh: 0,
+            incr_latency: 30,
+            cold_latency: 30,
+            verifier_ok: true,
+            incr_wall_ms: 2.0,
+            cold_wall_ms: 40.0,
+        }
+    }
+
+    #[test]
+    fn resynth_bench_line_matches_golden_output() {
+        let line = resynth_bench_line("elliptic_local_width", &measured_resynth());
+        assert_eq!(
+            line,
+            "{\"bench\":\"resynth\",\"config\":\"elliptic_local_width\",\
+             \"design\":\"elliptic\",\"edit\":\"width:a1=8\",\
+             \"path\":\"identical\",\"dirty_ops\":1,\"dirty_transfers\":0,\
+             \"reused\":0,\"fresh\":0,\"incr_latency\":30,\"cold_latency\":30,\
+             \"verifier_ok\":true,\"incr_wall_ms\":2.000,\
+             \"cold_wall_ms\":40.000,\"speedup\":20.00,\"warm\":true,\
+             \"pass\":true}"
+        );
+        mcs_obs::export::validate_json(&line).expect("BENCH line is strict JSON");
+    }
+
+    #[test]
+    fn resynth_bench_line_gates_on_verifier_path_and_speedup() {
+        let mut oracle = measured_resynth();
+        oracle.verifier_ok = false;
+        assert!(resynth_bench_line("c", &oracle).contains("\"pass\":false"));
+        let mut cold = measured_resynth();
+        cold.path = "cold".into();
+        assert!(resynth_bench_line("c", &cold).contains("\"pass\":false"));
+        let mut slow = measured_resynth();
+        slow.incr_wall_ms = 20.0;
+        assert!(resynth_bench_line("c", &slow).contains("\"pass\":false"));
+        // The same 2x win passes under a scenario-chosen floor.
+        assert!(resynth_bench_line_with_floor("c", &slow, 1.5).contains("\"pass\":true"));
+        assert!(resynth_bench_line("c", &measured_resynth()).contains("\"pass\":true"));
     }
 
     #[test]

@@ -497,6 +497,64 @@ impl Cdfg {
         Ok(order)
     }
 
+    /// Decomposes the graph into its owned parts. The delta engine edits
+    /// the parts and rebuilds with [`Cdfg::from_parts`]; derived adjacency
+    /// is dropped here and recomputed there.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        Library,
+        Vec<Partition>,
+        Vec<Operation>,
+        Vec<Value>,
+        Vec<Edge>,
+    ) {
+        (
+            self.library,
+            self.partitions,
+            self.ops,
+            self.values,
+            self.edges,
+        )
+    }
+
+    /// Rebuilds a graph from edited parts: recomputes the adjacency lists
+    /// and revalidates every structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub(crate) fn from_parts(
+        library: Library,
+        partitions: Vec<Partition>,
+        ops: Vec<Operation>,
+        values: Vec<Value>,
+        edges: Vec<Edge>,
+    ) -> Result<Cdfg, GraphError> {
+        let n = ops.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            if e.from.index() >= n || e.to.index() >= n {
+                return Err(GraphError::UnknownId { what: "operation" });
+            }
+            let id = EdgeId::new(i as u32);
+            succs[e.from.index()].push(id);
+            preds[e.to.index()].push(id);
+        }
+        let cdfg = Cdfg {
+            library,
+            partitions,
+            ops,
+            values,
+            edges,
+            preds,
+            succs,
+        };
+        cdfg.validate()?;
+        Ok(cdfg)
+    }
+
     /// Checks every structural invariant. Called by the builder; exposed for
     /// graphs mutated after construction.
     ///

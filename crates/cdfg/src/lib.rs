@@ -32,6 +32,7 @@ mod graph;
 mod ids;
 mod library;
 
+pub mod delta;
 pub mod designs;
 pub mod dot;
 pub mod format;

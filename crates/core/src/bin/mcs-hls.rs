@@ -13,9 +13,17 @@
 //!                  [--probe-differential]        (cross-check trail vs clone probes)
 //!                  [--trace-out trace.json [--trace-format chrome|jsonl]]
 //!                  [--metrics-out m.json [--metrics-format json|prom]]
+//!                  [--out-result out.json]       (persist the result for `resynth`)
+//! mcs-hls resynth  <design.mcs> --prev out.json --edit "width:V1=8"
+//!                  incremental resynthesis: apply the design delta and
+//!                  re-solve only the dirty region, reusing the previous
+//!                  schedule/connection where the classifier allows
+//!                  [--out-result out2.json] [--metrics-out m.json]
 //! mcs-hls explain  <design.mcs> --rate N         synthesize under a tracing
 //!                  recorder, print the per-phase decision summary and the
 //!                  metrics table (counters, histograms, span profile)
+//!                  [--metrics-in m.json]         (render a saved metrics file
+//!                                                instead of synthesizing)
 //! mcs-hls simulate <design.mcs> --rate N [--instances N] [--seed N]
 //!                  synthesize, execute, cross-check outputs
 //! mcs-hls rtl      <design.mcs> --rate N         emit structural Verilog
@@ -48,9 +56,10 @@ use multichip_hls::metrics::{export as metrics_export, MetricsHandle, Registry};
 use multichip_hls::netlist;
 use multichip_hls::obs::{export, summary::summarize, BufferingRecorder, RecorderHandle};
 use multichip_hls::report::{
-    render_interconnect, render_metrics, render_phase_summary, render_schedule,
-    render_search_stats, render_trace_aggregates,
+    metrics_compatibility, render_interconnect, render_metrics, render_phase_summary,
+    render_schedule, render_search_stats, render_trace_aggregates,
 };
+use multichip_hls::resynth::{self, resynth_flow_traced};
 use multichip_hls::sched::Schedule;
 use multichip_hls::sim::{verify, Semantics, Stimulus};
 
@@ -80,6 +89,10 @@ struct Args {
     trace_format: String,
     metrics_out: Option<String>,
     metrics_format: String,
+    metrics_in: Option<String>,
+    out_result: Option<String>,
+    prev: Option<String>,
+    edit: Option<String>,
     rates: Option<String>,
     pin_budgets: Option<String>,
     jobs: usize,
@@ -91,7 +104,8 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mcs-hls <check|synth|explain|simulate|rtl|fmt|partition|dot|explore> <design.mcs> \
+        "usage: mcs-hls <check|synth|resynth|explain|simulate|rtl|fmt|partition|dot|explore> \
+         <design.mcs> \
          [--rate N] [--flow simple|connect|schedule] [--pipe N] \
          [--bidir] [--sharing] [--instances N] [--seed N] \
          [--chips N] [--pins N] [--buses] \
@@ -99,7 +113,8 @@ fn usage() -> ExitCode {
          [--deadline-ms N] [--max-pivots N] [--max-nodes N] \
          [--pivot-budget N] [--probe-differential] \
          [--trace-out FILE] [--trace-format chrome|jsonl] \
-         [--metrics-out FILE] [--metrics-format json|prom] \
+         [--metrics-out FILE] [--metrics-format json|prom] [--metrics-in FILE] \
+         [--out-result FILE] [--prev FILE] [--edit SPEC] \
          [--rates A..B|A,B,C] [--pin-budgets V:V (V = P,P,..)] [--jobs N] \
          [--out FILE] [--csv FILE] [--no-prune] [--explain]"
     );
@@ -136,6 +151,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         trace_format: "chrome".into(),
         metrics_out: None,
         metrics_format: "json".into(),
+        metrics_in: None,
+        out_result: None,
+        prev: None,
+        edit: None,
         rates: None,
         pin_budgets: None,
         jobs: 1,
@@ -263,6 +282,10 @@ fn parse_args() -> Result<Args, ExitCode> {
                 }
             }
             "--metrics-out" => out.metrics_out = Some(next_value(&mut args, "--metrics-out")?),
+            "--metrics-in" => out.metrics_in = Some(next_value(&mut args, "--metrics-in")?),
+            "--out-result" => out.out_result = Some(next_value(&mut args, "--out-result")?),
+            "--prev" => out.prev = Some(next_value(&mut args, "--prev")?),
+            "--edit" => out.edit = Some(next_value(&mut args, "--edit")?),
             "--metrics-format" => {
                 out.metrics_format = next_value(&mut args, "--metrics-format")?;
                 if !matches!(out.metrics_format.as_str(), "json" | "prom") {
@@ -528,6 +551,18 @@ fn write_trace(buf: &BufferingRecorder, a: &Args, path: &str) -> Result<(), Exit
     Ok(())
 }
 
+/// Writes a saved-result JSON (the `resynth --prev` input format),
+/// keyed by the design's structural digest.
+fn write_result(cdfg: &Cdfg, r: &SynthesisResult, path: &str) -> Result<(), ExitCode> {
+    let text = resynth::result_to_json(mcs_cdfg::fuzz::design_digest(cdfg), r);
+    std::fs::write(path, &text).map_err(|e| {
+        eprintln!("{path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    eprintln!("result: {} bytes -> {path}", text.len());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let a = match parse_args() {
         Ok(a) => a,
@@ -608,6 +643,11 @@ fn main() -> ExitCode {
                     return code;
                 }
             }
+            if let Some(path) = &a.out_result {
+                if let Err(code) = write_result(cdfg, &r, path) {
+                    return code;
+                }
+            }
             println!(
                 "pipe length: {} control steps at rate {}",
                 r.pipe_length, a.rate
@@ -634,6 +674,33 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "explain" => {
+            if let Some(path) = &a.metrics_in {
+                // Render a previously saved metrics file instead of
+                // synthesizing. A file written by a different mcs-hls
+                // version may sample none of this binary's metric
+                // families; diagnose the name mismatch instead of
+                // rendering an empty table.
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let snap = match metrics_export::from_json(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("{path}: not a metrics JSON file: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Some(diag) = metrics_compatibility(&snap) {
+                    eprintln!("{path}: {diag}");
+                    return ExitCode::FAILURE;
+                }
+                println!("{}", render_metrics(&snap));
+                return ExitCode::SUCCESS;
+            }
             let buf = Arc::new(BufferingRecorder::new());
             let rec = RecorderHandle::new(buf.clone());
             // Explain always runs metered: the metrics table below is
@@ -667,6 +734,123 @@ fn main() -> ExitCode {
             println!("{}", render_phase_summary(&summary));
             println!("{}", render_trace_aggregates(&summary));
             println!("{}", render_metrics(&reg.snapshot()));
+            ExitCode::SUCCESS
+        }
+        "resynth" => {
+            let (Some(prev_path), Some(edit)) = (&a.prev, &a.edit) else {
+                eprintln!("resynth needs --prev <saved-result.json> and --edit <delta spec>");
+                return ExitCode::from(2);
+            };
+            let prev_text = match std::fs::read_to_string(prev_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{prev_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let saved = match resynth::result_from_json(&prev_text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{prev_path}: not a saved result: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let digest = mcs_cdfg::fuzz::design_digest(cdfg);
+            if saved.design_digest != digest {
+                eprintln!(
+                    "{prev_path}: saved result is for design digest {:#018x}, \
+                     but {} has digest {digest:#018x} — resynthesize with \
+                     `mcs-hls synth {} --out-result` first",
+                    saved.design_digest, a.file, a.file,
+                );
+                return ExitCode::FAILURE;
+            }
+            let delta = match mcs_cdfg::delta::DesignDelta::parse(edit) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("--edit: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let buf = a
+                .trace_out
+                .as_ref()
+                .map(|_| Arc::new(BufferingRecorder::new()));
+            let rec = match &buf {
+                Some(b) => RecorderHandle::new(b.clone()),
+                None => RecorderHandle::default(),
+            };
+            let reg = metrics_registry(&a);
+            let metrics = match &reg {
+                Some(r) => MetricsHandle::new(r.clone()),
+                None => MetricsHandle::default(),
+            };
+            let out = match resynth_flow_traced(cdfg, &saved.result, &delta, &rec, &metrics) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("resynthesis failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let (Some(buf), Some(path)) = (&buf, &a.trace_out) {
+                if let Err(code) = write_trace(buf, &a, path) {
+                    return code;
+                }
+            }
+            if let (Some(reg), Some(path)) = (&reg, &a.metrics_out) {
+                if let Err(code) = write_metrics(reg, &a, path) {
+                    return code;
+                }
+            }
+            if let Some(path) = &a.out_result {
+                if let Err(code) = write_result(&out.cdfg, &out.result, path) {
+                    return code;
+                }
+            }
+            println!(
+                "resynth path: {} (delta `{}`, digest {:#010x})",
+                out.path,
+                delta.spec(),
+                delta.digest() as u32,
+            );
+            println!(
+                "dirty region: {} ops, {} transfers, {} chips, {} step groups{}{}",
+                out.dirty.ops.len(),
+                out.dirty.transfers.len(),
+                out.dirty.chips.len(),
+                out.dirty.groups.len(),
+                if out.dirty.rate_changed {
+                    ", rate changed"
+                } else {
+                    ""
+                },
+                if out.dirty.structure_changed {
+                    ", structure changed"
+                } else {
+                    ""
+                },
+            );
+            println!(
+                "reuse: {} assignments kept, {} re-derived; {} clean commits \
+                 replayed, {} rollbacks ({} trail ops undone)",
+                out.stats.reused_assignments,
+                out.stats.fresh_assignments,
+                out.stats.replayed_commits,
+                out.stats.rollbacks,
+                out.stats.trail_undone,
+            );
+            let r = &out.result;
+            println!(
+                "pipe length: {} control steps at rate {}",
+                r.pipe_length, r.schedule.rate
+            );
+            println!("pins used:   {:?}", r.pins_used);
+            println!();
+            println!("{}", render_schedule(&out.cdfg, &r.schedule));
+            println!(
+                "{}",
+                render_interconnect(&out.cdfg, &r.final_interconnect())
+            );
             ExitCode::SUCCESS
         }
         "simulate" => {

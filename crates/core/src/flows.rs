@@ -20,6 +20,8 @@ use mcs_sched::{
     Schedule, ScheduleViolation, SlotPlacement,
 };
 
+pub use crate::resynth::{resynth_flow, resynth_flow_traced, ResynthOutcome, ResynthPath};
+
 /// Anything a flow can fail with.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FlowError {
@@ -137,7 +139,7 @@ pub struct SynthesisResult {
 }
 
 impl SynthesisResult {
-    fn common(cdfg: &Cdfg, schedule: Schedule, interconnect: Interconnect) -> Self {
+    pub(crate) fn common(cdfg: &Cdfg, schedule: Schedule, interconnect: Interconnect) -> Self {
         let pins_used = (0..cdfg.partition_count())
             .map(|p| interconnect.pins_used(PartitionId::new(p as u32)))
             .collect();

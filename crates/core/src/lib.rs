@@ -40,6 +40,7 @@ pub mod explore;
 pub mod flows;
 pub mod netlist;
 pub mod report;
+pub mod resynth;
 pub mod rtl;
 
 pub use mcs_cdfg as cdfg;

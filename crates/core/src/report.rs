@@ -304,6 +304,65 @@ pub fn render_metrics(snap: &mcs_metrics::Snapshot) -> Table {
     t
 }
 
+/// Counter-name families this binary's flows emit, used by
+/// [`metrics_compatibility`] to recognize a loaded metrics file. A name
+/// matches when it equals a family or extends it past a `.` boundary
+/// (`probe` matches `probe.memo_hits`, not `probes`).
+pub const KNOWN_METRIC_FAMILIES: &[&str] = &[
+    "connect", "explore", "flow", "ilp", "postsyn", "probe", "rematch", "resynth", "sched", "serve",
+];
+
+fn in_known_family(name: &str) -> bool {
+    KNOWN_METRIC_FAMILIES.iter().any(|fam| {
+        name == *fam
+            || (name.len() > fam.len()
+                && name.starts_with(fam)
+                && name.as_bytes()[fam.len()] == b'.')
+    })
+}
+
+/// Cross-checks a loaded metrics snapshot against the metric families
+/// this binary emits. Returns a diagnostic when the snapshot would
+/// render as an empty or unrecognizable table — no samples at all, or
+/// counter names from a different (older or newer) binary — so
+/// `mcs-hls explain --metrics-in` can report the name mismatch instead
+/// of silently printing an empty table. Returns `None` when at least
+/// one sampled name is recognized.
+pub fn metrics_compatibility(snap: &mcs_metrics::Snapshot) -> Option<String> {
+    if snap.counters.is_empty()
+        && snap.gauges.is_empty()
+        && snap.histograms.is_empty()
+        && snap.profile.is_empty()
+    {
+        return Some("metrics file contains no samples".into());
+    }
+    let sampled: Vec<&String> = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+        .collect();
+    if sampled.is_empty() || sampled.iter().any(|n| in_known_family(n)) {
+        // Profile-only files, or at least one recognized name: render.
+        return None;
+    }
+    let mut shown: Vec<&str> = sampled.iter().map(|s| s.as_str()).take(5).collect();
+    shown.sort_unstable();
+    Some(format!(
+        "none of the {} sampled metric names match a family this binary emits \
+         (file has: {}{}; expected families: {}) — \
+         the metrics file was likely written by a different mcs-hls version",
+        sampled.len(),
+        shown.join(", "),
+        if sampled.len() > shown.len() {
+            ", ..."
+        } else {
+            ""
+        },
+        KNOWN_METRIC_FAMILIES.join(", "),
+    ))
+}
+
 /// Renders the portfolio connection search's per-worker telemetry: which
 /// configurations raced, how far each got, and who won.
 pub fn render_search_stats(stats: &SearchStats) -> Table {
@@ -513,6 +572,36 @@ mod tests {
         assert!(t.contains("flow/schedule"), "{t}");
         // The nested span is indented under its parent.
         assert!(t.contains("  flow/schedule"), "{t}");
+    }
+
+    #[test]
+    fn metrics_compatibility_flags_foreign_and_empty_snapshots() {
+        // Empty snapshot: diagnosed, not rendered as an empty table.
+        let snap = mcs_metrics::Snapshot::default();
+        let diag = metrics_compatibility(&snap).expect("empty snapshot must be diagnosed");
+        assert!(diag.contains("no samples"), "{diag}");
+
+        // Counters from a different binary version: every name unknown.
+        let reg = std::sync::Arc::new(mcs_metrics::Registry::new());
+        let m = mcs_metrics::MetricsHandle::new(reg.clone());
+        m.add("legacy.pin_checks", 3);
+        m.add("legacy.commits", 9);
+        let diag =
+            metrics_compatibility(&reg.snapshot()).expect("foreign counters must be diagnosed");
+        assert!(diag.contains("legacy.commits"), "{diag}");
+        assert!(diag.contains("resynth"), "{diag}");
+        assert!(diag.contains("different mcs-hls version"), "{diag}");
+
+        // One recognized family among the names: renderable.
+        m.add("ilp.pivots", 1);
+        assert_eq!(metrics_compatibility(&reg.snapshot()), None);
+
+        // Family matching respects the `.` boundary: `scheduler.x` must
+        // not match the `sched` family.
+        let reg = std::sync::Arc::new(mcs_metrics::Registry::new());
+        let m = mcs_metrics::MetricsHandle::new(reg.clone());
+        m.add("scheduler.steps", 1);
+        assert!(metrics_compatibility(&reg.snapshot()).is_some());
     }
 
     #[test]

@@ -114,6 +114,15 @@ pub struct Checkpoint {
     original_len: usize,
 }
 
+impl Checkpoint {
+    /// Undo-trail depth this checkpoint snapshots. Exported so callers
+    /// holding a long-lived checkpoint (the pin checker's cross-commit
+    /// savepoint) can report how much trail a rollback will unwind.
+    pub fn trail_depth(&self) -> usize {
+        self.trail_len
+    }
+}
+
 /// Cost accounting for one probe, for observability.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProbeStats {

@@ -41,6 +41,6 @@ mod rational;
 pub mod linearize;
 pub mod simplex;
 
-pub use gomory::{AllIntegerSolver, Feasibility};
+pub use gomory::{AllIntegerSolver, Checkpoint, Feasibility};
 pub use model::{Cmp, Constraint, Model, Sense, Solution, SolveError, VarDef, VarId};
 pub use rational::Ratio;

@@ -1,9 +1,12 @@
 //! Snapshot exporters: strict-valid JSON and a Prometheus-style text
 //! exposition format. Both iterate ordered maps, so equal snapshots
 //! render byte-identically — the property the `--jobs 1/2/8`
-//! determinism tests and the golden tests lock.
+//! determinism tests and the golden tests lock. [`from_json`] is the
+//! matching importer, used by `mcs-hls explain --metrics-in` to render
+//! a metrics file written by an earlier run (possibly an earlier
+//! binary).
 
-use crate::Snapshot;
+use crate::{bucket_index, HistogramSnapshot, ProfileNode, Snapshot, HISTOGRAM_BUCKETS};
 
 /// Escapes a string for a JSON string literal or a Prometheus label
 /// value (the escape sets coincide for the characters we allow).
@@ -134,6 +137,271 @@ pub fn to_prometheus(snap: &Snapshot) -> String {
     out
 }
 
+/// Parses a snapshot previously rendered by [`to_json`].
+///
+/// Counters, gauges and the span profile round-trip exactly. Histograms
+/// are rebuilt at bucket resolution from the exported quantiles: the
+/// per-bucket counts are synthesized so that `quantile(0.5/0.9/0.99)`
+/// and `max` reproduce the exported values (within the same ~25% bucket
+/// width the live histogram already had). `count`, `sum`, `min` and
+/// `max` are exact.
+///
+/// # Errors
+///
+/// A description of the first malformed construct. Unknown top-level
+/// keys are rejected — a file that does not parse here was not written
+/// by [`to_json`].
+pub fn from_json(text: &str) -> Result<Snapshot, String> {
+    let mut p = Reader {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let mut snap = Snapshot::default();
+    p.expect(b'{')?;
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "counters" => {
+                for (name, v) in p.flat_object()? {
+                    let v = u64::try_from(v).map_err(|_| format!("counter `{name}` < 0"))?;
+                    snap.counters.insert(name, v);
+                }
+            }
+            "gauges" => {
+                for (name, v) in p.flat_object()? {
+                    let v = i64::try_from(v).map_err(|_| format!("gauge `{name}` overflows"))?;
+                    snap.gauges.insert(name, v);
+                }
+            }
+            "histograms" => {
+                p.expect(b'{')?;
+                if p.peek() == Some(b'}') {
+                    p.i += 1;
+                } else {
+                    loop {
+                        let name = p.string()?;
+                        p.expect(b':')?;
+                        let fields = p.flat_object()?;
+                        let get = |k: &str| -> Result<u64, String> {
+                            fields
+                                .iter()
+                                .find(|(n, _)| n == k)
+                                .and_then(|(_, v)| u64::try_from(*v).ok())
+                                .ok_or_else(|| format!("histogram `{name}` lacks `{k}`"))
+                        };
+                        snap.histograms.insert(
+                            name.clone(),
+                            rebuild_histogram(
+                                get("count")?,
+                                get("sum")?,
+                                get("min")?,
+                                get("max")?,
+                                [get("p50")?, get("p90")?, get("p99")?],
+                            ),
+                        );
+                        if !p.comma_or(b'}')? {
+                            break;
+                        }
+                    }
+                }
+            }
+            "profile" => {
+                p.expect(b'[')?;
+                if p.peek() == Some(b']') {
+                    p.i += 1;
+                } else {
+                    loop {
+                        let fields = p.profile_node()?;
+                        snap.profile.push(fields);
+                        if !p.comma_or(b']')? {
+                            break;
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("unknown top-level key `{other}`")),
+        }
+        if !p.comma_or(b'}')? {
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(snap)
+}
+
+/// Synthesizes bucket counts reproducing the exported quantiles: the
+/// rank-mass up to each exported percentile lands in that percentile's
+/// bucket, the remainder in `max`'s bucket.
+fn rebuild_histogram(
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    [p50, p90, p99]: [u64; 3],
+) -> HistogramSnapshot {
+    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    if count > 0 {
+        let rank = |q: f64| ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut placed = 0;
+        for (value, r) in [
+            (p50, rank(0.5)),
+            (p90, rank(0.9)),
+            (p99, rank(0.99)),
+            (max, count),
+        ] {
+            let add = r.saturating_sub(placed);
+            buckets[bucket_index(value)] += add;
+            placed += add;
+        }
+    }
+    HistogramSnapshot {
+        count,
+        sum,
+        min,
+        max,
+        buckets,
+    }
+}
+
+/// A minimal reader for the exact JSON shape [`to_json`] emits:
+/// objects, arrays, strings with `\"`/`\\`/`\n` escapes, and integers.
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Reader<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    /// After a value: consumes `,` (returning `true`) or `close`
+    /// (returning `false`).
+    fn comma_or(&mut self, close: u8) -> Result<bool, String> {
+        match self.peek() {
+            Some(b',') => {
+                self.i += 1;
+                Ok(true)
+            }
+            Some(c) if c == close => {
+                self.i += 1;
+                Ok(false)
+            }
+            _ => Err(format!(
+                "expected `,` or `{}` at byte {}",
+                close as char, self.i
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => match self.b.get(self.i).copied() {
+                    Some(b'"') => {
+                        out.push('"');
+                        self.i += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        self.i += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        self.i += 1;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.i)),
+                },
+                c => out.push(c as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn integer(&mut self) -> Result<i128, String> {
+        self.skip_ws();
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad integer at byte {start}"))
+    }
+
+    /// `{"name":int,...}` — the shape of the counters/gauges maps and
+    /// of one exported histogram.
+    fn flat_object(&mut self) -> Result<Vec<(String, i128)>, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(fields);
+        }
+        loop {
+            let name = self.string()?;
+            self.expect(b':')?;
+            fields.push((name, self.integer()?));
+            if !self.comma_or(b'}')? {
+                return Ok(fields);
+            }
+        }
+    }
+
+    fn profile_node(&mut self) -> Result<ProfileNode, String> {
+        self.expect(b'{')?;
+        let mut path = None;
+        let mut calls = None;
+        let mut wall_us = None;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "path" => path = Some(self.string()?),
+                "calls" => calls = u64::try_from(self.integer()?).ok(),
+                "wall_us" => wall_us = u64::try_from(self.integer()?).ok(),
+                other => return Err(format!("unknown profile key `{other}`")),
+            }
+            if !self.comma_or(b'}')? {
+                break;
+            }
+        }
+        Ok(ProfileNode {
+            path: path.ok_or("profile node lacks `path`")?,
+            calls: calls.ok_or("profile node lacks `calls`")?,
+            wall_us: wall_us.ok_or("profile node lacks `wall_us`")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +483,37 @@ mod tests {
     fn sanitize_maps_workspace_names() {
         assert_eq!(sanitize("probe.latency_us.memo"), "probe_latency_us_memo");
         assert_eq!(sanitize("pin-check"), "pin_check");
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let snap = sample();
+        let loaded = from_json(&to_json(&snap)).unwrap();
+        assert_eq!(loaded.counters, snap.counters);
+        assert_eq!(loaded.gauges, snap.gauges);
+        assert_eq!(loaded.profile, snap.profile);
+        // Histograms round-trip at bucket resolution: the summary stats
+        // and every exported quantile agree, so a re-export is golden.
+        assert_eq!(to_json(&loaded), to_json(&snap));
+        let h = &loaded.histograms["probe.latency_us.solver"];
+        let orig = &snap.histograms["probe.latency_us.solver"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (4, 98, 2, 90));
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(h.quantile(q), orig.quantile(q));
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input_with_context() {
+        for (text, needle) in [
+            ("", "expected `{`"),
+            ("{\"bogus\":{}}", "unknown top-level key"),
+            ("{\"counters\":{\"x\":-1}}", "< 0"),
+            ("{\"counters\":{}} junk", "trailing garbage"),
+            ("{\"histograms\":{\"h\":{\"count\":1}}}", "lacks `sum`"),
+        ] {
+            let err = from_json(text).unwrap_err();
+            assert!(err.contains(needle), "`{text}` -> `{err}`");
+        }
     }
 }

@@ -941,6 +941,76 @@ impl PinChecker {
         }
         adopted
     }
+
+    /// Opens a cross-commit savepoint: a snapshot of the committed state
+    /// that [`PinChecker::rollback_commits`] can restore after any number
+    /// of further [`PinChecker::commit`] calls.
+    ///
+    /// This is the commit-level analogue of the per-probe trail use: the
+    /// solver checkpoint keeps the undo trail recording across the
+    /// commits (assumption shifts and their repair pivots), and the
+    /// checker bookkeeping that commits mutate is snapshotted alongside.
+    /// The incremental resynthesis flow snapshots after replaying the
+    /// clean commits of a previous run, then trial-commits the dirty
+    /// transfers — rolling back and retrying other step groups on
+    /// failure instead of rebuilding the tableau from scratch.
+    ///
+    /// Savepoints nest LIFO with any probe the checker runs in between
+    /// (probes open and close their own inner checkpoints), but two
+    /// *savepoints* must themselves be rolled back in LIFO order, and a
+    /// savepoint is consumed by its rollback: re-open after rolling back
+    /// if another trial round is needed.
+    pub fn commit_savepoint(&mut self) -> CommitSavepoint {
+        CommitSavepoint {
+            checkpoint: self.solver.checkpoint(),
+            agg_remaining: self.agg_remaining.clone(),
+            member_done: self.member_done.clone(),
+            group_load: self.group_load.clone(),
+            part_in_load: self.part_in_load.clone(),
+            memo: self.memo.clone(),
+            seeded: self.seeded.clone(),
+            commits: self.stats.commits,
+        }
+    }
+
+    /// Rolls the checker back to `savepoint`, undoing every commit made
+    /// since it was opened. Returns the number of solver trail
+    /// operations unwound. The savepoint is consumed.
+    pub fn rollback_commits(&mut self, savepoint: CommitSavepoint) -> u64 {
+        let undone = self.solver.rollback(savepoint.checkpoint);
+        self.agg_remaining = savepoint.agg_remaining;
+        self.member_done = savepoint.member_done;
+        self.group_load = savepoint.group_load;
+        self.part_in_load = savepoint.part_in_load;
+        self.memo = savepoint.memo;
+        self.seeded = savepoint.seeded;
+        self.stats.commits = savepoint.commits;
+        undone
+    }
+}
+
+/// A cross-commit savepoint of a [`PinChecker`]: the solver's trail
+/// checkpoint plus the commit bookkeeping (remaining demand, group
+/// loads, probe memo). Created by [`PinChecker::commit_savepoint`],
+/// consumed by [`PinChecker::rollback_commits`].
+#[derive(Clone, Debug)]
+pub struct CommitSavepoint {
+    checkpoint: mcs_ilp::Checkpoint,
+    agg_remaining: Vec<i64>,
+    member_done: Vec<bool>,
+    group_load: Vec<u32>,
+    part_in_load: Vec<i64>,
+    memo: BTreeMap<(usize, i64), bool>,
+    seeded: std::collections::BTreeSet<(usize, i64)>,
+    commits: u64,
+}
+
+impl CommitSavepoint {
+    /// Undo-trail depth at the snapshot (diagnostics for resynthesis
+    /// telemetry: `trail undone = trail_len() - trail_depth()`).
+    pub fn trail_depth(&self) -> usize {
+        self.checkpoint.trail_depth()
+    }
 }
 
 #[cfg(test)]
@@ -1005,6 +1075,54 @@ mod tests {
             assert!(c.can_commit(op, step), "{name} at {step}");
             c.commit(op, step).unwrap();
         }
+    }
+
+    #[test]
+    fn savepoint_rolls_back_commits_exactly() {
+        let d = synthetic::fig_2_5();
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        let v1 = d.op_named("V1");
+        let v2 = d.op_named("V2");
+        c.commit(v1, 0).unwrap();
+        let digest = c.solver_tableau_digest();
+        let load0 = c.group_load(0);
+        let load1 = c.group_load(1);
+        let sp = c.commit_savepoint();
+        // Two further commits mutate the tableau and the bookkeeping,
+        // with interleaved probes opening nested inner checkpoints.
+        assert!(c.can_commit(v2, 1));
+        c.commit(v2, 1).unwrap();
+        c.commit(d.op_named("V3"), 1).unwrap();
+        assert_ne!(c.solver_tableau_digest(), digest);
+        let undone = c.rollback_commits(sp);
+        assert!(undone > 0, "commits leave trail entries to unwind");
+        assert_eq!(c.solver_tableau_digest(), digest);
+        assert_eq!(c.group_load(0), load0);
+        assert_eq!(c.group_load(1), load1);
+        assert_eq!(c.probe_stats().commits, 1);
+        // The restored state supports a fresh trial round: replay the
+        // rolled-back commits plus the remaining cross-chip transfer.
+        for (name, step) in [("V2", 1), ("V3", 1), ("V4", 0)] {
+            c.commit(d.op_named(name), step).unwrap();
+        }
+        assert_eq!(c.probe_stats().commits, 4);
+    }
+
+    #[test]
+    fn savepoints_nest_lifo() {
+        let d = synthetic::fig_2_5();
+        let mut c = PinChecker::new(d.cdfg(), 2).unwrap();
+        c.commit(d.op_named("V1"), 0).unwrap();
+        let outer = c.commit_savepoint();
+        c.commit(d.op_named("V2"), 1).unwrap();
+        let inner = c.commit_savepoint();
+        c.commit(d.op_named("V3"), 1).unwrap();
+        assert_eq!(c.probe_stats().commits, 3);
+        assert!(outer.trail_depth() <= inner.trail_depth());
+        c.rollback_commits(inner);
+        assert_eq!(c.probe_stats().commits, 2);
+        c.rollback_commits(outer);
+        assert_eq!(c.probe_stats().commits, 1);
     }
 
     #[test]

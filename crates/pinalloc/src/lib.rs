@@ -23,5 +23,7 @@ mod checker;
 pub mod connection;
 pub mod simple;
 
-pub use checker::{PinAllocError, PinChecker, ProbeCacheStats, DEFAULT_PIVOT_BUDGET};
+pub use checker::{
+    CommitSavepoint, PinAllocError, PinChecker, ProbeCacheStats, DEFAULT_PIVOT_BUDGET,
+};
 pub use simple::{check_simple, is_simple, SimplicityViolation};

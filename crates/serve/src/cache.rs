@@ -40,7 +40,8 @@ use crate::proto::JobFlow;
 pub struct ServeKey {
     /// [`normalized_digest`] of the design.
     pub digest: u64,
-    /// Flow code: 0 simple, 1 connect, 2/3 the explore variants.
+    /// Flow code: 0 simple, 1 connect, 2/3 the explore variants,
+    /// 4 resynth.
     pub flow: u8,
     /// Initiation rate (0 for explore keys).
     pub rate: u32,
@@ -59,6 +60,25 @@ impl ServeKey {
             },
             rate,
             budgets,
+        }
+    }
+
+    /// Key for a resynth job: `(parent digest, previous result, delta)`.
+    /// The parent design digest is the primary digest; the canonical
+    /// previous-result digest and the delta digest are folded into the
+    /// budget vector. Flow code 4 keeps resynth entries
+    /// exact-replay-only — like explore keys, they never donate seeds.
+    pub fn resynth(digest: u64, prev_digest: u64, delta_digest: u64) -> ServeKey {
+        ServeKey {
+            digest,
+            flow: 4,
+            rate: 0,
+            budgets: vec![
+                (prev_digest >> 32) as u32,
+                prev_digest as u32,
+                (delta_digest >> 32) as u32,
+                delta_digest as u32,
+            ],
         }
     }
 
@@ -201,6 +221,18 @@ impl ServeCache {
     }
 }
 
+/// FNV-1a over `bytes` — digests the canonical previous-result body for
+/// the resynth cache key (the same hash family
+/// [`mcs_cdfg::delta::DesignDelta::digest`] uses for the delta half).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Digest of `cdfg` with every chip's pin budget normalized out (budget
 /// 0, no fixed split), so near-repeat requests — same structure,
 /// different budgets — share a digest. The environment partition is
@@ -298,6 +330,17 @@ mod tests {
         assert!(matches!(cache.lookup(&key), Lookup::Hit(_)));
         let smaller = ServeKey::explore(7, JobFlow::Connect, &[4], &[vec![32, 32]]);
         assert!(matches!(cache.lookup(&smaller), Lookup::Cold));
+    }
+
+    #[test]
+    fn resynth_keys_replay_but_never_seed() {
+        let cache = ServeCache::new(8);
+        let key = ServeKey::resynth(7, fnv1a(b"{\"design\":7}"), 99);
+        cache.insert(key.clone(), entry("{\"resynth\":1}", vec![((0, 0), false)]));
+        assert!(matches!(cache.lookup(&key), Lookup::Hit(_)));
+        // A different delta against the same parent and prev is cold.
+        let other = ServeKey::resynth(7, fnv1a(b"{\"design\":7}"), 100);
+        assert!(matches!(cache.lookup(&other), Lookup::Cold));
     }
 
     #[test]

@@ -72,6 +72,20 @@ pub struct ExploreRequest {
     pub budget: BudgetSpec,
 }
 
+/// A `resynth` job: incremental resynthesis of an edited design from a
+/// previously saved result (the `mcs-hls synth --out-result` format).
+#[derive(Clone, Debug)]
+pub struct ResynthRequest {
+    /// Design source in the `.mcs` text format — the *pre-edit* design
+    /// the saved result was synthesized from.
+    pub design: String,
+    /// The saved-result JSON for `design` (digest-checked).
+    pub prev: String,
+    /// Design-delta spec, e.g. `width:a1=8; rate:7`
+    /// ([`mcs_cdfg::delta::DesignDelta::parse`]).
+    pub edit: String,
+}
+
 /// One parsed request line.
 #[derive(Clone, Debug)]
 pub enum Request {
@@ -87,6 +101,8 @@ pub enum Request {
     Synth(SynthRequest),
     /// A sweep job (pool-scheduled, expensive lane).
     Explore(ExploreRequest),
+    /// An incremental resynthesis job (pool-scheduled, cheap lane).
+    Resynth(ResynthRequest),
 }
 
 /// Protocol-level error kinds (`docs/SERVE.md` maps these onto the
@@ -246,6 +262,11 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorKind, String)> {
                 budget: budget_spec(&obj).map_err(bad)?,
             }))
         }
+        "resynth" => Ok(Request::Resynth(ResynthRequest {
+            design: field_str(&obj, "design").map_err(bad)?.to_string(),
+            prev: field_str(&obj, "prev").map_err(bad)?.to_string(),
+            edit: field_str(&obj, "edit").map_err(bad)?.to_string(),
+        })),
         other => Err(bad(format!("unknown cmd `{other}`"))),
     }
 }
@@ -301,6 +322,24 @@ mod tests {
         assert_eq!(req.rates, vec![4, 5]);
         assert_eq!(req.pin_budgets, vec![vec![48, 64], vec![32, 32]]);
         assert_eq!(req.flow, JobFlow::Connect);
+    }
+
+    #[test]
+    fn parses_a_resynth_request() {
+        let line = r#"{"cmd":"resynth","design":"x","prev":"{\"design\":1}","edit":"rate:7"}"#;
+        let Request::Resynth(req) = parse_request(line).expect("parses") else {
+            panic!("not a resynth request");
+        };
+        assert_eq!(req.design, "x");
+        assert_eq!(req.prev, "{\"design\":1}");
+        assert_eq!(req.edit, "rate:7");
+        // All three members are required.
+        assert_eq!(
+            parse_request(r#"{"cmd":"resynth","design":"x","edit":"rate:7"}"#)
+                .unwrap_err()
+                .0,
+            ErrorKind::BadRequest
+        );
     }
 
     #[test]

@@ -32,15 +32,16 @@ use multichip_hls::flows::{
     SynthesisResult,
 };
 use multichip_hls::netlist;
+use multichip_hls::resynth;
 
 use crate::cache::{
-    effective_budgets, normalized_digest, Lookup, Seeds, ServeCache, ServeEntry, ServeKey,
+    effective_budgets, fnv1a, normalized_digest, Lookup, Seeds, ServeCache, ServeEntry, ServeKey,
 };
 use crate::json;
 use crate::pool::{Lane, WorkerPool};
 use crate::proto::{
     error_response, parse_request, with_provenance, ErrorKind, ExploreRequest, JobFlow, Request,
-    SynthRequest,
+    ResynthRequest, SynthRequest,
 };
 
 /// Portfolio size pinned for every connect-first job, mirroring the
@@ -136,6 +137,7 @@ impl Server {
             }
             Request::Synth(req) => self.synth_response(req),
             Request::Explore(req) => self.explore_response(req),
+            Request::Resynth(req) => self.resynth_response(req),
         };
         self.metrics
             .observe("serve.request_us", self.registry.now_us() - started);
@@ -298,6 +300,72 @@ impl Server {
             with_provenance(&core, "cold")
         });
         self.run_job(Lane::Expensive, job)
+    }
+
+    /// A resynth job: validate the `(design, prev, edit)` triple on the
+    /// connection thread, then run the incremental ladder in the cheap
+    /// lane. The cache key is `(parent digest, prev digest, delta
+    /// digest)`, where the prev digest is taken over the *canonical*
+    /// re-rendering of the saved result — two textually different but
+    /// semantically identical `prev` bodies share an entry.
+    fn resynth_response(&self, req: ResynthRequest) -> String {
+        self.metrics.add("serve.jobs.resynth", 1);
+        let bad = |metrics: &MetricsHandle, detail: String| {
+            metrics.add("serve.errors", 1);
+            error_response(ErrorKind::BadRequest, &detail)
+        };
+        let cdfg = match Self::prepare_design(&req.design, None) {
+            Ok(c) => c,
+            Err((kind, detail)) => {
+                self.metrics.add("serve.errors", 1);
+                return error_response(kind, &detail);
+            }
+        };
+        let saved = match resynth::result_from_json(&req.prev) {
+            Ok(s) => s,
+            Err(e) => return bad(&self.metrics, format!("prev: {e}")),
+        };
+        let digest = mcs_cdfg::fuzz::design_digest(&cdfg);
+        if saved.design_digest != digest {
+            return bad(
+                &self.metrics,
+                format!(
+                    "prev: saved result is for design digest {:#018x}, \
+                     but the submitted design has digest {digest:#018x}",
+                    saved.design_digest
+                ),
+            );
+        }
+        let delta = match mcs_cdfg::delta::DesignDelta::parse(&req.edit) {
+            Ok(d) => d,
+            Err(e) => return bad(&self.metrics, format!("edit: {e}")),
+        };
+        let prev_canon = resynth::result_to_json(digest, &saved.result);
+        let key = ServeKey::resynth(digest, fnv1a(prev_canon.as_bytes()), delta.digest());
+        match self.cache.lookup(&key) {
+            Lookup::Hit(body) => {
+                self.metrics.add("serve.hits.exact", 1);
+                return with_provenance(&body, "hit");
+            }
+            Lookup::Seeds(_) | Lookup::Cold => self.metrics.add("serve.misses", 1),
+        }
+        let cache = self.cache.clone();
+        let metrics = self.metrics.clone();
+        let job = Box::new(move || {
+            let core = run_resynth(&cdfg, digest, &saved.result, &delta, &metrics);
+            // Resynthesis is budget-free and deterministic, so every
+            // outcome (including a definitive failure) is cacheable.
+            cache.insert(
+                key,
+                ServeEntry {
+                    probe_memo: Vec::new(),
+                    certs: Vec::new(),
+                    body: core.clone(),
+                },
+            );
+            with_provenance(&core, "cold")
+        });
+        self.run_job(Lane::Cheap, job)
     }
 
     fn run_job(&self, lane: Lane, job: crate::pool::Job) -> String {
@@ -612,6 +680,50 @@ fn run_synth(
                 }
             }
         }
+    }
+}
+
+/// Runs one resynth job: the incremental ladder, with the path taken,
+/// the dirty-region size and the reuse telemetry in the response body.
+/// All of those are deterministic functions of the inputs, so the body
+/// stays exact-replay-sound.
+fn run_resynth(
+    cdfg: &Cdfg,
+    digest: u64,
+    prev: &SynthesisResult,
+    delta: &mcs_cdfg::delta::DesignDelta,
+    metrics: &MetricsHandle,
+) -> String {
+    let recorder = RecorderHandle::default();
+    let head = format!(
+        "{{\"ok\":true,\"cmd\":\"resynth\",\"design\":\"{}\",\"delta\":\"{:016x}\"",
+        flow_label(digest),
+        delta.digest()
+    );
+    match resynth::resynth_flow_traced(cdfg, prev, delta, &recorder, metrics) {
+        Ok(out) => {
+            let total_pins: u32 = out.result.pins_used.iter().skip(1).sum();
+            format!(
+                "{head},\"status\":\"feasible\",\"path\":\"{}\",\"rate\":{},\"latency\":{},\
+                 \"total_pins\":{total_pins},\"buses\":{},\"dirty_ops\":{},\
+                 \"dirty_transfers\":{},\"reused\":{},\"fresh\":{},\
+                 \"replayed_commits\":{},\"rollbacks\":{}}}",
+                out.path,
+                out.result.schedule.rate,
+                out.result.pipe_length,
+                out.result.interconnect.buses.len(),
+                out.dirty.ops.len(),
+                out.dirty.transfers.len(),
+                out.stats.reused_assignments,
+                out.stats.fresh_assignments,
+                out.stats.replayed_commits,
+                out.stats.rollbacks,
+            )
+        }
+        Err(e) => format!(
+            "{head},\"status\":\"error\"{}}}",
+            detail_extra(&e.to_string())
+        ),
     }
 }
 
